@@ -1,0 +1,283 @@
+// Command ddrace runs one bundled workload kernel under a chosen analysis
+// policy and prints the race and performance report.
+//
+// Usage:
+//
+//	ddrace -kernel histogram -policy hitm-demand
+//	ddrace -kernel racy_counter -policy continuous -threads 8 -lockset
+//	ddrace -list
+//	ddrace -kernel kmeans -compare            # all policies side by side
+//	ddrace -kernel racy_flag -trace out.drt   # record a binary trace
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"demandrace"
+	"demandrace/internal/cache"
+	"demandrace/internal/demand"
+	"demandrace/internal/report"
+	"demandrace/internal/sched"
+	"demandrace/internal/stats"
+	"demandrace/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ddrace:", err)
+		os.Exit(1)
+	}
+}
+
+func parsePolicy(s string) (demandrace.Policy, error) {
+	for _, k := range []demandrace.Policy{
+		demand.Off, demand.Continuous, demand.SyncOnly, demand.HITMDemand,
+		demand.Hybrid, demand.Sampling, demand.WatchDemand, demand.PageDemand,
+	} {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown policy %q (off|continuous|sync-only|hitm-demand|hybrid|sampling|watch-demand|page-demand)", s)
+}
+
+func parseScope(s string) (demandrace.Scope, error) {
+	for _, sc := range []demandrace.Scope{demand.ScopeGlobal, demand.ScopePair, demand.ScopeSelf} {
+		if sc.String() == s {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scope %q (global|pair|self)", s)
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ddrace", flag.ContinueOnError)
+	var (
+		list      = fs.Bool("list", false, "list bundled kernels and exit")
+		kernel    = fs.String("kernel", "", "kernel to run (see -list)")
+		policy    = fs.String("policy", "hitm-demand", "analysis policy: off|continuous|sync-only|hitm-demand|hybrid|sampling|watch-demand|page-demand")
+		rate      = fs.Float64("rate", 0.1, "per-access analysis probability for -policy sampling")
+		watchcap  = fs.Int("watchcap", 0, "watchpoint registers per context for -policy watch-demand (0 = default 4)")
+		scope     = fs.String("scope", "global", "demand scope: global|pair|self")
+		threads   = fs.Int("threads", 4, "worker thread count")
+		scale     = fs.Int("scale", 1, "workload scale factor")
+		cores     = fs.Int("cores", 4, "simulated cores")
+		smt       = fs.Int("smt", 1, "hardware contexts per core")
+		prefetch  = fs.Bool("prefetch", false, "enable the next-line hardware prefetcher")
+		moesi     = fs.Bool("moesi", false, "simulate an AMD-style MOESI machine instead of MESI")
+		sav       = fs.Uint64("sav", 1, "PMU sample-after value")
+		skid      = fs.Int("skid", 0, "PMU interrupt skid (retired ops)")
+		quiet     = fs.Uint64("quiet", 0, "quiet ops before dropping to fast mode (0 = default)")
+		adaptive  = fs.Bool("adaptive", false, "adapt the quiet window at run time")
+		seed      = fs.Int64("seed", 0, "scheduler/PMU seed")
+		random    = fs.Bool("random", false, "use seeded random interleaving instead of round-robin")
+		lockset   = fs.Bool("lockset", false, "also run the Eraser lockset engine")
+		deadlockF = fs.Bool("deadlock", false, "also run the lock-order (potential deadlock) engine")
+		fullvc    = fs.Bool("fullvc", false, "use the full-vector-clock detector variant")
+		compare   = fs.Bool("compare", false, "run all policies and print a comparison table")
+		explore   = fs.Int("explore", 0, "explore N random interleavings and aggregate racy words")
+		traceOut  = fs.String("trace", "", "write a binary trace of the run to this file")
+		injectN   = fs.Int("inject", 0, "inject N synthetic races before running")
+		injectRep = fs.Int("inject-repeats", 3, "accesses per side of each injected race")
+		verbose   = fs.Bool("v", false, "print every race report")
+		asJSON    = fs.Bool("json", false, "emit the full report as JSON")
+		htmlOut   = fs.String("html", "", "write a self-contained HTML report to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		tb := stats.NewTable("bundled kernels", "name", "suite", "sharing profile")
+		for _, k := range demandrace.Kernels() {
+			tb.AddRow(k.Name, k.Suite, k.Sharing)
+		}
+		fmt.Fprint(out, tb)
+		return nil
+	}
+	if *kernel == "" {
+		return fmt.Errorf("missing -kernel (use -list to see choices)")
+	}
+	k, ok := demandrace.KernelByName(*kernel)
+	if !ok {
+		return fmt.Errorf("unknown kernel %q (use -list)", *kernel)
+	}
+	p := k.Build(demandrace.KernelConfig{Threads: *threads, Scale: *scale})
+
+	var injections []demandrace.Injection
+	if *injectN > 0 {
+		var err error
+		p, injections, err = demandrace.InjectRaces(p, demandrace.InjectionConfig{
+			Seed: *seed, Count: *injectN, Repeats: *injectRep,
+		})
+		if err != nil {
+			return err
+		}
+		for _, in := range injections {
+			fmt.Fprintln(out, in)
+		}
+	}
+
+	cfg := demandrace.DefaultConfig()
+	cfg.Cache.Cores = *cores
+	cfg.Cache.SMT = *smt
+	cfg.Cache.NextLinePrefetch = *prefetch
+	if *moesi {
+		cfg.Cache.Protocol = cache.MOESI
+	}
+	cfg.PMU.SampleAfter = *sav
+	cfg.PMU.Skid = *skid
+	cfg.PMU.Seed = *seed
+	cfg.Demand.QuietOps = *quiet
+	cfg.Demand.SampleRate = *rate
+	cfg.Demand.Seed = *seed
+	cfg.Demand.WatchCapacity = *watchcap
+	cfg.Demand.Adaptive = *adaptive
+	cfg.Lockset = *lockset
+	cfg.Deadlock = *deadlockF
+	cfg.Detector.FullVC = *fullvc
+	cfg.Sched.Seed = *seed
+	if *random {
+		cfg.Sched.Policy = sched.RandomInterleave
+	}
+	sc, err := parseScope(*scope)
+	if err != nil {
+		return err
+	}
+	cfg.Demand.Scope = sc
+
+	if *compare {
+		return comparePolicies(out, p, cfg, *verbose)
+	}
+
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	cfg = cfg.WithPolicy(pol)
+	if *explore > 0 {
+		return exploreSchedules(out, p, cfg, *explore)
+	}
+	if *traceOut != "" {
+		cfg.Tracer = demandrace.NewTraceRecorder(p.Name)
+	}
+	rep, err := demandrace.Run(p, cfg)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		printReport(out, rep, *verbose)
+	}
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := report.Write(f, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "html report written to %s\n", *htmlOut)
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := trace.EncodeBinary(f, cfg.Tracer.Trace()); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: %d events written to %s\n",
+			len(cfg.Tracer.Trace().Events), *traceOut)
+	}
+	return nil
+}
+
+func printReport(out io.Writer, rep *demandrace.Report, verbose bool) {
+	fmt.Fprintf(out, "program:   %s\n", rep.Program)
+	fmt.Fprintf(out, "policy:    %s\n", rep.Policy)
+	fmt.Fprintf(out, "slowdown:  %.2f× (%d tool cycles / %d native cycles)\n",
+		rep.Slowdown, rep.ToolCycles, rep.NativeCycles)
+	fmt.Fprintf(out, "sharing:   %.4f of %d memory accesses HITM (%d peer transfers)\n",
+		rep.SharingFraction(), rep.MemOps, rep.SharedPeer)
+	fmt.Fprintf(out, "analysis:  %.4f of accesses analyzed, %d samples, %d/%d mode switches on/off\n",
+		rep.Demand.AnalyzedFraction(), rep.Demand.Samples,
+		rep.Demand.EnableTransitions, rep.Demand.DisableTransitions)
+	fmt.Fprintf(out, "races:     %d distinct racy words, %d reports\n",
+		len(rep.RacyAddrs()), len(rep.Races))
+	if verbose {
+		for _, tr := range rep.Threads {
+			fmt.Fprintf(out, "  t%d: %.1f%% analyzed (%d/%d accesses)\n",
+				tr.TID, 100*tr.AnalyzedFraction(), tr.MemAnalyzed, tr.MemAnalyzed+tr.MemSkipped)
+		}
+		for _, r := range rep.Races {
+			fmt.Fprintf(out, "  %v\n", r)
+		}
+		for _, r := range rep.LocksetReports {
+			fmt.Fprintf(out, "  %v\n", r)
+		}
+	} else if len(rep.LocksetReports) > 0 {
+		fmt.Fprintf(out, "lockset:   %d violations\n", len(rep.LocksetReports))
+	}
+	for _, r := range rep.DeadlockReports {
+		fmt.Fprintf(out, "  %v\n", r)
+	}
+}
+
+func exploreSchedules(out io.Writer, p *demandrace.Program, cfg demandrace.Config, seeds int) error {
+	ex, err := demandrace.Explore(p, cfg, seeds)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "explored %d interleavings of %s under %s\n",
+		ex.Seeds, p.Name, cfg.Demand.Kind)
+	fmt.Fprintf(out, "racy words: %d in every schedule, %d flaky, %d total\n",
+		len(ex.Intersection), len(ex.FlakyAddrs()), len(ex.Union))
+	for _, a := range ex.Union {
+		fmt.Fprintf(out, "  %v  hit in %.0f%% of schedules\n", a, 100*ex.HitRate[a])
+	}
+	return nil
+}
+
+func comparePolicies(out io.Writer, p *demandrace.Program, cfg demandrace.Config, verbose bool) error {
+	kinds := []demandrace.Policy{
+		demand.Off, demand.SyncOnly, demand.Sampling, demand.PageDemand, demand.WatchDemand,
+		demand.HITMDemand, demand.Hybrid, demand.Continuous,
+	}
+	reps, err := demandrace.RunPolicies(p, cfg, kinds...)
+	if err != nil {
+		return err
+	}
+	var contSlow float64
+	for _, r := range reps {
+		if r.Policy == demand.Continuous {
+			contSlow = r.Slowdown
+		}
+	}
+	tb := stats.NewTable(fmt.Sprintf("policy comparison: %s", p.Name),
+		"policy", "slowdown", "speedup vs continuous", "analyzed frac", "races")
+	for _, r := range reps {
+		tb.AddRowf(r.Policy.String(), r.Slowdown, contSlow/r.Slowdown,
+			r.Demand.AnalyzedFraction(), len(r.Races))
+	}
+	fmt.Fprint(out, tb)
+	if verbose {
+		for _, r := range reps {
+			for _, rc := range r.Races {
+				fmt.Fprintf(out, "[%s] %v\n", r.Policy, rc)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("ddrace %v: %v", args, err)
+	}
+	return buf.String()
+}
+
+func TestList(t *testing.T) {
+	out := runCLI(t, "-list")
+	for _, want := range []string{"histogram", "swaptions", "micro_eviction", "racy_counter", "vips"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q", want)
+		}
+	}
+}
+
+func TestRunKernel(t *testing.T) {
+	out := runCLI(t, "-kernel", "racy_counter", "-policy", "continuous", "-v")
+	if !strings.Contains(out, "policy:    continuous") {
+		t.Errorf("missing policy line:\n%s", out)
+	}
+	if !strings.Contains(out, "race write-write") && !strings.Contains(out, "race read-write") {
+		t.Errorf("verbose run printed no race report:\n%s", out)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	out := runCLI(t, "-kernel", "micro_private", "-compare")
+	for _, want := range []string{"off", "sync-only", "sampling", "watch-demand", "hitm-demand", "hybrid", "continuous"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing policy %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInjectFlag(t *testing.T) {
+	out := runCLI(t, "-kernel", "micro_private", "-policy", "continuous",
+		"-inject", "2", "-inject-repeats", "4")
+	if strings.Count(out, "injected") != 2 {
+		t.Errorf("expected 2 injection lines:\n%s", out)
+	}
+	if !strings.Contains(out, "2 distinct racy words") {
+		t.Errorf("continuous run should report both injected races:\n%s", out)
+	}
+}
+
+func TestTraceFlagWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.drt")
+	out := runCLI(t, "-kernel", "racy_flag", "-policy", "continuous", "-trace", path)
+	if !strings.Contains(out, "events written to") {
+		t.Errorf("missing trace confirmation:\n%s", out)
+	}
+	fi, err := os.Stat(path)
+	if err != nil || fi.Size() == 0 {
+		t.Errorf("trace file missing or empty: %v", err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},                  // no kernel
+		{"-kernel", "nope"}, // unknown kernel
+		{"-kernel", "histogram", "-policy", "nope"},
+		{"-kernel", "histogram", "-scope", "nope"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("ddrace %v: expected error", args)
+		}
+	}
+}
+
+func TestPolicyRoundTrip(t *testing.T) {
+	for _, name := range []string{"off", "continuous", "sync-only", "hitm-demand", "hybrid", "sampling", "watch-demand"} {
+		k, err := parsePolicy(name)
+		if err != nil {
+			t.Errorf("parsePolicy(%q): %v", name, err)
+			continue
+		}
+		if k.String() != name {
+			t.Errorf("round trip %q → %q", name, k.String())
+		}
+	}
+}
+
+func TestScopeRoundTrip(t *testing.T) {
+	for _, name := range []string{"global", "pair", "self"} {
+		s, err := parseScope(name)
+		if err != nil {
+			t.Errorf("parseScope(%q): %v", name, err)
+			continue
+		}
+		if s.String() != name {
+			t.Errorf("round trip %q → %q", name, s.String())
+		}
+	}
+}
+
+func TestWatchDemandCLI(t *testing.T) {
+	out := runCLI(t, "-kernel", "racy_mostly_clean", "-policy", "watch-demand", "-watchcap", "2")
+	if !strings.Contains(out, "policy:    watch-demand") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestSamplingCLI(t *testing.T) {
+	out := runCLI(t, "-kernel", "racy_counter", "-policy", "sampling", "-rate", "0.5", "-seed", "3")
+	if !strings.Contains(out, "policy:    sampling") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out := runCLI(t, "-kernel", "racy_counter", "-policy", "continuous", "-json")
+	var rep map[string]interface{}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if rep["Program"] != "racy_counter" {
+		t.Errorf("Program = %v", rep["Program"])
+	}
+	if _, ok := rep["Races"]; !ok {
+		t.Error("JSON missing Races")
+	}
+}
+
+func TestHTMLOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.html")
+	runCLI(t, "-kernel", "racy_counter", "-policy", "continuous", "-html", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<!DOCTYPE html>") {
+		t.Error("html file malformed")
+	}
+}
+
+func TestExploreFlag(t *testing.T) {
+	out := runCLI(t, "-kernel", "racy_counter", "-policy", "continuous", "-explore", "4")
+	if !strings.Contains(out, "explored 4 interleavings") {
+		t.Errorf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "hit in 100% of schedules") {
+		t.Errorf("solid race not reported:\n%s", out)
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"demandrace"
+	"demandrace/internal/trace"
+)
+
+// record produces a trace file of a racy kernel run under continuous
+// analysis, in binary or JSON form.
+func record(t *testing.T, asJSON bool) string {
+	t.Helper()
+	k, _ := demandrace.KernelByName("racy_flag")
+	p := k.Build(demandrace.KernelConfig{Threads: 2, Scale: 1})
+	cfg := demandrace.DefaultConfig().WithPolicy(demandrace.Continuous)
+	cfg.Tracer = demandrace.NewTraceRecorder(p.Name)
+	if _, err := demandrace.Run(p, cfg); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.drt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if asJSON {
+		err = trace.EncodeJSON(f, cfg.Tracer.Trace())
+	} else {
+		err = trace.EncodeBinary(f, cfg.Tracer.Trace())
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReplayBinary(t *testing.T) {
+	path := record(t, false)
+	var buf bytes.Buffer
+	if err := run(&buf, path, false, 1, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "trace:    racy_flag") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "race report(s)") || strings.Contains(out, "0 race report(s)") {
+		t.Errorf("replay found no races:\n%s", out)
+	}
+	if !strings.Contains(out, "FastTrack") {
+		t.Errorf("missing engine name:\n%s", out)
+	}
+}
+
+func TestReplayJSONAndFullVC(t *testing.T) {
+	path := record(t, true)
+	var buf bytes.Buffer
+	if err := run(&buf, path, true, -1, true, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "full-VC") {
+		t.Errorf("missing engine name:\n%s", buf.String())
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "/nonexistent/file", false, 1, false, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Binary decoder on a JSON file must fail cleanly.
+	path := record(t, true)
+	if err := run(&buf, path, false, 1, false, 0); err == nil {
+		t.Error("JSON trace accepted by binary decoder")
+	}
+}

@@ -1,0 +1,82 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation (reconstructed per DESIGN.md).
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp fig4 -threads 8 -scale 2
+//	experiments -exp fig1 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"demandrace/internal/experiments"
+	"demandrace/internal/stats"
+)
+
+type tabler interface{ Table() *stats.Table }
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiment: scorecard|tab1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|tab3|tab4|tab5|tab6|all")
+		threads = fs.Int("threads", 4, "worker thread count")
+		scale   = fs.Int("scale", 1, "workload scale factor")
+		csv     = fs.Bool("csv", false, "emit CSV instead of text tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := experiments.Options{Threads: *threads, Scale: *scale}
+
+	runners := map[string]func(experiments.Options) (tabler, error){
+		"tab1":      func(o experiments.Options) (tabler, error) { return experiments.Tab1(o) },
+		"fig1":      func(o experiments.Options) (tabler, error) { return experiments.Fig1(o) },
+		"fig2":      func(o experiments.Options) (tabler, error) { return experiments.Fig2(o) },
+		"fig3":      func(o experiments.Options) (tabler, error) { return experiments.Fig3(o) },
+		"fig4":      func(o experiments.Options) (tabler, error) { return experiments.Fig4(o) },
+		"fig5":      func(o experiments.Options) (tabler, error) { return experiments.Fig5(o) },
+		"fig6":      func(o experiments.Options) (tabler, error) { return experiments.Fig6(o) },
+		"tab3":      func(o experiments.Options) (tabler, error) { return experiments.Tab3(o) },
+		"tab4":      func(o experiments.Options) (tabler, error) { return experiments.Tab4(o) },
+		"tab5":      func(o experiments.Options) (tabler, error) { return experiments.Tab5(o) },
+		"fig7":      func(o experiments.Options) (tabler, error) { return experiments.Fig7(o) },
+		"tab6":      func(o experiments.Options) (tabler, error) { return experiments.Tab6(o) },
+		"scorecard": func(o experiments.Options) (tabler, error) { return experiments.Scorecard(o) },
+	}
+	order := []string{"scorecard", "tab1", "fig1", "fig2", "fig3", "fig4", "tab3", "fig5", "fig6", "fig7", "tab4", "tab5", "tab6"}
+
+	var names []string
+	if *exp == "all" {
+		names = order
+	} else if _, ok := runners[*exp]; ok {
+		names = []string{*exp}
+	} else {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+
+	for _, name := range names {
+		res, err := runners[name](o)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		tb := res.Table()
+		if *csv {
+			fmt.Fprint(out, tb.CSV())
+		} else {
+			fmt.Fprintln(out, tb)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fig.2") || !strings.Contains(out, "swaptions") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestCSVMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig2", "-csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.Contains(first, ",") || strings.Contains(first, "==") {
+		t.Errorf("not CSV: %q", first)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig99"}, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestThreadsAndScaleFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig2", "-threads", "2", "-scale", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+}

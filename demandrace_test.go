@@ -1,0 +1,156 @@
+package demandrace_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"demandrace"
+)
+
+// Example demonstrates the core workflow: build a mostly-private program
+// with a repeated race, then compare the continuous and demand-driven
+// policies on the identical execution.
+func Example() {
+	b := demandrace.NewProgram("example")
+	x := b.Space().AllocLine(8)
+	priv0 := b.Space().AllocArray(800, 8)
+	priv1 := b.Space().AllocArray(800, 8)
+	t0, t1 := b.Thread(), b.Thread()
+	for i := 0; i < 800; i++ {
+		t0.Load(priv0 + demandrace.Addr(i*8)).Store(priv0 + demandrace.Addr(i*8))
+		t1.Load(priv1 + demandrace.Addr(i*8)).Store(priv1 + demandrace.Addr(i*8))
+		if i >= 400 && i < 410 { // the bug: a short unsynchronized phase
+			t0.Store(x)
+			t1.Load(x)
+		}
+	}
+	p := b.MustBuild()
+
+	reps, err := demandrace.RunPolicies(p, demandrace.DefaultConfig(),
+		demandrace.Continuous, demandrace.HITMDemand)
+	if err != nil {
+		panic(err)
+	}
+	cont, dem := reps[0], reps[1]
+	fmt.Printf("continuous found race: %v\n", len(cont.Races) > 0)
+	fmt.Printf("demand found race:     %v\n", len(dem.Races) > 0)
+	fmt.Printf("demand is faster:      %v\n", dem.Slowdown < cont.Slowdown)
+	// Output:
+	// continuous found race: true
+	// demand found race:     true
+	// demand is faster:      true
+}
+
+func TestPublicKernelAccess(t *testing.T) {
+	ks := demandrace.Kernels()
+	if len(ks) < 20 {
+		t.Errorf("only %d bundled kernels", len(ks))
+	}
+	k, ok := demandrace.KernelByName("swaptions")
+	if !ok {
+		t.Fatal("swaptions missing")
+	}
+	p := k.Build(demandrace.KernelConfig{Threads: 4, Scale: 1})
+	rep, err := demandrace.Run(p, demandrace.DefaultConfig().WithPolicy(demandrace.Off))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Slowdown != 1.0 {
+		t.Errorf("Off slowdown = %g", rep.Slowdown)
+	}
+	if len(demandrace.KernelSuite("phoenix")) != 8 {
+		t.Error("phoenix suite size wrong")
+	}
+}
+
+func TestPublicInjectAndTrace(t *testing.T) {
+	k, _ := demandrace.KernelByName("micro_private")
+	p := k.Build(demandrace.KernelConfig{Threads: 4, Scale: 1})
+	injected, injs, err := demandrace.InjectRaces(p, demandrace.InjectionConfig{Seed: 1, Count: 2, Repeats: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(injs) != 2 {
+		t.Fatalf("injections = %v", injs)
+	}
+	cfg := demandrace.DefaultConfig().WithPolicy(demandrace.Continuous)
+	rec := demandrace.NewTraceRecorder(injected.Name)
+	cfg.Tracer = rec
+	rep, err := demandrace.Run(injected, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Races) == 0 {
+		t.Fatal("no races found after injection")
+	}
+	det := demandrace.ReplayTrace(rec.Trace(), demandrace.DetectorOptions{})
+	if len(det.Reports()) != len(rep.Races) {
+		t.Errorf("replay races %d != live %d", len(det.Reports()), len(rep.Races))
+	}
+}
+
+// ExampleInjectRaces shows the accuracy-experiment workflow: take a clean
+// kernel, plant races with known ground truth, and score a policy.
+func ExampleInjectRaces() {
+	k, _ := demandrace.KernelByName("micro_private")
+	clean := k.Build(demandrace.KernelConfig{Threads: 4, Scale: 1})
+	p, injected, err := demandrace.InjectRaces(clean, demandrace.InjectionConfig{
+		Seed: 7, Count: 2, Repeats: 5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	rep, err := demandrace.Run(p, demandrace.DefaultConfig().WithPolicy(demandrace.Continuous))
+	if err != nil {
+		panic(err)
+	}
+	racy := rep.RacyAddrs()
+	found := 0
+	for _, in := range injected {
+		if racy[in.Addr.String()] {
+			found++
+		}
+	}
+	fmt.Printf("planted %d, found %d\n", len(injected), found)
+	// Output:
+	// planted 2, found 2
+}
+
+// ExampleReplayTrace shows the execute-once / analyze-many-times workflow.
+func ExampleReplayTrace() {
+	k, _ := demandrace.KernelByName("racy_counter")
+	p := k.Build(demandrace.KernelConfig{Threads: 2, Scale: 1})
+	cfg := demandrace.DefaultConfig().WithPolicy(demandrace.Continuous)
+	cfg.Tracer = demandrace.NewTraceRecorder(p.Name)
+	live, err := demandrace.Run(p, cfg)
+	if err != nil {
+		panic(err)
+	}
+	// Re-analyze offline with the full-vector-clock engine.
+	det := demandrace.ReplayTrace(cfg.Tracer.Trace(), demandrace.DetectorOptions{FullVC: true})
+	fmt.Printf("live %d, replayed %d\n", len(live.Races), len(det.Reports()))
+	// Output:
+	// live 1, replayed 1
+}
+
+func TestPublicTimelineAndCalibrate(t *testing.T) {
+	k, _ := demandrace.KernelByName("racy_counter")
+	p := k.Build(demandrace.KernelConfig{Threads: 2, Scale: 1})
+	cfg := demandrace.DefaultConfig().WithPolicy(demandrace.Continuous)
+	cfg.Tracer = demandrace.NewTraceRecorder(p.Name)
+	if _, err := demandrace.Run(p, cfg); err != nil {
+		t.Fatal(err)
+	}
+	tl := demandrace.TraceTimeline(cfg.Tracer.Trace(), 50)
+	if !strings.Contains(tl, "t0 ") || !strings.Contains(tl, "t1 ") {
+		t.Errorf("timeline:\n%s", tl)
+	}
+	model, err := demandrace.CalibrateContinuous(p, demandrace.DefaultConfig(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.AnalysisMem == 0 {
+		t.Error("calibration produced zero analysis cost")
+	}
+}

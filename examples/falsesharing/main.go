@@ -1,0 +1,59 @@
+// Falsesharing: demonstrate the two line-granularity quirks of the HITM
+// indicator that the paper characterizes — false sharing (the hardware
+// fires without a race) and eviction (real sharing the hardware misses).
+//
+//	go run ./examples/falsesharing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"demandrace"
+)
+
+func run(name string, p *demandrace.Program, cfg demandrace.Config) *demandrace.Report {
+	r, err := demandrace.Run(p, cfg.WithPolicy(demandrace.Continuous))
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	return r
+}
+
+func main() {
+	cfg := demandrace.DefaultConfig()
+
+	// Case 1 — false sharing: two threads write adjacent words of one
+	// cache line. The hardware raises HITM on nearly every handoff, but
+	// the detector (word-granular) correctly reports nothing.
+	fk, _ := demandrace.KernelByName("micro_false_sharing")
+	fs := run("false sharing", fk.Build(demandrace.KernelConfig{Threads: 2}), cfg)
+	fmt.Println("false sharing (adjacent words, one line):")
+	fmt.Printf("  HITM events: %d of %d accesses — the indicator fires\n", fs.SharedHITM, fs.MemOps)
+	fmt.Printf("  races found: %d — the detector rejects them all\n\n", len(fs.Races))
+
+	// Case 2 — eviction blind spot: a producer dirties a word, churns its
+	// cache until the line is written back, then the consumer reads. The
+	// sharing is real, but it flows through memory: zero HITM.
+	ek, _ := demandrace.KernelByName("micro_eviction")
+	small := cfg
+	small.Cache = demandrace.CacheConfig{Cores: 2, SMT: 1, L1Sets: 4, L1Ways: 2}
+	ev := run("eviction", ek.Build(demandrace.KernelConfig{Threads: 2}), small)
+	fmt.Println("eviction blind spot (small L1, churn between handoffs):")
+	fmt.Printf("  HITM events: %d — the indicator is silent\n", ev.SharedHITM)
+	fmt.Printf("  writebacks:  %d — the sharing went through memory\n", ev.Cache.Writebacks)
+	fmt.Printf("  peer fills:  %d of %d accesses actually crossed threads\n\n",
+		ev.SharedPeer, ev.MemOps)
+
+	// Case 3 — SMT blind spot: co-schedule producer and consumer on the
+	// two contexts of one core; they communicate through the shared L1.
+	pk, _ := demandrace.KernelByName("micro_producer_consumer")
+	smt := cfg
+	smt.Cache = demandrace.CacheConfig{Cores: 2, SMT: 2, L1Sets: 64, L1Ways: 8}
+	sm := run("smt", pk.Build(demandrace.KernelConfig{Threads: 2}), smt)
+	fmt.Println("SMT blind spot (producer/consumer on sibling contexts):")
+	fmt.Printf("  HITM events: %d — no coherence traffic ever leaves the core\n", sm.SharedHITM)
+
+	fmt.Println("\nconsequence: a demand-driven detector inherits exactly these gaps;")
+	fmt.Println("the paper's accuracy results (and Tab.3/Tab.4 here) quantify them.")
+}

@@ -1,0 +1,68 @@
+// Racehunt: inject synthetic races into a clean benchmark kernel and check
+// which detector configurations find them — the accuracy experiment as an
+// interactive tool.
+//
+//	go run ./examples/racehunt
+//	go run ./examples/racehunt -kernel blackscholes -count 5 -repeats 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"demandrace"
+)
+
+func main() {
+	kernel := flag.String("kernel", "histogram", "host kernel for injected races")
+	count := flag.Int("count", 3, "races to inject")
+	repeats := flag.Int("repeats", 4, "accesses per side (1 = one-shot, hard for demand mode)")
+	seed := flag.Int64("seed", 42, "injection seed")
+	flag.Parse()
+
+	k, ok := demandrace.KernelByName(*kernel)
+	if !ok {
+		log.Fatalf("unknown kernel %q", *kernel)
+	}
+	clean := k.Build(demandrace.KernelConfig{Threads: 4, Scale: 1})
+	p, injs, err := demandrace.InjectRaces(clean, demandrace.InjectionConfig{
+		Seed: *seed, Count: *count, Repeats: *repeats,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("host: %s (%d ops)\n", clean.Name, clean.TotalOps())
+	for _, in := range injs {
+		fmt.Println(" ", in)
+	}
+
+	cfg := demandrace.DefaultConfig()
+	cfg.Lockset = true
+	reps, err := demandrace.RunPolicies(p, cfg,
+		demandrace.Continuous, demandrace.HITMDemand, demandrace.Hybrid)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%-12s %10s %s\n", "policy", "slowdown", "injected races found")
+	for _, r := range reps {
+		found := 0
+		racy := r.RacyAddrs()
+		for _, in := range injs {
+			if racy[in.Addr.String()] {
+				found++
+			}
+		}
+		fmt.Printf("%-12s %9.2f× %d/%d\n", r.Policy, r.Slowdown, found, len(injs))
+	}
+	if lks := reps[0].LocksetReports; len(lks) > 0 {
+		fmt.Printf("\nlockset engine (continuous) flagged %d variables, e.g. %v\n",
+			len(lks), lks[0])
+	}
+	if *repeats == 1 {
+		fmt.Println("\nnote: one-shot races are the demand-driven detector's blind spot —")
+		fmt.Println("the HITM interrupt arrives with the second access, after the first")
+		fmt.Println("already executed unobserved. Re-run with -repeats 4 to see recall recover.")
+	}
+}

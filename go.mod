@@ -1,0 +1,3 @@
+module demandrace
+
+go 1.22

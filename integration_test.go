@@ -1,0 +1,118 @@
+package demandrace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"demandrace"
+	"demandrace/internal/report"
+	"demandrace/internal/trace"
+)
+
+// TestGrandTour chains the whole public workflow end to end: build a
+// program, size up policies on it, inject extra races, record a trace,
+// replay it offline, explore schedules, and render the HTML report — the
+// complete session a downstream adopter would run.
+func TestGrandTour(t *testing.T) {
+	// 1. Build a mostly-clean program with one planted bug.
+	b := demandrace.NewProgram("grand-tour")
+	bug := b.Space().AllocLine(8)
+	for ti := 0; ti < 4; ti++ {
+		tb := b.Thread()
+		priv := b.Space().AllocArray(300, 8)
+		tb.Region("work")
+		for i := 0; i < 300; i++ {
+			a := priv + demandrace.Addr(i*8)
+			tb.Load(a).Store(a).Compute(2)
+			if i%75 == 30 {
+				tb.Region("shared-stat")
+				tb.Load(bug).Store(bug)
+				tb.Region("work")
+			}
+		}
+	}
+	p := b.MustBuild()
+
+	// 2. Policy comparison on the identical execution.
+	reps, err := demandrace.RunPolicies(p, demandrace.DefaultConfig(),
+		demandrace.Off, demandrace.Continuous, demandrace.HITMDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, cont, dem := reps[0], reps[1], reps[2]
+	if off.Slowdown != 1.0 {
+		t.Fatalf("off slowdown = %g", off.Slowdown)
+	}
+	if len(cont.Races) == 0 || len(dem.Races) == 0 {
+		t.Fatalf("planted bug missed: cont=%d dem=%d", len(cont.Races), len(dem.Races))
+	}
+	if dem.Slowdown >= cont.Slowdown {
+		t.Errorf("demand %.2f× not faster than continuous %.2f×", dem.Slowdown, cont.Slowdown)
+	}
+	if dem.Races[0].CurRegion != "shared-stat" && dem.Races[0].PrevRegion != "shared-stat" {
+		t.Errorf("race not attributed to region: %v", dem.Races[0])
+	}
+
+	// 3. Inject two more races and confirm continuous finds the planted
+	// plus injected ones.
+	injected, injs, err := demandrace.InjectRaces(p, demandrace.InjectionConfig{
+		Seed: 5, Count: 2, Repeats: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := demandrace.DefaultConfig().WithPolicy(demandrace.Continuous)
+	cfg.Tracer = demandrace.NewTraceRecorder(injected.Name)
+	cfg.Lockset = true
+	full, err := demandrace.Run(injected, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	racy := full.RacyAddrs()
+	for _, in := range injs {
+		if !racy[in.Addr.String()] {
+			t.Errorf("injected race %v missed", in)
+		}
+	}
+	if len(full.LocksetReports) == 0 {
+		t.Error("lockset engine silent on injected races")
+	}
+
+	// 4. Offline replay reproduces the live reports; the binary codec
+	// round-trips the trace.
+	tr := cfg.Tracer.Trace()
+	var bin bytes.Buffer
+	if err := trace.EncodeBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := trace.DecodeBinary(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := demandrace.ReplayTrace(decoded, demandrace.DetectorOptions{})
+	if len(det.Reports()) != len(full.Races) {
+		t.Errorf("replay races %d != live %d", len(det.Reports()), len(full.Races))
+	}
+
+	// 5. Schedule exploration: the planted bug shows in every schedule.
+	ex, err := demandrace.Explore(p, demandrace.DefaultConfig().WithPolicy(demandrace.Continuous), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Intersection) == 0 {
+		t.Error("planted bug absent from some schedule")
+	}
+
+	// 6. The HTML report renders with all the pieces.
+	var html bytes.Buffer
+	if err := report.Write(&html, full, dem); err != nil {
+		t.Fatal(err)
+	}
+	out := html.String()
+	for _, want := range []string{"race report(s)", "shared-stat", "Lockset violations", "Policy comparison"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

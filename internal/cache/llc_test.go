@@ -1,0 +1,187 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"demandrace/internal/mem"
+)
+
+func llcConfig() Config {
+	return Config{Cores: 2, SMT: 1, L1Sets: 2, L1Ways: 2, L2Sets: 8, L2Ways: 4}
+}
+
+func TestLLCConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Cores: 2, SMT: 1, L1Sets: 2, L1Ways: 2, L2Sets: 8},             // ways missing
+		{Cores: 2, SMT: 1, L1Sets: 2, L1Ways: 2, L2Ways: 4},             // sets missing
+		{Cores: 2, SMT: 1, L1Sets: 2, L1Ways: 2, L2Sets: 6, L2Ways: 4},  // not power of two
+		{Cores: 2, SMT: 1, L1Sets: 64, L1Ways: 8, L2Sets: 2, L2Ways: 2}, // smaller than L1s
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestLLCHitAfterMemoryFill(t *testing.T) {
+	h := New(llcConfig())
+	h.Access(0, addr(1, 0), false) // memory fill → LLC + L1
+	if p, _ := h.LLCStateOf(1); !p {
+		t.Fatal("fill did not install into LLC")
+	}
+	// Evict the line from core 0's L1 (set 1: odd lines 1,3,5 map to set 1).
+	h.Access(0, addr(3, 0), false)
+	h.Access(0, addr(5, 0), false)
+	if h.StateOf(0, 1) != Invalid {
+		t.Fatal("line 1 should have left the L1")
+	}
+	// Core 1's read now hits the LLC, not memory.
+	res := h.Access(1, addr(1, 0), false)
+	if res.Latency != LatLLC {
+		t.Errorf("latency = %d, want LLC hit %d", res.Latency, LatLLC)
+	}
+	if h.Stats().LLCHits != 1 {
+		t.Errorf("LLC hits = %d", h.Stats().LLCHits)
+	}
+}
+
+func TestDirtyL1EvictionLandsInLLCNoHITM(t *testing.T) {
+	// The more faithful eviction blind spot: producer's dirty line is
+	// evicted into the LLC; the consumer gets an ordinary LLC hit, real
+	// sharing, zero HITM — and the data never reached memory.
+	h := New(llcConfig())
+	h.Access(0, addr(1, 0), true)  // dirty in core 0
+	h.Access(0, addr(3, 0), false) // same set
+	h.Access(0, addr(5, 0), false) // evicts line 1
+	if p, d := h.LLCStateOf(1); !p || !d {
+		t.Fatalf("LLC state of line 1 = present %v dirty %v, want dirty copy", p, d)
+	}
+	if h.Stats().L2Writebacks != 0 {
+		t.Error("dirty line should not have reached memory yet")
+	}
+	res := h.Access(1, addr(1, 0), false)
+	if res.HITM {
+		t.Error("LLC-served sharing must not HITM")
+	}
+	if res.Latency != LatLLC {
+		t.Errorf("latency = %d, want %d", res.Latency, LatLLC)
+	}
+}
+
+func TestHITMReadWritesBackIntoLLC(t *testing.T) {
+	// MESI M→S demotion on a remote read deposits the dirty data in the
+	// LLC.
+	h := New(llcConfig())
+	h.Access(0, addr(1, 0), true)
+	h.Access(1, addr(1, 0), false) // HITM; both now Shared
+	if p, d := h.LLCStateOf(1); !p || !d {
+		t.Errorf("LLC after HITM read: present %v dirty %v, want dirty", p, d)
+	}
+}
+
+func TestLLCEvictionBackInvalidatesL1(t *testing.T) {
+	// Fill one LLC set past its associativity; inclusion forces the victim
+	// out of every L1.
+	cfg := Config{Cores: 1, SMT: 1, L1Sets: 1, L1Ways: 2, L2Sets: 1, L2Ways: 2}
+	h := New(cfg)
+	h.Access(0, addr(1, 0), true)  // dirty, will be victim
+	h.Access(0, addr(2, 0), false) // LLC set 0 (single set)
+	h.Access(0, addr(3, 0), false) // evicts line 1 from LLC → back-invalidate
+	if h.StateOf(0, 1) != Invalid {
+		t.Error("inclusion victim still in L1")
+	}
+	st := h.Stats()
+	if st.L2Evictions != 1 {
+		t.Errorf("L2 evictions = %d", st.L2Evictions)
+	}
+	if st.L2Writebacks != 1 {
+		t.Errorf("L2 writebacks = %d (Modified victim must reach memory)", st.L2Writebacks)
+	}
+	if err := h.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInclusionInvariantRandom(t *testing.T) {
+	cfgs := []Config{
+		llcConfig(),
+		{Cores: 4, SMT: 1, L1Sets: 2, L1Ways: 2, L2Sets: 16, L2Ways: 2},
+		{Cores: 2, SMT: 2, L1Sets: 4, L1Ways: 1, L2Sets: 4, L2Ways: 4},
+	}
+	for _, cfg := range cfgs {
+		r := rand.New(rand.NewSource(11))
+		h := New(cfg)
+		for i := 0; i < 20000; i++ {
+			ctx := Context(r.Intn(cfg.Contexts()))
+			a := addr(uint64(r.Intn(48)), uint64(r.Intn(8)*8))
+			h.Access(ctx, a, r.Intn(2) == 0)
+			if err := h.CheckInvariants(); err != nil {
+				t.Fatalf("cfg %+v step %d: %v", cfg, i, err)
+			}
+		}
+	}
+}
+
+func TestHITMIffRemoteModifiedWithLLC(t *testing.T) {
+	// The defining property must survive the extra level.
+	cfg := Config{Cores: 4, SMT: 1, L1Sets: 2, L1Ways: 2, L2Sets: 8, L2Ways: 4}
+	r := rand.New(rand.NewSource(5))
+	h := New(cfg)
+	for i := 0; i < 20000; i++ {
+		ctx := Context(r.Intn(cfg.Contexts()))
+		a := addr(uint64(r.Intn(24)), 0)
+		l := mem.LineOf(a)
+		core := h.CoreOf(ctx)
+		remoteM := false
+		for c := 0; c < cfg.Cores; c++ {
+			if c != core && h.StateOf(c, l) == Modified {
+				remoteM = true
+			}
+		}
+		localHit := h.StateOf(core, l) != Invalid
+		res := h.Access(ctx, a, r.Intn(2) == 0)
+		if res.HITM != (remoteM && !localHit) {
+			t.Fatalf("step %d: HITM=%v want %v", i, res.HITM, remoteM && !localHit)
+		}
+	}
+}
+
+func TestFlushDrainsLLC(t *testing.T) {
+	h := New(llcConfig())
+	h.Access(0, addr(1, 0), true)
+	h.Flush()
+	if p, _ := h.LLCStateOf(1); p {
+		t.Error("flush left a line in the LLC")
+	}
+	st := h.Stats()
+	if st.Writebacks != 1 || st.L2Writebacks != 1 {
+		t.Errorf("writebacks = %d/%d, want 1/1", st.Writebacks, st.L2Writebacks)
+	}
+	res := h.Access(1, addr(1, 0), false)
+	if res.Latency != LatMemory || res.HITM {
+		t.Errorf("post-flush access: %+v", res)
+	}
+}
+
+func TestNoLLCBehaviorUnchanged(t *testing.T) {
+	// L2Sets=0 configurations keep the two-level-free semantics.
+	cfg := Config{Cores: 2, SMT: 1, L1Sets: 2, L1Ways: 2}
+	h := New(cfg)
+	h.Access(0, addr(1, 0), true)
+	h.Access(0, addr(3, 0), false)
+	h.Access(0, addr(5, 0), false) // evicts dirty line 1 straight to memory
+	res := h.Access(1, addr(1, 0), false)
+	if res.Latency != LatMemory {
+		t.Errorf("latency = %d, want memory (no LLC)", res.Latency)
+	}
+	if p, _ := h.LLCStateOf(1); p {
+		t.Error("LLCStateOf reported presence without an LLC")
+	}
+}

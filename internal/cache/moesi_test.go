@@ -1,0 +1,160 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"demandrace/internal/mem"
+)
+
+func moesiConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Protocol = MOESI
+	return cfg
+}
+
+func TestMOESIReadKeepsDirtyOwner(t *testing.T) {
+	h := New(moesiConfig())
+	h.Access(0, addr(5, 0), true) // M in core 0
+	res := h.Access(1, addr(5, 0), false)
+	if !res.HITM {
+		t.Fatal("first consumer should take a dirty intervention")
+	}
+	if h.StateOf(0, 5) != Owned {
+		t.Errorf("owner state = %v, want O", h.StateOf(0, 5))
+	}
+	if h.StateOf(1, 5) != Shared {
+		t.Errorf("consumer state = %v, want S", h.StateOf(1, 5))
+	}
+	// No writeback happened: the LLC copy (from the fill) is still clean.
+	if _, dirty := h.LLCStateOf(5); dirty {
+		t.Error("MOESI read must not write back")
+	}
+}
+
+func TestMOESIEveryNewConsumerHITMs(t *testing.T) {
+	// The protocol delta the ablation measures: under MESI the second
+	// consumer fills silently from the LLC; under MOESI the Owned line
+	// keeps supplying dirty interventions.
+	run := func(p Protocol) uint64 {
+		cfg := DefaultConfig()
+		cfg.Protocol = p
+		h := New(cfg)
+		h.Access(0, addr(5, 0), true)
+		h.Access(1, addr(5, 0), false)
+		h.Access(2, addr(5, 0), false)
+		h.Access(3, addr(5, 0), false)
+		return h.Stats().HITM
+	}
+	if got := run(MESI); got != 1 {
+		t.Errorf("MESI HITMs = %d, want 1", got)
+	}
+	if got := run(MOESI); got != 3 {
+		t.Errorf("MOESI HITMs = %d, want 3", got)
+	}
+}
+
+func TestMOESIWriteInvalidatesOwnerAndSharers(t *testing.T) {
+	h := New(moesiConfig())
+	h.Access(0, addr(5, 0), true)  // M
+	h.Access(1, addr(5, 0), false) // O/S
+	res := h.Access(2, addr(5, 0), true)
+	if !res.HITM {
+		t.Fatal("RFO over Owned line should HITM")
+	}
+	if h.StateOf(0, 5) != Invalid || h.StateOf(1, 5) != Invalid {
+		t.Errorf("peers not invalidated: %v %v", h.StateOf(0, 5), h.StateOf(1, 5))
+	}
+	if h.StateOf(2, 5) != Modified {
+		t.Errorf("writer state = %v, want M", h.StateOf(2, 5))
+	}
+}
+
+func TestMOESIOwnerUpgradeOtoM(t *testing.T) {
+	h := New(moesiConfig())
+	h.Access(0, addr(5, 0), true)
+	h.Access(1, addr(5, 0), false) // core0 O, core1 S
+	res := h.Access(0, addr(5, 0), true)
+	if !res.HitL1 {
+		t.Error("O→M upgrade should hit locally")
+	}
+	if h.StateOf(0, 5) != Modified || h.StateOf(1, 5) != Invalid {
+		t.Errorf("states after upgrade: %v %v", h.StateOf(0, 5), h.StateOf(1, 5))
+	}
+}
+
+func TestMOESIOwnedEvictionWritesBack(t *testing.T) {
+	cfg := Config{Cores: 2, SMT: 1, L1Sets: 2, L1Ways: 2, L2Sets: 8, L2Ways: 4, Protocol: MOESI}
+	h := New(cfg)
+	h.Access(0, addr(1, 0), true)
+	h.Access(1, addr(1, 0), false) // core0 now Owned
+	// Evict line 1 from core 0 (set 1 holds odd lines).
+	h.Access(0, addr(3, 0), false)
+	h.Access(0, addr(5, 0), false)
+	if h.StateOf(0, 1) != Invalid {
+		t.Fatal("owned line should have been evicted")
+	}
+	if h.Stats().Writebacks == 0 {
+		t.Error("owned eviction must write back")
+	}
+	if p, dirty := h.LLCStateOf(1); !p || !dirty {
+		t.Errorf("LLC after owned eviction: present %v dirty %v", p, dirty)
+	}
+}
+
+func TestMOESIInvariantsRandom(t *testing.T) {
+	cfgs := []Config{
+		{Cores: 4, SMT: 1, L1Sets: 2, L1Ways: 2, L2Sets: 16, L2Ways: 2, Protocol: MOESI},
+		{Cores: 2, SMT: 2, L1Sets: 4, L1Ways: 2, L2Sets: 16, L2Ways: 2, Protocol: MOESI},
+		{Cores: 4, SMT: 1, L1Sets: 4, L1Ways: 2, Protocol: MOESI}, // no LLC
+	}
+	for _, cfg := range cfgs {
+		r := rand.New(rand.NewSource(21))
+		h := New(cfg)
+		for i := 0; i < 20000; i++ {
+			ctx := Context(r.Intn(cfg.Contexts()))
+			a := addr(uint64(r.Intn(24)), uint64(r.Intn(8)*8))
+			h.Access(ctx, a, r.Intn(2) == 0)
+			if err := h.CheckInvariants(); err != nil {
+				t.Fatalf("cfg %+v step %d: %v", cfg, i, err)
+			}
+		}
+	}
+}
+
+func TestMOESIHITMIffRemoteDirty(t *testing.T) {
+	// Under MOESI the indicator property generalizes: HITM iff some other
+	// core held the line Modified OR Owned.
+	cfg := Config{Cores: 4, SMT: 1, L1Sets: 2, L1Ways: 2, L2Sets: 8, L2Ways: 4, Protocol: MOESI}
+	r := rand.New(rand.NewSource(9))
+	h := New(cfg)
+	for i := 0; i < 20000; i++ {
+		ctx := Context(r.Intn(cfg.Contexts()))
+		a := addr(uint64(r.Intn(16)), 0)
+		l := a >> 6
+		core := h.CoreOf(ctx)
+		remoteDirty := false
+		for c := 0; c < cfg.Cores; c++ {
+			if c == core {
+				continue
+			}
+			if st := h.StateOf(c, mem.Line(l)); st == Modified || st == Owned {
+				remoteDirty = true
+			}
+		}
+		localHit := h.StateOf(core, mem.Line(l)) != Invalid
+		res := h.Access(ctx, a, r.Intn(2) == 0)
+		if res.HITM != (remoteDirty && !localHit) {
+			t.Fatalf("step %d: HITM=%v want %v", i, res.HITM, remoteDirty && !localHit)
+		}
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if MESI.String() != "MESI" || MOESI.String() != "MOESI" {
+		t.Error("protocol strings wrong")
+	}
+	if Owned.String() != "O" {
+		t.Error("Owned string wrong")
+	}
+}

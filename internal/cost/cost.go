@@ -1,0 +1,154 @@
+// Package cost models execution time as simulated cycles, which is how the
+// reproduction turns "fraction of accesses analyzed" into the slowdown and
+// speedup numbers the paper reports.
+//
+// Every executed op has a native cost (its latency on bare hardware: the
+// cache-model latency for memory ops, the declared cycle count for compute,
+// a fixed cost for synchronization). Running under a tool adds analysis
+// costs: a per-access charge while instrumentation is on, a per-sync-op
+// charge, a charge per PMU interrupt, and a charge per instrumentation mode
+// switch. A run accumulates both the native total and the tool total in one
+// pass; slowdown is their ratio, and the speedup of policy A over policy B
+// is slowdownB / slowdownA.
+//
+// The default constants are calibrated so a memory-bound kernel under
+// continuous analysis lands in the 30–100× slowdown band the paper reports
+// for commercial happens-before tools (with 300× as the pathological tail),
+// and so sync-only instrumentation costs a few percent. Absolute cycle
+// counts are not the reproduction target; ordering and ratios are.
+package cost
+
+import "fmt"
+
+// Model holds the per-op cost constants, all in cycles.
+type Model struct {
+	// SyncNative is the native cost of one synchronization op.
+	SyncNative uint64
+	// AnalysisMem is the added cost of analyzing one memory access
+	// (shadow-memory lookup, vector-clock comparison, instrumented
+	// execution). This is the dominant term of continuous analysis.
+	AnalysisMem uint64
+	// AnalysisSync is the added cost of analyzing one synchronization op.
+	AnalysisSync uint64
+	// Interrupt is the cost of taking one PMU overflow interrupt.
+	Interrupt uint64
+	// ModeSwitch is the cost of one instrumentation toggle on one thread
+	// (patching analysis in or out).
+	ModeSwitch uint64
+	// WatchArm is the cost of programming one hardware watchpoint
+	// register (cheaper than re-patching instrumentation, but not free:
+	// remote contexts need an IPI).
+	WatchArm uint64
+	// PageFault is the cost of one protection fault plus its handler (a
+	// kernel round trip), paid by the PageDemand mechanism per sharing
+	// detection.
+	PageFault uint64
+	// ProtSweep is the cost of one page re-protection sweep (mprotect
+	// batch plus TLB shootdowns).
+	ProtSweep uint64
+}
+
+// Default returns the calibrated model.
+func Default() Model {
+	return Model{
+		SyncNative:   40,
+		AnalysisMem:  240,
+		AnalysisSync: 400,
+		Interrupt:    1500,
+		ModeSwitch:   3000,
+		WatchArm:     300,
+		PageFault:    4500,
+		ProtSweep:    2500,
+	}
+}
+
+func (m Model) validate() error {
+	if m.AnalysisMem == 0 {
+		return fmt.Errorf("cost: AnalysisMem must be nonzero")
+	}
+	return nil
+}
+
+// Accumulator tallies native and tool cycles for one run.
+type Accumulator struct {
+	model Model
+	// native is what the program would cost with no tool attached.
+	native uint64
+	// tool is the cost under the attached tool.
+	tool uint64
+}
+
+// NewAccumulator builds an accumulator over model. It panics on an invalid
+// model, since models are build-time constants.
+func NewAccumulator(model Model) *Accumulator {
+	if err := model.validate(); err != nil {
+		panic(err)
+	}
+	return &Accumulator{model: model}
+}
+
+// Model returns the accumulator's cost constants.
+func (a *Accumulator) Model() Model { return a.model }
+
+// Mem charges a memory access with the given hardware latency, analyzed or
+// not.
+func (a *Accumulator) Mem(latency uint64, analyzed bool) {
+	a.native += latency
+	a.tool += latency
+	if analyzed {
+		a.tool += a.model.AnalysisMem
+	}
+}
+
+// Sync charges a synchronization op.
+func (a *Accumulator) Sync(analyzed bool) {
+	a.native += a.model.SyncNative
+	a.tool += a.model.SyncNative
+	if analyzed {
+		a.tool += a.model.AnalysisSync
+	}
+}
+
+// Compute charges n cycles of uninstrumented computation.
+func (a *Accumulator) Compute(n uint64) {
+	a.native += n
+	a.tool += n
+}
+
+// Interrupt charges one PMU overflow interrupt (tool side only).
+func (a *Accumulator) Interrupt() { a.tool += a.model.Interrupt }
+
+// ModeSwitch charges n instrumentation toggles (tool side only).
+func (a *Accumulator) ModeSwitch(n uint64) { a.tool += n * a.model.ModeSwitch }
+
+// WatchArm charges n watchpoint-register programmings (tool side only).
+func (a *Accumulator) WatchArm(n uint64) { a.tool += n * a.model.WatchArm }
+
+// PageFaults charges n protection faults (tool side only).
+func (a *Accumulator) PageFaults(n uint64) { a.tool += n * a.model.PageFault }
+
+// ProtSweeps charges n re-protection sweeps (tool side only).
+func (a *Accumulator) ProtSweeps(n uint64) { a.tool += n * a.model.ProtSweep }
+
+// NativeCycles returns the accumulated native time.
+func (a *Accumulator) NativeCycles() uint64 { return a.native }
+
+// ToolCycles returns the accumulated tool time.
+func (a *Accumulator) ToolCycles() uint64 { return a.tool }
+
+// Slowdown returns tool time over native time (1.0 for a costless tool).
+func (a *Accumulator) Slowdown() float64 {
+	if a.native == 0 {
+		return 1
+	}
+	return float64(a.tool) / float64(a.native)
+}
+
+// Speedup returns how much faster this run is than other (other's tool
+// cycles divided by ours), the headline metric of the paper.
+func Speedup(baseline, improved float64) float64 {
+	if improved == 0 {
+		return 0
+	}
+	return baseline / improved
+}

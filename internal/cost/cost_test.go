@@ -1,0 +1,156 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNativeEqualsToolWithoutAnalysis(t *testing.T) {
+	a := NewAccumulator(Default())
+	a.Mem(1, false)
+	a.Mem(60, false)
+	a.Sync(false)
+	a.Compute(100)
+	if a.NativeCycles() != a.ToolCycles() {
+		t.Errorf("native %d != tool %d with no analysis", a.NativeCycles(), a.ToolCycles())
+	}
+	if a.Slowdown() != 1.0 {
+		t.Errorf("slowdown = %g", a.Slowdown())
+	}
+}
+
+func TestAnalyzedMemAddsCost(t *testing.T) {
+	m := Default()
+	a := NewAccumulator(m)
+	a.Mem(1, true)
+	if a.NativeCycles() != 1 {
+		t.Errorf("native = %d", a.NativeCycles())
+	}
+	if a.ToolCycles() != 1+m.AnalysisMem {
+		t.Errorf("tool = %d", a.ToolCycles())
+	}
+}
+
+func TestSyncCosts(t *testing.T) {
+	m := Default()
+	a := NewAccumulator(m)
+	a.Sync(true)
+	if a.NativeCycles() != m.SyncNative {
+		t.Errorf("native = %d", a.NativeCycles())
+	}
+	if a.ToolCycles() != m.SyncNative+m.AnalysisSync {
+		t.Errorf("tool = %d", a.ToolCycles())
+	}
+}
+
+func TestInterruptAndModeSwitchToolOnly(t *testing.T) {
+	m := Default()
+	a := NewAccumulator(m)
+	a.Interrupt()
+	a.ModeSwitch(2)
+	if a.NativeCycles() != 0 {
+		t.Error("interrupts/switches must not charge native time")
+	}
+	if a.ToolCycles() != m.Interrupt+2*m.ModeSwitch {
+		t.Errorf("tool = %d", a.ToolCycles())
+	}
+}
+
+func TestSlowdownEmptyRun(t *testing.T) {
+	a := NewAccumulator(Default())
+	if a.Slowdown() != 1 {
+		t.Errorf("empty-run slowdown = %g", a.Slowdown())
+	}
+}
+
+func TestContinuousAnalysisLandsInPaperBand(t *testing.T) {
+	// A memory-bound kernel: mostly L1-hit loads. Continuous analysis must
+	// land in the tens-to-hundreds-× band the paper motivates with.
+	a := NewAccumulator(Default())
+	for i := 0; i < 100000; i++ {
+		a.Mem(1, true)
+		if i%16 == 0 {
+			a.Compute(4)
+		}
+	}
+	s := a.Slowdown()
+	if s < 30 || s > 300 {
+		t.Errorf("continuous slowdown = %g, want within [30,300]", s)
+	}
+}
+
+func TestSyncOnlyCheap(t *testing.T) {
+	// A kernel with sparse sync: sync-only instrumentation must cost little.
+	a := NewAccumulator(Default())
+	for i := 0; i < 10000; i++ {
+		a.Mem(1, false)
+		a.Compute(3)
+		if i%500 == 0 {
+			a.Sync(true)
+		}
+	}
+	if s := a.Slowdown(); s > 1.5 {
+		t.Errorf("sync-only slowdown = %g, want ≤ 1.5", s)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(60, 2); got != 30 {
+		t.Errorf("Speedup = %g", got)
+	}
+	if got := Speedup(60, 0); got != 0 {
+		t.Errorf("Speedup by zero = %g", got)
+	}
+}
+
+func TestToolAtLeastNative(t *testing.T) {
+	f := func(ops []uint8) bool {
+		a := NewAccumulator(Default())
+		for _, o := range ops {
+			switch o % 5 {
+			case 0:
+				a.Mem(uint64(o%60)+1, o%2 == 0)
+			case 1:
+				a.Sync(o%2 == 0)
+			case 2:
+				a.Compute(uint64(o) + 1)
+			case 3:
+				a.Interrupt()
+			case 4:
+				a.ModeSwitch(uint64(o % 3))
+			}
+		}
+		return a.ToolCycles() >= a.NativeCycles() && a.Slowdown() >= 1.0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidModelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero AnalysisMem should panic")
+		}
+	}()
+	NewAccumulator(Model{})
+}
+
+func TestSlowdownMonotoneInAnalyzedFraction(t *testing.T) {
+	// More analyzed accesses can only increase slowdown.
+	run := func(analyzedEvery int) float64 {
+		a := NewAccumulator(Default())
+		for i := 0; i < 10000; i++ {
+			a.Mem(1, analyzedEvery > 0 && i%analyzedEvery == 0)
+		}
+		return a.Slowdown()
+	}
+	s0, s10, s1 := run(0), run(10), run(1)
+	if !(s0 < s10 && s10 < s1) {
+		t.Errorf("slowdowns not monotone: %g %g %g", s0, s10, s1)
+	}
+	if math.Abs(s0-1.0) > 1e-9 {
+		t.Errorf("zero-analysis slowdown = %g", s0)
+	}
+}

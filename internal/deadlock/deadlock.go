@@ -1,0 +1,174 @@
+// Package deadlock implements lock-order (potential-deadlock) detection,
+// the second analysis engine of the Inspector-XE-class tool the paper
+// modified: it reports lock hierarchies that *could* deadlock even when the
+// observed run completed.
+//
+// The detector builds a lock-order graph: acquiring lock B while holding
+// lock A adds edge A→B. A cycle in the graph means two threads can acquire
+// the same locks in opposite orders — the classic ABBA hazard — regardless
+// of whether the scheduler happened to interleave them fatally this run.
+// Like the race detector, this engine is gated by the demand controller in
+// the runner: its events are lock operations, which are always analyzed, so
+// it costs the same under every policy.
+package deadlock
+
+import (
+	"fmt"
+	"sort"
+
+	"demandrace/internal/program"
+	"demandrace/internal/vclock"
+)
+
+// Report describes one potential deadlock: a cycle in the lock-order graph.
+type Report struct {
+	// Cycle lists the locks in acquisition-order cycle, starting from the
+	// smallest ID (canonical form); Cycle[i] was held while acquiring
+	// Cycle[(i+1) % len].
+	Cycle []program.SyncID
+	// Threads lists one witness thread per edge of the cycle.
+	Threads []vclock.TID
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("potential deadlock: lock cycle %v (witnesses %v)", r.Cycle, r.Threads)
+}
+
+// edge is one observed held→acquired pair.
+type edge struct {
+	from, to program.SyncID
+}
+
+// Stats counts detector work.
+type Stats struct {
+	Acquires uint64
+	Releases uint64
+	Edges    uint64
+	Cycles   uint64
+}
+
+// Detector accumulates the lock-order graph. Not safe for concurrent use.
+type Detector struct {
+	held [][]program.SyncID
+	// succ[a] is the set of locks acquired while a was held, with a
+	// witness thread per edge.
+	succ map[program.SyncID]map[program.SyncID]vclock.TID
+	// reported de-duplicates cycles by canonical key.
+	reported map[string]bool
+	reports  []Report
+	stats    Stats
+}
+
+// New builds a detector for numThreads threads.
+func New(numThreads int) *Detector {
+	return &Detector{
+		held:     make([][]program.SyncID, numThreads),
+		succ:     make(map[program.SyncID]map[program.SyncID]vclock.TID),
+		reported: make(map[string]bool),
+	}
+}
+
+// Reports returns the potential deadlocks found so far.
+func (d *Detector) Reports() []Report { return d.reports }
+
+// Stats returns the work counters.
+func (d *Detector) Stats() Stats { return d.stats }
+
+// OnLock records thread t acquiring mutex id; new lock-order edges are
+// added and checked for cycles.
+func (d *Detector) OnLock(t vclock.TID, id program.SyncID) {
+	d.stats.Acquires++
+	for _, h := range d.held[t] {
+		d.addEdge(t, h, id)
+	}
+	d.held[t] = append(d.held[t], id)
+}
+
+// OnUnlock records thread t releasing mutex id.
+func (d *Detector) OnUnlock(t vclock.TID, id program.SyncID) {
+	d.stats.Releases++
+	hs := d.held[t]
+	for i := len(hs) - 1; i >= 0; i-- {
+		if hs[i] == id {
+			d.held[t] = append(hs[:i], hs[i+1:]...)
+			return
+		}
+	}
+}
+
+func (d *Detector) addEdge(t vclock.TID, from, to program.SyncID) {
+	if from == to {
+		return
+	}
+	m, ok := d.succ[from]
+	if !ok {
+		m = make(map[program.SyncID]vclock.TID)
+		d.succ[from] = m
+	}
+	if _, exists := m[to]; exists {
+		return
+	}
+	m[to] = t
+	d.stats.Edges++
+	// A new edge can only create cycles through itself: a path
+	// to → … → from plus the new from→to edge is a full cycle, so the
+	// path already lists every node exactly once.
+	if path := d.findPath(to, from); path != nil {
+		d.report(path)
+	}
+}
+
+// findPath returns the node sequence from src to dst (inclusive of both)
+// if one exists in the lock-order graph.
+func (d *Detector) findPath(src, dst program.SyncID) []program.SyncID {
+	visited := map[program.SyncID]bool{}
+	var dfs func(n program.SyncID) []program.SyncID
+	dfs = func(n program.SyncID) []program.SyncID {
+		if n == dst {
+			return []program.SyncID{n}
+		}
+		visited[n] = true
+		// Deterministic exploration order.
+		next := make([]program.SyncID, 0, len(d.succ[n]))
+		for s := range d.succ[n] {
+			next = append(next, s)
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		for _, s := range next {
+			if visited[s] {
+				continue
+			}
+			if p := dfs(s); p != nil {
+				return append([]program.SyncID{n}, p...)
+			}
+		}
+		return nil
+	}
+	return dfs(src)
+}
+
+// report canonicalizes (rotate so the smallest lock leads) and
+// de-duplicates a cycle. nodes holds the cycle without the closing
+// repetition: n0 → n1 → … → nk → n0.
+func (d *Detector) report(nodes []program.SyncID) {
+	min := 0
+	for i, n := range nodes {
+		if n < nodes[min] {
+			min = i
+		}
+	}
+	canon := append(append([]program.SyncID{}, nodes[min:]...), nodes[:min]...)
+	key := fmt.Sprint(canon)
+	if d.reported[key] {
+		return
+	}
+	d.reported[key] = true
+	d.stats.Cycles++
+	witnesses := make([]vclock.TID, len(canon))
+	for i := range canon {
+		from := canon[i]
+		to := canon[(i+1)%len(canon)]
+		witnesses[i] = d.succ[from][to]
+	}
+	d.reports = append(d.reports, Report{Cycle: canon, Threads: witnesses})
+}

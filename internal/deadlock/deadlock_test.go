@@ -1,0 +1,159 @@
+package deadlock
+
+import (
+	"reflect"
+	"testing"
+
+	"demandrace/internal/program"
+	"demandrace/internal/vclock"
+)
+
+func TestABBACycleDetected(t *testing.T) {
+	d := New(2)
+	// t0: A then B; t1: B then A — never actually deadlocking here, but
+	// the hazard exists.
+	d.OnLock(0, 0)
+	d.OnLock(0, 1)
+	d.OnUnlock(0, 1)
+	d.OnUnlock(0, 0)
+	d.OnLock(1, 1)
+	d.OnLock(1, 0)
+	d.OnUnlock(1, 0)
+	d.OnUnlock(1, 1)
+	rs := d.Reports()
+	if len(rs) != 1 {
+		t.Fatalf("reports = %v", rs)
+	}
+	if !reflect.DeepEqual(rs[0].Cycle, []program.SyncID{0, 1}) {
+		t.Errorf("cycle = %v", rs[0].Cycle)
+	}
+	if len(rs[0].Threads) != 2 {
+		t.Errorf("witnesses = %v", rs[0].Threads)
+	}
+}
+
+func TestConsistentOrderClean(t *testing.T) {
+	d2 := New(3)
+	for rep := 0; rep < 5; rep++ {
+		for tid := 0; tid < 3; tid++ {
+			tt := vclock.TID(tid)
+			d2.OnLock(tt, 0)
+			d2.OnLock(tt, 1)
+			d2.OnLock(tt, 2)
+			d2.OnUnlock(tt, 2)
+			d2.OnUnlock(tt, 1)
+			d2.OnUnlock(tt, 0)
+		}
+	}
+	if len(d2.Reports()) != 0 {
+		t.Errorf("consistent hierarchy reported: %v", d2.Reports())
+	}
+}
+
+func TestThreeLockCycle(t *testing.T) {
+	d := New(3)
+	pairs := [][2]program.SyncID{{0, 1}, {1, 2}, {2, 0}}
+	for tid, pr := range pairs {
+		tt := vclock.TID(tid)
+		d.OnLock(tt, pr[0])
+		d.OnLock(tt, pr[1])
+		d.OnUnlock(tt, pr[1])
+		d.OnUnlock(tt, pr[0])
+	}
+	rs := d.Reports()
+	if len(rs) != 1 {
+		t.Fatalf("reports = %v", rs)
+	}
+	if !reflect.DeepEqual(rs[0].Cycle, []program.SyncID{0, 1, 2}) {
+		t.Errorf("cycle = %v", rs[0].Cycle)
+	}
+}
+
+func TestCycleDeduplicated(t *testing.T) {
+	d := New(2)
+	for rep := 0; rep < 4; rep++ {
+		d.OnLock(0, 0)
+		d.OnLock(0, 1)
+		d.OnUnlock(0, 1)
+		d.OnUnlock(0, 0)
+		d.OnLock(1, 1)
+		d.OnLock(1, 0)
+		d.OnUnlock(1, 0)
+		d.OnUnlock(1, 1)
+	}
+	if len(d.Reports()) != 1 {
+		t.Errorf("duplicate cycles reported: %v", d.Reports())
+	}
+	if d.Stats().Cycles != 1 {
+		t.Errorf("cycles = %d", d.Stats().Cycles)
+	}
+}
+
+func TestNestedSameLockNoSelfEdge(t *testing.T) {
+	// Holding A while acquiring B then re-walking A's edges must not
+	// produce A→A.
+	d := New(1)
+	d.OnLock(0, 0)
+	d.OnLock(0, 1)
+	d.OnUnlock(0, 1)
+	d.OnLock(0, 1)
+	d.OnUnlock(0, 1)
+	d.OnUnlock(0, 0)
+	if len(d.Reports()) != 0 {
+		t.Errorf("reports = %v", d.Reports())
+	}
+}
+
+func TestSingleThreadInversionStillFlagged(t *testing.T) {
+	// Even one thread acquiring in both orders (at different times)
+	// creates the hazard for any concurrent second thread.
+	d := New(1)
+	d.OnLock(0, 0)
+	d.OnLock(0, 1)
+	d.OnUnlock(0, 1)
+	d.OnUnlock(0, 0)
+	d.OnLock(0, 1)
+	d.OnLock(0, 0)
+	d.OnUnlock(0, 0)
+	d.OnUnlock(0, 1)
+	if len(d.Reports()) != 1 {
+		t.Errorf("reports = %v", d.Reports())
+	}
+}
+
+func TestUnlockOutOfOrder(t *testing.T) {
+	// Hand-over-hand locking releases in acquisition order; the held stack
+	// must handle non-LIFO release.
+	d := New(1)
+	d.OnLock(0, 0)
+	d.OnLock(0, 1)
+	d.OnUnlock(0, 0) // release the outer lock first
+	d.OnLock(0, 2)   // edge 1→2 only
+	d.OnUnlock(0, 2)
+	d.OnUnlock(0, 1)
+	if d.Stats().Edges != 2 { // 0→1 and 1→2
+		t.Errorf("edges = %d", d.Stats().Edges)
+	}
+	if len(d.Reports()) != 0 {
+		t.Errorf("reports = %v", d.Reports())
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := New(1)
+	d.OnLock(0, 0)
+	d.OnLock(0, 1)
+	d.OnUnlock(0, 1)
+	d.OnUnlock(0, 0)
+	st := d.Stats()
+	if st.Acquires != 2 || st.Releases != 2 || st.Edges != 1 || st.Cycles != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Cycle: []program.SyncID{0, 1}, Threads: []vclock.TID{0, 1}}
+	if r.String() != "potential deadlock: lock cycle [0 1] (witnesses [0 1])" {
+		t.Errorf("String = %q", r.String())
+	}
+}

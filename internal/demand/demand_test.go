@@ -1,0 +1,758 @@
+package demand
+
+import (
+	"testing"
+
+	"demandrace/internal/cache"
+	"demandrace/internal/mem"
+	"demandrace/internal/perf"
+	"demandrace/internal/program"
+	"demandrace/internal/vclock"
+)
+
+// newCtl builds a controller with 4 threads pinned one per context on a
+// 4-core (no SMT) machine.
+func newCtl(cfg Config) *Controller {
+	return New(cfg, 4,
+		func(t vclock.TID) cache.Context { return cache.Context(t) },
+		func(c cache.Context) int { return int(c) })
+}
+
+var (
+	loadOp  = program.Op{Kind: program.OpLoad, Addr: 0x100}
+	storeOp = program.Op{Kind: program.OpStore, Addr: 0x100}
+	lockOp  = program.Op{Kind: program.OpLock, Sync: 0}
+	compOp  = program.Op{Kind: program.OpCompute, N: 1}
+)
+
+func sample(ctx cache.Context, src int) perf.Sample {
+	return perf.Sample{Ctx: ctx, Sel: perf.SelHITM, Line: mem.Line(1), SrcCore: src}
+}
+
+func TestOffAnalyzesNothing(t *testing.T) {
+	c := newCtl(Config{Kind: Off})
+	if c.ShouldAnalyze(0, loadOp) || c.ShouldAnalyze(0, lockOp) {
+		t.Error("Off policy analyzed an op")
+	}
+}
+
+func TestContinuousAnalyzesEverything(t *testing.T) {
+	c := newCtl(Config{Kind: Continuous})
+	if !c.ShouldAnalyze(0, loadOp) || !c.ShouldAnalyze(1, storeOp) || !c.ShouldAnalyze(2, lockOp) {
+		t.Error("Continuous policy skipped an op")
+	}
+	if c.ShouldAnalyze(0, compOp) {
+		t.Error("compute ops are never analyzed")
+	}
+	st := c.Stats()
+	if st.MemAnalyzed != 2 || st.MemSkipped != 0 || st.SyncAnalyzed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSyncOnlySkipsMemory(t *testing.T) {
+	c := newCtl(Config{Kind: SyncOnly})
+	if c.ShouldAnalyze(0, loadOp) {
+		t.Error("SyncOnly analyzed a load")
+	}
+	if !c.ShouldAnalyze(0, lockOp) {
+		t.Error("SyncOnly skipped a lock")
+	}
+}
+
+func TestDemandStartsFast(t *testing.T) {
+	c := newCtl(DefaultConfig())
+	if c.Analyzing(0) {
+		t.Error("threads must start in fast mode")
+	}
+	if c.ShouldAnalyze(0, loadOp) {
+		t.Error("fast-mode load analyzed")
+	}
+	if !c.ShouldAnalyze(0, lockOp) {
+		t.Error("sync ops must always be analyzed")
+	}
+}
+
+func TestSampleEnablesGlobal(t *testing.T) {
+	c := newCtl(DefaultConfig())
+	c.OnSample(sample(1, 0))
+	for i := 0; i < 4; i++ {
+		if !c.Analyzing(vclock.TID(i)) {
+			t.Errorf("thread %d not enabled under global scope", i)
+		}
+	}
+	if !c.ShouldAnalyze(3, loadOp) {
+		t.Error("enabled thread's load not analyzed")
+	}
+	if c.Stats().EnableTransitions != 4 {
+		t.Errorf("enable transitions = %d", c.Stats().EnableTransitions)
+	}
+}
+
+func TestSampleEnablesSelf(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scope = ScopeSelf
+	c := newCtl(cfg)
+	c.OnSample(sample(1, 0))
+	if !c.Analyzing(1) {
+		t.Error("sampled thread not enabled")
+	}
+	for _, i := range []vclock.TID{0, 2, 3} {
+		if c.Analyzing(i) {
+			t.Errorf("thread %d enabled under self scope", i)
+		}
+	}
+}
+
+func TestSampleEnablesPair(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scope = ScopePair
+	c := newCtl(cfg)
+	c.OnSample(sample(1, 3)) // requester ctx1, supplier core 3
+	if !c.Analyzing(1) || !c.Analyzing(3) {
+		t.Error("pair scope should enable both sides")
+	}
+	if c.Analyzing(0) || c.Analyzing(2) {
+		t.Error("pair scope enabled a bystander")
+	}
+}
+
+func TestPairScopeNoSource(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scope = ScopePair
+	c := newCtl(cfg)
+	c.OnSample(sample(2, -1))
+	if !c.Analyzing(2) {
+		t.Error("sampled thread not enabled")
+	}
+	if c.Analyzing(0) || c.Analyzing(1) || c.Analyzing(3) {
+		t.Error("unexpected thread enabled")
+	}
+}
+
+func TestQuietPeriodDisables(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QuietOps = 3
+	c := newCtl(cfg)
+	c.OnSample(sample(0, 1))
+	// 3 quiet loads stay analyzed; the 4th flips the thread off.
+	for i := 0; i < 3; i++ {
+		if !c.ShouldAnalyze(0, loadOp) {
+			t.Fatalf("load %d should be analyzed", i)
+		}
+	}
+	if !c.ShouldAnalyze(0, loadOp) {
+		t.Fatal("the op crossing the threshold is still analyzed")
+	}
+	if c.Analyzing(0) {
+		t.Error("thread should have dropped to fast mode")
+	}
+	if c.ShouldAnalyze(0, loadOp) {
+		t.Error("post-decay load analyzed")
+	}
+	if c.Stats().DisableTransitions != 1 {
+		t.Errorf("disable transitions = %d", c.Stats().DisableTransitions)
+	}
+}
+
+func TestSampleRefreshesQuietTimer(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QuietOps = 3
+	c := newCtl(cfg)
+	c.OnSample(sample(0, 1))
+	c.ShouldAnalyze(0, loadOp)
+	c.ShouldAnalyze(0, loadOp)
+	c.OnSample(sample(0, 1)) // fresh sharing: reset timer
+	for i := 0; i < 3; i++ {
+		if !c.ShouldAnalyze(0, loadOp) {
+			t.Fatalf("load %d after refresh should be analyzed", i)
+		}
+	}
+	if !c.Analyzing(0) {
+		t.Error("thread disabled too early after refresh")
+	}
+}
+
+func TestReenableAfterDecay(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QuietOps = 1
+	c := newCtl(cfg)
+	c.OnSample(sample(0, 1))
+	c.ShouldAnalyze(0, loadOp)
+	c.ShouldAnalyze(0, loadOp) // decays
+	if c.Analyzing(0) {
+		t.Fatal("should have decayed")
+	}
+	c.OnSample(sample(0, 1))
+	if !c.Analyzing(0) {
+		t.Error("sample after decay should re-enable")
+	}
+	// First sample enabled all 4 threads; only thread 0 decayed, so the
+	// second sample re-enables just it.
+	if c.Stats().EnableTransitions != 5 {
+		t.Errorf("enable transitions = %d", c.Stats().EnableTransitions)
+	}
+}
+
+func TestSamplesIgnoredByNonDemandPolicies(t *testing.T) {
+	for _, k := range []PolicyKind{Off, Continuous, SyncOnly} {
+		c := newCtl(Config{Kind: k})
+		c.OnSample(sample(0, 1))
+		if c.Stats().Samples != 0 {
+			t.Errorf("%v policy counted a sample", k)
+		}
+	}
+}
+
+func TestAnalyzedFraction(t *testing.T) {
+	c := newCtl(Config{Kind: Continuous})
+	c.ShouldAnalyze(0, loadOp)
+	c.ShouldAnalyze(0, storeOp)
+	if f := c.Stats().AnalyzedFraction(); f != 1.0 {
+		t.Errorf("fraction = %g", f)
+	}
+	c2 := newCtl(Config{Kind: SyncOnly})
+	c2.ShouldAnalyze(0, loadOp)
+	if f := c2.Stats().AnalyzedFraction(); f != 0 {
+		t.Errorf("fraction = %g", f)
+	}
+	var empty Stats
+	if empty.AnalyzedFraction() != 0 {
+		t.Error("empty stats fraction should be 0")
+	}
+}
+
+func TestThreadsSharingAContext(t *testing.T) {
+	// 8 threads on 4 contexts: a sample on ctx 1 under self scope enables
+	// both threads placed there.
+	cfg := DefaultConfig()
+	cfg.Scope = ScopeSelf
+	c := New(cfg, 8,
+		func(t vclock.TID) cache.Context { return cache.Context(int(t) % 4) },
+		func(ctx cache.Context) int { return int(ctx) })
+	c.OnSample(sample(1, -1))
+	if !c.Analyzing(1) || !c.Analyzing(5) {
+		t.Error("both threads on ctx 1 should be enabled")
+	}
+	if c.Analyzing(0) || c.Analyzing(2) {
+		t.Error("bystander enabled")
+	}
+}
+
+func TestPolicySelector(t *testing.T) {
+	if HITMDemand.Selector() != perf.SelHITM {
+		t.Error("HITMDemand should program the HITM event")
+	}
+	if Hybrid.Selector() != perf.SelSharing {
+		t.Error("Hybrid should program the broad sharing event")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	want := map[PolicyKind]string{
+		Off: "off", Continuous: "continuous", SyncOnly: "sync-only",
+		HITMDemand: "hitm-demand", Hybrid: "hybrid",
+	}
+	for k, w := range want {
+		if k.String() != w {
+			t.Errorf("%d.String() = %q", uint8(k), k.String())
+		}
+	}
+	if ScopeGlobal.String() != "global" || ScopePair.String() != "pair" || ScopeSelf.String() != "self" {
+		t.Error("scope strings wrong")
+	}
+}
+
+func TestDefaultQuietOpsApplied(t *testing.T) {
+	c := newCtl(Config{Kind: HITMDemand})
+	if c.Config().QuietOps != DefaultQuietOps {
+		t.Errorf("QuietOps = %d", c.Config().QuietOps)
+	}
+}
+
+func TestCounterControlDisarmsWhileAnalyzing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QuietOps = 2
+	c := newCtl(cfg)
+	armed := map[cache.Context]bool{0: true, 1: true, 2: true, 3: true}
+	c.SetCounterControl(func(ctx cache.Context, on bool) { armed[ctx] = on })
+	c.OnSample(sample(0, 1))
+	for ctx, on := range armed {
+		if on {
+			t.Errorf("ctx %d still armed while all threads analyze", ctx)
+		}
+	}
+	// Decay thread 2: its context re-arms, others stay disarmed.
+	c.ShouldAnalyze(2, loadOp)
+	c.ShouldAnalyze(2, loadOp)
+	c.ShouldAnalyze(2, loadOp)
+	if c.Analyzing(2) {
+		t.Fatal("thread 2 should have decayed")
+	}
+	if !armed[2] {
+		t.Error("ctx 2 should re-arm after decay")
+	}
+	if armed[0] || armed[1] || armed[3] {
+		t.Error("other contexts should remain disarmed")
+	}
+}
+
+func TestCounterControlSharedContext(t *testing.T) {
+	// Two threads per context: the counter disarms only when both analyze.
+	cfg := DefaultConfig()
+	cfg.Scope = ScopeSelf
+	armed := map[cache.Context]bool{}
+	c := New(cfg, 4,
+		func(t vclock.TID) cache.Context { return cache.Context(int(t) / 2) },
+		func(ctx cache.Context) int { return int(ctx) })
+	c.SetCounterControl(func(ctx cache.Context, on bool) { armed[ctx] = on })
+	c.OnSample(sample(0, -1)) // enables threads 0 and 1 (both on ctx 0)
+	if on, ok := armed[0]; !ok || on {
+		t.Errorf("ctx 0 should be disarmed once both its threads analyze: %v %v", on, ok)
+	}
+	if _, ok := armed[1]; ok && !armed[1] {
+		t.Error("ctx 1 should not be disarmed")
+	}
+}
+
+func TestNoteSharingRefreshesQuiet(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QuietOps = 2
+	c := newCtl(cfg)
+	c.OnSample(sample(0, 1))
+	c.ShouldAnalyze(0, loadOp)
+	c.NoteSharing(0) // observed sharing inside analysis mode
+	c.ShouldAnalyze(0, loadOp)
+	c.ShouldAnalyze(0, loadOp)
+	if !c.Analyzing(0) {
+		t.Error("NoteSharing should have reset the quiet timer")
+	}
+}
+
+func TestNoteSharingIgnoredInFastModeAndNonDemand(t *testing.T) {
+	c := newCtl(DefaultConfig())
+	c.NoteSharing(0) // fast mode: no effect, must not panic or enable
+	if c.Analyzing(0) {
+		t.Error("NoteSharing must not enable analysis")
+	}
+	c2 := newCtl(Config{Kind: Continuous})
+	c2.NoteSharing(0)
+	if !c2.Analyzing(0) {
+		t.Error("continuous threads are always analyzing")
+	}
+}
+
+func TestSamplingPolicyRate(t *testing.T) {
+	c := New(Config{Kind: Sampling, SampleRate: 0.3, Seed: 1}, 4,
+		func(t vclock.TID) cache.Context { return cache.Context(t) },
+		func(ctx cache.Context) int { return int(ctx) })
+	n := 0
+	for i := 0; i < 10000; i++ {
+		if c.ShouldAnalyze(0, loadOp) {
+			n++
+		}
+	}
+	frac := float64(n) / 10000
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("sampling fraction = %.3f, want ≈0.3", frac)
+	}
+	if !c.ShouldAnalyze(0, lockOp) {
+		t.Error("sampling must still analyze all sync ops")
+	}
+}
+
+func TestSamplingDeterministicUnderSeed(t *testing.T) {
+	mk := func(seed int64) []bool {
+		c := New(Config{Kind: Sampling, SampleRate: 0.5, Seed: seed}, 1,
+			func(t vclock.TID) cache.Context { return 0 },
+			func(ctx cache.Context) int { return 0 })
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = c.ShouldAnalyze(0, loadOp)
+		}
+		return out
+	}
+	a, b := mk(7), mk(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSamplingInvalidRatePanics(t *testing.T) {
+	for _, rate := range []float64{0, -0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("rate %g accepted", rate)
+				}
+			}()
+			New(Config{Kind: Sampling, SampleRate: rate}, 1,
+				func(t vclock.TID) cache.Context { return 0 },
+				func(ctx cache.Context) int { return 0 })
+		}()
+	}
+}
+
+func TestSamplingIgnoresPMUSamples(t *testing.T) {
+	c := New(Config{Kind: Sampling, SampleRate: 0.5}, 4,
+		func(t vclock.TID) cache.Context { return cache.Context(t) },
+		func(ctx cache.Context) int { return int(ctx) })
+	c.OnSample(sample(0, 1))
+	if c.Stats().Samples != 0 {
+		t.Error("sampling policy should not consume PMU samples")
+	}
+}
+
+func watchCtl(cfg Config) *Controller {
+	cfg.Kind = WatchDemand
+	return newCtl(cfg)
+}
+
+func TestWatchDemandArmsOnSample(t *testing.T) {
+	c := watchCtl(Config{Scope: ScopeGlobal})
+	if c.ShouldAnalyze(0, loadOp) {
+		t.Fatal("unwatched line analyzed")
+	}
+	c.OnSample(perf.Sample{Ctx: 1, Line: mem.LineOf(loadOp.Addr), SrcCore: 0})
+	for i := vclock.TID(0); i < 4; i++ {
+		if !c.ShouldAnalyze(i, loadOp) {
+			t.Errorf("thread %d: watched line not analyzed", i)
+		}
+	}
+	// A different line stays unanalyzed.
+	other := program.Op{Kind: program.OpLoad, Addr: 0x9000}
+	if c.ShouldAnalyze(0, other) {
+		t.Error("unwatched line analyzed")
+	}
+}
+
+func TestWatchDemandScopeSelf(t *testing.T) {
+	c := watchCtl(Config{Scope: ScopeSelf})
+	c.OnSample(perf.Sample{Ctx: 2, Line: mem.LineOf(loadOp.Addr), SrcCore: 0})
+	if !c.ShouldAnalyze(2, loadOp) {
+		t.Error("sampled context's thread not covered")
+	}
+	if c.ShouldAnalyze(0, loadOp) {
+		t.Error("bystander context covered under self scope")
+	}
+}
+
+func TestWatchDemandScopePair(t *testing.T) {
+	c := watchCtl(Config{Scope: ScopePair})
+	c.OnSample(perf.Sample{Ctx: 1, Line: mem.LineOf(loadOp.Addr), SrcCore: 3})
+	if !c.ShouldAnalyze(1, loadOp) || !c.ShouldAnalyze(3, loadOp) {
+		t.Error("pair scope should cover both sides")
+	}
+	if c.ShouldAnalyze(0, loadOp) {
+		t.Error("bystander covered")
+	}
+}
+
+func TestWatchDemandExpiry(t *testing.T) {
+	c := watchCtl(Config{Scope: ScopeSelf, QuietOps: 2})
+	c.OnSample(perf.Sample{Ctx: 0, Line: mem.LineOf(loadOp.Addr), SrcCore: 1})
+	cold := program.Op{Kind: program.OpLoad, Addr: 0x9000}
+	// Three cold accesses age the watchpoint past the quiet window.
+	c.ShouldAnalyze(0, cold)
+	c.ShouldAnalyze(0, cold)
+	c.ShouldAnalyze(0, cold)
+	if c.ShouldAnalyze(0, loadOp) {
+		t.Error("expired watchpoint still analyzed")
+	}
+}
+
+func TestWatchDemandHotLineStaysWatched(t *testing.T) {
+	c := watchCtl(Config{Scope: ScopeSelf, QuietOps: 2})
+	c.OnSample(perf.Sample{Ctx: 0, Line: mem.LineOf(loadOp.Addr), SrcCore: 1})
+	for i := 0; i < 20; i++ {
+		if !c.ShouldAnalyze(0, loadOp) {
+			t.Fatalf("hot watched line dropped at access %d", i)
+		}
+	}
+}
+
+func TestWatchDemandSyncAlwaysAnalyzed(t *testing.T) {
+	c := watchCtl(Config{})
+	if !c.ShouldAnalyze(0, lockOp) {
+		t.Error("sync op skipped under watch-demand")
+	}
+}
+
+func TestWatchDemandEnableTransitionsCountNewArms(t *testing.T) {
+	c := watchCtl(Config{Scope: ScopeGlobal})
+	s := perf.Sample{Ctx: 0, Line: 5, SrcCore: 1}
+	c.OnSample(s)
+	c.OnSample(s) // refresh: no new transitions
+	if got := c.Stats().EnableTransitions; got != 4 {
+		t.Errorf("enable transitions = %d, want 4 (one per context)", got)
+	}
+	if c.WatchUnit(0) == nil || c.WatchUnit(0).Len() != 1 {
+		t.Error("watch unit state wrong")
+	}
+}
+
+func TestAdaptiveQuietGrows(t *testing.T) {
+	cfg := Config{Kind: HITMDemand, Scope: ScopeSelf, QuietOps: 2, Adaptive: true}
+	c := newCtl(cfg)
+	s0 := sample(0, 1)
+	// Enable, decay, then re-enable after only one fast op: premature
+	// decay, window must double.
+	c.OnSample(s0)
+	c.ShouldAnalyze(0, loadOp)
+	c.ShouldAnalyze(0, loadOp)
+	c.ShouldAnalyze(0, loadOp) // decays (quiet 3 > 2)
+	if c.Analyzing(0) {
+		t.Fatal("expected decay")
+	}
+	c.ShouldAnalyze(0, loadOp) // one fast op
+	c.OnSample(s0)             // re-enable quickly
+	if c.Stats().QuietGrow != 1 {
+		t.Errorf("QuietGrow = %d, want 1", c.Stats().QuietGrow)
+	}
+	// The window is now 4: five analyzed ops decay, four do not.
+	for i := 0; i < 4; i++ {
+		if !c.ShouldAnalyze(0, loadOp) {
+			t.Fatalf("op %d should be analyzed under grown window", i)
+		}
+	}
+	if !c.Analyzing(0) {
+		t.Error("grown window decayed too early")
+	}
+}
+
+func TestAdaptiveQuietShrinks(t *testing.T) {
+	cfg := Config{Kind: HITMDemand, Scope: ScopeSelf, QuietOps: 2, Adaptive: true}
+	c := newCtl(cfg)
+	s0 := sample(0, 1)
+	// Grow once.
+	c.OnSample(s0)
+	c.ShouldAnalyze(0, loadOp)
+	c.ShouldAnalyze(0, loadOp)
+	c.ShouldAnalyze(0, loadOp) // decay
+	c.ShouldAnalyze(0, loadOp) // 1 fast op
+	c.OnSample(s0)             // grow → 4
+	// Decay again, then run fast for a long stretch before the next
+	// sample: window shrinks back.
+	for i := 0; i < 5; i++ {
+		c.ShouldAnalyze(0, loadOp)
+	}
+	if c.Analyzing(0) {
+		t.Fatal("expected decay under window 4")
+	}
+	for i := 0; i < 10; i++ { // fastOps 10 ≥ window 4
+		c.ShouldAnalyze(0, loadOp)
+	}
+	c.OnSample(s0)
+	if c.Stats().QuietShrink != 1 {
+		t.Errorf("QuietShrink = %d, want 1", c.Stats().QuietShrink)
+	}
+}
+
+func TestAdaptiveNeverBelowBase(t *testing.T) {
+	cfg := Config{Kind: HITMDemand, Scope: ScopeSelf, QuietOps: 2, Adaptive: true}
+	c := newCtl(cfg)
+	s0 := sample(0, 1)
+	for round := 0; round < 5; round++ {
+		c.OnSample(s0)
+		for i := 0; i < 3; i++ {
+			c.ShouldAnalyze(0, loadOp)
+		}
+		for i := 0; i < 50; i++ { // long fast stretch each round
+			c.ShouldAnalyze(0, loadOp)
+		}
+	}
+	// Only grows/shrinks between base and cap; base window still works.
+	c.OnSample(s0)
+	c.ShouldAnalyze(0, loadOp)
+	c.ShouldAnalyze(0, loadOp)
+	c.ShouldAnalyze(0, loadOp)
+	if c.Analyzing(0) {
+		t.Error("window shrank below the configured base")
+	}
+}
+
+func TestNonAdaptiveWindowFixed(t *testing.T) {
+	cfg := Config{Kind: HITMDemand, Scope: ScopeSelf, QuietOps: 2}
+	c := newCtl(cfg)
+	s0 := sample(0, 1)
+	for round := 0; round < 3; round++ {
+		c.OnSample(s0)
+		c.ShouldAnalyze(0, loadOp)
+		c.ShouldAnalyze(0, loadOp)
+		c.ShouldAnalyze(0, loadOp) // decays every round at exactly base
+		if c.Analyzing(0) {
+			t.Fatalf("round %d: fixed window failed to decay", round)
+		}
+		c.ShouldAnalyze(0, loadOp)
+	}
+	st := c.Stats()
+	if st.QuietGrow != 0 || st.QuietShrink != 0 {
+		t.Errorf("non-adaptive controller adjusted windows: %+v", st)
+	}
+}
+
+func TestPageDemandFaultEnables(t *testing.T) {
+	cfg := Config{Kind: PageDemand, Scope: ScopeGlobal, QuietOps: 100}
+	c := newCtl(cfg)
+	// First touch by thread 0 claims the page silently.
+	if c.ShouldAnalyze(0, loadOp) {
+		t.Fatal("first touch analyzed")
+	}
+	if c.Analyzing(0) {
+		t.Fatal("no analysis before a fault")
+	}
+	// Thread 1 touches the same page: protection fault → global enable.
+	c.ShouldAnalyze(1, loadOp)
+	for i := vclock.TID(0); i < 4; i++ {
+		if !c.Analyzing(i) {
+			t.Errorf("thread %d not enabled after fault", i)
+		}
+	}
+	if c.PageTracker().Stats().Faults != 1 {
+		t.Errorf("faults = %d", c.PageTracker().Stats().Faults)
+	}
+	if c.Stats().Samples != 1 {
+		t.Errorf("samples = %d", c.Stats().Samples)
+	}
+}
+
+func TestPageDemandScopeSelf(t *testing.T) {
+	cfg := Config{Kind: PageDemand, Scope: ScopeSelf, QuietOps: 100}
+	c := newCtl(cfg)
+	c.ShouldAnalyze(0, loadOp)
+	c.ShouldAnalyze(1, loadOp) // fault on thread 1
+	if !c.Analyzing(1) {
+		t.Error("faulting thread not enabled")
+	}
+	if c.Analyzing(0) || c.Analyzing(2) {
+		t.Error("bystander enabled under self scope")
+	}
+}
+
+func TestPageDemandSharedPageKeepsAnalysisAlive(t *testing.T) {
+	cfg := Config{Kind: PageDemand, Scope: ScopeSelf, QuietOps: 2}
+	c := newCtl(cfg)
+	c.ShouldAnalyze(0, loadOp)
+	c.ShouldAnalyze(1, loadOp) // fault, thread 1 analyzing
+	// Repeated touches of the shared page never decay.
+	for i := 0; i < 20; i++ {
+		if !c.ShouldAnalyze(1, loadOp) {
+			t.Fatalf("shared-page access %d not analyzed", i)
+		}
+	}
+	// Touching only private pages decays after the quiet window.
+	cold := program.Op{Kind: program.OpLoad, Addr: 0x90000}
+	c.ShouldAnalyze(1, cold)
+	c.ShouldAnalyze(1, cold)
+	c.ShouldAnalyze(1, cold)
+	if c.Analyzing(1) {
+		t.Error("analysis did not decay on private pages")
+	}
+}
+
+func TestPageDemandIgnoresPMU(t *testing.T) {
+	c := newCtl(Config{Kind: PageDemand})
+	c.OnSample(sample(0, 1))
+	if c.Stats().Samples != 0 || c.Analyzing(0) {
+		t.Error("page policy consumed a PMU sample")
+	}
+}
+
+func TestResidencyPerThread(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scope = ScopeSelf
+	c := newCtl(cfg)
+	c.OnSample(sample(1, 0)) // only thread 1 analyzing
+	c.ShouldAnalyze(0, loadOp)
+	c.ShouldAnalyze(1, loadOp)
+	c.ShouldAnalyze(1, storeOp)
+	res := c.Residency()
+	if len(res) != 4 {
+		t.Fatalf("residency entries = %d", len(res))
+	}
+	if res[0].MemAnalyzed != 0 || res[0].MemSkipped != 1 {
+		t.Errorf("t0 residency = %+v", res[0])
+	}
+	if res[1].MemAnalyzed != 2 || res[1].MemSkipped != 0 {
+		t.Errorf("t1 residency = %+v", res[1])
+	}
+	if res[1].AnalyzedFraction() != 1.0 || res[0].AnalyzedFraction() != 0.0 {
+		t.Error("fractions wrong")
+	}
+	if (ThreadResidency{}).AnalyzedFraction() != 0 {
+		t.Error("empty residency fraction should be 0")
+	}
+}
+
+func TestSyncTriggerEnables(t *testing.T) {
+	cfg := Config{Kind: HITMDemand, Scope: ScopeSelf, QuietOps: 5, SyncTrigger: true}
+	c := newCtl(cfg)
+	if c.Analyzing(0) {
+		t.Fatal("threads start fast")
+	}
+	c.ShouldAnalyze(0, lockOp)
+	if !c.Analyzing(0) {
+		t.Error("sync op should trigger analysis under SyncTrigger")
+	}
+	if c.Analyzing(1) {
+		t.Error("other threads unaffected by a sync trigger")
+	}
+	// Without the knob, sync ops never enable.
+	c2 := newCtl(Config{Kind: HITMDemand, Scope: ScopeSelf, QuietOps: 5})
+	c2.ShouldAnalyze(0, lockOp)
+	if c2.Analyzing(0) {
+		t.Error("sync op enabled analysis without SyncTrigger")
+	}
+}
+
+func TestSyncTriggerIgnoredByOtherPolicies(t *testing.T) {
+	c := newCtl(Config{Kind: SyncOnly, SyncTrigger: true})
+	c.ShouldAnalyze(0, lockOp)
+	if c.ShouldAnalyze(0, loadOp) {
+		t.Error("SyncOnly must not analyze data accesses even with SyncTrigger")
+	}
+}
+
+// TestPolicyMatrix pins the full decision table: which op classes each
+// policy analyzes in its initial state (before any sharing signal).
+func TestPolicyMatrix(t *testing.T) {
+	atomicOp := program.Op{Kind: program.OpAtomicStore, Addr: 0x100}
+	cases := []struct {
+		kind                   PolicyKind
+		mem, sync, atomic, cmp bool
+	}{
+		{Off, false, false, false, false},
+		{Continuous, true, true, true, false},
+		{SyncOnly, false, true, true, false},
+		{HITMDemand, false, true, true, false},
+		{Hybrid, false, true, true, false},
+		{WatchDemand, false, true, true, false},
+		{PageDemand, false, true, true, false},
+	}
+	for _, c := range cases {
+		cfg := Config{Kind: c.kind}
+		ctl := newCtl(cfg)
+		if got := ctl.ShouldAnalyze(0, loadOp); got != c.mem {
+			t.Errorf("%v: mem analyzed = %v, want %v", c.kind, got, c.mem)
+		}
+		if got := ctl.ShouldAnalyze(0, lockOp); got != c.sync {
+			t.Errorf("%v: sync analyzed = %v, want %v", c.kind, got, c.sync)
+		}
+		if got := ctl.ShouldAnalyze(0, atomicOp); got != c.atomic {
+			t.Errorf("%v: atomic analyzed = %v, want %v", c.kind, got, c.atomic)
+		}
+		if got := ctl.ShouldAnalyze(0, compOp); got != c.cmp {
+			t.Errorf("%v: compute analyzed = %v, want %v", c.kind, got, c.cmp)
+		}
+	}
+	// Sampling at rate 1.0 is not allowed (open interval cap at 1 is
+	// allowed); rate exactly 1 behaves like continuous for memory.
+	ctl := New(Config{Kind: Sampling, SampleRate: 1.0}, 4,
+		func(t vclock.TID) cache.Context { return cache.Context(t) },
+		func(c cache.Context) int { return int(c) })
+	if !ctl.ShouldAnalyze(0, loadOp) {
+		t.Error("sampling at rate 1.0 should analyze every access")
+	}
+}

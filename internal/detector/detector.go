@@ -1,0 +1,363 @@
+// Package detector implements the software happens-before data-race
+// detector that stands in for the race engine inside Intel Inspector XE.
+//
+// The default engine is FastTrack (Flanagan & Freund, PLDI 2009): per-thread
+// vector clocks, per-variable shadow state that stays in compact epoch form
+// until a variable becomes read-shared, and O(1) fast paths for the
+// overwhelmingly common same-epoch accesses. A full-vector-clock variant
+// (DJIT+-style) is selectable for the shadow-representation ablation; both
+// report the same races.
+//
+// The detector is deliberately ignorant of the demand-driven machinery: it
+// analyzes exactly the accesses it is handed. The demand controller decides
+// which accesses those are, and that selection — not anything here — is
+// where the paper's accuracy/performance tradeoff lives.
+package detector
+
+import (
+	"fmt"
+
+	"demandrace/internal/mem"
+	"demandrace/internal/program"
+	"demandrace/internal/shadow"
+	"demandrace/internal/syncmodel"
+	"demandrace/internal/vclock"
+)
+
+// RaceKind classifies the access pair of a report.
+type RaceKind uint8
+
+const (
+	// WriteWrite is a write racing a prior write.
+	WriteWrite RaceKind = iota
+	// ReadWrite is a write racing a prior read.
+	ReadWrite
+	// WriteRead is a read racing a prior write.
+	WriteRead
+)
+
+func (k RaceKind) String() string {
+	switch k {
+	case WriteWrite:
+		return "write-write"
+	case ReadWrite:
+		return "read-write"
+	case WriteRead:
+		return "write-read"
+	}
+	return fmt.Sprintf("RaceKind(%d)", uint8(k))
+}
+
+// Report describes one detected race.
+type Report struct {
+	// Addr is the word the race is on.
+	Addr mem.Addr
+	// Kind is the access-pair class.
+	Kind RaceKind
+	// Cur is the thread performing the second (detecting) access.
+	Cur vclock.TID
+	// Prev is the thread of the conflicting earlier access. For races
+	// against an inflated read set, Prev is one representative reader.
+	Prev vclock.TID
+	// PrevTime is the earlier access's logical time at Prev.
+	PrevTime vclock.Time
+	// CurRegion and PrevRegion carry the program regions of the two
+	// accesses when the program annotates them (empty otherwise).
+	CurRegion  string
+	PrevRegion string
+}
+
+func (r Report) String() string {
+	s := fmt.Sprintf("race %s on %v: t%d vs t%d@%d", r.Kind, r.Addr, r.Cur, r.Prev, r.PrevTime)
+	if r.CurRegion != "" || r.PrevRegion != "" {
+		s += fmt.Sprintf(" [%s vs %s]", orUnknown(r.CurRegion), orUnknown(r.PrevRegion))
+	}
+	return s
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "?"
+	}
+	return s
+}
+
+// Options configures a detector.
+type Options struct {
+	// FullVC selects the DJIT+-style full-vector-clock shadow
+	// representation instead of FastTrack's adaptive epochs.
+	FullVC bool
+	// MaxReportsPerAddr caps reports per word; 0 means 1 (first race per
+	// variable, matching how commercial tools de-duplicate). Negative
+	// means unlimited.
+	MaxReportsPerAddr int
+}
+
+// Stats counts detector work, used by the cost model and the fast-path
+// ablation.
+type Stats struct {
+	Reads          uint64
+	Writes         uint64
+	SameEpochHits  uint64
+	ReadInflations uint64
+	SyncOps        uint64
+	Races          uint64
+	Suppressed     uint64 // races beyond the per-address report cap
+}
+
+// Detector is a happens-before race detector over simulated threads. Not
+// safe for concurrent use; the scheduler serializes all calls.
+type Detector struct {
+	opt     Options
+	threads []*vclock.VC
+	regions []string
+	sync    *syncmodel.Table
+	table   *shadow.Table
+	reports []Report
+	perAddr map[mem.Addr]int
+	stats   Stats
+}
+
+// New builds a detector for a program with numThreads threads and the given
+// sync-object counts.
+func New(numThreads, mutexes, semaphores int, opt Options) *Detector {
+	d := &Detector{
+		opt:     opt,
+		threads: make([]*vclock.VC, numThreads),
+		regions: make([]string, numThreads),
+		sync:    syncmodel.NewTable(mutexes, semaphores),
+		table:   shadow.NewTable(),
+		perAddr: make(map[mem.Addr]int),
+	}
+	for i := range d.threads {
+		c := vclock.New(numThreads)
+		// Each thread starts at local time 1 so epochs are never zero and
+		// thread starts are mutually concurrent (all pre-start work is the
+		// root's, which our programs do not model).
+		c.Set(vclock.TID(i), 1)
+		d.threads[i] = c
+	}
+	return d
+}
+
+// ForProgram builds a detector sized for p.
+func ForProgram(p *program.Program, opt Options) *Detector {
+	return New(p.NumThreads(), p.Mutexes, p.Semaphores, opt)
+}
+
+// Reports returns the detected races in detection order.
+func (d *Detector) Reports() []Report { return d.reports }
+
+// Stats returns a snapshot of the work counters.
+func (d *Detector) Stats() Stats { return d.stats }
+
+// ClockOf exposes thread t's clock for tests and the trace annotator.
+func (d *Detector) ClockOf(t vclock.TID) *vclock.VC { return d.threads[t] }
+
+// SetRegion records thread t's current program region; subsequent accesses
+// by t are attributed to it in reports.
+func (d *Detector) SetRegion(t vclock.TID, name string) { d.regions[t] = name }
+
+func (d *Detector) epoch(t vclock.TID) vclock.Epoch {
+	return vclock.MakeEpoch(t, d.threads[t].Get(t))
+}
+
+func (d *Detector) report(r Report) {
+	d.stats.Races++
+	limit := d.opt.MaxReportsPerAddr
+	if limit == 0 {
+		limit = 1
+	}
+	if limit > 0 && d.perAddr[r.Addr] >= limit {
+		d.stats.Suppressed++
+		return
+	}
+	d.perAddr[r.Addr]++
+	d.reports = append(d.reports, r)
+}
+
+// OnRead analyzes a read of addr by thread t.
+func (d *Detector) OnRead(t vclock.TID, addr mem.Addr) {
+	d.stats.Reads++
+	addr = mem.WordOf(addr)
+	s := d.table.GetOrCreate(addr)
+	ct := d.threads[t]
+	if d.opt.FullVC {
+		d.fullVCRead(t, addr, s, ct)
+		return
+	}
+	e := d.epoch(t)
+	if s.R == e {
+		d.stats.SameEpochHits++
+		return
+	}
+	// Write-read race: the last write must happen-before this read.
+	if !s.W.LEQ(ct) {
+		d.report(Report{Addr: addr, Kind: WriteRead, Cur: t,
+			Prev: s.W.TIDOf(), PrevTime: s.W.TimeOf(),
+			CurRegion: d.regions[t], PrevRegion: s.WRegion})
+	}
+	if s.R == vclock.ReadShared {
+		s.RVC.Set(t, e.TimeOf())
+		s.RRegion = d.regions[t]
+		return
+	}
+	if s.R == vclock.None || s.R.LEQ(ct) {
+		// Exclusive read: the previous read happens-before us, so the
+		// epoch alone still summarizes the read history.
+		s.R = e
+		s.RRegion = d.regions[t]
+		return
+	}
+	// Concurrent reader: inflate to a read vector clock.
+	d.stats.ReadInflations++
+	s.InflateRead()
+	s.RVC.Set(t, e.TimeOf())
+	s.RRegion = d.regions[t]
+}
+
+// OnWrite analyzes a write of addr by thread t.
+func (d *Detector) OnWrite(t vclock.TID, addr mem.Addr) {
+	d.stats.Writes++
+	addr = mem.WordOf(addr)
+	s := d.table.GetOrCreate(addr)
+	ct := d.threads[t]
+	if d.opt.FullVC {
+		d.fullVCWrite(t, addr, s, ct)
+		return
+	}
+	e := d.epoch(t)
+	if s.W == e {
+		d.stats.SameEpochHits++
+		return
+	}
+	// Write-write race.
+	if !s.W.LEQ(ct) {
+		d.report(Report{Addr: addr, Kind: WriteWrite, Cur: t,
+			Prev: s.W.TIDOf(), PrevTime: s.W.TimeOf(),
+			CurRegion: d.regions[t], PrevRegion: s.WRegion})
+	}
+	// Read-write race.
+	switch {
+	case s.R == vclock.ReadShared:
+		if !s.RVC.LEQ(ct) {
+			prev, ptime := firstConcurrent(s.RVC, ct)
+			d.report(Report{Addr: addr, Kind: ReadWrite, Cur: t,
+				Prev: prev, PrevTime: ptime,
+				CurRegion: d.regions[t], PrevRegion: s.RRegion})
+		}
+		// The write overwrites the read history (FastTrack SharedWrite).
+		s.R = vclock.None
+		s.RVC = nil
+		s.RRegion = ""
+	case s.R != vclock.None && !s.R.LEQ(ct):
+		d.report(Report{Addr: addr, Kind: ReadWrite, Cur: t,
+			Prev: s.R.TIDOf(), PrevTime: s.R.TimeOf(),
+			CurRegion: d.regions[t], PrevRegion: s.RRegion})
+	}
+	s.W = e
+	s.WRegion = d.regions[t]
+}
+
+// firstConcurrent returns the lowest-TID component of rvc not ≤ ct.
+func firstConcurrent(rvc, ct *vclock.VC) (vclock.TID, vclock.Time) {
+	for i := 0; i < rvc.Len(); i++ {
+		t := vclock.TID(i)
+		if rvc.Get(t) > ct.Get(t) {
+			return t, rvc.Get(t)
+		}
+	}
+	return -1, 0
+}
+
+// fullVCRead is the DJIT+-style read rule: full per-thread write history.
+func (d *Detector) fullVCRead(t vclock.TID, addr mem.Addr, s *shadow.State, ct *vclock.VC) {
+	if s.WVC == nil {
+		s.WVC = vclock.New(0)
+	}
+	if !s.WVC.LEQ(ct) {
+		prev, ptime := firstConcurrent(s.WVC, ct)
+		d.report(Report{Addr: addr, Kind: WriteRead, Cur: t, Prev: prev, PrevTime: ptime,
+			CurRegion: d.regions[t], PrevRegion: s.WRegion})
+	}
+	if s.RVC == nil {
+		s.RVC = vclock.New(0)
+	}
+	s.R = vclock.ReadShared
+	s.RVC.Set(t, ct.Get(t))
+	s.RRegion = d.regions[t]
+}
+
+// fullVCWrite is the DJIT+-style write rule.
+func (d *Detector) fullVCWrite(t vclock.TID, addr mem.Addr, s *shadow.State, ct *vclock.VC) {
+	if s.WVC == nil {
+		s.WVC = vclock.New(0)
+	}
+	if !s.WVC.LEQ(ct) {
+		prev, ptime := firstConcurrent(s.WVC, ct)
+		d.report(Report{Addr: addr, Kind: WriteWrite, Cur: t, Prev: prev, PrevTime: ptime,
+			CurRegion: d.regions[t], PrevRegion: s.WRegion})
+	}
+	if s.RVC != nil && !s.RVC.LEQ(ct) {
+		prev, ptime := firstConcurrent(s.RVC, ct)
+		d.report(Report{Addr: addr, Kind: ReadWrite, Cur: t, Prev: prev, PrevTime: ptime,
+			CurRegion: d.regions[t], PrevRegion: s.RRegion})
+	}
+	s.WVC.Set(t, ct.Get(t))
+	s.WRegion = d.regions[t]
+}
+
+// OnLock records t acquiring mutex id: t's clock absorbs the lock's release
+// clock.
+func (d *Detector) OnLock(t vclock.TID, id program.SyncID) {
+	d.stats.SyncOps++
+	d.threads[t].Join(d.sync.Mutex(id))
+}
+
+// OnUnlock records t releasing mutex id: the lock's release clock becomes
+// t's clock and t advances its epoch.
+func (d *Detector) OnUnlock(t vclock.TID, id program.SyncID) {
+	d.stats.SyncOps++
+	d.sync.Mutex(id).Assign(d.threads[t])
+	d.threads[t].Tick(t)
+}
+
+// OnSignal records a semaphore post: release semantics.
+func (d *Detector) OnSignal(t vclock.TID, id program.SyncID) {
+	d.stats.SyncOps++
+	d.sync.Sem(id).Join(d.threads[t])
+	d.threads[t].Tick(t)
+}
+
+// OnWait records a semaphore wait completing: acquire semantics.
+func (d *Detector) OnWait(t vclock.TID, id program.SyncID) {
+	d.stats.SyncOps++
+	d.threads[t].Join(d.sync.Sem(id))
+}
+
+// OnAtomicStore records a release store to an atomic variable.
+func (d *Detector) OnAtomicStore(t vclock.TID, addr mem.Addr) {
+	d.stats.SyncOps++
+	d.sync.Atomic(addr).Join(d.threads[t])
+	d.threads[t].Tick(t)
+}
+
+// OnAtomicLoad records an acquire load from an atomic variable.
+func (d *Detector) OnAtomicLoad(t vclock.TID, addr mem.Addr) {
+	d.stats.SyncOps++
+	d.threads[t].Join(d.sync.Atomic(addr))
+}
+
+// OnBarrierRelease records a barrier releasing: every participant's clock
+// becomes the join of all participants, then each advances its epoch.
+func (d *Detector) OnBarrierRelease(parties []vclock.TID) {
+	d.stats.SyncOps++
+	joined := vclock.New(len(d.threads))
+	for _, p := range parties {
+		joined.Join(d.threads[p])
+	}
+	for _, p := range parties {
+		d.threads[p].Assign(joined)
+		d.threads[p].Tick(p)
+	}
+}

@@ -1,0 +1,422 @@
+package detector
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"demandrace/internal/mem"
+	"demandrace/internal/vclock"
+)
+
+const (
+	x = mem.Addr(0x100)
+	y = mem.Addr(0x200)
+)
+
+func newD(threads int) *Detector { return New(threads, 4, 4, Options{}) }
+
+func TestWriteWriteRace(t *testing.T) {
+	d := newD(2)
+	d.OnWrite(0, x)
+	d.OnWrite(1, x)
+	rs := d.Reports()
+	if len(rs) != 1 {
+		t.Fatalf("reports = %v", rs)
+	}
+	r := rs[0]
+	if r.Kind != WriteWrite || r.Addr != x || r.Cur != 1 || r.Prev != 0 {
+		t.Errorf("report = %+v", r)
+	}
+}
+
+func TestWriteReadRace(t *testing.T) {
+	d := newD(2)
+	d.OnWrite(0, x)
+	d.OnRead(1, x)
+	rs := d.Reports()
+	if len(rs) != 1 || rs[0].Kind != WriteRead {
+		t.Fatalf("reports = %v", rs)
+	}
+}
+
+func TestReadWriteRace(t *testing.T) {
+	d := newD(2)
+	d.OnRead(0, x)
+	d.OnWrite(1, x)
+	rs := d.Reports()
+	if len(rs) != 1 || rs[0].Kind != ReadWrite {
+		t.Fatalf("reports = %v", rs)
+	}
+}
+
+func TestReadReadNoRace(t *testing.T) {
+	d := newD(2)
+	d.OnRead(0, x)
+	d.OnRead(1, x)
+	if len(d.Reports()) != 0 {
+		t.Errorf("read-read reported: %v", d.Reports())
+	}
+}
+
+func TestSameThreadNoRace(t *testing.T) {
+	d := newD(2)
+	d.OnWrite(0, x)
+	d.OnRead(0, x)
+	d.OnWrite(0, x)
+	if len(d.Reports()) != 0 {
+		t.Errorf("same-thread accesses reported: %v", d.Reports())
+	}
+}
+
+func TestLockProtectsAccesses(t *testing.T) {
+	d := newD(2)
+	d.OnLock(0, 0)
+	d.OnWrite(0, x)
+	d.OnUnlock(0, 0)
+	d.OnLock(1, 0)
+	d.OnWrite(1, x)
+	d.OnRead(1, x)
+	d.OnUnlock(1, 0)
+	if len(d.Reports()) != 0 {
+		t.Errorf("lock-ordered accesses reported: %v", d.Reports())
+	}
+}
+
+func TestDifferentLocksDoNotOrder(t *testing.T) {
+	d := newD(2)
+	d.OnLock(0, 0)
+	d.OnWrite(0, x)
+	d.OnUnlock(0, 0)
+	d.OnLock(1, 1)
+	d.OnWrite(1, x)
+	d.OnUnlock(1, 1)
+	if len(d.Reports()) != 1 {
+		t.Errorf("differently-locked writes: %v", d.Reports())
+	}
+}
+
+func TestSemaphoreOrders(t *testing.T) {
+	d := newD(2)
+	d.OnWrite(0, x)
+	d.OnSignal(0, 0)
+	d.OnWait(1, 0)
+	d.OnRead(1, x)
+	if len(d.Reports()) != 0 {
+		t.Errorf("signal/wait-ordered accesses reported: %v", d.Reports())
+	}
+}
+
+func TestAtomicOrders(t *testing.T) {
+	flag := mem.Addr(0x300)
+	d := newD(2)
+	d.OnWrite(0, x)
+	d.OnAtomicStore(0, flag)
+	d.OnAtomicLoad(1, flag)
+	d.OnRead(1, x)
+	if len(d.Reports()) != 0 {
+		t.Errorf("atomic-ordered accesses reported: %v", d.Reports())
+	}
+}
+
+func TestBarrierOrders(t *testing.T) {
+	d := newD(3)
+	d.OnWrite(0, x)
+	d.OnWrite(1, y)
+	d.OnBarrierRelease([]vclock.TID{0, 1, 2})
+	d.OnRead(2, x)
+	d.OnRead(2, y)
+	if len(d.Reports()) != 0 {
+		t.Errorf("barrier-ordered accesses reported: %v", d.Reports())
+	}
+}
+
+func TestBarrierOrdersBothDirections(t *testing.T) {
+	// Accesses after the barrier by different threads still race with each
+	// other.
+	d := newD(2)
+	d.OnBarrierRelease([]vclock.TID{0, 1})
+	d.OnWrite(0, x)
+	d.OnWrite(1, x)
+	if len(d.Reports()) != 1 {
+		t.Errorf("post-barrier writes should race: %v", d.Reports())
+	}
+}
+
+func TestUnlockWithoutHBDoesNotOrder(t *testing.T) {
+	// Thread 1 takes the lock *before* thread 0's release is seen: HB comes
+	// only through the lock's release clock, so acquiring first gives no
+	// edge. Sequence: t1 lock/unlock m, then t0 writes, then t1 writes —
+	// the write pair is unordered.
+	d := newD(2)
+	d.OnLock(1, 0)
+	d.OnUnlock(1, 0)
+	d.OnWrite(0, x)
+	d.OnWrite(1, x)
+	if len(d.Reports()) != 1 {
+		t.Errorf("reports = %v", d.Reports())
+	}
+}
+
+func TestReadSharedInflationAndWrite(t *testing.T) {
+	d := newD(3)
+	d.OnRead(0, x)
+	d.OnRead(1, x) // concurrent with read 0 → inflate
+	if d.Stats().ReadInflations != 1 {
+		t.Errorf("inflations = %d, want 1", d.Stats().ReadInflations)
+	}
+	d.OnWrite(2, x)
+	rs := d.Reports()
+	if len(rs) != 1 || rs[0].Kind != ReadWrite {
+		t.Fatalf("reports = %v", rs)
+	}
+	// The representative previous reader must be one of the actual readers.
+	if rs[0].Prev != 0 && rs[0].Prev != 1 {
+		t.Errorf("prev reader = %d", rs[0].Prev)
+	}
+}
+
+func TestSharedReadThenOrderedWriteNoRace(t *testing.T) {
+	// Both reads happen-before the write via a semaphore each.
+	d := newD(3)
+	d.OnRead(0, x)
+	d.OnSignal(0, 0)
+	d.OnRead(1, x)
+	d.OnSignal(1, 1)
+	d.OnWait(2, 0)
+	d.OnWait(2, 1)
+	d.OnWrite(2, x)
+	if len(d.Reports()) != 0 {
+		t.Errorf("ordered shared-read→write reported: %v", d.Reports())
+	}
+}
+
+func TestSameEpochFastPath(t *testing.T) {
+	d := newD(1)
+	d.OnRead(0, x)
+	d.OnRead(0, x)
+	d.OnRead(0, x)
+	d.OnWrite(0, x)
+	d.OnWrite(0, x)
+	st := d.Stats()
+	if st.SameEpochHits != 3 {
+		t.Errorf("same-epoch hits = %d, want 3", st.SameEpochHits)
+	}
+}
+
+func TestReportDedupPerAddress(t *testing.T) {
+	d := newD(3)
+	d.OnWrite(0, x)
+	d.OnWrite(1, x)
+	d.OnWrite(2, x)
+	if len(d.Reports()) != 1 {
+		t.Errorf("default cap should keep first report only: %v", d.Reports())
+	}
+	st := d.Stats()
+	if st.Races != 2 || st.Suppressed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReportUnlimited(t *testing.T) {
+	d := New(3, 0, 0, Options{MaxReportsPerAddr: -1})
+	d.OnWrite(0, x)
+	d.OnWrite(1, x)
+	d.OnWrite(2, x)
+	if len(d.Reports()) != 2 {
+		t.Errorf("unlimited reports = %v", d.Reports())
+	}
+}
+
+func TestDistinctWordsIndependent(t *testing.T) {
+	d := newD(2)
+	d.OnWrite(0, x)
+	d.OnWrite(1, x+mem.WordSize)
+	if len(d.Reports()) != 0 {
+		t.Errorf("adjacent words reported: %v", d.Reports())
+	}
+}
+
+func TestSubWordAccessesCollapse(t *testing.T) {
+	// Bytes within one word are the same variable to the detector.
+	d := newD(2)
+	d.OnWrite(0, x)
+	d.OnWrite(1, x+3)
+	if len(d.Reports()) != 1 {
+		t.Errorf("sub-word accesses should collide: %v", d.Reports())
+	}
+}
+
+func TestLockFullCycleNoFalsePositiveAfterRace(t *testing.T) {
+	// After a genuine race the detector must keep functioning for other
+	// variables.
+	d := newD(2)
+	d.OnWrite(0, x)
+	d.OnWrite(1, x) // race
+	d.OnLock(0, 0)
+	d.OnWrite(0, y)
+	d.OnUnlock(0, 0)
+	d.OnLock(1, 0)
+	d.OnRead(1, y)
+	d.OnUnlock(1, 0)
+	for _, r := range d.Reports() {
+		if r.Addr == y {
+			t.Errorf("false positive on y: %v", r)
+		}
+	}
+}
+
+// randomEvent drives both representations through an identical random event
+// stream and compares the racy-address sets; FastTrack's claim is detection
+// equivalence on the first race per variable.
+func TestFastTrackMatchesFullVC(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		ft := New(4, 2, 2, Options{})
+		fv := New(4, 2, 2, Options{FullVC: true})
+		// Track which mutexes each thread holds so the stream is
+		// lock-well-formed.
+		held := make([]map[int]bool, 4)
+		for i := range held {
+			held[i] = map[int]bool{}
+		}
+		addrs := []mem.Addr{0x100, 0x108, 0x110}
+		for step := 0; step < 400; step++ {
+			tid := vclock.TID(r.Intn(4))
+			switch r.Intn(10) {
+			case 0, 1, 2, 3:
+				a := addrs[r.Intn(len(addrs))]
+				ft.OnRead(tid, a)
+				fv.OnRead(tid, a)
+			case 4, 5, 6:
+				a := addrs[r.Intn(len(addrs))]
+				ft.OnWrite(tid, a)
+				fv.OnWrite(tid, a)
+			case 7:
+				m := r.Intn(2)
+				if !held[tid][m] {
+					ft.OnLock(tid, 0)
+					fv.OnLock(tid, 0)
+					held[tid][m] = true
+				}
+			case 8:
+				m := r.Intn(2)
+				if held[tid][m] {
+					ft.OnUnlock(tid, 0)
+					fv.OnUnlock(tid, 0)
+					held[tid][m] = false
+				}
+			case 9:
+				if r.Intn(2) == 0 {
+					ft.OnSignal(tid, 0)
+					fv.OnSignal(tid, 0)
+				} else {
+					ft.OnWait(tid, 0)
+					fv.OnWait(tid, 0)
+				}
+			}
+		}
+		ftAddrs := racyAddrs(ft)
+		fvAddrs := racyAddrs(fv)
+		if len(ftAddrs) != len(fvAddrs) {
+			t.Fatalf("seed %d: fasttrack racy=%v fullvc racy=%v", seed, ftAddrs, fvAddrs)
+		}
+		for a := range ftAddrs {
+			if !fvAddrs[a] {
+				t.Fatalf("seed %d: address %v racy under FastTrack only", seed, a)
+			}
+		}
+	}
+}
+
+func racyAddrs(d *Detector) map[mem.Addr]bool {
+	m := map[mem.Addr]bool{}
+	for _, r := range d.Reports() {
+		m[r.Addr] = true
+	}
+	return m
+}
+
+// TestNoRaceOnDRFRandomLockDiscipline generates programs where every access
+// to a shared variable is protected by one global lock; no interleaving may
+// produce a report.
+func TestNoRaceOnDRFRandomLockDiscipline(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		d := New(4, 1, 0, Options{})
+		// Serialize random critical sections.
+		for cs := 0; cs < 60; cs++ {
+			tid := vclock.TID(r.Intn(4))
+			d.OnLock(tid, 0)
+			for i := 0; i < r.Intn(4)+1; i++ {
+				a := mem.Addr(0x100 + 8*r.Intn(3))
+				if r.Intn(2) == 0 {
+					d.OnRead(tid, mem.Addr(a))
+				} else {
+					d.OnWrite(tid, mem.Addr(a))
+				}
+			}
+			d.OnUnlock(tid, 0)
+		}
+		if len(d.Reports()) != 0 {
+			t.Fatalf("seed %d: DRF program reported %v", seed, d.Reports())
+		}
+	}
+}
+
+func TestRaceKindString(t *testing.T) {
+	if WriteWrite.String() != "write-write" || ReadWrite.String() != "read-write" || WriteRead.String() != "write-read" {
+		t.Error("RaceKind strings wrong")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Addr: x, Kind: WriteWrite, Cur: 1, Prev: 0, PrevTime: 3}
+	if got := r.String(); got != "race write-write on 0x100: t1 vs t0@3" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRegionsInReports(t *testing.T) {
+	d := newD(2)
+	d.SetRegion(0, "writer-phase")
+	d.OnWrite(0, x)
+	d.SetRegion(1, "reader-phase")
+	d.OnRead(1, x)
+	rs := d.Reports()
+	if len(rs) != 1 {
+		t.Fatalf("reports = %v", rs)
+	}
+	if rs[0].CurRegion != "reader-phase" || rs[0].PrevRegion != "writer-phase" {
+		t.Errorf("regions = %q vs %q", rs[0].CurRegion, rs[0].PrevRegion)
+	}
+	want := "race write-read on 0x100: t1 vs t0@1 [reader-phase vs writer-phase]"
+	if rs[0].String() != want {
+		t.Errorf("String = %q", rs[0].String())
+	}
+}
+
+func TestRegionsInFullVCReports(t *testing.T) {
+	d := New(2, 0, 0, Options{FullVC: true})
+	d.SetRegion(0, "a")
+	d.OnWrite(0, x)
+	d.SetRegion(1, "b")
+	d.OnWrite(1, x)
+	rs := d.Reports()
+	if len(rs) != 1 || rs[0].CurRegion != "b" || rs[0].PrevRegion != "a" {
+		t.Errorf("reports = %v", rs)
+	}
+}
+
+func TestUnannotatedReportsOmitRegions(t *testing.T) {
+	d := newD(2)
+	d.OnWrite(0, x)
+	d.OnWrite(1, x)
+	rs := d.Reports()
+	if len(rs) != 1 || rs[0].CurRegion != "" || rs[0].PrevRegion != "" {
+		t.Fatalf("reports = %v", rs)
+	}
+	if strings.Contains(rs[0].String(), "[") {
+		t.Errorf("unannotated report shows regions: %q", rs[0].String())
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"demandrace/internal/demand"
+	"demandrace/internal/program"
+	"demandrace/internal/runner"
+	"demandrace/internal/stats"
+)
+
+// Tab1 — benchmark characteristics: the static and dynamic profile of
+// every evaluation kernel, the table a paper presents before any results
+// so readers can sanity-check the workload population.
+type Tab1Row struct {
+	Kernel  string
+	Suite   string
+	Threads int
+	// Static shape.
+	TotalOps int
+	MemOps   int
+	Mutexes  int
+	Barriers int
+	Sems     int
+	// Dynamic profile (Off policy).
+	SyncOpsExecuted uint64
+	SharingPct      float64
+}
+
+// Tab1Result is the characterization table.
+type Tab1Result struct {
+	Rows []Tab1Row
+}
+
+// Tab1 profiles every evaluation kernel.
+func Tab1(o Options) (*Tab1Result, error) {
+	o = o.normalized()
+	res := &Tab1Result{}
+	for _, k := range suiteKernels() {
+		p := k.Build(o.kernelConfig())
+		r, err := runner.Run(p, runner.DefaultConfig().WithPolicy(demand.Off))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: tab1 %s: %w", k.Name, err)
+		}
+		res.Rows = append(res.Rows, Tab1Row{
+			Kernel:          k.Name,
+			Suite:           k.Suite,
+			Threads:         p.NumThreads(),
+			TotalOps:        p.TotalOps(),
+			MemOps:          p.MemOps(),
+			Mutexes:         p.Mutexes,
+			Barriers:        p.Barriers,
+			Sems:            p.Semaphores,
+			SyncOpsExecuted: countSync(p),
+			SharingPct:      100 * r.SharingFraction(),
+		})
+	}
+	return res, nil
+}
+
+func countSync(p *program.Program) uint64 {
+	var n uint64
+	for _, th := range p.Threads {
+		for _, op := range th.Ops {
+			if op.Kind.IsSync() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Table renders the result.
+func (r *Tab1Result) Table() *stats.Table {
+	tb := stats.NewTable("Tab.1 — benchmark characteristics",
+		"kernel", "suite", "threads", "ops", "mem ops", "sync ops", "mutexes", "barriers", "sems", "sharing %")
+	for _, row := range r.Rows {
+		tb.AddRow(row.Kernel, row.Suite,
+			fmt.Sprintf("%d", row.Threads),
+			fmt.Sprintf("%d", row.TotalOps),
+			fmt.Sprintf("%d", row.MemOps),
+			fmt.Sprintf("%d", row.SyncOpsExecuted),
+			fmt.Sprintf("%d", row.Mutexes),
+			fmt.Sprintf("%d", row.Barriers),
+			fmt.Sprintf("%d", row.Sems),
+			fmt.Sprintf("%.3f", row.SharingPct))
+	}
+	return tb
+}

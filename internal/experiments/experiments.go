@@ -1,0 +1,276 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (as reconstructed in DESIGN.md). Each experiment is a function
+// returning a structured result with a Table() renderer; cmd/experiments
+// prints them and bench_test.go wraps each in a testing.B benchmark.
+//
+// Experiment index (see DESIGN.md for the full mapping):
+//
+//	Fig1  – motivation: slowdown of continuous happens-before analysis
+//	Fig2  – fraction of memory accesses that are cache-visible sharing
+//	Fig3  – HITM-indicator fidelity microbenchmarks
+//	Fig4  – headline: demand-driven speedup over continuous analysis
+//	Tab3  – detection accuracy: injected races found, demand vs continuous
+//	Fig5  – speedup scaling with thread count
+//	Fig6  – trigger-policy and scope ablation
+//	Tab4  – PMU parameter sensitivity (sample-after value, skid)
+package experiments
+
+import (
+	"fmt"
+
+	"demandrace/internal/demand"
+	"demandrace/internal/program"
+	"demandrace/internal/runner"
+	"demandrace/internal/stats"
+	"demandrace/internal/workloads"
+)
+
+// Options sizes all experiments.
+type Options struct {
+	// Threads is the worker count for kernels (default 4).
+	Threads int
+	// Scale is the workload scale factor (default 1).
+	Scale int
+}
+
+func (o Options) normalized() Options {
+	if o.Threads <= 0 {
+		o.Threads = 4
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	return o
+}
+
+func (o Options) kernelConfig() workloads.Config {
+	return workloads.Config{Threads: o.Threads, Scale: o.Scale}
+}
+
+// suiteKernels returns the evaluation kernels (phoenix + parsec suites).
+func suiteKernels() []workloads.Kernel {
+	return append(workloads.Suite("phoenix"), workloads.Suite("parsec")...)
+}
+
+func runKernel(k workloads.Kernel, o Options, pol demand.PolicyKind) (*runner.Report, error) {
+	p := k.Build(o.kernelConfig())
+	r, err := runner.Run(p, runner.DefaultConfig().WithPolicy(pol))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s under %v: %w", k.Name, pol, err)
+	}
+	return r, nil
+}
+
+// geoBySuite computes per-suite geometric means from parallel slices.
+func geoBySuite(kernels []workloads.Kernel, vals []float64) map[string]float64 {
+	bySuite := map[string][]float64{}
+	for i, k := range kernels {
+		bySuite[k.Suite] = append(bySuite[k.Suite], vals[i])
+	}
+	out := map[string]float64{}
+	for s, xs := range bySuite {
+		out[s] = stats.Geomean(xs)
+	}
+	return out
+}
+
+// Fig1 — motivation: per-kernel slowdown of continuous analysis relative to
+// native execution. The paper's figure 1 equivalent: tens to hundreds of ×.
+type Fig1Result struct {
+	Kernels   []workloads.Kernel
+	Slowdowns []float64
+	// Geomean maps suite → geometric-mean slowdown.
+	Geomean map[string]float64
+}
+
+// Fig1 runs every evaluation kernel under continuous analysis.
+func Fig1(o Options) (*Fig1Result, error) {
+	o = o.normalized()
+	ks := suiteKernels()
+	res := &Fig1Result{Kernels: ks}
+	for _, k := range ks {
+		r, err := runKernel(k, o, demand.Continuous)
+		if err != nil {
+			return nil, err
+		}
+		res.Slowdowns = append(res.Slowdowns, r.Slowdown)
+	}
+	res.Geomean = geoBySuite(ks, res.Slowdowns)
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig1Result) Table() *stats.Table {
+	tb := stats.NewTable("Fig.1 — slowdown of continuous happens-before analysis",
+		"kernel", "suite", "slowdown (×)")
+	for i, k := range r.Kernels {
+		tb.AddRowf(k.Name, k.Suite, r.Slowdowns[i])
+	}
+	tb.AddRowf("GEOMEAN phoenix", "phoenix", r.Geomean["phoenix"])
+	tb.AddRowf("GEOMEAN parsec", "parsec", r.Geomean["parsec"])
+	return tb
+}
+
+// Fig2 — how rare is sharing: fraction of data accesses served by a remote
+// Modified line (HITM) and by any peer cache, per kernel.
+type Fig2Result struct {
+	Kernels  []workloads.Kernel
+	HITMFrac []float64
+	PeerFrac []float64
+	MemOps   []uint64
+}
+
+// Fig2 profiles sharing with the tool disabled (native execution).
+func Fig2(o Options) (*Fig2Result, error) {
+	o = o.normalized()
+	ks := suiteKernels()
+	res := &Fig2Result{Kernels: ks}
+	for _, k := range ks {
+		r, err := runKernel(k, o, demand.Off)
+		if err != nil {
+			return nil, err
+		}
+		res.HITMFrac = append(res.HITMFrac, r.SharingFraction())
+		peer := 0.0
+		if r.MemOps > 0 {
+			peer = float64(r.SharedPeer) / float64(r.MemOps)
+		}
+		res.PeerFrac = append(res.PeerFrac, peer)
+		res.MemOps = append(res.MemOps, r.MemOps)
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig2Result) Table() *stats.Table {
+	tb := stats.NewTable("Fig.2 — fraction of memory accesses participating in sharing",
+		"kernel", "suite", "mem ops", "HITM %", "any-peer %")
+	for i, k := range r.Kernels {
+		tb.AddRow(k.Name, k.Suite,
+			fmt.Sprintf("%d", r.MemOps[i]),
+			fmt.Sprintf("%.3f", 100*r.HITMFrac[i]),
+			fmt.Sprintf("%.3f", 100*r.PeerFrac[i]))
+	}
+	return tb
+}
+
+// Fig4 — the headline result: slowdown under the demand-driven policy vs
+// continuous analysis, and the speedup between them.
+type Fig4Result struct {
+	Kernels    []workloads.Kernel
+	Continuous []float64
+	Demand     []float64
+	Speedup    []float64
+	// GeomeanSpeedup maps suite → geometric-mean speedup.
+	GeomeanSpeedup map[string]float64
+	// Best is the kernel with the largest speedup (the paper's "51× for
+	// one particular program").
+	Best        string
+	BestSpeedup float64
+}
+
+// Fig4 runs every evaluation kernel under both policies.
+func Fig4(o Options) (*Fig4Result, error) {
+	o = o.normalized()
+	ks := suiteKernels()
+	res := &Fig4Result{Kernels: ks}
+	for _, k := range ks {
+		p := k.Build(o.kernelConfig())
+		reps, err := runner.RunPolicies(p, runner.DefaultConfig(),
+			demand.Continuous, demand.HITMDemand)
+		if err != nil {
+			return nil, err
+		}
+		cont, dem := reps[0].Slowdown, reps[1].Slowdown
+		sp := cont / dem
+		res.Continuous = append(res.Continuous, cont)
+		res.Demand = append(res.Demand, dem)
+		res.Speedup = append(res.Speedup, sp)
+		if sp > res.BestSpeedup {
+			res.BestSpeedup = sp
+			res.Best = k.Name
+		}
+	}
+	res.GeomeanSpeedup = geoBySuite(ks, res.Speedup)
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig4Result) Table() *stats.Table {
+	tb := stats.NewTable("Fig.4/Tab.2 — demand-driven analysis vs continuous analysis",
+		"kernel", "suite", "continuous (×)", "demand (×)", "speedup (×)")
+	for i, k := range r.Kernels {
+		tb.AddRowf(k.Name, k.Suite, r.Continuous[i], r.Demand[i], r.Speedup[i])
+	}
+	tb.AddRowf("GEOMEAN phoenix", "phoenix", "", "", r.GeomeanSpeedup["phoenix"])
+	tb.AddRowf("GEOMEAN parsec", "parsec", "", "", r.GeomeanSpeedup["parsec"])
+	tb.AddRowf("BEST ("+r.Best+")", "", "", "", r.BestSpeedup)
+	return tb
+}
+
+// Fig5 — speedup scaling with thread count on representative kernels.
+type Fig5Result struct {
+	Kernels      []string
+	ThreadCounts []int
+	// Speedup[k][t] is kernel k's demand-vs-continuous speedup at
+	// ThreadCounts[t].
+	Speedup [][]float64
+}
+
+// Fig5 sweeps thread counts on a low-sharing, a moderate, and a
+// high-sharing kernel.
+func Fig5(o Options) (*Fig5Result, error) {
+	o = o.normalized()
+	res := &Fig5Result{
+		Kernels:      []string{"swaptions", "histogram", "streamcluster", "canneal"},
+		ThreadCounts: []int{1, 2, 4, 8, 16},
+	}
+	for _, name := range res.Kernels {
+		k, ok := workloads.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: kernel %q missing", name)
+		}
+		var row []float64
+		for _, th := range res.ThreadCounts {
+			p := k.Build(workloads.Config{Threads: th, Scale: o.Scale})
+			cfg := runner.DefaultConfig()
+			// Give the machine enough contexts for the thread count.
+			if th > cfg.Cache.Cores {
+				cfg.Cache.Cores = th
+			}
+			reps, err := runner.RunPolicies(p, cfg, demand.Continuous, demand.HITMDemand)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, reps[0].Slowdown/reps[1].Slowdown)
+		}
+		res.Speedup = append(res.Speedup, row)
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Fig5Result) Table() *stats.Table {
+	headers := []string{"kernel"}
+	for _, t := range r.ThreadCounts {
+		headers = append(headers, fmt.Sprintf("%dT", t))
+	}
+	tb := stats.NewTable("Fig.5 — demand-driven speedup vs thread count", headers...)
+	for i, k := range r.Kernels {
+		cells := []string{k}
+		for _, s := range r.Speedup[i] {
+			cells = append(cells, fmt.Sprintf("%.2f", s))
+		}
+		tb.AddRow(cells...)
+	}
+	return tb
+}
+
+// buildProgram is a helper for experiments needing raw programs.
+func buildProgram(name string, o Options) (*program.Program, error) {
+	k, ok := workloads.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: kernel %q missing", name)
+	}
+	return k.Build(o.kernelConfig()), nil
+}

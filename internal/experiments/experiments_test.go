@@ -1,0 +1,433 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests assert the *shapes* the reproduction claims: who
+// wins, by roughly what factor, and where the indicator's blind spots show.
+
+func TestFig1SlowdownsInPaperBand(t *testing.T) {
+	r, err := Fig1(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Slowdowns) != 21 {
+		t.Fatalf("expected 21 kernels, got %d", len(r.Slowdowns))
+	}
+	for i, s := range r.Slowdowns {
+		if s < 5 || s > 300 {
+			t.Errorf("%s continuous slowdown %.1f outside [5,300]", r.Kernels[i].Name, s)
+		}
+	}
+	// The motivation: continuous analysis costs tens of × on both suites.
+	if r.Geomean["phoenix"] < 20 || r.Geomean["parsec"] < 20 {
+		t.Errorf("geomeans %.1f/%.1f too low to motivate the paper",
+			r.Geomean["phoenix"], r.Geomean["parsec"])
+	}
+}
+
+func TestFig2SharingIsRare(t *testing.T) {
+	r, err := Fig2(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rare := 0
+	for i := range r.Kernels {
+		if r.HITMFrac[i] < 0.02 {
+			rare++
+		}
+		if r.HITMFrac[i] > r.PeerFrac[i]+1e-12 {
+			t.Errorf("%s: HITM fraction exceeds any-peer fraction", r.Kernels[i].Name)
+		}
+	}
+	// Most kernels share on fewer than 2% of accesses — the paper's
+	// central observation.
+	if rare < 13 {
+		t.Errorf("only %d/21 kernels have <2%% sharing", rare)
+	}
+}
+
+func TestFig3IndicatorFidelity(t *testing.T) {
+	r, err := Fig3(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]Fig3Row{}
+	for _, row := range r.Rows {
+		rows[row.Case] = row
+	}
+	if rows["producer-consumer"].HITM < 90 {
+		t.Errorf("producer-consumer HITM = %d", rows["producer-consumer"].HITM)
+	}
+	if rows["read-only sharing"].HITM > 3 {
+		t.Errorf("read sharing HITM = %d", rows["read-only sharing"].HITM)
+	}
+	fs := rows["false sharing"]
+	if fs.HITM < 90 || fs.Races != 0 {
+		t.Errorf("false sharing: HITM=%d races=%d", fs.HITM, fs.Races)
+	}
+	if rows["eviction churn (small L1)"].HITM > 2 {
+		t.Errorf("eviction blind spot leaked %d HITMs", rows["eviction churn (small L1)"].HITM)
+	}
+	if rows["SMT-colocated pair"].HITM != 0 {
+		t.Errorf("SMT blind spot leaked %d HITMs", rows["SMT-colocated pair"].HITM)
+	}
+	if rows["private control"].HITM != 0 || rows["private control"].Races != 0 {
+		t.Error("private control misbehaved")
+	}
+	// The prefetcher must hide a substantial fraction of the sequential
+	// sharing without creating races.
+	noPf := rows["streaming, no prefetch"]
+	pf := rows["streaming, prefetcher on"]
+	if pf.HITM >= noPf.HITM*3/4 {
+		t.Errorf("prefetcher hid too little: %d → %d HITMs", noPf.HITM, pf.HITM)
+	}
+	if pf.Races != 0 || noPf.Races != 0 {
+		t.Error("streaming kernel misreported races")
+	}
+}
+
+func TestFig4HeadlineShape(t *testing.T) {
+	r, err := Fig4(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The abstract's three numbers, as shape: ≈10× on one suite, ≈3× on
+	// the other, ≈50× for the best single program.
+	if g := r.GeomeanSpeedup["phoenix"]; g < 6 || g > 20 {
+		t.Errorf("phoenix geomean speedup = %.2f, want ≈10", g)
+	}
+	if g := r.GeomeanSpeedup["parsec"]; g < 2 || g > 6 {
+		t.Errorf("parsec geomean speedup = %.2f, want ≈3", g)
+	}
+	if r.BestSpeedup < 35 || r.BestSpeedup > 80 {
+		t.Errorf("best speedup = %.2f, want ≈51", r.BestSpeedup)
+	}
+	if r.GeomeanSpeedup["phoenix"] <= r.GeomeanSpeedup["parsec"] {
+		t.Error("phoenix should gain more than parsec")
+	}
+	// No kernel should be pathologically slower under the demand policy.
+	for i, sp := range r.Speedup {
+		if sp < 0.85 {
+			t.Errorf("%s demand-driven speedup %.2f < 0.85", r.Kernels[i].Name, sp)
+		}
+	}
+}
+
+func TestTab3AccuracyShape(t *testing.T) {
+	r, err := Tab3(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var repeated, oneshot []Tab3Row
+	for _, row := range r.Rows {
+		if row.Repeats > 1 {
+			repeated = append(repeated, row)
+		} else {
+			oneshot = append(oneshot, row)
+		}
+	}
+	var contTotal, demTotal int
+	for _, row := range repeated {
+		// Individual kernels can dip (phased kernels hide some injections
+		// behind barriers), but never collapse.
+		if row.Recall() < 0.6 {
+			t.Errorf("%s repeated-race recall %.2f < 0.6", row.Kernel, row.Recall())
+		}
+		if row.DemandFound > row.ContFound {
+			t.Errorf("%s: demand found more than continuous", row.Kernel)
+		}
+		contTotal += row.ContFound
+		demTotal += row.DemandFound
+	}
+	// The paper's claim is aggregate: "without a large loss of detection
+	// accuracy" on repeated races.
+	if agg := float64(demTotal) / float64(contTotal); agg < 0.85 {
+		t.Errorf("aggregate repeated-race recall %.2f < 0.85", agg)
+	}
+	// One-shot recall must be visibly worse in aggregate: the documented
+	// blind spot.
+	var repSum, oneSum float64
+	for _, row := range repeated {
+		repSum += row.Recall()
+	}
+	for _, row := range oneshot {
+		oneSum += row.Recall()
+	}
+	if oneSum/float64(len(oneshot)) >= repSum/float64(len(repeated)) {
+		t.Errorf("one-shot recall (%.2f avg) should trail repeated (%.2f avg)",
+			oneSum/float64(len(oneshot)), repSum/float64(len(repeated)))
+	}
+}
+
+func TestFig5ScalingShape(t *testing.T) {
+	r, err := Fig5(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string][]float64{}
+	for i, k := range r.Kernels {
+		byName[k] = r.Speedup[i]
+	}
+	// Zero-sharing kernels hold their speedup at every thread count.
+	for _, s := range byName["swaptions"] {
+		if s < 20 {
+			t.Errorf("swaptions speedup dropped to %.2f", s)
+		}
+	}
+	// High-sharing kernels converge toward ≈1× as threads (and sharing)
+	// grow.
+	cn := byName["canneal"]
+	if cn[len(cn)-1] > 2 {
+		t.Errorf("canneal at 16T = %.2f, want ≈1", cn[len(cn)-1])
+	}
+}
+
+func TestFig6AblationShape(t *testing.T) {
+	r, err := Fig6(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(kernel, policy string) Fig6Row {
+		for _, row := range r.Rows {
+			if row.Kernel == kernel && row.Policy == policy {
+				return row
+			}
+		}
+		t.Fatalf("missing row %s/%s", kernel, policy)
+		return Fig6Row{}
+	}
+	for _, kernel := range []string{"histogram", "streamcluster", "racy_mostly_clean"} {
+		sync := get(kernel, "sync-only")
+		global := get(kernel, "hitm/global")
+		cont := get(kernel, "continuous")
+		if !(sync.Slowdown <= global.Slowdown*1.01) {
+			t.Errorf("%s: sync-only (%.2f) should lower-bound demand (%.2f)",
+				kernel, sync.Slowdown, global.Slowdown)
+		}
+		if cont.Analyzed != 1.0 {
+			t.Errorf("%s: continuous analyzed %.2f", kernel, cont.Analyzed)
+		}
+		if global.Analyzed >= 1.0 {
+			t.Errorf("%s: demand analyzed everything", kernel)
+		}
+	}
+	// The racy kernel: every demand mechanism still finds the bug.
+	for _, pol := range []string{"watch/global", "hitm/self", "hitm/pair", "hitm/global", "hybrid/global"} {
+		if get("racy_mostly_clean", pol).Races == 0 {
+			t.Errorf("racy_mostly_clean under %s found no race", pol)
+		}
+	}
+	if get("racy_mostly_clean", "sync-only").Races != 0 {
+		t.Error("sync-only cannot find data races")
+	}
+	// The watchpoint mechanism's win: on a kernel whose active shared set
+	// fits the register file, it finds the race at a fraction of the
+	// thread-granular policy's cost.
+	w := get("racy_mostly_clean", "watch/global")
+	h := get("racy_mostly_clean", "hitm/global")
+	if !(w.Slowdown < h.Slowdown && w.Analyzed < h.Analyzed) {
+		t.Errorf("watch (%.2f×, %.2f) should undercut hitm (%.2f×, %.2f) on a small shared set",
+			w.Slowdown, w.Analyzed, h.Slowdown, h.Analyzed)
+	}
+}
+
+func TestTab4SensitivityShape(t *testing.T) {
+	r, err := Tab4(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group rows by skid and check recall falls (weakly) as SAV grows.
+	bySkid := map[int][]Tab4Row{}
+	for _, row := range r.Rows {
+		bySkid[row.Skid] = append(bySkid[row.Skid], row)
+	}
+	for skid, rows := range bySkid {
+		if rows[0].SampleAfter != 1 {
+			t.Fatalf("rows not ordered by SAV")
+		}
+		first, last := rows[0], rows[len(rows)-1]
+		if first.Recall < 0.8 {
+			t.Errorf("skid %d: SAV=1 recall %.2f < 0.8", skid, first.Recall)
+		}
+		if last.Recall > first.Recall-0.2 {
+			t.Errorf("skid %d: recall did not degrade with SAV (%.2f → %.2f)",
+				skid, first.Recall, last.Recall)
+		}
+		if last.Interrupts > first.Interrupts {
+			t.Errorf("skid %d: interrupts grew with SAV", skid)
+		}
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	// Cheap experiments only; the point is that Table() produces non-empty
+	// output with the experiment's title.
+	f1, err := Fig1(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f1.Table().String(), "Fig.1") {
+		t.Error("Fig1 table missing title")
+	}
+	f2, err := Fig2(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Table().Rows() != 21 {
+		t.Errorf("Fig2 rows = %d", f2.Table().Rows())
+	}
+}
+
+func TestTab5SamplingFrontier(t *testing.T) {
+	r, err := Tab5(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]Tab5Row{}
+	for _, row := range r.Rows {
+		rows[row.Policy] = row
+	}
+	if rows["continuous"].Recall != 1.0 {
+		t.Errorf("continuous recall = %.2f", rows["continuous"].Recall)
+	}
+	// Sampling recall grows with rate but stays far below demand even at
+	// the highest rate tested.
+	if !(rows["sampling 1%"].Recall <= rows["sampling 10%"].Recall &&
+		rows["sampling 10%"].Recall <= rows["sampling 25%"].Recall) {
+		t.Error("sampling recall not monotone in rate")
+	}
+	dem := rows["hitm-demand"]
+	if dem.Recall < 0.7 {
+		t.Errorf("demand recall = %.2f, want ≥ 0.7", dem.Recall)
+	}
+	for _, rate := range []string{"sampling 1%", "sampling 5%", "sampling 10%", "sampling 25%"} {
+		if rows[rate].Recall >= dem.Recall {
+			t.Errorf("%s recall %.2f should trail demand %.2f",
+				rate, rows[rate].Recall, dem.Recall)
+		}
+	}
+	// The software alternative that does reach comparable recall — page
+	// protection — pays continuous-class cost for it.
+	pg := rows["page-demand"]
+	if pg.Recall < dem.Recall {
+		t.Errorf("page-demand recall %.2f should be ≥ demand %.2f", pg.Recall, dem.Recall)
+	}
+	if pg.Slowdown < dem.Slowdown {
+		t.Errorf("page-demand slowdown %.2f should exceed demand %.2f (fault+granularity cost)",
+			pg.Slowdown, dem.Slowdown)
+	}
+}
+
+func TestFig7CharacteristicCurve(t *testing.T) {
+	r, err := Fig7(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Sharing fraction rises monotonically along the sweep.
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].SharingFrac < r.Rows[i-1].SharingFrac {
+			t.Errorf("sharing fraction not monotone at row %d", i)
+		}
+	}
+	// Speedup decays (weakly) from near-full to ≈1×.
+	first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+	if first.ShareEvery != 0 || first.Speedup < 20 {
+		t.Errorf("zero-sharing speedup = %.2f", first.Speedup)
+	}
+	if last.Speedup > 1.2 {
+		t.Errorf("saturated-sharing speedup = %.2f, want ≈1", last.Speedup)
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Speedup > r.Rows[i-1].Speedup*1.05 {
+			t.Errorf("speedup not (weakly) decaying at row %d: %.2f → %.2f",
+				i, r.Rows[i-1].Speedup, r.Rows[i].Speedup)
+		}
+	}
+	// The demand policy never undercuts 0.95× of continuous.
+	for _, row := range r.Rows {
+		if row.Speedup < 0.95 {
+			t.Errorf("share=%d: demand slower than continuous (%.2f)", row.ShareEvery, row.Speedup)
+		}
+	}
+}
+
+func TestTab6ProtocolAblation(t *testing.T) {
+	r, err := Tab6(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKernel := map[string]map[string]Tab6Row{}
+	for _, row := range r.Rows {
+		if byKernel[row.Kernel] == nil {
+			byKernel[row.Kernel] = map[string]Tab6Row{}
+		}
+		byKernel[row.Kernel][row.Protocol] = row
+	}
+	for kernel, rows := range byKernel {
+		mesi, moesi := rows["MESI"], rows["MOESI"]
+		// The Owned state can only add dirty interventions, never remove.
+		if moesi.HITM < mesi.HITM {
+			t.Errorf("%s: MOESI HITMs %d < MESI %d", kernel, moesi.HITM, mesi.HITM)
+		}
+		// Detection results are protocol-independent for repeated races.
+		if moesi.Races != mesi.Races {
+			t.Errorf("%s: race counts differ across protocols: %d vs %d",
+				kernel, mesi.Races, moesi.Races)
+		}
+	}
+	// The multi-consumer kernel shows the strict increase.
+	rs := byKernel["micro_read_sharing"]
+	if rs["MOESI"].HITM <= rs["MESI"].HITM {
+		t.Errorf("multi-consumer kernel: MOESI %d should exceed MESI %d",
+			rs["MOESI"].HITM, rs["MESI"].HITM)
+	}
+}
+
+func TestScorecardMatchesAbstract(t *testing.T) {
+	r, err := Scorecard(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PhoenixGeomean < 6 || r.PhoenixGeomean > 20 {
+		t.Errorf("phoenix geomean = %.2f", r.PhoenixGeomean)
+	}
+	if r.ParsecGeomean < 2 || r.ParsecGeomean > 6 {
+		t.Errorf("parsec geomean = %.2f", r.ParsecGeomean)
+	}
+	if r.BestSpeedup < 35 || r.BestSpeedup > 80 {
+		t.Errorf("best speedup = %.2f", r.BestSpeedup)
+	}
+	if r.RepeatedRecall < 0.8 {
+		t.Errorf("repeated recall = %.2f", r.RepeatedRecall)
+	}
+	if r.ContinuousMin < 5 || r.ContinuousMax > 300 {
+		t.Errorf("continuous band = %.0f–%.0f", r.ContinuousMin, r.ContinuousMax)
+	}
+	if !strings.Contains(r.Table().String(), "Scorecard") {
+		t.Error("table missing title")
+	}
+}
+
+func TestTab1Characteristics(t *testing.T) {
+	r, err := Tab1(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 21 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.MemOps <= 0 || row.TotalOps < row.MemOps {
+			t.Errorf("%s: ops=%d mem=%d", row.Kernel, row.TotalOps, row.MemOps)
+		}
+		if row.Threads != 4 {
+			t.Errorf("%s: threads=%d", row.Kernel, row.Threads)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"demandrace/internal/demand"
+	"demandrace/internal/racefuzz"
+	"demandrace/internal/runner"
+	"demandrace/internal/stats"
+)
+
+// Tab5 — the software-only alternative: blind random sampling
+// (LiteRace/Pacer-style) vs. the hardware-triggered demand policy. This is
+// the comparison the paper's related-work positioning makes: sampling needs
+// no hardware, but catching a race requires sampling *both* accesses of a
+// pair, so at any overhead a program can afford, hardware-triggered
+// analysis finds more.
+type Tab5Row struct {
+	// Policy labels the row ("sampling 5%", "hitm-demand", "continuous").
+	Policy string
+	// Recall is injected-race recall against the continuous oracle.
+	Recall float64
+	// Slowdown is the mean slowdown across seeds.
+	Slowdown float64
+	// Analyzed is the mean fraction of data accesses analyzed.
+	Analyzed float64
+}
+
+// Tab5Result is the sampling-vs-demand frontier.
+type Tab5Result struct {
+	Rows  []Tab5Row
+	Seeds int
+}
+
+// Tab5 scores each policy on the same injected-race workloads.
+func Tab5(o Options) (*Tab5Result, error) {
+	o = o.normalized()
+	const seeds = 8
+	const perSeed = 3
+	host := "histogram"
+
+	type policy struct {
+		label string
+		cfg   demand.Config
+	}
+	policies := []policy{
+		{"sampling 1%", demand.Config{Kind: demand.Sampling, SampleRate: 0.01}},
+		{"sampling 5%", demand.Config{Kind: demand.Sampling, SampleRate: 0.05}},
+		{"sampling 10%", demand.Config{Kind: demand.Sampling, SampleRate: 0.10}},
+		{"sampling 25%", demand.Config{Kind: demand.Sampling, SampleRate: 0.25}},
+		{"page-demand", demand.Config{Kind: demand.PageDemand}},
+		{"hitm-demand", demand.DefaultConfig()},
+		{"continuous", demand.Config{Kind: demand.Continuous}},
+	}
+
+	res := &Tab5Result{Seeds: seeds}
+	for _, pol := range policies {
+		var contFound, found int
+		var slowSum, analyzedSum float64
+		for seed := 0; seed < seeds; seed++ {
+			p, err := buildProgram(host, o)
+			if err != nil {
+				return nil, err
+			}
+			injected, injs, err := racefuzz.Inject(p, racefuzz.Config{
+				Seed: int64(seed), Count: perSeed, Repeats: 4,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cfg := runner.DefaultConfig()
+			cfg.Demand = pol.cfg
+			cfg.Demand.Seed = int64(seed)
+			r, err := runner.Run(injected, cfg)
+			if err != nil {
+				return nil, err
+			}
+			oracle, err := runner.Run(injected, runner.DefaultConfig().WithPolicy(demand.Continuous))
+			if err != nil {
+				return nil, err
+			}
+			oracleAddrs := racyAddrSet(oracle)
+			gotAddrs := racyAddrSet(r)
+			for _, in := range injs {
+				if oracleAddrs[in.Addr] {
+					contFound++
+					if gotAddrs[in.Addr] {
+						found++
+					}
+				}
+			}
+			slowSum += r.Slowdown
+			analyzedSum += r.Demand.AnalyzedFraction()
+		}
+		row := Tab5Row{Policy: pol.label, Slowdown: slowSum / seeds, Analyzed: analyzedSum / seeds}
+		if contFound > 0 {
+			row.Recall = float64(found) / float64(contFound)
+		} else {
+			row.Recall = 1
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the result.
+func (r *Tab5Result) Table() *stats.Table {
+	tb := stats.NewTable(
+		fmt.Sprintf("Tab.5 — blind sampling vs hardware-triggered demand (%d seeds)", r.Seeds),
+		"policy", "recall", "mean slowdown (×)", "analyzed frac")
+	for _, row := range r.Rows {
+		tb.AddRow(row.Policy,
+			fmt.Sprintf("%.2f", row.Recall),
+			fmt.Sprintf("%.2f", row.Slowdown),
+			fmt.Sprintf("%.3f", row.Analyzed))
+	}
+	return tb
+}

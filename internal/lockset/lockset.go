@@ -1,0 +1,256 @@
+// Package lockset implements an Eraser-style lockset race detector
+// (Savage et al., SOSP 1997), the secondary analysis engine used by the
+// hybrid-policy ablation.
+//
+// Where the happens-before detector asks "were these two accesses ordered?",
+// the lockset detector asks "is there a lock that consistently protects this
+// variable?". It is cheaper (no vector clocks) and schedule-insensitive, but
+// reports false positives on programs ordered by fork/join, barriers, or
+// signal/wait rather than locks. The classic Eraser state machine limits
+// those: a variable starts Virgin, stays benign while Exclusive to one
+// thread, becomes Shared on a cross-thread read (reported only if its
+// candidate set empties on a write).
+package lockset
+
+import (
+	"fmt"
+
+	"demandrace/internal/mem"
+	"demandrace/internal/program"
+	"demandrace/internal/vclock"
+)
+
+// VarState is the Eraser per-variable state machine.
+type VarState uint8
+
+const (
+	// Virgin means never accessed.
+	Virgin VarState = iota
+	// Exclusive means accessed by exactly one thread so far.
+	Exclusive
+	// Shared means read by multiple threads (reads only since sharing).
+	Shared
+	// SharedModified means written after becoming shared; candidate-set
+	// violations here are reported.
+	SharedModified
+	// Reported means a violation was already reported for this variable.
+	Reported
+)
+
+func (s VarState) String() string {
+	switch s {
+	case Virgin:
+		return "virgin"
+	case Exclusive:
+		return "exclusive"
+	case Shared:
+		return "shared"
+	case SharedModified:
+		return "shared-modified"
+	case Reported:
+		return "reported"
+	}
+	return fmt.Sprintf("VarState(%d)", uint8(s))
+}
+
+// Set is an immutable small set of mutex IDs. Sets are kept sorted.
+type Set []program.SyncID
+
+// Intersect returns the intersection of two sorted sets.
+func (s Set) Intersect(o Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] == o[j]:
+			out = append(out, s[i])
+			i++
+			j++
+		case s[i] < o[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Contains reports membership.
+func (s Set) Contains(id program.SyncID) bool {
+	for _, m := range s {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// insert returns s with id added in order (no-op if present).
+func (s Set) insert(id program.SyncID) Set {
+	for i, m := range s {
+		if m == id {
+			return s
+		}
+		if m > id {
+			out := make(Set, 0, len(s)+1)
+			out = append(out, s[:i]...)
+			out = append(out, id)
+			return append(out, s[i:]...)
+		}
+	}
+	return append(append(Set{}, s...), id)
+}
+
+// remove returns s without id.
+func (s Set) remove(id program.SyncID) Set {
+	for i, m := range s {
+		if m == id {
+			out := make(Set, 0, len(s)-1)
+			out = append(out, s[:i]...)
+			return append(out, s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// Report is one lockset violation.
+type Report struct {
+	Addr mem.Addr
+	// Tid is the thread whose access emptied the candidate set.
+	Tid vclock.TID
+	// Write reports whether the violating access was a write.
+	Write bool
+}
+
+func (r Report) String() string {
+	k := "read"
+	if r.Write {
+		k = "write"
+	}
+	return fmt.Sprintf("lockset violation on %v: unprotected %s by t%d", r.Addr, k, r.Tid)
+}
+
+type varInfo struct {
+	state     VarState
+	owner     vclock.TID
+	candidate Set
+}
+
+// Stats counts detector work.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	SyncOps    uint64
+	Violations uint64
+}
+
+// Detector is the lockset engine. Not safe for concurrent use.
+type Detector struct {
+	held    []Set // per-thread currently held mutexes
+	vars    map[mem.Addr]*varInfo
+	reports []Report
+	stats   Stats
+}
+
+// New builds a detector for numThreads threads.
+func New(numThreads int) *Detector {
+	return &Detector{
+		held: make([]Set, numThreads),
+		vars: make(map[mem.Addr]*varInfo),
+	}
+}
+
+// Reports returns the violations found so far.
+func (d *Detector) Reports() []Report { return d.reports }
+
+// Stats returns the work counters.
+func (d *Detector) Stats() Stats { return d.stats }
+
+// Held returns the lockset thread t currently holds (for tests).
+func (d *Detector) Held(t vclock.TID) Set { return d.held[t] }
+
+// OnLock records t acquiring mutex id.
+func (d *Detector) OnLock(t vclock.TID, id program.SyncID) {
+	d.stats.SyncOps++
+	d.held[t] = d.held[t].insert(id)
+}
+
+// OnUnlock records t releasing mutex id.
+func (d *Detector) OnUnlock(t vclock.TID, id program.SyncID) {
+	d.stats.SyncOps++
+	d.held[t] = d.held[t].remove(id)
+}
+
+func (d *Detector) info(addr mem.Addr) *varInfo {
+	w := mem.WordOf(addr)
+	v, ok := d.vars[w]
+	if !ok {
+		v = &varInfo{state: Virgin}
+		d.vars[w] = v
+	}
+	return v
+}
+
+// OnRead analyzes a read of addr by t.
+func (d *Detector) OnRead(t vclock.TID, addr mem.Addr) {
+	d.stats.Reads++
+	d.access(t, addr, false)
+}
+
+// OnWrite analyzes a write of addr by t.
+func (d *Detector) OnWrite(t vclock.TID, addr mem.Addr) {
+	d.stats.Writes++
+	d.access(t, addr, true)
+}
+
+func (d *Detector) access(t vclock.TID, addr mem.Addr, write bool) {
+	v := d.info(addr)
+	switch v.state {
+	case Virgin:
+		v.state = Exclusive
+		v.owner = t
+		v.candidate = append(Set{}, d.held[t]...)
+	case Exclusive:
+		if v.owner == t {
+			// Still single-threaded: refine the candidate set but do not
+			// report — initialization patterns are benign.
+			v.candidate = v.candidate.Intersect(d.held[t])
+			return
+		}
+		v.candidate = v.candidate.Intersect(d.held[t])
+		if write {
+			v.state = SharedModified
+			d.check(v, t, addr, write)
+		} else {
+			v.state = Shared
+		}
+	case Shared:
+		v.candidate = v.candidate.Intersect(d.held[t])
+		if write {
+			v.state = SharedModified
+			d.check(v, t, addr, write)
+		}
+	case SharedModified:
+		v.candidate = v.candidate.Intersect(d.held[t])
+		d.check(v, t, addr, write)
+	case Reported:
+		// One report per variable.
+	}
+}
+
+func (d *Detector) check(v *varInfo, t vclock.TID, addr mem.Addr, write bool) {
+	if len(v.candidate) > 0 {
+		return
+	}
+	d.stats.Violations++
+	v.state = Reported
+	d.reports = append(d.reports, Report{Addr: mem.WordOf(addr), Tid: t, Write: write})
+}
+
+// StateOf exposes the Eraser state of addr's word (Virgin if untouched).
+func (d *Detector) StateOf(addr mem.Addr) VarState {
+	if v, ok := d.vars[mem.WordOf(addr)]; ok {
+		return v.state
+	}
+	return Virgin
+}

@@ -1,0 +1,163 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineOf(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		line Line
+	}{
+		{0, 0},
+		{1, 0},
+		{63, 0},
+		{64, 1},
+		{65, 1},
+		{127, 1},
+		{128, 2},
+		{0xffffffffffffffff, 0x3ffffffffffffff},
+	}
+	for _, c := range cases {
+		if got := LineOf(c.addr); got != c.line {
+			t.Errorf("LineOf(%v) = %v, want %v", c.addr, got, c.line)
+		}
+	}
+}
+
+func TestLineBaseRoundTrip(t *testing.T) {
+	f := func(a Addr) bool {
+		l := LineOf(a)
+		base := l.Base()
+		return base <= a && a-base < LineSize && LineOf(base) == l && l.Contains(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordOf(t *testing.T) {
+	if WordOf(0) != 0 {
+		t.Errorf("WordOf(0) = %v", WordOf(0))
+	}
+	if WordOf(7) != 0 {
+		t.Errorf("WordOf(7) = %v", WordOf(7))
+	}
+	if WordOf(8) != 8 {
+		t.Errorf("WordOf(8) = %v", WordOf(8))
+	}
+	if WordOf(15) != 8 {
+		t.Errorf("WordOf(15) = %v", WordOf(15))
+	}
+}
+
+func TestSameLineSameWord(t *testing.T) {
+	// Two addresses in the same line but different words: the hardware sees
+	// sharing, the detector does not. This is the false-sharing split.
+	a, b := Addr(0x1000), Addr(0x1008)
+	if !SameLine(a, b) {
+		t.Error("expected same line")
+	}
+	if SameWord(a, b) {
+		t.Error("expected different words")
+	}
+	// Adjacent bytes share a word.
+	if !SameWord(Addr(0x1000), Addr(0x1007)) {
+		t.Error("expected same word")
+	}
+	// Line boundary.
+	if SameLine(Addr(0x103f), Addr(0x1040)) {
+		t.Error("expected different lines across boundary")
+	}
+}
+
+func TestOffset(t *testing.T) {
+	if Offset(64) != 0 {
+		t.Errorf("Offset(64) = %d", Offset(64))
+	}
+	if Offset(100) != 36 {
+		t.Errorf("Offset(100) = %d", Offset(100))
+	}
+}
+
+func TestSpaceAlloc(t *testing.T) {
+	s := NewSpace(0)
+	a := s.Alloc(10, 8)
+	b := s.Alloc(10, 8)
+	if a == 0 {
+		t.Fatal("allocation at address 0")
+	}
+	if uint64(a)%8 != 0 || uint64(b)%8 != 0 {
+		t.Errorf("misaligned: %v %v", a, b)
+	}
+	if b < a+10 {
+		t.Errorf("overlapping allocations: %v then %v", a, b)
+	}
+}
+
+func TestSpaceAllocBadAlign(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on non-power-of-two alignment")
+		}
+	}()
+	NewSpace(0).Alloc(8, 3)
+}
+
+func TestSpaceAllocLineNoFalseSharing(t *testing.T) {
+	s := NewSpace(0)
+	a := s.AllocLine(10) // occupies part of one line
+	b := s.AllocLine(10)
+	if SameLine(a, b) {
+		t.Errorf("AllocLine results share a line: %v %v", a, b)
+	}
+	if Offset(a) != 0 || Offset(b) != 0 {
+		t.Errorf("AllocLine not line-aligned: %v %v", a, b)
+	}
+	// The padding must also cover the tail of a multi-line allocation.
+	c := s.AllocLine(LineSize + 1) // spans two lines
+	d := s.AllocLine(8)
+	if LineOf(d) <= LineOf(c+LineSize) {
+		t.Errorf("tail of %v shares a line with %v", c, d)
+	}
+}
+
+func TestSpaceAllocArray(t *testing.T) {
+	s := NewSpace(0)
+	base := s.AllocArray(100, 8)
+	if Offset(base) != 0 {
+		t.Errorf("array base not line aligned: %v", base)
+	}
+	last := base + Addr(99*8)
+	next := s.AllocLine(8)
+	if SameLine(last, next) {
+		t.Error("array tail shares a line with next allocation")
+	}
+}
+
+func TestSpaceZeroBase(t *testing.T) {
+	s := NewSpace(0)
+	if s.Next() == 0 {
+		t.Error("zero base should be bumped to keep address 0 invalid")
+	}
+}
+
+func TestAllocMonotone(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := NewSpace(64)
+		prevEnd := Addr(0)
+		for _, sz := range sizes {
+			size := uint64(sz%512) + 1
+			a := s.Alloc(size, 8)
+			if a < prevEnd {
+				return false
+			}
+			prevEnd = a + Addr(size)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package pageprot models page-protection-based sharing detection: the
+// software-only mechanism (in the style of MultiRace and DSM systems) that
+// demand-driven tools used before precise hardware events existed, and the
+// foil the paper's performance-counter approach is measured against.
+//
+// Every virtual page starts owned by its first toucher. An access by any
+// other thread takes a protection fault — an expensive kernel round trip —
+// which both signals sharing and unprotects the page, so subsequent
+// cross-thread accesses are silent until a periodic re-protection sweep
+// re-arms detection. Compared to HITM counters the mechanism is:
+//
+//   - coarse: a 4 KiB page spans 64 cache lines, so unrelated private data
+//     co-located on a page looks shared (page-level false sharing);
+//   - expensive: each detection costs a fault (thousands of cycles) and
+//     each re-arm a sweep;
+//   - blind between sweeps: sharing that starts after the page was
+//     unprotected goes unseen until the next sweep.
+package pageprot
+
+import (
+	"fmt"
+
+	"demandrace/internal/mem"
+	"demandrace/internal/vclock"
+)
+
+// PageSize is the protection granularity in bytes.
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// Page identifies a virtual page.
+type Page uint64
+
+// PageOf returns the page containing addr.
+func PageOf(a mem.Addr) Page { return Page(a >> PageShift) }
+
+// DefaultReprotectEvery is the default op interval between re-protection
+// sweeps, proportioned to this simulator's kernel sizes the same way the
+// demand controller's quiet window is.
+const DefaultReprotectEvery = 2000
+
+// Stats counts tracker activity.
+type Stats struct {
+	// Faults counts protection faults (cross-thread first touches).
+	Faults uint64
+	// Sweeps counts re-protection passes.
+	Sweeps uint64
+	// Pages is the number of pages ever touched.
+	Pages uint64
+}
+
+type pageState struct {
+	owner vclock.TID
+	// shared marks the page as unprotected after a cross-thread fault;
+	// cleared by the sweep.
+	shared bool
+}
+
+// Config parameterizes the tracker.
+type Config struct {
+	// ReprotectEvery is the access count between re-protection sweeps.
+	// Zero selects DefaultReprotectEvery.
+	ReprotectEvery uint64
+}
+
+// Tracker is the simulated page-protection machinery. Not safe for
+// concurrent use.
+type Tracker struct {
+	cfg   Config
+	pages map[Page]*pageState
+	ops   uint64
+	stats Stats
+}
+
+// New builds a tracker.
+func New(cfg Config) *Tracker {
+	if cfg.ReprotectEvery == 0 {
+		cfg.ReprotectEvery = DefaultReprotectEvery
+	}
+	return &Tracker{cfg: cfg, pages: make(map[Page]*pageState)}
+}
+
+// Stats returns a snapshot of the counters.
+func (t *Tracker) Stats() Stats { return t.stats }
+
+// Access records one memory access and reports whether it took a
+// protection fault (= a sharing indication). Call once per data access.
+func (t *Tracker) Access(tid vclock.TID, addr mem.Addr) (fault bool) {
+	t.ops++
+	if t.ops%t.cfg.ReprotectEvery == 0 {
+		t.sweep()
+	}
+	pg := PageOf(addr)
+	st, ok := t.pages[pg]
+	if !ok {
+		t.stats.Pages++
+		t.pages[pg] = &pageState{owner: tid}
+		return false
+	}
+	if st.shared || st.owner == tid {
+		return false
+	}
+	// Cross-thread touch of a protected page: fault, then unprotect.
+	st.shared = true
+	t.stats.Faults++
+	return true
+}
+
+// Shared reports whether addr's page is currently marked shared
+// (unprotected).
+func (t *Tracker) Shared(addr mem.Addr) bool {
+	if st, ok := t.pages[PageOf(addr)]; ok {
+		return st.shared
+	}
+	return false
+}
+
+// sweep re-protects every page, re-arming sharing detection. Ownership is
+// reset so the next toucher re-claims each page — phase changes migrate
+// pages to their new owners without faulting.
+func (t *Tracker) sweep() {
+	t.stats.Sweeps++
+	for pg, st := range t.pages {
+		if st.shared {
+			// Drop the entry entirely: the next toucher becomes the owner.
+			delete(t.pages, pg)
+			t.stats.Pages--
+		}
+	}
+}
+
+func (t *Tracker) String() string {
+	return fmt.Sprintf("pageprot: %d pages tracked, %d faults, %d sweeps",
+		len(t.pages), t.stats.Faults, t.stats.Sweeps)
+}

@@ -1,0 +1,115 @@
+package pageprot
+
+import (
+	"testing"
+
+	"demandrace/internal/mem"
+)
+
+func pageAddr(page, off uint64) mem.Addr {
+	return mem.Addr(page*PageSize + off)
+}
+
+func TestFirstTouchClaims(t *testing.T) {
+	tr := New(Config{})
+	if tr.Access(0, pageAddr(1, 0)) {
+		t.Error("first touch faulted")
+	}
+	if tr.Access(0, pageAddr(1, 64)) {
+		t.Error("owner re-access faulted")
+	}
+	if tr.Stats().Pages != 1 {
+		t.Errorf("pages = %d", tr.Stats().Pages)
+	}
+}
+
+func TestCrossThreadFaultsOnce(t *testing.T) {
+	tr := New(Config{})
+	tr.Access(0, pageAddr(1, 0))
+	if !tr.Access(1, pageAddr(1, 8)) {
+		t.Fatal("cross-thread touch did not fault")
+	}
+	if tr.Access(1, pageAddr(1, 16)) || tr.Access(2, pageAddr(1, 24)) {
+		t.Error("unprotected page faulted again")
+	}
+	if tr.Stats().Faults != 1 {
+		t.Errorf("faults = %d", tr.Stats().Faults)
+	}
+	if !tr.Shared(pageAddr(1, 0)) {
+		t.Error("page not marked shared")
+	}
+}
+
+func TestPageFalseSharing(t *testing.T) {
+	// Different cache lines, same page: the page mechanism sees "sharing"
+	// where line-granular HITM correctly would not.
+	tr := New(Config{})
+	tr.Access(0, pageAddr(1, 0))
+	if !tr.Access(1, pageAddr(1, 2048)) {
+		t.Error("page-level false sharing should fault")
+	}
+}
+
+func TestDistinctPagesIndependent(t *testing.T) {
+	tr := New(Config{})
+	tr.Access(0, pageAddr(1, 0))
+	if tr.Access(1, pageAddr(2, 0)) {
+		t.Error("different page faulted")
+	}
+}
+
+func TestSweepRearmsDetection(t *testing.T) {
+	tr := New(Config{ReprotectEvery: 4})
+	tr.Access(0, pageAddr(1, 0)) // op 1: claim
+	tr.Access(1, pageAddr(1, 0)) // op 2: fault, unprotect
+	tr.Access(1, pageAddr(1, 0)) // op 3: silent
+	tr.Access(0, pageAddr(9, 0)) // op 4: sweep fires first, then claims page 9
+	// After the sweep the shared page was dropped; the next cross-thread
+	// pattern faults again.
+	tr.Access(0, pageAddr(1, 0)) // op 5: re-claim by thread 0
+	if !tr.Access(1, pageAddr(1, 0)) {
+		t.Error("post-sweep cross-thread touch did not fault")
+	}
+	if tr.Stats().Sweeps != 1 {
+		t.Errorf("sweeps = %d", tr.Stats().Sweeps)
+	}
+	if tr.Stats().Faults != 2 {
+		t.Errorf("faults = %d", tr.Stats().Faults)
+	}
+}
+
+func TestSweepMigratesOwnership(t *testing.T) {
+	// After a sweep drops a shared page, a new thread can claim it without
+	// faulting (phase change).
+	tr := New(Config{ReprotectEvery: 3})
+	tr.Access(0, pageAddr(1, 0))
+	tr.Access(1, pageAddr(1, 0)) // fault
+	tr.Access(2, pageAddr(5, 0)) // op 3 → sweep
+	if tr.Access(1, pageAddr(1, 0)) {
+		t.Error("new owner's claim after sweep should not fault")
+	}
+	if tr.Access(1, pageAddr(1, 64)) {
+		t.Error("new owner's page faulted on own access")
+	}
+}
+
+func TestDefaultReprotect(t *testing.T) {
+	tr := New(Config{})
+	if tr.cfg.ReprotectEvery != DefaultReprotectEvery {
+		t.Errorf("default = %d", tr.cfg.ReprotectEvery)
+	}
+}
+
+func TestPageOf(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(PageSize-1) != 0 || PageOf(PageSize) != 1 {
+		t.Error("PageOf boundaries wrong")
+	}
+}
+
+func TestString(t *testing.T) {
+	tr := New(Config{})
+	tr.Access(0, pageAddr(1, 0))
+	if tr.String() != "pageprot: 1 pages tracked, 0 faults, 0 sweeps" {
+		t.Errorf("String = %q", tr.String())
+	}
+}

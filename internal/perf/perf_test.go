@@ -1,0 +1,346 @@
+package perf
+
+import (
+	"testing"
+
+	"demandrace/internal/cache"
+	"demandrace/internal/mem"
+)
+
+func hitmEvent(ctx cache.Context, line uint64, write bool) cache.Event {
+	return cache.Event{Kind: cache.EvHITM, Ctx: ctx, Src: 0, Line: mem.Line(line), Write: write}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Contexts: 0, SampleAfter: 1},
+		{Contexts: 2, SampleAfter: 0},
+		{Contexts: 2, SampleAfter: 1, Skid: -1},
+		{Contexts: 2, SampleAfter: 1, DropRate: 1.0},
+		{Contexts: 2, SampleAfter: 1, DropRate: -0.1},
+	}
+	for _, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) did not panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestInterruptPerEvent(t *testing.T) {
+	p := New(DefaultConfig(2))
+	var got []Sample
+	p.SetHandler(func(s Sample) { got = append(got, s) })
+	p.Observe(hitmEvent(1, 5, false))
+	if len(got) != 1 {
+		t.Fatalf("delivered %d samples, want 1", len(got))
+	}
+	s := got[0]
+	if s.Ctx != 1 || s.Line != 5 || s.Write || s.Skidded {
+		t.Errorf("sample = %+v", s)
+	}
+}
+
+func TestSampleAfterValue(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.SampleAfter = 3
+	p := New(cfg)
+	n := 0
+	p.SetHandler(func(Sample) { n++ })
+	for i := 0; i < 7; i++ {
+		p.Observe(hitmEvent(0, uint64(i), false))
+	}
+	if n != 2 {
+		t.Errorf("7 events at SAV=3 delivered %d interrupts, want 2", n)
+	}
+	st := p.Stats()
+	if st.Seen != 7 || st.Counted != 7 || st.Overflows != 2 || st.Delivered != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSelectorFiltering(t *testing.T) {
+	cases := []struct {
+		sel  Selector
+		ev   cache.Event
+		want bool
+	}{
+		{SelHITM, hitmEvent(0, 1, false), true},
+		{SelHITM, hitmEvent(0, 1, true), true},
+		{SelHITM, cache.Event{Kind: cache.EvInvalidation, Ctx: 0}, false},
+		{SelHITMLoad, hitmEvent(0, 1, false), true},
+		{SelHITMLoad, hitmEvent(0, 1, true), false},
+		{SelHITMStore, hitmEvent(0, 1, true), true},
+		{SelHITMStore, hitmEvent(0, 1, false), false},
+		{SelInvalidation, cache.Event{Kind: cache.EvInvalidation, Ctx: 0}, true},
+		{SelInvalidation, hitmEvent(0, 1, false), false},
+		{SelWriteback, cache.Event{Kind: cache.EvWriteback, Ctx: 0}, true},
+		{SelWriteback, hitmEvent(0, 1, true), false},
+	}
+	for _, c := range cases {
+		cfg := DefaultConfig(1)
+		cfg.Sel = c.sel
+		p := New(cfg)
+		n := 0
+		p.SetHandler(func(Sample) { n++ })
+		p.Observe(c.ev)
+		if (n == 1) != c.want {
+			t.Errorf("sel %v on %v: delivered=%d, want fired=%v", c.sel, c.ev.Kind, n, c.want)
+		}
+	}
+}
+
+func TestSkidDelaysDelivery(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Skid = 3
+	p := New(cfg)
+	var got []Sample
+	p.SetHandler(func(s Sample) { got = append(got, s) })
+	p.Observe(hitmEvent(0, 9, true))
+	if len(got) != 0 {
+		t.Fatal("delivered before skid elapsed")
+	}
+	p.Retire(0)
+	p.Retire(0)
+	if len(got) != 0 {
+		t.Fatal("delivered too early")
+	}
+	// Retirement on another context must not drain ctx 0's queue.
+	p.Retire(1)
+	if len(got) != 0 {
+		t.Fatal("cross-context retire drained queue")
+	}
+	p.Retire(0)
+	if len(got) != 1 {
+		t.Fatalf("delivered %d after 3 retires, want 1", len(got))
+	}
+	if !got[0].Skidded {
+		t.Error("sample should be marked Skidded")
+	}
+}
+
+func TestSkidQueueOrdering(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Skid = 2
+	p := New(cfg)
+	var lines []mem.Line
+	p.SetHandler(func(s Sample) { lines = append(lines, s.Line) })
+	p.Observe(hitmEvent(0, 1, false))
+	p.Retire(0)
+	p.Observe(hitmEvent(0, 2, false))
+	p.Retire(0) // delivers line 1
+	p.Retire(0) // delivers line 2
+	if len(lines) != 2 || lines[0] != 1 || lines[1] != 2 {
+		t.Errorf("delivery order = %v, want [1 2]", lines)
+	}
+}
+
+func TestDrainAll(t *testing.T) {
+	cfg := DefaultConfig(2)
+	cfg.Skid = 10
+	p := New(cfg)
+	n := 0
+	p.SetHandler(func(Sample) { n++ })
+	p.Observe(hitmEvent(0, 1, false))
+	p.Observe(hitmEvent(1, 2, false))
+	p.DrainAll()
+	if n != 2 {
+		t.Errorf("DrainAll delivered %d, want 2", n)
+	}
+	// Queue must be empty afterwards.
+	p.Retire(0)
+	p.Retire(1)
+	if n != 2 {
+		t.Error("samples delivered twice")
+	}
+}
+
+func TestDisableStopsCountingAndClearsPending(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Skid = 5
+	p := New(cfg)
+	n := 0
+	p.SetHandler(func(Sample) { n++ })
+	p.Observe(hitmEvent(0, 1, false)) // queued with skid
+	p.SetEnabled(0, false)
+	for i := 0; i < 10; i++ {
+		p.Retire(0)
+	}
+	if n != 0 {
+		t.Error("disabled context delivered a pending sample")
+	}
+	p.Observe(hitmEvent(0, 2, false))
+	if n != 0 || p.Stats().Seen != 1 {
+		t.Errorf("disabled context counted an event: n=%d stats=%+v", n, p.Stats())
+	}
+	p.SetEnabled(0, true)
+	p.Observe(hitmEvent(0, 3, false))
+	for i := 0; i < 5; i++ {
+		p.Retire(0)
+	}
+	if n != 1 {
+		t.Errorf("re-enabled context delivered %d, want 1", n)
+	}
+}
+
+func TestEnableResetsPartialCount(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.SampleAfter = 3
+	p := New(cfg)
+	n := 0
+	p.SetHandler(func(Sample) { n++ })
+	p.Observe(hitmEvent(0, 1, false))
+	p.Observe(hitmEvent(0, 2, false))
+	p.SetEnabled(0, false)
+	p.SetEnabled(0, true)
+	p.Observe(hitmEvent(0, 3, false))
+	p.Observe(hitmEvent(0, 4, false))
+	if n != 0 {
+		t.Error("partial count survived re-arm")
+	}
+	p.Observe(hitmEvent(0, 5, false))
+	if n != 1 {
+		t.Errorf("delivered %d, want 1", n)
+	}
+}
+
+func TestDropRateDeterministicAndApproximate(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.DropRate = 0.3
+	cfg.Seed = 99
+	run := func() Stats {
+		p := New(cfg)
+		p.SetHandler(func(Sample) {})
+		for i := 0; i < 10000; i++ {
+			p.Observe(hitmEvent(0, uint64(i), false))
+		}
+		return p.Stats()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed produced different stats: %+v vs %+v", a, b)
+	}
+	frac := float64(a.Dropped) / float64(a.Seen)
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("drop fraction = %g, want ≈0.3", frac)
+	}
+	if a.Counted+a.Dropped != a.Seen {
+		t.Errorf("counted+dropped != seen: %+v", a)
+	}
+}
+
+func TestCacheIntegration(t *testing.T) {
+	// Wire a real hierarchy to the PMU and check a producer-consumer HITM
+	// flows through end to end.
+	h := cache.New(cache.DefaultConfig())
+	p := New(DefaultConfig(cache.DefaultConfig().Contexts()))
+	h.SetEventSink(p.Observe)
+	var got []Sample
+	p.SetHandler(func(s Sample) { got = append(got, s) })
+	h.Access(0, mem.Addr(5*mem.LineSize), true)
+	h.Access(1, mem.Addr(5*mem.LineSize), false)
+	if len(got) != 1 || got[0].Ctx != 1 || got[0].Line != 5 {
+		t.Errorf("end-to-end samples = %+v", got)
+	}
+}
+
+func TestSelectorString(t *testing.T) {
+	for s, want := range map[Selector]string{
+		SelHITM: "HITM", SelHITMLoad: "HITM_LOAD", SelHITMStore: "HITM_STORE",
+		SelInvalidation: "INVALIDATION", SelWriteback: "WRITEBACK",
+	} {
+		if s.String() != want {
+			t.Errorf("String() = %q, want %q", s.String(), want)
+		}
+	}
+}
+
+func TestOutOfRangeContextIgnored(t *testing.T) {
+	p := New(DefaultConfig(1))
+	n := 0
+	p.SetHandler(func(Sample) { n++ })
+	p.Observe(hitmEvent(5, 1, false)) // context beyond configured range
+	if n != 0 || p.Stats().Seen != 0 {
+		t.Error("out-of-range context should be ignored")
+	}
+}
+
+func TestMultiCounterIndependentThresholds(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.SampleAfter = 1
+	cfg.Extra = []CounterConfig{{Sel: SelInvalidation, SampleAfter: 3}}
+	p := New(cfg)
+	var got []Sample
+	p.SetHandler(func(s Sample) { got = append(got, s) })
+	inv := cache.Event{Kind: cache.EvInvalidation, Ctx: 0, Line: 7}
+	p.Observe(hitmEvent(0, 1, false)) // counter 0 fires immediately
+	p.Observe(inv)                    // counter 1: 1/3
+	p.Observe(inv)                    // 2/3
+	if len(got) != 1 || got[0].Counter != 0 || got[0].Sel != SelHITM {
+		t.Fatalf("samples = %+v", got)
+	}
+	p.Observe(inv) // 3/3 → overflow
+	if len(got) != 2 || got[1].Counter != 1 || got[1].Sel != SelInvalidation {
+		t.Fatalf("samples = %+v", got)
+	}
+}
+
+func TestMultiCounterDisableClearsAll(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.SampleAfter = 2
+	cfg.Extra = []CounterConfig{{Sel: SelInvalidation, SampleAfter: 2}}
+	p := New(cfg)
+	n := 0
+	p.SetHandler(func(Sample) { n++ })
+	p.Observe(hitmEvent(0, 1, false))
+	p.Observe(cache.Event{Kind: cache.EvInvalidation, Ctx: 0})
+	p.SetEnabled(0, false)
+	p.SetEnabled(0, true)
+	p.Observe(hitmEvent(0, 2, false))
+	p.Observe(cache.Event{Kind: cache.EvInvalidation, Ctx: 0})
+	if n != 0 {
+		t.Errorf("partial counts survived re-arm: %d interrupts", n)
+	}
+}
+
+func TestMaxCountersEnforced(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Extra = make([]CounterConfig, MaxCounters) // 1 + 4 > 4
+	for i := range cfg.Extra {
+		cfg.Extra[i] = CounterConfig{Sel: SelHITM, SampleAfter: 1}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("over-programmed PMU accepted")
+		}
+	}()
+	New(cfg)
+}
+
+func TestExtraCounterValidation(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Extra = []CounterConfig{{Sel: SelHITM, SampleAfter: 0}}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero SampleAfter extra counter accepted")
+		}
+	}()
+	New(cfg)
+}
+
+func TestOneEventCanFireTwoCounters(t *testing.T) {
+	// A HITM event matches both SelHITM and SelHITMLoad.
+	cfg := DefaultConfig(1)
+	cfg.Extra = []CounterConfig{{Sel: SelHITMLoad, SampleAfter: 1}}
+	p := New(cfg)
+	var counters []int
+	p.SetHandler(func(s Sample) { counters = append(counters, s.Counter) })
+	p.Observe(hitmEvent(0, 1, false))
+	if len(counters) != 2 || counters[0] != 0 || counters[1] != 1 {
+		t.Errorf("counters fired = %v", counters)
+	}
+}

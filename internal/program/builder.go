@@ -1,0 +1,192 @@
+package program
+
+import (
+	"fmt"
+
+	"demandrace/internal/mem"
+	"demandrace/internal/vclock"
+)
+
+// Builder assembles a Program with a fluent per-thread DSL:
+//
+//	b := program.NewBuilder("kernel")
+//	mu := b.Mutex()
+//	t0, t1 := b.Thread(), b.Thread()
+//	t0.Store(a).Lock(mu).Load(x).Unlock(mu)
+//	t1.Lock(mu).Store(x).Unlock(mu)
+//	p, err := b.Build()
+//
+// The builder also owns an address space so kernels can allocate shared and
+// private data without clashing.
+type Builder struct {
+	name       string
+	threads    []*ThreadBuilder
+	mutexes    int
+	barriers   []int // participant counts
+	semaphores int
+	labels     []string
+	labelIdx   map[string]uint64
+	space      *mem.Space
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, space: mem.NewSpace(0), labelIdx: map[string]uint64{}}
+}
+
+// label interns a region name and returns its index.
+func (b *Builder) label(name string) uint64 {
+	if i, ok := b.labelIdx[name]; ok {
+		return i
+	}
+	i := uint64(len(b.labels))
+	b.labels = append(b.labels, name)
+	b.labelIdx[name] = i
+	return i
+}
+
+// Space returns the builder's address space for data layout.
+func (b *Builder) Space() *mem.Space { return b.space }
+
+// Thread adds a new thread and returns its builder. Thread IDs are assigned
+// in creation order.
+func (b *Builder) Thread() *ThreadBuilder {
+	tb := &ThreadBuilder{id: vclock.TID(len(b.threads)), owner: b}
+	b.threads = append(b.threads, tb)
+	return tb
+}
+
+// Mutex allocates a new mutex and returns its ID.
+func (b *Builder) Mutex() SyncID {
+	b.mutexes++
+	return SyncID(b.mutexes - 1)
+}
+
+// Barrier allocates a new barrier for parties participants.
+func (b *Builder) Barrier(parties int) SyncID {
+	b.barriers = append(b.barriers, parties)
+	return SyncID(len(b.barriers) - 1)
+}
+
+// Semaphore allocates a new semaphore (initially zero) and returns its ID.
+func (b *Builder) Semaphore() SyncID {
+	b.semaphores++
+	return SyncID(b.semaphores - 1)
+}
+
+// Build assembles and validates the program.
+func (b *Builder) Build() (*Program, error) {
+	p := &Program{
+		Name:           b.name,
+		Threads:        make([]Thread, len(b.threads)),
+		Mutexes:        b.mutexes,
+		Barriers:       len(b.barriers),
+		Semaphores:     b.semaphores,
+		BarrierParties: append([]int(nil), b.barriers...),
+		Labels:         append([]string(nil), b.labels...),
+	}
+	for i, tb := range b.threads {
+		p.Threads[i] = Thread{ID: tb.id, Ops: tb.ops}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for workload kernels whose
+// structure is fixed at compile time.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("program: %v", err))
+	}
+	return p
+}
+
+// ThreadBuilder appends ops to one thread. All methods return the receiver
+// for chaining.
+type ThreadBuilder struct {
+	id    vclock.TID
+	ops   []Op
+	owner *Builder
+}
+
+// ID returns the thread's ID.
+func (t *ThreadBuilder) ID() vclock.TID { return t.id }
+
+// Len returns the number of ops appended so far.
+func (t *ThreadBuilder) Len() int { return len(t.ops) }
+
+// Load appends a read of addr.
+func (t *ThreadBuilder) Load(addr mem.Addr) *ThreadBuilder {
+	t.ops = append(t.ops, Op{Kind: OpLoad, Addr: addr})
+	return t
+}
+
+// Store appends a write of addr.
+func (t *ThreadBuilder) Store(addr mem.Addr) *ThreadBuilder {
+	t.ops = append(t.ops, Op{Kind: OpStore, Addr: addr})
+	return t
+}
+
+// AtomicLoad appends an acquire read of addr.
+func (t *ThreadBuilder) AtomicLoad(addr mem.Addr) *ThreadBuilder {
+	t.ops = append(t.ops, Op{Kind: OpAtomicLoad, Addr: addr})
+	return t
+}
+
+// AtomicStore appends a release write of addr.
+func (t *ThreadBuilder) AtomicStore(addr mem.Addr) *ThreadBuilder {
+	t.ops = append(t.ops, Op{Kind: OpAtomicStore, Addr: addr})
+	return t
+}
+
+// Lock appends a blocking acquire of mutex id.
+func (t *ThreadBuilder) Lock(id SyncID) *ThreadBuilder {
+	t.ops = append(t.ops, Op{Kind: OpLock, Sync: id})
+	return t
+}
+
+// Unlock appends a release of mutex id.
+func (t *ThreadBuilder) Unlock(id SyncID) *ThreadBuilder {
+	t.ops = append(t.ops, Op{Kind: OpUnlock, Sync: id})
+	return t
+}
+
+// Barrier appends an arrival at barrier id.
+func (t *ThreadBuilder) Barrier(id SyncID) *ThreadBuilder {
+	t.ops = append(t.ops, Op{Kind: OpBarrier, Sync: id})
+	return t
+}
+
+// Signal appends a semaphore post on id.
+func (t *ThreadBuilder) Signal(id SyncID) *ThreadBuilder {
+	t.ops = append(t.ops, Op{Kind: OpSignal, Sync: id})
+	return t
+}
+
+// Wait appends a blocking semaphore wait on id.
+func (t *ThreadBuilder) Wait(id SyncID) *ThreadBuilder {
+	t.ops = append(t.ops, Op{Kind: OpWait, Sync: id})
+	return t
+}
+
+// Compute appends n cycles of thread-local work.
+func (t *ThreadBuilder) Compute(n uint64) *ThreadBuilder {
+	t.ops = append(t.ops, Op{Kind: OpCompute, N: n})
+	return t
+}
+
+// Region appends a zero-cost mark: subsequent accesses by this thread are
+// attributed to the named region in race reports.
+func (t *ThreadBuilder) Region(name string) *ThreadBuilder {
+	t.ops = append(t.ops, Op{Kind: OpMark, N: t.owner.label(name)})
+	return t
+}
+
+// Op appends a raw op (used by the race injector).
+func (t *ThreadBuilder) Op(op Op) *ThreadBuilder {
+	t.ops = append(t.ops, op)
+	return t
+}

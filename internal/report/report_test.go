@@ -1,0 +1,104 @@
+package report_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"demandrace/internal/demand"
+	"demandrace/internal/report"
+	"demandrace/internal/runner"
+	"demandrace/internal/workloads"
+)
+
+func runKernel(t *testing.T, name string, pol demand.PolicyKind, mut func(*runner.Config)) *runner.Report {
+	t.Helper()
+	k, ok := workloads.ByName(name)
+	if !ok {
+		t.Fatalf("kernel %q missing", name)
+	}
+	p := k.Build(workloads.Config{Threads: 4, Scale: 1})
+	cfg := runner.DefaultConfig().WithPolicy(pol)
+	if mut != nil {
+		mut(&cfg)
+	}
+	r, err := runner.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestReportRacyKernel(t *testing.T) {
+	r := runKernel(t, "racy_flag", demand.Continuous, nil)
+	var buf bytes.Buffer
+	if err := report.Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"racy_flag",
+		"race report(s)",
+		"write-read",
+		"publish", // region annotation surfaces in the table
+		"HITM events",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(out, "No data races detected") {
+		t.Error("racy report claims clean")
+	}
+}
+
+func TestReportCleanKernel(t *testing.T) {
+	r := runKernel(t, "micro_private", demand.HITMDemand, nil)
+	var buf bytes.Buffer
+	if err := report.Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "No data races detected") {
+		t.Error("clean report missing verdict")
+	}
+}
+
+func TestReportDeadlockSection(t *testing.T) {
+	r := runKernel(t, "racy_lock_inversion", demand.Continuous, func(c *runner.Config) {
+		c.Deadlock = true
+	})
+	var buf bytes.Buffer
+	if err := report.Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Potential deadlocks") {
+		t.Error("report missing deadlock section")
+	}
+}
+
+func TestReportComparisonTable(t *testing.T) {
+	a := runKernel(t, "histogram", demand.Continuous, nil)
+	b := runKernel(t, "histogram", demand.HITMDemand, nil)
+	var buf bytes.Buffer
+	if err := report.Write(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Policy comparison") || !strings.Contains(out, "hitm-demand") {
+		t.Error("comparison table missing")
+	}
+}
+
+func TestReportEscapesContent(t *testing.T) {
+	// Program names flow through html/template escaping.
+	r := runKernel(t, "histogram", demand.Off, nil)
+	r.Program = `<script>alert("xss")</script>`
+	var buf bytes.Buffer
+	if err := report.Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<script>alert") {
+		t.Error("unescaped content in HTML output")
+	}
+}

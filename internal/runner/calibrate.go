@@ -1,0 +1,53 @@
+package runner
+
+import (
+	"fmt"
+
+	"demandrace/internal/cost"
+	"demandrace/internal/demand"
+	"demandrace/internal/program"
+)
+
+// CalibrateContinuous solves for the per-access analysis cost that makes
+// continuous analysis of p cost target× native speed, holding every other
+// model constant. This is how the repository's default constants were
+// fitted to the paper's reported slowdowns: pick a reference program and a
+// published number, calibrate, and check the rest of the suite lands in
+// band.
+//
+// Under the Continuous policy the tool time decomposes exactly as
+//
+//	tool = native + memAnalyzed·AnalysisMem + syncAnalyzed·AnalysisSync
+//
+// so the required AnalysisMem has a closed form. An error is returned when
+// the target is unreachable (below the sync-instrumentation floor) or the
+// program has no data accesses to charge.
+func CalibrateContinuous(p *program.Program, cfg Config, target float64) (cost.Model, error) {
+	if target <= 1 {
+		return cost.Model{}, fmt.Errorf("runner: calibration target %.2f must exceed 1×", target)
+	}
+	r, err := Run(p, cfg.WithPolicy(demand.Continuous))
+	if err != nil {
+		return cost.Model{}, err
+	}
+	model := cfg.Cost
+	if model.AnalysisMem == 0 {
+		model = cost.Default()
+	}
+	mem := r.Demand.MemAnalyzed
+	if mem == 0 {
+		return cost.Model{}, fmt.Errorf("runner: program %q has no analyzed data accesses", p.Name)
+	}
+	native := float64(r.NativeCycles)
+	syncTerm := float64(r.Demand.SyncAnalyzed) * float64(model.AnalysisSync)
+	need := target*native - native - syncTerm
+	if need <= 0 {
+		return cost.Model{}, fmt.Errorf("runner: target %.2f× is below the sync-instrumentation floor (%.2f×)",
+			target, 1+syncTerm/native)
+	}
+	model.AnalysisMem = uint64(need / float64(mem))
+	if model.AnalysisMem == 0 {
+		model.AnalysisMem = 1
+	}
+	return model, nil
+}

@@ -1,0 +1,83 @@
+package runner
+
+import (
+	"fmt"
+	"sort"
+
+	"demandrace/internal/mem"
+	"demandrace/internal/program"
+	"demandrace/internal/sched"
+)
+
+// Exploration aggregates one program's race behavior across many seeded
+// interleavings — the "run it until the bug shows" workflow commercial
+// tools automate. Because the detector is happens-before (not lockset),
+// a racy pair is flagged in *every* schedule where both accesses are
+// observed; exploration mainly shakes out schedule-dependent observation
+// (demand-mode windows, semaphore pairings) and conditional code paths.
+type Exploration struct {
+	// Seeds is the number of interleavings explored.
+	Seeds int
+	// Union holds every word flagged in at least one schedule, sorted.
+	Union []mem.Addr
+	// Intersection holds the words flagged in every schedule, sorted.
+	Intersection []mem.Addr
+	// HitRate maps each union word to the fraction of schedules that
+	// flagged it.
+	HitRate map[mem.Addr]float64
+	// Reports holds the per-seed run reports, indexed by seed.
+	Reports []*Report
+}
+
+// FlakyAddrs returns the words found in some but not all schedules — the
+// reports a developer would call "flaky".
+func (e *Exploration) FlakyAddrs() []mem.Addr {
+	inAll := map[mem.Addr]bool{}
+	for _, a := range e.Intersection {
+		inAll[a] = true
+	}
+	var out []mem.Addr
+	for _, a := range e.Union {
+		if !inAll[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Explore runs p under cfg once per seed in [0, seeds), using seeded-random
+// interleaving, and aggregates the racy-address sets.
+func Explore(p *program.Program, cfg Config, seeds int) (*Exploration, error) {
+	if seeds < 1 {
+		return nil, fmt.Errorf("runner: Explore needs ≥ 1 seed, got %d", seeds)
+	}
+	ex := &Exploration{Seeds: seeds, HitRate: map[mem.Addr]float64{}}
+	counts := map[mem.Addr]int{}
+	for seed := 0; seed < seeds; seed++ {
+		c := cfg
+		c.Sched.Policy = sched.RandomInterleave
+		c.Sched.Seed = int64(seed)
+		r, err := Run(p, c)
+		if err != nil {
+			return nil, fmt.Errorf("runner: explore seed %d: %w", seed, err)
+		}
+		ex.Reports = append(ex.Reports, r)
+		seen := map[mem.Addr]bool{}
+		for _, rc := range r.Races {
+			if !seen[rc.Addr] {
+				seen[rc.Addr] = true
+				counts[rc.Addr]++
+			}
+		}
+	}
+	for a, n := range counts {
+		ex.Union = append(ex.Union, a)
+		ex.HitRate[a] = float64(n) / float64(seeds)
+		if n == seeds {
+			ex.Intersection = append(ex.Intersection, a)
+		}
+	}
+	sort.Slice(ex.Union, func(i, j int) bool { return ex.Union[i] < ex.Union[j] })
+	sort.Slice(ex.Intersection, func(i, j int) bool { return ex.Intersection[i] < ex.Intersection[j] })
+	return ex, nil
+}

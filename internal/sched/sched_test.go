@@ -1,0 +1,433 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"demandrace/internal/cache"
+	"demandrace/internal/mem"
+	"demandrace/internal/program"
+	"demandrace/internal/vclock"
+)
+
+// recorder captures the executed op stream for assertions.
+type recorder struct {
+	events   []string
+	barriers []string
+}
+
+func (r *recorder) Exec(t vclock.TID, ctx cache.Context, op program.Op) {
+	r.events = append(r.events, fmt.Sprintf("t%d@c%d:%v", t, ctx, op))
+}
+
+func (r *recorder) BarrierRelease(id program.SyncID, parties []vclock.TID) {
+	r.barriers = append(r.barriers, fmt.Sprintf("bar#%d:%v", id, parties))
+	r.events = append(r.events, fmt.Sprintf("barrier#%d", id))
+}
+
+func mustRun(t *testing.T, p *program.Program, cfg Config) *recorder {
+	t.Helper()
+	s, err := New(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &recorder{}
+	if err := s.Run(r); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSingleThreadProgramOrder(t *testing.T) {
+	b := program.NewBuilder("single")
+	a := b.Space().AllocLine(16)
+	b.Thread().Load(a).Store(a + 8).Compute(3)
+	p := b.MustBuild()
+	r := mustRun(t, p, DefaultConfig(4))
+	want := []string{
+		fmt.Sprintf("t0@c0:load %v", a),
+		fmt.Sprintf("t0@c0:store %v", a+8),
+		"t0@c0:compute 3",
+	}
+	if !reflect.DeepEqual(r.events, want) {
+		t.Errorf("events = %v, want %v", r.events, want)
+	}
+}
+
+func TestRoundRobinInterleaving(t *testing.T) {
+	b := program.NewBuilder("rr")
+	a := b.Space().AllocLine(8)
+	b.Thread().Load(a).Load(a)
+	b.Thread().Load(a).Load(a)
+	p := b.MustBuild()
+	r := mustRun(t, p, DefaultConfig(4))
+	want := []string{
+		fmt.Sprintf("t0@c0:load %v", a),
+		fmt.Sprintf("t1@c1:load %v", a),
+		fmt.Sprintf("t0@c0:load %v", a),
+		fmt.Sprintf("t1@c1:load %v", a),
+	}
+	if !reflect.DeepEqual(r.events, want) {
+		t.Errorf("events = %v, want %v", r.events, want)
+	}
+}
+
+func TestQuantumBatches(t *testing.T) {
+	b := program.NewBuilder("quantum")
+	a := b.Space().AllocLine(8)
+	b.Thread().Load(a).Load(a)
+	b.Thread().Load(a).Load(a)
+	p := b.MustBuild()
+	cfg := DefaultConfig(4)
+	cfg.Quantum = 2
+	r := mustRun(t, p, cfg)
+	// With quantum 2 each thread runs both its ops in one slot.
+	want := []string{
+		fmt.Sprintf("t0@c0:load %v", a),
+		fmt.Sprintf("t0@c0:load %v", a),
+		fmt.Sprintf("t1@c1:load %v", a),
+		fmt.Sprintf("t1@c1:load %v", a),
+	}
+	if !reflect.DeepEqual(r.events, want) {
+		t.Errorf("events = %v, want %v", r.events, want)
+	}
+}
+
+func TestMutexExclusionAndHandoff(t *testing.T) {
+	// Both threads do lock; compute; unlock. The lock section must never
+	// interleave.
+	b := program.NewBuilder("mutex")
+	mu := b.Mutex()
+	b.Thread().Lock(mu).Compute(1).Compute(2).Unlock(mu)
+	b.Thread().Lock(mu).Compute(3).Compute(4).Unlock(mu)
+	p := b.MustBuild()
+	r := mustRun(t, p, DefaultConfig(2))
+	// Find critical sections: between each lock and unlock, only the owner
+	// may appear.
+	var owner string
+	for _, ev := range r.events {
+		switch {
+		case len(ev) > 2 && ev[3:] == "c0:lock #0" || ev[3:] == "c1:lock #0":
+			owner = ev[:2]
+		case ev[3:] == "c0:unlock #0" || ev[3:] == "c1:unlock #0":
+			owner = ""
+		default:
+			if owner != "" && ev[:2] != owner {
+				t.Fatalf("thread %s ran inside %s's critical section: %v", ev[:2], owner, r.events)
+			}
+		}
+	}
+}
+
+func TestMutexBlockedThreadEventsOrder(t *testing.T) {
+	b := program.NewBuilder("block")
+	mu := b.Mutex()
+	b.Thread().Lock(mu).Compute(1).Unlock(mu)
+	b.Thread().Lock(mu).Unlock(mu)
+	p := b.MustBuild()
+	r := mustRun(t, p, DefaultConfig(2))
+	want := []string{
+		"t0@c0:lock #0",
+		// t1 attempts lock, blocks (no event)
+		"t0@c0:compute 1",
+		"t0@c0:unlock #0",
+		"t1@c1:lock #0",
+		"t1@c1:unlock #0",
+	}
+	if !reflect.DeepEqual(r.events, want) {
+		t.Errorf("events = %v, want %v", r.events, want)
+	}
+}
+
+func TestBarrierBlocksUntilAll(t *testing.T) {
+	b := program.NewBuilder("bar")
+	bar := b.Barrier(3)
+	a := b.Space().AllocLine(8)
+	for i := 0; i < 3; i++ {
+		b.Thread().Compute(uint64(i + 1)).Barrier(bar).Load(a)
+	}
+	p := b.MustBuild()
+	r := mustRun(t, p, DefaultConfig(4))
+	// All computes must precede the barrier release; all loads must follow.
+	barIdx := -1
+	for i, ev := range r.events {
+		if ev == "barrier#0" {
+			barIdx = i
+		}
+	}
+	if barIdx == -1 {
+		t.Fatal("no barrier release recorded")
+	}
+	for i, ev := range r.events {
+		isLoad := strings.Contains(ev, ":load")
+		if i < barIdx && isLoad {
+			t.Errorf("load before barrier release: %v", r.events)
+		}
+		if i > barIdx && !isLoad {
+			t.Errorf("non-load after barrier release: %v", r.events)
+		}
+	}
+	if len(r.barriers) != 1 || r.barriers[0] != "bar#0:[0 1 2]" {
+		t.Errorf("barrier releases = %v", r.barriers)
+	}
+}
+
+func TestBarrierReuse(t *testing.T) {
+	b := program.NewBuilder("bar-reuse")
+	bar := b.Barrier(2)
+	b.Thread().Barrier(bar).Barrier(bar)
+	b.Thread().Barrier(bar).Barrier(bar)
+	p := b.MustBuild()
+	r := mustRun(t, p, DefaultConfig(2))
+	if len(r.barriers) != 2 {
+		t.Errorf("barrier releases = %v, want 2", r.barriers)
+	}
+}
+
+func TestSemaphoreProducesConsumerOrder(t *testing.T) {
+	b := program.NewBuilder("sem")
+	sem := b.Semaphore()
+	a := b.Space().AllocLine(8)
+	b.Thread().Compute(5).Store(a).Signal(sem)
+	b.Thread().Wait(sem).Load(a)
+	p := b.MustBuild()
+	r := mustRun(t, p, DefaultConfig(2))
+	// The wait must come after the signal, and the load after the store.
+	idx := map[string]int{}
+	for i, ev := range r.events {
+		idx[ev] = i
+	}
+	if idx["t1@c1:wait #0"] < idx["t0@c0:signal #0"] {
+		t.Errorf("wait before signal: %v", r.events)
+	}
+	if idx[fmt.Sprintf("t1@c1:load %v", a)] < idx[fmt.Sprintf("t0@c0:store %v", a)] {
+		t.Errorf("load before store: %v", r.events)
+	}
+}
+
+func TestSemaphoreCountsMultiplePosts(t *testing.T) {
+	b := program.NewBuilder("sem-count")
+	sem := b.Semaphore()
+	b.Thread().Signal(sem).Signal(sem)
+	b.Thread().Wait(sem).Wait(sem)
+	p := b.MustBuild()
+	r := mustRun(t, p, DefaultConfig(2))
+	if len(r.events) != 4 {
+		t.Errorf("events = %v", r.events)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	// Classic lock-order inversion, forced by a semaphore rendezvous so
+	// both threads hold one lock before requesting the other.
+	b := program.NewBuilder("deadlock")
+	mu1, mu2 := b.Mutex(), b.Mutex()
+	s1, s2 := b.Semaphore(), b.Semaphore()
+	b.Thread().Lock(mu1).Signal(s1).Wait(s2).Lock(mu2).Unlock(mu2).Unlock(mu1)
+	b.Thread().Lock(mu2).Signal(s2).Wait(s1).Lock(mu1).Unlock(mu1).Unlock(mu2)
+	p := b.MustBuild()
+	s, err := New(p, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.Run(&recorder{})
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if len(de.Blocked) != 2 {
+		t.Errorf("blocked = %v", de.Blocked)
+	}
+}
+
+func TestRandomInterleaveDeterministic(t *testing.T) {
+	build := func() *program.Program {
+		b := program.NewBuilder("rand")
+		a := b.Space().AllocLine(64)
+		mu := b.Mutex()
+		for i := 0; i < 4; i++ {
+			tb := b.Thread()
+			for j := 0; j < 10; j++ {
+				off := mem.Addr((i*10 + j) % 8 * 8)
+				tb.Load(a + off).Lock(mu).Store(a).Unlock(mu)
+			}
+		}
+		return b.MustBuild()
+	}
+	run := func(seed int64) []string {
+		cfg := DefaultConfig(4)
+		cfg.Policy = RandomInterleave
+		cfg.Seed = seed
+		s, err := New(build(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := &recorder{}
+		if err := s.Run(r); err != nil {
+			t.Fatal(err)
+		}
+		return r.events
+	}
+	a, b2 := run(1), run(1)
+	if !reflect.DeepEqual(a, b2) {
+		t.Error("same seed produced different interleavings")
+	}
+	c := run(2)
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical interleavings (suspicious)")
+	}
+}
+
+func TestCtxMapping(t *testing.T) {
+	b := program.NewBuilder("ctx")
+	a := b.Space().AllocLine(8)
+	for i := 0; i < 4; i++ {
+		b.Thread().Load(a)
+	}
+	p := b.MustBuild()
+	// Two contexts: threads 0,2 on ctx0; 1,3 on ctx1.
+	r := mustRun(t, p, DefaultConfig(2))
+	want := []string{
+		fmt.Sprintf("t0@c0:load %v", a),
+		fmt.Sprintf("t1@c1:load %v", a),
+		fmt.Sprintf("t2@c0:load %v", a),
+		fmt.Sprintf("t3@c1:load %v", a),
+	}
+	if !reflect.DeepEqual(r.events, want) {
+		t.Errorf("events = %v, want %v", r.events, want)
+	}
+}
+
+func TestCustomCtxOf(t *testing.T) {
+	b := program.NewBuilder("ctxof")
+	a := b.Space().AllocLine(8)
+	b.Thread().Load(a)
+	b.Thread().Load(a)
+	p := b.MustBuild()
+	cfg := DefaultConfig(4)
+	cfg.CtxOf = func(t vclock.TID) cache.Context { return cache.Context(3) }
+	r := mustRun(t, p, cfg)
+	for _, ev := range r.events {
+		if ev[2:5] != "@c3" {
+			t.Errorf("event not on ctx 3: %v", ev)
+		}
+	}
+}
+
+func TestStepsCount(t *testing.T) {
+	b := program.NewBuilder("steps")
+	a := b.Space().AllocLine(8)
+	bar := b.Barrier(2)
+	b.Thread().Load(a).Barrier(bar)
+	b.Thread().Load(a).Barrier(bar)
+	p := b.MustBuild()
+	s, err := New(p, DefaultConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(&recorder{}); err != nil {
+		t.Fatal(err)
+	}
+	// 2 loads + 1 barrier release.
+	if s.Steps() != 3 {
+		t.Errorf("steps = %d, want 3", s.Steps())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	b := program.NewBuilder("v")
+	a := b.Space().AllocLine(8)
+	b.Thread().Load(a)
+	p := b.MustBuild()
+	if _, err := New(p, Config{Quantum: 0, Contexts: 1}); err == nil {
+		t.Error("zero quantum accepted")
+	}
+	if _, err := New(p, Config{Quantum: 1, Contexts: 0}); err == nil {
+		t.Error("zero contexts accepted")
+	}
+}
+
+// countingExec tallies per-thread op deliveries for exactly-once checks.
+type countingExec struct {
+	perThread map[vclock.TID]int
+	barriers  int
+}
+
+func (c *countingExec) Exec(t vclock.TID, ctx cache.Context, op program.Op) {
+	c.perThread[t]++
+}
+func (c *countingExec) BarrierRelease(id program.SyncID, parties []vclock.TID) {
+	c.barriers++
+}
+
+// TestRandomProgramsExecuteEveryOpExactlyOnce generates structurally valid
+// random programs and checks the scheduler delivers each non-barrier op
+// exactly once under both policies.
+func TestRandomProgramsExecuteEveryOpExactlyOnce(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nThreads := rng.Intn(4) + 2
+		b := program.NewBuilder("fuzz")
+		mu := b.Mutex()
+		sem := b.Semaphore()
+		bar := b.Barrier(nThreads)
+		arr := b.Space().AllocArray(64, 8)
+		barriersPerThread := rng.Intn(3)
+		expected := map[vclock.TID]int{}
+		for ti := 0; ti < nThreads; ti++ {
+			tb := b.Thread()
+			nOps := rng.Intn(30) + 5
+			for i := 0; i < nOps; i++ {
+				switch rng.Intn(6) {
+				case 0, 1:
+					tb.Load(arr + mem.Addr(rng.Intn(64)*8))
+				case 2:
+					tb.Store(arr + mem.Addr(rng.Intn(64)*8))
+				case 3:
+					tb.Compute(uint64(rng.Intn(5)) + 1)
+				case 4:
+					tb.Lock(mu).Store(arr).Unlock(mu)
+				case 5:
+					// Self-balancing semaphore use avoids deadlock.
+					tb.Signal(sem).Wait(sem)
+				}
+			}
+			for i := 0; i < barriersPerThread; i++ {
+				tb.Barrier(bar)
+			}
+			expected[vclock.TID(ti)] = tb.Len() - barriersPerThread
+		}
+		p, err := b.Build()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, pol := range []Policy{RoundRobin, RandomInterleave} {
+			cfg := DefaultConfig(4)
+			cfg.Policy = pol
+			cfg.Seed = seed
+			cfg.Quantum = rng.Intn(3) + 1
+			s, err := New(p, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ce := &countingExec{perThread: map[vclock.TID]int{}}
+			if err := s.Run(ce); err != nil {
+				t.Fatalf("seed %d policy %v: %v", seed, pol, err)
+			}
+			for tid, want := range expected {
+				if ce.perThread[tid] != want {
+					t.Fatalf("seed %d policy %v: thread %d ran %d ops, want %d",
+						seed, pol, tid, ce.perThread[tid], want)
+				}
+			}
+			if ce.barriers != barriersPerThread {
+				t.Fatalf("seed %d policy %v: %d barrier releases, want %d",
+					seed, pol, ce.barriers, barriersPerThread)
+			}
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package shadow provides the shadow-memory table the race detectors hang
+// their per-variable metadata on.
+//
+// Shadow state is tracked at word granularity (mem.WordSize): the detector's
+// notion of "the same variable". Each word owns a State holding FastTrack's
+// adaptive representation — a last-write epoch plus either a last-read epoch
+// (the common case) or an inflated read vector clock once the variable is
+// read-shared. The same State carries the optional full-VC (DJIT+-style)
+// write history used by the representation ablation.
+package shadow
+
+import (
+	"demandrace/internal/mem"
+	"demandrace/internal/vclock"
+)
+
+// State is the per-word detector metadata.
+type State struct {
+	// W is the epoch of the last write (vclock.None if never written).
+	W vclock.Epoch
+	// R is the epoch of the last read, or vclock.ReadShared when the read
+	// history has inflated to RVC, or vclock.None if never read.
+	R vclock.Epoch
+	// RVC is the read vector clock, allocated only after inflation.
+	RVC *vclock.VC
+	// WVC is the full write history (one component per thread), allocated
+	// only by the full-VC detector variant.
+	WVC *vclock.VC
+	// WRegion and RRegion record the program region of the last write and
+	// last read (representative reader once read-shared), giving race
+	// reports the "where" a binary-instrumentation tool would take from
+	// debug info.
+	WRegion string
+	RRegion string
+}
+
+// InflateRead converts an epoch-form read history into vector form,
+// seeding it with the previous read epoch (if any).
+func (s *State) InflateRead() {
+	if s.RVC == nil {
+		s.RVC = vclock.New(0)
+	}
+	if s.R != vclock.None && s.R != vclock.ReadShared {
+		s.RVC.Set(s.R.TIDOf(), s.R.TimeOf())
+	}
+	s.R = vclock.ReadShared
+}
+
+// Table maps words to their shadow state, creating states on demand.
+type Table struct {
+	words map[mem.Addr]*State
+}
+
+// NewTable returns an empty shadow table.
+func NewTable() *Table {
+	return &Table{words: make(map[mem.Addr]*State)}
+}
+
+// Get returns the state for the word containing addr, or nil if the word
+// has never been touched.
+func (t *Table) Get(addr mem.Addr) *State {
+	return t.words[mem.WordOf(addr)]
+}
+
+// GetOrCreate returns the state for the word containing addr, allocating a
+// fresh zero state on first touch.
+func (t *Table) GetOrCreate(addr mem.Addr) *State {
+	w := mem.WordOf(addr)
+	s, ok := t.words[w]
+	if !ok {
+		s = &State{}
+		t.words[w] = s
+	}
+	return s
+}
+
+// Len returns the number of tracked words.
+func (t *Table) Len() int { return len(t.words) }
+
+// Range calls fn for every tracked word until fn returns false. Iteration
+// order is unspecified.
+func (t *Table) Range(fn func(word mem.Addr, s *State) bool) {
+	for w, s := range t.words {
+		if !fn(w, s) {
+			return
+		}
+	}
+}
+
+// Reset drops all state (between experiment repetitions).
+func (t *Table) Reset() {
+	t.words = make(map[mem.Addr]*State)
+}

@@ -1,0 +1,91 @@
+package shadow
+
+import (
+	"testing"
+
+	"demandrace/internal/mem"
+	"demandrace/internal/vclock"
+)
+
+func TestGetOrCreateNormalizesToWord(t *testing.T) {
+	tb := NewTable()
+	a := tb.GetOrCreate(0x101)
+	b := tb.GetOrCreate(0x107)
+	if a != b {
+		t.Error("addresses in one word got distinct states")
+	}
+	c := tb.GetOrCreate(0x108)
+	if a == c {
+		t.Error("addresses in different words share a state")
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tb.Len())
+	}
+}
+
+func TestGetWithoutCreate(t *testing.T) {
+	tb := NewTable()
+	if tb.Get(0x100) != nil {
+		t.Error("Get on untouched word should be nil")
+	}
+	s := tb.GetOrCreate(0x100)
+	if tb.Get(0x103) != s {
+		t.Error("Get should find the created state via any byte of the word")
+	}
+}
+
+func TestInflateReadSeedsPriorEpoch(t *testing.T) {
+	s := &State{R: vclock.MakeEpoch(2, 7)}
+	s.InflateRead()
+	if s.R != vclock.ReadShared {
+		t.Errorf("R = %v, want SHARED", s.R)
+	}
+	if s.RVC.Get(2) != 7 {
+		t.Errorf("RVC[2] = %d, want 7", s.RVC.Get(2))
+	}
+}
+
+func TestInflateReadFromNone(t *testing.T) {
+	s := &State{}
+	s.InflateRead()
+	if s.R != vclock.ReadShared || s.RVC == nil || s.RVC.Len() != 0 {
+		t.Errorf("state = %+v", s)
+	}
+}
+
+func TestInflateReadIdempotentOnShared(t *testing.T) {
+	s := &State{}
+	s.InflateRead()
+	s.RVC.Set(1, 5)
+	s.InflateRead()
+	if s.RVC.Get(1) != 5 {
+		t.Error("re-inflation lost read history")
+	}
+}
+
+func TestRangeAndReset(t *testing.T) {
+	tb := NewTable()
+	tb.GetOrCreate(0x100)
+	tb.GetOrCreate(0x200)
+	n := 0
+	tb.Range(func(w mem.Addr, s *State) bool {
+		if w != mem.WordOf(w) {
+			t.Errorf("Range key %v not word-aligned", w)
+		}
+		n++
+		return true
+	})
+	if n != 2 {
+		t.Errorf("ranged over %d words", n)
+	}
+	// Early stop.
+	n = 0
+	tb.Range(func(mem.Addr, *State) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop ranged %d", n)
+	}
+	tb.Reset()
+	if tb.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+}

@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); !almost(g, 4) {
+		t.Errorf("Geomean(2,8) = %g", g)
+	}
+	if g := Geomean([]float64{3}); !almost(g, 3) {
+		t.Errorf("Geomean(3) = %g", g)
+	}
+	if !math.IsNaN(Geomean(nil)) {
+		t.Error("empty geomean should be NaN")
+	}
+	if !math.IsNaN(Geomean([]float64{1, -1})) {
+		t.Error("negative geomean should be NaN")
+	}
+	if !math.IsNaN(Geomean([]float64{0, 2})) {
+		t.Error("zero geomean should be NaN")
+	}
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1
+		}
+		g := Geomean(xs)
+		return g >= Min(xs)-1e-9 && g <= Max(xs)+1e-9 && g <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeomeanScaleInvariance(t *testing.T) {
+	// Geomean(k*xs) = k*Geomean(xs).
+	xs := []float64{1.5, 3.7, 12, 0.2}
+	if !almost(Geomean([]float64{3, 7.4, 24, 0.4}), 2*Geomean(xs)) {
+		t.Error("geomean not scale-invariant")
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{4, 1, 7}
+	if !almost(Mean(xs), 4) || !almost(Min(xs), 1) || !almost(Max(xs), 7) {
+		t.Errorf("mean/min/max = %g/%g/%g", Mean(xs), Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty summaries should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if p := Percentile(xs, 50); !almost(p, 3) {
+		t.Errorf("p50 = %g", p)
+	}
+	if p := Percentile(xs, 0); !almost(p, 1) {
+		t.Errorf("p0 = %g", p)
+	}
+	if p := Percentile(xs, 100); !almost(p, 5) {
+		t.Errorf("p100 = %g", p)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	out := tb.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "2.50") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 2 rows
+	if len(lines) != 5 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	if tb.Rows() != 2 {
+		t.Errorf("Rows = %d", tb.Rows())
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("1")                // short row pads
+	tb.AddRow("1", "2", "3", "4") // long row truncates
+	out := tb.String()
+	if strings.Contains(out, "4") {
+		t.Errorf("extra cell leaked:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "name", "note")
+	tb.AddRow("x", `has "quotes", commas`)
+	csv := tb.CSV()
+	want := "name,note\nx,\"has \"\"quotes\"\", commas\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}

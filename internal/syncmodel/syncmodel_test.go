@@ -1,0 +1,43 @@
+package syncmodel
+
+import (
+	"testing"
+
+	"demandrace/internal/vclock"
+)
+
+func TestMutexAndSemClocksIndependent(t *testing.T) {
+	tb := NewTable(2, 2)
+	tb.Mutex(0).Set(1, 5)
+	if tb.Mutex(1).Get(1) != 0 {
+		t.Error("mutex clocks aliased")
+	}
+	if tb.Sem(0).Get(1) != 0 {
+		t.Error("mutex and sem clocks aliased")
+	}
+	tb.Sem(1).Set(0, 3)
+	if tb.Sem(0).Get(0) != 0 {
+		t.Error("sem clocks aliased")
+	}
+}
+
+func TestAtomicWordNormalization(t *testing.T) {
+	tb := NewTable(0, 0)
+	a := tb.Atomic(0x101)
+	b := tb.Atomic(0x106)
+	if a != b {
+		t.Error("same-word atomics got distinct clocks")
+	}
+	c := tb.Atomic(0x108)
+	if a == c {
+		t.Error("different-word atomics share a clock")
+	}
+}
+
+func TestAtomicClockPersists(t *testing.T) {
+	tb := NewTable(0, 0)
+	tb.Atomic(0x100).Set(vclock.TID(2), 9)
+	if tb.Atomic(0x100).Get(2) != 9 {
+		t.Error("atomic clock lost state between lookups")
+	}
+}

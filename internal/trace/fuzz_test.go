@@ -1,0 +1,66 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"demandrace/internal/demand"
+	"demandrace/internal/detector"
+	"demandrace/internal/trace"
+)
+
+// FuzzDecodeBinary asserts the binary decoder never panics and never
+// accepts garbage silently: any input either round-trips as a valid trace
+// or errors.
+func FuzzDecodeBinary(f *testing.F) {
+	// Seed with a real trace and a few corruptions of it.
+	tr := recordedTrace(&testing.T{}, "racy_flag", demand.Continuous)
+	var buf bytes.Buffer
+	if err := trace.EncodeBinary(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("DRT1"))
+	f.Add([]byte{})
+	corrupted := append([]byte(nil), valid...)
+	for i := 10; i < len(corrupted); i += 97 {
+		corrupted[i] ^= 0xff
+	}
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := trace.DecodeBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully decoded trace must be safely replayable and
+		// re-encodable.
+		det := trace.Replay(got, detector.Options{})
+		_ = det.Reports()
+		var out bytes.Buffer
+		if err := trace.EncodeBinary(&out, got); err != nil {
+			t.Fatalf("re-encode of decoded trace failed: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeJSON mirrors the binary fuzz for the JSON codec.
+func FuzzDecodeJSON(f *testing.F) {
+	tr := recordedTrace(&testing.T{}, "micro_private", demand.Off)
+	var buf bytes.Buffer
+	if err := trace.EncodeJSON(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"program":"x","events":[{"seq":1,"tid":-5,"kind":99}]}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := trace.DecodeJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		_ = trace.Replay(got, detector.Options{}).Reports()
+	})
+}

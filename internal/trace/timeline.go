@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Timeline renders a trace as per-thread ASCII strips, the at-a-glance
+// view of where analysis was on and where sharing happened:
+//
+//	t0 ▕····████████··║··▏
+//	t1 ▕······█!██····║··▏
+//
+// Each column aggregates a window of the trace's events. Per cell, the
+// strongest signal wins: '!' a HITM inside an analyzed window (the demand
+// mechanism catching sharing), '█' analyzed execution, '~' a HITM that ran
+// unanalyzed (sharing the tool did not see), '║' synchronization, '·' fast
+// uninstrumented execution, ' ' no activity.
+func Timeline(tr *Trace, width int) string {
+	if width < 8 {
+		width = 8
+	}
+	threads, _, _ := tr.Dims()
+	if threads == 0 || len(tr.Events) == 0 {
+		return "(empty trace)\n"
+	}
+	per := (len(tr.Events) + width - 1) / width
+	type cell uint8
+	const (
+		cEmpty cell = iota
+		cFast
+		cSync
+		cMissedHITM
+		cAnalyzed
+		cCaughtHITM
+	)
+	grid := make([][]cell, threads)
+	for i := range grid {
+		grid[i] = make([]cell, width)
+	}
+	bump := func(t int, col int, c cell) {
+		if c > grid[t][col] {
+			grid[t][col] = c
+		}
+	}
+	for i, e := range tr.Events {
+		col := i / per
+		if col >= width {
+			col = width - 1
+		}
+		switch {
+		case e.Kind.IsSync() && len(e.Parties) > 0:
+			for _, p := range e.Parties {
+				bump(int(p), col, cSync)
+			}
+		case e.Kind.IsSync():
+			bump(int(e.TID), col, cSync)
+		case e.Kind.IsMemory():
+			c := cFast
+			switch {
+			case e.HITM && e.Analyzed:
+				c = cCaughtHITM
+			case e.HITM:
+				c = cMissedHITM
+			case e.Analyzed:
+				c = cAnalyzed
+			}
+			bump(int(e.TID), col, c)
+		default:
+			bump(int(e.TID), col, cFast)
+		}
+	}
+	glyph := map[cell]rune{
+		cEmpty: ' ', cFast: '·', cSync: '║',
+		cMissedHITM: '~', cAnalyzed: '█', cCaughtHITM: '!',
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline of %s (%d events, %d events/col)\n", tr.Program, len(tr.Events), per)
+	for t := 0; t < threads; t++ {
+		fmt.Fprintf(&b, "t%-2d ▕", t)
+		for _, c := range grid[t] {
+			b.WriteRune(glyph[c])
+		}
+		b.WriteString("▏\n")
+	}
+	b.WriteString("     · fast   █ analyzed   ║ sync   ! HITM caught   ~ HITM unobserved\n")
+	return b.String()
+}

@@ -1,0 +1,375 @@
+// Package trace records the op-level event stream of a run and replays it
+// through a detector offline.
+//
+// Tracing separates "execute once" from "analyze many times": a trace
+// recorded under any policy replays through fresh detectors with different
+// options (FastTrack vs full-VC, different report caps) without re-running
+// the simulator, mirroring how commercial tools support post-mortem
+// analysis of collected logs. Traces encode to a compact varint binary
+// format and to JSON.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"demandrace/internal/cache"
+	"demandrace/internal/detector"
+	"demandrace/internal/mem"
+	"demandrace/internal/program"
+	"demandrace/internal/vclock"
+)
+
+// Event is one recorded execution event. Ordinary ops carry TID/Ctx/Op;
+// barrier releases carry Parties instead (Op.Kind == OpBarrier).
+type Event struct {
+	// Seq is the global order of the event.
+	Seq uint64 `json:"seq"`
+	// TID is the executing thread (unused for barrier releases).
+	TID vclock.TID `json:"tid"`
+	// Ctx is the hardware context.
+	Ctx cache.Context `json:"ctx"`
+	// Kind, Addr, Sync, N mirror program.Op.
+	Kind program.Kind   `json:"kind"`
+	Addr mem.Addr       `json:"addr,omitempty"`
+	Sync program.SyncID `json:"sync,omitempty"`
+	N    uint64         `json:"n,omitempty"`
+	// Parties lists barrier participants (barrier releases only).
+	Parties []vclock.TID `json:"parties,omitempty"`
+	// Str carries the region label of mark events.
+	Str string `json:"str,omitempty"`
+	// HITM marks memory events served by a remote Modified line.
+	HITM bool `json:"hitm,omitempty"`
+	// Analyzed marks events the demand controller let the detector see.
+	Analyzed bool `json:"analyzed,omitempty"`
+}
+
+// Op reconstructs the program op of an ordinary event.
+func (e Event) Op() program.Op {
+	return program.Op{Kind: e.Kind, Addr: e.Addr, Sync: e.Sync, N: e.N}
+}
+
+// Trace is a recorded run.
+type Trace struct {
+	Program string  `json:"program"`
+	Events  []Event `json:"events"`
+}
+
+// Recorder accumulates events; install it in the runner configuration.
+type Recorder struct {
+	tr  Trace
+	seq uint64
+}
+
+// NewRecorder starts an empty recorder for the named program.
+func NewRecorder(name string) *Recorder {
+	return &Recorder{tr: Trace{Program: name}}
+}
+
+// RecordOp appends an ordinary op event.
+func (r *Recorder) RecordOp(t vclock.TID, ctx cache.Context, op program.Op, hitm, analyzed bool) {
+	r.seq++
+	r.tr.Events = append(r.tr.Events, Event{
+		Seq: r.seq, TID: t, Ctx: ctx,
+		Kind: op.Kind, Addr: op.Addr, Sync: op.Sync, N: op.N,
+		HITM: hitm, Analyzed: analyzed,
+	})
+}
+
+// RecordMark appends a region-annotation event.
+func (r *Recorder) RecordMark(t vclock.TID, ctx cache.Context, label string) {
+	r.seq++
+	r.tr.Events = append(r.tr.Events, Event{
+		Seq: r.seq, TID: t, Ctx: ctx, Kind: program.OpMark, Str: label,
+	})
+}
+
+// RecordBarrier appends a barrier-release event.
+func (r *Recorder) RecordBarrier(id program.SyncID, parties []vclock.TID, analyzed bool) {
+	r.seq++
+	r.tr.Events = append(r.tr.Events, Event{
+		Seq: r.seq, Kind: program.OpBarrier, Sync: id,
+		Parties: append([]vclock.TID(nil), parties...), Analyzed: analyzed,
+	})
+}
+
+// Trace returns the recorded trace.
+func (r *Recorder) Trace() *Trace { return &r.tr }
+
+// Replay feeds a trace's analyzed events through a fresh detector built
+// with opt and returns it. Thread and sync-object counts are inferred from
+// the trace.
+func Replay(tr *Trace, opt detector.Options) *detector.Detector {
+	threads, mutexes, sems := tr.Dims()
+	det := detector.New(threads, mutexes, sems, opt)
+	for _, e := range tr.Events {
+		if e.Kind == program.OpMark {
+			det.SetRegion(e.TID, e.Str)
+			continue
+		}
+		if !e.Analyzed {
+			continue
+		}
+		switch e.Kind {
+		case program.OpLoad:
+			det.OnRead(e.TID, e.Addr)
+		case program.OpStore:
+			det.OnWrite(e.TID, e.Addr)
+		case program.OpAtomicLoad:
+			det.OnAtomicLoad(e.TID, e.Addr)
+		case program.OpAtomicStore:
+			det.OnAtomicStore(e.TID, e.Addr)
+		case program.OpLock:
+			det.OnLock(e.TID, e.Sync)
+		case program.OpUnlock:
+			det.OnUnlock(e.TID, e.Sync)
+		case program.OpSignal:
+			det.OnSignal(e.TID, e.Sync)
+		case program.OpWait:
+			det.OnWait(e.TID, e.Sync)
+		case program.OpBarrier:
+			det.OnBarrierRelease(e.Parties)
+		}
+	}
+	return det
+}
+
+// Summary aggregates a trace's event population.
+type Summary struct {
+	Program  string
+	Events   int
+	Threads  int
+	ByKind   map[string]int
+	HITM     int
+	Analyzed int
+}
+
+// Summarize computes a trace's Summary.
+func Summarize(tr *Trace) Summary {
+	threads, _, _ := tr.Dims()
+	s := Summary{Program: tr.Program, Events: len(tr.Events), Threads: threads,
+		ByKind: map[string]int{}}
+	for _, e := range tr.Events {
+		s.ByKind[e.Kind.String()]++
+		if e.HITM {
+			s.HITM++
+		}
+		if e.Analyzed {
+			s.Analyzed++
+		}
+	}
+	return s
+}
+
+// Dims infers (threads, mutexes, semaphores) from the event stream.
+func (tr *Trace) Dims() (threads, mutexes, sems int) {
+	for _, e := range tr.Events {
+		if int(e.TID) >= threads {
+			threads = int(e.TID) + 1
+		}
+		for _, p := range e.Parties {
+			if int(p) >= threads {
+				threads = int(p) + 1
+			}
+		}
+		switch e.Kind {
+		case program.OpLock, program.OpUnlock:
+			if int(e.Sync) >= mutexes {
+				mutexes = int(e.Sync) + 1
+			}
+		case program.OpSignal, program.OpWait:
+			if int(e.Sync) >= sems {
+				sems = int(e.Sync) + 1
+			}
+		}
+	}
+	return threads, mutexes, sems
+}
+
+// ---- binary encoding ----
+
+// magic and version guard the binary format.
+var magic = [4]byte{'D', 'R', 'T', '1'}
+
+const (
+	flagHITM     = 1 << 0
+	flagAnalyzed = 1 << 1
+	flagBarrier  = 1 << 2
+	flagStr      = 1 << 3
+)
+
+// EncodeBinary writes the trace in the compact varint format.
+func EncodeBinary(w io.Writer, tr *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(tr.Program)))
+	if _, err := bw.WriteString(tr.Program); err != nil {
+		return err
+	}
+	writeUvarint(bw, uint64(len(tr.Events)))
+	for _, e := range tr.Events {
+		var flags byte
+		if e.HITM {
+			flags |= flagHITM
+		}
+		if e.Analyzed {
+			flags |= flagAnalyzed
+		}
+		if len(e.Parties) > 0 {
+			flags |= flagBarrier
+		}
+		if e.Str != "" {
+			flags |= flagStr
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(e.Kind)); err != nil {
+			return err
+		}
+		writeUvarint(bw, uint64(e.TID))
+		writeUvarint(bw, uint64(e.Ctx))
+		writeUvarint(bw, uint64(e.Addr))
+		writeUvarint(bw, uint64(e.Sync))
+		writeUvarint(bw, e.N)
+		if flags&flagBarrier != 0 {
+			writeUvarint(bw, uint64(len(e.Parties)))
+			for _, p := range e.Parties {
+				writeUvarint(bw, uint64(p))
+			}
+		}
+		if flags&flagStr != 0 {
+			writeUvarint(bw, uint64(len(e.Str)))
+			if _, err := bw.WriteString(e.Str); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode limits: length fields in the input are untrusted, so buffers are
+// never pre-allocated beyond these caps (a count larger than the remaining
+// input fails at read time instead of exhausting memory).
+const (
+	maxNameLen  = 1 << 12
+	maxStrLen   = 1 << 16
+	maxParties  = 1 << 16
+	preallocCap = 1 << 12
+)
+
+// DecodeBinary reads a trace written by EncodeBinary.
+func DecodeBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("trace: bad magic (not a DRT1 trace)")
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > maxNameLen {
+		return nil, fmt.Errorf("trace: program name length %d exceeds limit", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	// Do not trust count for allocation; events append as they decode.
+	tr := &Trace{Program: string(name), Events: make([]Event, 0, min(count, preallocCap))}
+	for i := uint64(0); i < count; i++ {
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		e := Event{
+			Seq:      i + 1,
+			Kind:     program.Kind(kind),
+			HITM:     flags&flagHITM != 0,
+			Analyzed: flags&flagAnalyzed != 0,
+		}
+		vals := make([]uint64, 5)
+		for j := range vals {
+			if vals[j], err = binary.ReadUvarint(br); err != nil {
+				return nil, err
+			}
+		}
+		e.TID = vclock.TID(vals[0])
+		e.Ctx = cache.Context(vals[1])
+		e.Addr = mem.Addr(vals[2])
+		e.Sync = program.SyncID(vals[3])
+		e.N = vals[4]
+		if flags&flagBarrier != 0 {
+			np, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if np > maxParties {
+				return nil, fmt.Errorf("trace: barrier party count %d exceeds limit", np)
+			}
+			e.Parties = make([]vclock.TID, np)
+			for j := range e.Parties {
+				v, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, err
+				}
+				e.Parties[j] = vclock.TID(v)
+			}
+		}
+		if flags&flagStr != 0 {
+			n, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if n > maxStrLen {
+				return nil, fmt.Errorf("trace: label length %d exceeds limit", n)
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(br, buf); err != nil {
+				return nil, err
+			}
+			e.Str = string(buf)
+		}
+		tr.Events = append(tr.Events, e)
+	}
+	return tr, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n]) // bufio.Writer errors surface at Flush
+}
+
+// EncodeJSON writes the trace as JSON.
+func EncodeJSON(w io.Writer, tr *Trace) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// DecodeJSON reads a JSON trace.
+func DecodeJSON(r io.Reader) (*Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, err
+	}
+	return &tr, nil
+}

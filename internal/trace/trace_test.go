@@ -1,0 +1,294 @@
+package trace_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"demandrace/internal/demand"
+	"demandrace/internal/detector"
+	"demandrace/internal/runner"
+	"demandrace/internal/trace"
+	"demandrace/internal/workloads"
+)
+
+func recordedTrace(t *testing.T, kernel string, policy demand.PolicyKind) *trace.Trace {
+	t.Helper()
+	k, ok := workloads.ByName(kernel)
+	if !ok {
+		t.Fatalf("kernel %q not found", kernel)
+	}
+	p := k.Build(workloads.Config{Threads: 4, Scale: 1})
+	cfg := runner.DefaultConfig().WithPolicy(policy)
+	rec := trace.NewRecorder(p.Name)
+	cfg.Tracer = rec
+	if _, err := runner.Run(p, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Trace()
+}
+
+func TestRecorderCapturesAllOps(t *testing.T) {
+	k, _ := workloads.ByName("racy_counter")
+	p := k.Build(workloads.Config{Threads: 2, Scale: 1})
+	cfg := runner.DefaultConfig().WithPolicy(demand.Continuous)
+	rec := trace.NewRecorder(p.Name)
+	cfg.Tracer = rec
+	rep, err := runner.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := rec.Trace()
+	if uint64(len(tr.Events)) != rep.Steps {
+		t.Errorf("trace has %d events, scheduler ran %d steps", len(tr.Events), rep.Steps)
+	}
+	// Sequence numbers are dense and ascending.
+	for i, e := range tr.Events {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestReplayMatchesLiveContinuous(t *testing.T) {
+	for _, kernel := range []string{"racy_counter", "racy_flag", "histogram"} {
+		k, _ := workloads.ByName(kernel)
+		p := k.Build(workloads.Config{Threads: 4, Scale: 1})
+		cfg := runner.DefaultConfig().WithPolicy(demand.Continuous)
+		rec := trace.NewRecorder(p.Name)
+		cfg.Tracer = rec
+		rep, err := runner.Run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		det := trace.Replay(rec.Trace(), detector.Options{})
+		if !reflect.DeepEqual(det.Reports(), rep.Races) {
+			t.Errorf("%s: replay races %v != live races %v", kernel, det.Reports(), rep.Races)
+		}
+	}
+}
+
+func TestReplayMatchesLiveDemand(t *testing.T) {
+	// Replay must also reproduce the *gated* analysis: only analyzed
+	// events reach the detector.
+	k, _ := workloads.ByName("racy_counter")
+	p := k.Build(workloads.Config{Threads: 4, Scale: 2})
+	cfg := runner.DefaultConfig().WithPolicy(demand.HITMDemand)
+	rec := trace.NewRecorder(p.Name)
+	cfg.Tracer = rec
+	rep, err := runner.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := trace.Replay(rec.Trace(), detector.Options{})
+	if !reflect.DeepEqual(det.Reports(), rep.Races) {
+		t.Errorf("replay races %v != live races %v", det.Reports(), rep.Races)
+	}
+}
+
+func TestReplayWithDifferentOptions(t *testing.T) {
+	tr := recordedTrace(t, "racy_counter", demand.Continuous)
+	ft := trace.Replay(tr, detector.Options{})
+	fv := trace.Replay(tr, detector.Options{FullVC: true})
+	ftAddrs := map[string]bool{}
+	for _, r := range ft.Reports() {
+		ftAddrs[r.Addr.String()] = true
+	}
+	for _, r := range fv.Reports() {
+		if !ftAddrs[r.Addr.String()] {
+			t.Errorf("full-VC replay found %v that FastTrack did not", r)
+		}
+	}
+	if len(fv.Reports()) == 0 {
+		t.Error("full-VC replay found nothing")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := recordedTrace(t, "kmeans", demand.Continuous)
+	var buf bytes.Buffer
+	if err := trace.EncodeBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.DecodeBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Error("binary round trip changed the trace")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := recordedTrace(t, "micro_producer_consumer", demand.HITMDemand)
+	var buf bytes.Buffer
+	if err := trace.EncodeJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := trace.DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Error("JSON round trip changed the trace")
+	}
+}
+
+func TestBinaryCompactness(t *testing.T) {
+	tr := recordedTrace(t, "histogram", demand.Continuous)
+	var bin, js bytes.Buffer
+	if err := trace.EncodeBinary(&bin, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.EncodeJSON(&js, tr); err != nil {
+		t.Fatal(err)
+	}
+	if bin.Len() >= js.Len() {
+		t.Errorf("binary (%d bytes) not smaller than JSON (%d bytes)", bin.Len(), js.Len())
+	}
+}
+
+func TestDecodeBadMagic(t *testing.T) {
+	if _, err := trace.DecodeBinary(strings.NewReader("NOPE....")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := trace.DecodeBinary(strings.NewReader("DR")); err == nil {
+		t.Error("truncated magic accepted")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	tr := recordedTrace(t, "micro_private", demand.Off)
+	var buf bytes.Buffer
+	if err := trace.EncodeBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if _, err := trace.DecodeBinary(bytes.NewReader(b[:len(b)/2])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestHITMEventsMarked(t *testing.T) {
+	tr := recordedTrace(t, "micro_producer_consumer", demand.Off)
+	n := 0
+	for _, e := range tr.Events {
+		if e.HITM {
+			n++
+		}
+	}
+	if n < 90 {
+		t.Errorf("trace marked %d HITM events, want ≈100", n)
+	}
+}
+
+func TestDimsInference(t *testing.T) {
+	tr := recordedTrace(t, "kmeans", demand.Continuous)
+	threads, mutexes, _ := tr.Dims()
+	if threads != 4 {
+		t.Errorf("inferred %d threads", threads)
+	}
+	if mutexes != 1 {
+		t.Errorf("inferred %d mutexes", mutexes)
+	}
+}
+
+func TestOffPolicyTraceHasNoAnalyzedEvents(t *testing.T) {
+	tr := recordedTrace(t, "racy_counter", demand.Off)
+	for _, e := range tr.Events {
+		if e.Analyzed {
+			t.Fatal("Off-policy trace contains analyzed events")
+		}
+	}
+	det := trace.Replay(tr, detector.Options{})
+	if len(det.Reports()) != 0 {
+		t.Error("replaying an Off trace found races")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := recordedTrace(t, "racy_flag", demand.Continuous)
+	s := trace.Summarize(tr)
+	if s.Program != "racy_flag" || s.Threads != 2 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Events != len(tr.Events) {
+		t.Errorf("events = %d", s.Events)
+	}
+	total := 0
+	for _, n := range s.ByKind {
+		total += n
+	}
+	if total != s.Events {
+		t.Errorf("kind counts sum to %d, want %d", total, s.Events)
+	}
+	if s.HITM == 0 {
+		t.Error("racy_flag trace should record HITM events")
+	}
+	if s.Analyzed == 0 {
+		t.Error("continuous trace should mark analyzed events")
+	}
+}
+
+func TestDecodeBinaryRejectsHugeLengths(t *testing.T) {
+	// A crafted header claiming a multi-gigabyte program name must fail
+	// cleanly instead of allocating.
+	crafted := append([]byte("DRT1"), 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, err := trace.DecodeBinary(bytes.NewReader(crafted)); err == nil {
+		t.Error("oversized name length accepted")
+	}
+}
+
+// stripsOnly drops the header and legend lines so glyph assertions only
+// see the per-thread strips.
+func stripsOnly(out string) string {
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) <= 2 {
+		return ""
+	}
+	return strings.Join(lines[1:len(lines)-1], "\n")
+}
+
+func TestTimelineRendering(t *testing.T) {
+	tr := recordedTrace(t, "racy_mostly_clean", demand.HITMDemand)
+	out := trace.Timeline(tr, 60)
+	if !strings.Contains(out, "t0 ") || !strings.Contains(out, "t3 ") {
+		t.Errorf("missing thread strips:\n%s", out)
+	}
+	// A demand-policy run of this kernel has fast spans, analyzed spans,
+	// and caught HITMs (checked against the strips, not the legend).
+	strips := stripsOnly(out)
+	for _, glyph := range []string{"·", "█", "!"} {
+		if !strings.Contains(strips, glyph) {
+			t.Errorf("timeline missing %q:\n%s", glyph, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + 4 threads + legend
+	if len(lines) != 6 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTimelineOffPolicyShowsUnobservedSharing(t *testing.T) {
+	tr := recordedTrace(t, "micro_producer_consumer", demand.Off)
+	strips := stripsOnly(trace.Timeline(tr, 40))
+	if !strings.Contains(strips, "~") {
+		t.Errorf("Off-policy HITMs should render as unobserved:\n%s", strips)
+	}
+	if strings.Contains(strips, "!") || strings.Contains(strips, "█") {
+		t.Errorf("Off policy cannot analyze anything:\n%s", strips)
+	}
+}
+
+func TestTimelineEmptyAndTinyWidth(t *testing.T) {
+	if got := trace.Timeline(&trace.Trace{Program: "x"}, 40); got != "(empty trace)\n" {
+		t.Errorf("empty = %q", got)
+	}
+	tr := recordedTrace(t, "micro_private", demand.Off)
+	out := trace.Timeline(tr, 1) // clamped to minimum width
+	if !strings.Contains(out, "t0 ") {
+		t.Errorf("tiny width broke rendering:\n%s", out)
+	}
+}

@@ -1,0 +1,180 @@
+// Package vclock implements vector clocks and FastTrack-style epochs, the
+// timestamps from which the happens-before race detector is built.
+//
+// A vector clock maps each thread to the count of that thread's completed
+// "operations" (in the detector's sense: increments happen at release-style
+// synchronization events). Clock C1 happens-before C2 when C1 ≤ C2 pointwise
+// and C1 ≠ C2. An Epoch c@t is the FastTrack compression of "the last access
+// was by thread t at its local time c"; most variables only ever need an
+// epoch, which is what makes FastTrack's common case O(1).
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TID identifies a simulated thread. Thread IDs are small dense integers
+// assigned in spawn order by the scheduler.
+type TID int32
+
+// Time is a single thread-local logical clock value.
+type Time uint32
+
+// VC is a vector clock. The zero value is usable and represents the clock
+// that is ≤ every other clock. Index i holds the component for TID(i);
+// missing tail entries are implicitly zero.
+type VC struct {
+	c []Time
+}
+
+// New returns a vector clock with capacity for n threads (all zero).
+func New(n int) *VC {
+	return &VC{c: make([]Time, n)}
+}
+
+// Get returns the component for thread t (zero if beyond the stored tail).
+func (v *VC) Get(t TID) Time {
+	if int(t) >= len(v.c) {
+		return 0
+	}
+	return v.c[t]
+}
+
+// Set assigns the component for thread t, growing the vector as needed.
+func (v *VC) Set(t TID, val Time) {
+	v.grow(int(t) + 1)
+	v.c[t] = val
+}
+
+// Tick increments thread t's own component and returns the new value.
+func (v *VC) Tick(t TID) Time {
+	v.grow(int(t) + 1)
+	v.c[t]++
+	return v.c[t]
+}
+
+func (v *VC) grow(n int) {
+	if n <= len(v.c) {
+		return
+	}
+	if n <= cap(v.c) {
+		v.c = v.c[:n]
+		return
+	}
+	nc := make([]Time, n, n*2)
+	copy(nc, v.c)
+	v.c = nc
+}
+
+// Join merges other into v pointwise (v := v ⊔ other).
+func (v *VC) Join(other *VC) {
+	v.grow(len(other.c))
+	for i, t := range other.c {
+		if t > v.c[i] {
+			v.c[i] = t
+		}
+	}
+}
+
+// Copy returns an independent deep copy of v.
+func (v *VC) Copy() *VC {
+	nc := make([]Time, len(v.c))
+	copy(nc, v.c)
+	return &VC{c: nc}
+}
+
+// Assign overwrites v with the contents of other.
+func (v *VC) Assign(other *VC) {
+	v.grow(len(other.c))
+	copy(v.c, other.c)
+	for i := len(other.c); i < len(v.c); i++ {
+		v.c[i] = 0
+	}
+}
+
+// LEQ reports whether v ≤ other pointwise (v happens-before-or-equals other).
+func (v *VC) LEQ(other *VC) bool {
+	for i, t := range v.c {
+		if t > other.Get(TID(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports pointwise equality (treating missing tails as zero).
+func (v *VC) Equal(other *VC) bool {
+	return v.LEQ(other) && other.LEQ(v)
+}
+
+// HappensBefore reports the strict order: v ≤ other and v ≠ other.
+func (v *VC) HappensBefore(other *VC) bool {
+	return v.LEQ(other) && !other.LEQ(v)
+}
+
+// Concurrent reports that neither clock happens-before the other.
+func (v *VC) Concurrent(other *VC) bool {
+	return !v.LEQ(other) && !other.LEQ(v)
+}
+
+// Len returns the number of stored components (threads seen so far).
+func (v *VC) Len() int { return len(v.c) }
+
+// String renders the clock as <t0,t1,...>.
+func (v *VC) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, t := range v.c {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", t)
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// Epoch is FastTrack's scalar timestamp c@t: thread t at local time c.
+// It is packed into a single word so shadow memory stays compact.
+// The zero Epoch (None) means "no access recorded".
+type Epoch uint64
+
+// None is the empty epoch: no access has been recorded.
+const None Epoch = 0
+
+// ReadShared is a sentinel epoch stored in shadow read slots whose read
+// history has inflated to a full vector clock.
+const ReadShared Epoch = ^Epoch(0)
+
+// MakeEpoch packs thread t at time c into an epoch. Times start at 1 in the
+// detector, so a packed epoch is never zero.
+func MakeEpoch(t TID, c Time) Epoch {
+	return Epoch(uint64(c)<<16 | uint64(uint16(t)) + 1)
+}
+
+// TIDOf unpacks the thread component.
+func (e Epoch) TIDOf() TID { return TID(uint16(e) - 1) }
+
+// TimeOf unpacks the time component.
+func (e Epoch) TimeOf() Time { return Time(e >> 16) }
+
+// LEQ reports whether epoch e happens-before-or-equals clock v:
+// c@t ≤ V iff c ≤ V[t].
+func (e Epoch) LEQ(v *VC) bool {
+	if e == None {
+		return true
+	}
+	return e.TimeOf() <= v.Get(e.TIDOf())
+}
+
+func (e Epoch) String() string {
+	switch e {
+	case None:
+		return "⊥"
+	case ReadShared:
+		return "SHARED"
+	default:
+		return fmt.Sprintf("%d@%d", e.TimeOf(), e.TIDOf())
+	}
+}

@@ -1,0 +1,275 @@
+package vclock
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genVC produces a random vector clock over up to 6 threads for
+// property-based tests.
+func genVC(r *rand.Rand) *VC {
+	n := r.Intn(6)
+	v := New(n)
+	for i := 0; i < n; i++ {
+		v.Set(TID(i), Time(r.Intn(8)))
+	}
+	return v
+}
+
+// vcGen adapts genVC to testing/quick's Generator protocol via a wrapper.
+type vcVal struct{ V *VC }
+
+func (vcVal) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(vcVal{genVC(r)})
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var v VC
+	if v.Get(3) != 0 {
+		t.Error("zero VC should read 0 everywhere")
+	}
+	v.Set(2, 7)
+	if v.Get(2) != 7 {
+		t.Error("Set/Get on zero VC failed")
+	}
+}
+
+func TestTick(t *testing.T) {
+	v := New(0)
+	if got := v.Tick(1); got != 1 {
+		t.Errorf("first tick = %d, want 1", got)
+	}
+	if got := v.Tick(1); got != 2 {
+		t.Errorf("second tick = %d, want 2", got)
+	}
+	if v.Get(0) != 0 {
+		t.Error("tick leaked into another component")
+	}
+}
+
+func TestJoinCommutative(t *testing.T) {
+	f := func(a, b vcVal) bool {
+		x := a.V.Copy()
+		x.Join(b.V)
+		y := b.V.Copy()
+		y.Join(a.V)
+		return x.Equal(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinAssociative(t *testing.T) {
+	f := func(a, b, c vcVal) bool {
+		x := a.V.Copy()
+		x.Join(b.V)
+		x.Join(c.V)
+		bc := b.V.Copy()
+		bc.Join(c.V)
+		y := a.V.Copy()
+		y.Join(bc)
+		return x.Equal(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinIdempotent(t *testing.T) {
+	f := func(a vcVal) bool {
+		x := a.V.Copy()
+		x.Join(a.V)
+		return x.Equal(a.V)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinIsUpperBound(t *testing.T) {
+	f := func(a, b vcVal) bool {
+		j := a.V.Copy()
+		j.Join(b.V)
+		return a.V.LEQ(j) && b.V.LEQ(j)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinIsLeastUpperBound(t *testing.T) {
+	// Any common upper bound u of a and b dominates join(a,b). We build an
+	// arbitrary common upper bound as u = a ⊔ b ⊔ c for random c.
+	f := func(a, b, c vcVal) bool {
+		j := a.V.Copy()
+		j.Join(b.V)
+		u := a.V.Copy()
+		u.Join(b.V)
+		u.Join(c.V)
+		if !a.V.LEQ(u) || !b.V.LEQ(u) {
+			return false // u must be an upper bound by construction
+		}
+		return j.LEQ(u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHappensBeforeStrictPartialOrder(t *testing.T) {
+	// Irreflexive.
+	f1 := func(a vcVal) bool { return !a.V.HappensBefore(a.V) }
+	if err := quick.Check(f1, nil); err != nil {
+		t.Errorf("irreflexivity: %v", err)
+	}
+	// Asymmetric.
+	f2 := func(a, b vcVal) bool {
+		return !(a.V.HappensBefore(b.V) && b.V.HappensBefore(a.V))
+	}
+	if err := quick.Check(f2, nil); err != nil {
+		t.Errorf("asymmetry: %v", err)
+	}
+	// Transitive.
+	f3 := func(a, b, c vcVal) bool {
+		if a.V.HappensBefore(b.V) && b.V.HappensBefore(c.V) {
+			return a.V.HappensBefore(c.V)
+		}
+		return true
+	}
+	if err := quick.Check(f3, nil); err != nil {
+		t.Errorf("transitivity: %v", err)
+	}
+}
+
+func TestConcurrentSymmetric(t *testing.T) {
+	f := func(a, b vcVal) bool {
+		return a.V.Concurrent(b.V) == b.V.Concurrent(a.V)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrichotomyExactlyOne(t *testing.T) {
+	// For any pair exactly one of: a<b, b<a, a==b, a||b.
+	f := func(a, b vcVal) bool {
+		n := 0
+		if a.V.HappensBefore(b.V) {
+			n++
+		}
+		if b.V.HappensBefore(a.V) {
+			n++
+		}
+		if a.V.Equal(b.V) {
+			n++
+		}
+		if a.V.Concurrent(b.V) {
+			n++
+		}
+		return n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssign(t *testing.T) {
+	a := New(3)
+	a.Set(0, 5)
+	a.Set(2, 9)
+	b := New(5)
+	b.Set(4, 1)
+	b.Assign(a)
+	if !b.Equal(a) {
+		t.Errorf("Assign: %v != %v", b, a)
+	}
+	if b.Get(4) != 0 {
+		t.Error("Assign did not clear stale tail component")
+	}
+	// Mutating a afterwards must not affect b.
+	a.Set(0, 100)
+	if b.Get(0) != 5 {
+		t.Error("Assign aliased underlying storage")
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	a := New(2)
+	a.Set(1, 3)
+	c := a.Copy()
+	a.Set(1, 10)
+	if c.Get(1) != 3 {
+		t.Error("Copy aliased underlying storage")
+	}
+}
+
+func TestEpochPackUnpack(t *testing.T) {
+	f := func(tid uint16, c uint32) bool {
+		t := TID(tid % 4096)
+		tm := Time(c)
+		e := MakeEpoch(t, tm)
+		return e != None && e != ReadShared && e.TIDOf() == t && e.TimeOf() == tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpochNeverZero(t *testing.T) {
+	if MakeEpoch(0, 0) == None {
+		t.Error("packed epoch collided with None sentinel")
+	}
+}
+
+func TestEpochLEQ(t *testing.T) {
+	v := New(2)
+	v.Set(1, 5)
+	if !MakeEpoch(1, 5).LEQ(v) {
+		t.Error("5@1 should be ≤ <0,5>")
+	}
+	if MakeEpoch(1, 6).LEQ(v) {
+		t.Error("6@1 should not be ≤ <0,5>")
+	}
+	if !MakeEpoch(1, 1).LEQ(v) {
+		t.Error("1@1 should be ≤ <0,5>")
+	}
+	if MakeEpoch(0, 1).LEQ(v) {
+		t.Error("1@0 should not be ≤ <0,5>")
+	}
+	if !None.LEQ(New(0)) {
+		t.Error("None must be ≤ everything")
+	}
+}
+
+func TestEpochLEQMatchesVC(t *testing.T) {
+	// e.LEQ(v) must agree with treating the epoch as a one-component VC.
+	f := func(tid uint8, c uint8, b vcVal) bool {
+		t := TID(tid % 6)
+		tm := Time(c%8) + 1
+		e := MakeEpoch(t, tm)
+		asVC := New(int(t) + 1)
+		asVC.Set(t, tm)
+		return e.LEQ(b.V) == asVC.LEQ(b.V)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	v := New(3)
+	v.Set(0, 1)
+	v.Set(2, 4)
+	if got := v.String(); got != "<1,0,4>" {
+		t.Errorf("VC string = %q", got)
+	}
+	if got := MakeEpoch(2, 7).String(); got != "7@2" {
+		t.Errorf("epoch string = %q", got)
+	}
+	if None.String() != "⊥" || ReadShared.String() != "SHARED" {
+		t.Error("sentinel strings wrong")
+	}
+}

@@ -1,0 +1,144 @@
+// Package watchpoint models per-context hardware address watchpoints
+// (x86-style debug registers): a small fixed set of cache lines whose
+// accesses trap.
+//
+// The paper's research line explores these as the finer-grained demand
+// mechanism: instead of flipping a whole thread into full instrumentation
+// when the PMU reports sharing, set a watchpoint on the shared line and
+// analyze only accesses that touch it. The defining constraint is
+// *capacity* — real hardware has ~4 registers per context — so programs
+// whose active shared set exceeds the register file thrash the watchpoints
+// and lose coverage. The WatchDemand policy in internal/demand builds on
+// this unit, and the Fig.6 ablation shows both the win (near-zero overhead
+// on small shared sets) and the loss (capacity misses).
+package watchpoint
+
+import (
+	"fmt"
+
+	"demandrace/internal/mem"
+)
+
+// DefaultCapacity matches the four debug registers of x86.
+const DefaultCapacity = 4
+
+// Stats counts watchpoint-unit activity.
+type Stats struct {
+	// Sets counts Watch insertions of lines not already present.
+	Sets uint64
+	// Refreshes counts Watch calls on already-present lines.
+	Refreshes uint64
+	// Hits counts Check calls that matched a watched line.
+	Hits uint64
+	// Misses counts Check calls that matched nothing.
+	Misses uint64
+	// Evictions counts entries displaced by capacity.
+	Evictions uint64
+	// Expirations counts entries aged out by quiet decay.
+	Expirations uint64
+}
+
+type entry struct {
+	line mem.Line
+	// age counts Tick calls since the entry was last set, hit, or
+	// refreshed.
+	age uint64
+}
+
+// Unit is one context's watchpoint register file. Not safe for concurrent
+// use.
+type Unit struct {
+	capacity int
+	entries  []entry
+	stats    Stats
+}
+
+// New builds a unit with the given register count (≤ 0 selects
+// DefaultCapacity).
+func New(capacity int) *Unit {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Unit{capacity: capacity, entries: make([]entry, 0, capacity)}
+}
+
+// Capacity returns the register count.
+func (u *Unit) Capacity() int { return u.capacity }
+
+// Len returns the number of armed watchpoints.
+func (u *Unit) Len() int { return len(u.entries) }
+
+// Stats returns a snapshot of the counters.
+func (u *Unit) Stats() Stats { return u.stats }
+
+// Watch arms a watchpoint on line, refreshing it if already armed. When the
+// register file is full the stalest entry (largest age) is evicted.
+func (u *Unit) Watch(l mem.Line) {
+	for i := range u.entries {
+		if u.entries[i].line == l {
+			u.entries[i].age = 0
+			u.stats.Refreshes++
+			return
+		}
+	}
+	u.stats.Sets++
+	if len(u.entries) < u.capacity {
+		u.entries = append(u.entries, entry{line: l})
+		return
+	}
+	victim := 0
+	for i := 1; i < len(u.entries); i++ {
+		if u.entries[i].age > u.entries[victim].age {
+			victim = i
+		}
+	}
+	u.stats.Evictions++
+	u.entries[victim] = entry{line: l}
+}
+
+// Check reports whether line is watched, refreshing the entry's age on a
+// hit (a trapping access is evidence the line is still hot).
+func (u *Unit) Check(l mem.Line) bool {
+	for i := range u.entries {
+		if u.entries[i].line == l {
+			u.entries[i].age = 0
+			u.stats.Hits++
+			return true
+		}
+	}
+	u.stats.Misses++
+	return false
+}
+
+// Watching reports whether line is armed without refreshing it.
+func (u *Unit) Watching(l mem.Line) bool {
+	for i := range u.entries {
+		if u.entries[i].line == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick ages every entry by one executed operation and disarms entries whose
+// age exceeds quiet — the watchpoint analogue of the demand controller's
+// quiet-period decay.
+func (u *Unit) Tick(quiet uint64) {
+	out := u.entries[:0]
+	for _, e := range u.entries {
+		e.age++
+		if e.age > quiet {
+			u.stats.Expirations++
+			continue
+		}
+		out = append(out, e)
+	}
+	u.entries = out
+}
+
+// Clear disarms everything.
+func (u *Unit) Clear() { u.entries = u.entries[:0] }
+
+func (u *Unit) String() string {
+	return fmt.Sprintf("watchpoints %d/%d armed", len(u.entries), u.capacity)
+}

@@ -1,0 +1,139 @@
+package watchpoint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"demandrace/internal/mem"
+)
+
+func TestWatchAndCheck(t *testing.T) {
+	u := New(4)
+	u.Watch(1)
+	if !u.Check(1) {
+		t.Error("armed line not covered")
+	}
+	if u.Check(2) {
+		t.Error("unarmed line covered")
+	}
+	st := u.Stats()
+	if st.Sets != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	u := New(0)
+	if u.Capacity() != DefaultCapacity {
+		t.Errorf("capacity = %d", u.Capacity())
+	}
+}
+
+func TestWatchRefreshesExisting(t *testing.T) {
+	u := New(2)
+	u.Watch(1)
+	u.Watch(1)
+	if u.Len() != 1 {
+		t.Errorf("len = %d", u.Len())
+	}
+	st := u.Stats()
+	if st.Sets != 1 || st.Refreshes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCapacityEvictsStalest(t *testing.T) {
+	u := New(2)
+	u.Watch(1)
+	u.Tick(100) // line 1 ages
+	u.Watch(2)  // fresh
+	u.Watch(3)  // full: evicts line 1 (stalest)
+	if u.Watching(1) {
+		t.Error("stalest entry survived eviction")
+	}
+	if !u.Watching(2) || !u.Watching(3) {
+		t.Error("fresh entries lost")
+	}
+	if u.Stats().Evictions != 1 {
+		t.Errorf("evictions = %d", u.Stats().Evictions)
+	}
+}
+
+func TestTickExpires(t *testing.T) {
+	u := New(4)
+	u.Watch(1)
+	u.Watch(2)
+	u.Tick(2)
+	u.Check(2) // refresh line 2
+	u.Tick(2)
+	u.Tick(2) // line 1 age 3 > 2 → expire; line 2 age 2 survives
+	if u.Watching(1) {
+		t.Error("line 1 should have expired")
+	}
+	if !u.Watching(2) {
+		t.Error("line 2 expired despite refresh")
+	}
+	if u.Stats().Expirations != 1 {
+		t.Errorf("expirations = %d", u.Stats().Expirations)
+	}
+}
+
+func TestCheckRefreshesAge(t *testing.T) {
+	u := New(4)
+	u.Watch(1)
+	for i := 0; i < 10; i++ {
+		u.Tick(3)
+		if !u.Check(1) {
+			t.Fatal("hot line expired")
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	u := New(4)
+	u.Watch(1)
+	u.Watch(2)
+	u.Clear()
+	if u.Len() != 0 {
+		t.Error("clear left entries")
+	}
+}
+
+func TestNeverExceedsCapacity(t *testing.T) {
+	f := func(lines []uint8, capacity uint8) bool {
+		c := int(capacity%6) + 1
+		u := New(c)
+		for _, l := range lines {
+			u.Watch(mem.Line(l % 32))
+			if u.Len() > c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWatchingDoesNotRefresh(t *testing.T) {
+	u := New(4)
+	u.Watch(1)
+	u.Tick(2)
+	u.Tick(2)
+	if !u.Watching(1) {
+		t.Fatal("entry missing")
+	}
+	u.Tick(2) // age 3 > 2 → expires even though Watching was called
+	if u.Watching(1) {
+		t.Error("Watching should not have refreshed the entry")
+	}
+}
+
+func TestString(t *testing.T) {
+	u := New(4)
+	u.Watch(9)
+	if got := u.String(); got != "watchpoints 1/4 armed" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,192 @@
+package workloads
+
+import (
+	"demandrace/internal/mem"
+	"demandrace/internal/program"
+)
+
+// The apps suite holds application-shaped programs rather than benchmark
+// kernels: the structures downstream users actually debug — a server's
+// worker pool, lazy initialization, a lock-free ring — with their
+// characteristic sharing and (where noted) their characteristic bugs.
+
+func init() {
+	register(Kernel{Name: "app_webserver", Suite: "apps", Racy: true,
+		Sharing: "request queue + worker pool, locked stats, racy hit counter", Build: AppWebserver})
+	register(Kernel{Name: "app_dclp", Suite: "apps", Racy: true,
+		Sharing: "broken double-checked locking: racy init flag", Build: AppDCLP})
+	register(Kernel{Name: "app_ringbuffer", Suite: "apps",
+		Sharing: "SPSC ring with atomic head/tail (race-free, HITM-heavy)", Build: AppRingBuffer})
+	register(Kernel{Name: "app_workstealing", Suite: "apps",
+		Sharing: "per-worker deques, locked steals when idle", Build: AppWorkStealing})
+}
+
+// AppWebserver models an accept loop dispatching requests to a worker pool
+// through a semaphore queue. Workers parse into private buffers, update a
+// properly locked latency histogram — and bump a *plain* hit counter, the
+// classic "it's just a counter" race.
+func AppWebserver(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("app_webserver")
+	workers := cfg.Threads - 1
+	if workers < 1 {
+		workers = 1
+	}
+	requests := 30 * cfg.Scale * workers
+	const reqWords = 6
+	reqs := b.Space().AllocArray(uint64(requests*reqWords), mem.WordSize)
+	hist := b.Space().AllocArray(16, mem.WordSize)
+	hits := b.Space().AllocLine(8) // the bug: unlocked hit counter
+	mu := b.Mutex()
+	// Round-robin dispatch: one queue per worker, so each handoff carries
+	// a happens-before edge for exactly the requests that worker reads.
+	queues := make([]program.SyncID, workers)
+	for i := range queues {
+		queues[i] = b.Semaphore()
+	}
+
+	// Acceptor writes request buffers and posts the owning worker's queue.
+	acceptor := b.Thread()
+	acceptor.Region("accept-loop")
+	for i := 0; i < requests; i++ {
+		for w := 0; w < reqWords; w++ {
+			acceptor.Store(reqs + mem.Addr((i*reqWords+w)*mem.WordSize))
+		}
+		acceptor.Compute(3)
+		acceptor.Signal(queues[i%workers])
+	}
+
+	per := requests / workers
+	for wkr := 0; wkr < workers; wkr++ {
+		tb := b.Thread()
+		scratch := b.Space().AllocArray(uint64(reqWords), mem.WordSize)
+		tb.Region("worker-parse")
+		for j := 0; j < per; j++ {
+			i := j*workers + wkr
+			tb.Wait(queues[wkr])
+			for w := 0; w < reqWords; w++ {
+				tb.Load(reqs + mem.Addr((i*reqWords+w)*mem.WordSize))
+				tb.Store(scratch + mem.Addr(w*mem.WordSize))
+			}
+			tb.Compute(10)
+			tb.Region("stats")
+			lockedUpdate(tb, mu, hist+mem.Addr((i%16)*mem.WordSize))
+			tb.Load(hits).Store(hits) // the bug
+			tb.Region("worker-parse")
+		}
+	}
+	return b.MustBuild()
+}
+
+// AppDCLP is the broken double-checked-locking pattern: readers test an
+// unsynchronized init flag and then read the lazily-built object; the
+// initializer writes both under a lock the readers never take on the fast
+// path. Both the flag and the payload race.
+func AppDCLP(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("app_dclp")
+	flag := b.Space().AllocLine(8)
+	payload := b.Space().AllocArray(4, mem.WordSize)
+	mu := b.Mutex()
+	checks := 40 * cfg.Scale
+
+	init := b.Thread()
+	init.Region("lazy-init")
+	init.Compute(20) // readers start checking before init completes
+	init.Lock(mu)
+	for w := 0; w < 4; w++ {
+		init.Store(payload + mem.Addr(w*mem.WordSize))
+	}
+	init.Store(flag)
+	init.Unlock(mu)
+
+	for t := 1; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		tb.Region("fast-path-check")
+		for i := 0; i < checks; i++ {
+			tb.Load(flag) // unsynchronized check: races with the init store
+			tb.Load(payload + mem.Addr((i%4)*mem.WordSize))
+			tb.Compute(5)
+		}
+	}
+	return b.MustBuild()
+}
+
+// AppRingBuffer is a single-producer single-consumer ring whose head and
+// tail are atomics: completely race-free, but the slot handoffs and index
+// ping-pong keep the HITM indicator busy — the "correct but
+// communication-heavy" case where demand analysis stays on yet finds
+// nothing.
+func AppRingBuffer(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("app_ringbuffer")
+	const slots = 8
+	ring := b.Space().AllocArray(slots, mem.WordSize)
+	head := b.Space().AllocLine(8)
+	tail := b.Space().AllocLine(8)
+	full, empty := b.Semaphore(), b.Semaphore()
+	items := 60 * cfg.Scale
+
+	prod := b.Thread()
+	prod.Region("produce")
+	cons := b.Thread()
+	cons.Region("consume")
+	for i := 0; i < items; i++ {
+		if i >= slots {
+			prod.Wait(empty) // ring full until a slot frees
+		}
+		prod.Store(ring + mem.Addr((i%slots)*mem.WordSize))
+		prod.AtomicStore(head)
+		prod.Signal(full)
+
+		cons.Wait(full)
+		cons.AtomicLoad(head)
+		cons.Load(ring + mem.Addr((i%slots)*mem.WordSize))
+		cons.AtomicStore(tail)
+		cons.Compute(4)
+		cons.Signal(empty)
+	}
+	return b.MustBuild()
+}
+
+// AppWorkStealing gives each worker a private deque of tasks; when a
+// worker's deque empties it steals from a victim's under the victim's lock.
+// Sharing is bursty and localized to steal events.
+func AppWorkStealing(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("app_workstealing")
+	tasksPer := 80 * cfg.Scale
+	deques := make([]mem.Addr, cfg.Threads)
+	mus := make([]program.SyncID, cfg.Threads)
+	for i := 0; i < cfg.Threads; i++ {
+		deques[i] = b.Space().AllocArray(uint64(tasksPer), mem.WordSize)
+		mus[i] = b.Mutex()
+	}
+	const stealable = 8 // head slots steals may touch, lock-protected
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		tb.Region("run-own-tasks")
+		// The deque's stealable head is touched under the owner's lock;
+		// the private bottom runs lock-free.
+		for i := 0; i < tasksPer; i++ {
+			a := deques[t] + mem.Addr(i*mem.WordSize)
+			if i < stealable {
+				tb.Lock(mus[t]).Load(a).Store(a).Unlock(mus[t])
+				tb.Compute(6)
+			} else {
+				tb.Load(a).Store(a).Compute(6)
+			}
+		}
+		// Then a few steals from the right neighbor, under its lock.
+		victim := (t + 1) % cfg.Threads
+		if victim != t {
+			tb.Region("steal")
+			for s := 0; s < 4; s++ {
+				stolen := deques[victim] + mem.Addr(s*mem.WordSize)
+				tb.Lock(mus[victim]).Load(stolen).Store(stolen).Unlock(mus[victim])
+				tb.Compute(6)
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,187 @@
+package workloads
+
+import (
+	"demandrace/internal/mem"
+	"demandrace/internal/program"
+)
+
+// Microbenchmarks isolate single behaviors of the HITM indicator for the
+// fidelity experiment (E3): each one either must or must not produce HITM
+// events, and the experiment checks the PMU sees exactly what the paper's
+// characterization predicts.
+
+func init() {
+	register(Kernel{Name: "micro_producer_consumer", Suite: "micro",
+		Sharing: "W→R handoff every iteration (HITM each time)", Build: MicroProducerConsumer})
+	register(Kernel{Name: "micro_write_write", Suite: "micro",
+		Sharing: "W→W ping-pong (HITM each handoff)", Build: MicroWriteWrite})
+	register(Kernel{Name: "micro_read_sharing", Suite: "micro",
+		Sharing: "read-only sharing (no HITM expected)", Build: MicroReadSharing})
+	register(Kernel{Name: "micro_false_sharing", Suite: "micro",
+		Sharing: "distinct words on one line (HITM without a race)", Build: MicroFalseSharing})
+	register(Kernel{Name: "micro_eviction", Suite: "micro",
+		Sharing: "producer evicts dirty line before consumer reads (HITM hidden)", Build: MicroEviction})
+	register(Kernel{Name: "micro_private", Suite: "micro",
+		Sharing: "no cross-thread contact at all", Build: MicroPrivate})
+	register(Kernel{Name: "micro_streaming", Suite: "micro",
+		Sharing: "sequential multi-line handoffs (prefetcher hides most HITMs)", Build: MicroStreaming})
+}
+
+// MicroProducerConsumer hands one word from thread 0 to thread 1 through a
+// semaphore ping-pong: race-free, but every consumer load hits the
+// producer's Modified line and must HITM. The semaphores are invisible to
+// the cache, so the hardware signal is isolated from synchronization.
+func MicroProducerConsumer(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("micro_producer_consumer")
+	x := b.Space().AllocLine(8)
+	full, empty := b.Semaphore(), b.Semaphore()
+	iters := 100 * cfg.Scale
+	t0, t1 := b.Thread(), b.Thread()
+	for i := 0; i < iters; i++ {
+		if i > 0 {
+			t0.Wait(empty)
+		}
+		t0.Store(x).Compute(2).Signal(full)
+		t1.Wait(full)
+		t1.Load(x).Compute(2).Signal(empty)
+	}
+	return b.MustBuild()
+}
+
+// MicroWriteWrite ping-pongs stores between two threads on one word,
+// ordered by semaphores: every handoff store is a W→W HITM.
+func MicroWriteWrite(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("micro_write_write")
+	x := b.Space().AllocLine(8)
+	s01, s10 := b.Semaphore(), b.Semaphore()
+	iters := 100 * cfg.Scale
+	t0, t1 := b.Thread(), b.Thread()
+	for i := 0; i < iters; i++ {
+		if i > 0 {
+			t0.Wait(s10)
+		}
+		t0.Store(x).Compute(2).Signal(s01)
+		t1.Wait(s01)
+		t1.Store(x).Compute(2).Signal(s10)
+	}
+	return b.MustBuild()
+}
+
+// MicroReadSharing has every thread read one shared word repeatedly after a
+// single semaphore-published initializing write: read sharing raises no
+// HITM after the first handoff.
+func MicroReadSharing(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("micro_read_sharing")
+	x := b.Space().AllocLine(8)
+	ready := b.Semaphore()
+	iters := 100 * cfg.Scale
+	init := b.Thread()
+	init.Store(x)
+	for t := 1; t < cfg.Threads; t++ {
+		init.Signal(ready)
+	}
+	for t := 1; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		tb.Wait(ready)
+		for i := 0; i < iters; i++ {
+			tb.Load(x).Compute(2)
+		}
+	}
+	return b.MustBuild()
+}
+
+// MicroFalseSharing has two threads write *different* words on the same
+// cache line: the hardware sees sharing (HITM on every handoff), the
+// detector correctly sees none.
+func MicroFalseSharing(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("micro_false_sharing")
+	line := b.Space().AllocLine(mem.LineSize)
+	iters := 100 * cfg.Scale
+	t0, t1 := b.Thread(), b.Thread()
+	for i := 0; i < iters; i++ {
+		t0.Store(line).Compute(2)
+		t1.Store(line + mem.WordSize).Compute(2)
+	}
+	return b.MustBuild()
+}
+
+// MicroEviction makes the producer churn through a large private buffer
+// after each store so the dirty shared line is evicted (written back)
+// before the consumer reads it: the sharing is real but the HITM indicator
+// stays silent. Built for a small L1 (the experiment runs it on
+// cache.Config{L1Sets:2, L1Ways:2}-class hierarchies; on the default cache
+// the churn must exceed 32 KiB to evict, which Scale controls).
+func MicroEviction(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("micro_eviction")
+	x := b.Space().AllocLine(8)
+	iters := 20 * cfg.Scale
+	// Churn buffer: enough lines to overflow a small L1 set-associative
+	// cache between handoffs.
+	const churnLines = 64
+	churn := b.Space().AllocArray(churnLines, mem.LineSize)
+	full, empty := b.Semaphore(), b.Semaphore()
+	t0, t1 := b.Thread(), b.Thread()
+	for i := 0; i < iters; i++ {
+		if i > 0 {
+			t0.Wait(empty)
+		}
+		t0.Store(x)
+		for c := 0; c < churnLines; c++ {
+			t0.Store(churn + mem.Addr(c*mem.LineSize))
+		}
+		t0.Signal(full)
+		t1.Wait(full)
+		t1.Load(x).Compute(2).Signal(empty)
+	}
+	return b.MustBuild()
+}
+
+// MicroPrivate is the control: every thread sweeps its own array.
+func MicroPrivate(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("micro_private")
+	elems := 100 * cfg.Scale
+	work := workerArrays(b, cfg.Threads, elems)
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		privateSweep(tb, work[t], elems, 2)
+	}
+	return b.MustBuild()
+}
+
+// MicroStreaming hands whole buffers of consecutive cache lines from
+// producer to consumer: with the next-line prefetcher enabled, only the
+// first line of each sequential run raises a visible HITM — the prefetcher
+// silently drains the rest, hiding most of the sharing from the indicator.
+func MicroStreaming(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("micro_streaming")
+	const linesPerBuf = 8
+	bufs := 12 * cfg.Scale
+	buf := b.Space().AllocArray(uint64(bufs*linesPerBuf), mem.LineSize)
+	full, empty := b.Semaphore(), b.Semaphore()
+	lineAt := func(i, l int) mem.Addr {
+		return buf + mem.Addr((i*linesPerBuf+l)*mem.LineSize)
+	}
+	t0, t1 := b.Thread(), b.Thread()
+	for i := 0; i < bufs; i++ {
+		if i > 0 {
+			t0.Wait(empty)
+		}
+		for l := 0; l < linesPerBuf; l++ {
+			t0.Store(lineAt(i, l))
+		}
+		t0.Signal(full)
+		t1.Wait(full)
+		for l := 0; l < linesPerBuf; l++ {
+			t1.Load(lineAt(i, l)).Compute(2)
+		}
+		t1.Signal(empty)
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,478 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"demandrace/internal/mem"
+	"demandrace/internal/program"
+)
+
+// The PARSEC suite (Bienia et al., PACT 2008) spans pipeline, data-parallel
+// and amorphous kernels whose sharing ranges from "none" (swaptions,
+// blackscholes) to "constant neighbor exchange" (fluidanimate, canneal).
+// That spread is why the paper's demand-driven gains on PARSEC (≈3×
+// geomean) are smaller than on Phoenix (≈10×): several kernels keep the
+// analysis switched on most of the time.
+
+func init() {
+	register(Kernel{Name: "blackscholes", Suite: "parsec",
+		Sharing: "embarrassingly parallel option pricing", Build: Blackscholes})
+	register(Kernel{Name: "bodytrack", Suite: "parsec",
+		Sharing: "barrier-phased, small locked pose updates", Build: Bodytrack})
+	register(Kernel{Name: "canneal", Suite: "parsec",
+		Sharing: "random locked element swaps, constant sharing", Build: Canneal})
+	register(Kernel{Name: "dedup", Suite: "parsec",
+		Sharing: "3-stage pipeline over semaphore queues", Build: Dedup})
+	register(Kernel{Name: "facesim", Suite: "parsec",
+		Sharing: "barrier phases with boundary-element exchange", Build: Facesim})
+	register(Kernel{Name: "ferret", Suite: "parsec",
+		Sharing: "4-stage similarity-search pipeline", Build: Ferret})
+	register(Kernel{Name: "fluidanimate", Suite: "parsec",
+		Sharing: "per-boundary locks, neighbor exchange each step", Build: Fluidanimate})
+	register(Kernel{Name: "freqmine", Suite: "parsec",
+		Sharing: "private tree growth, occasional locked merges", Build: Freqmine})
+	register(Kernel{Name: "raytrace", Suite: "parsec",
+		Sharing: "read-shared scene, atomic work counter", Build: Raytrace})
+	register(Kernel{Name: "streamcluster", Suite: "parsec",
+		Sharing: "barrier-phased locked center updates", Build: Streamcluster})
+	register(Kernel{Name: "swaptions", Suite: "parsec",
+		Sharing: "fully private simulation paths (zero sharing)", Build: Swaptions})
+	register(Kernel{Name: "vips", Suite: "parsec",
+		Sharing: "private image strips, locked region-descriptor updates", Build: Vips})
+	register(Kernel{Name: "x264", Suite: "parsec",
+		Sharing: "wavefront rows chained by semaphores", Build: X264})
+}
+
+// Blackscholes prices disjoint option slices; the only shared memory is the
+// read-only parameter table.
+func Blackscholes(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("blackscholes")
+	options := 250 * cfg.Scale
+	params := b.Space().AllocArray(16, mem.WordSize)
+	work := workerArrays(b, cfg.Threads, options)
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		readSweep(tb, params, 16, 0)
+		for i := 0; i < options; i++ {
+			a := work[t] + mem.Addr(i*mem.WordSize)
+			tb.Load(a).Compute(12).Store(a)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Bodytrack alternates per-particle private work with a short locked update
+// of the shared pose estimate, per frame, between barriers.
+func Bodytrack(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("bodytrack")
+	const frames = 4
+	particles := 400 * cfg.Scale
+	work := workerArrays(b, cfg.Threads, particles)
+	pose := b.Space().AllocArray(8, mem.WordSize)
+	mu := b.Mutex()
+	bar := b.Barrier(cfg.Threads)
+	tbs := make([]*program.ThreadBuilder, cfg.Threads)
+	for t := range tbs {
+		tbs[t] = b.Thread()
+	}
+	for f := 0; f < frames; f++ {
+		for t, tb := range tbs {
+			// The pose estimate is read under the same lock that guards
+			// its updates; the heavy particle work stays lock-free.
+			tb.Lock(mu)
+			readSweep(tb, pose, 8, 0)
+			tb.Unlock(mu)
+			privateSweep(tb, work[t], particles, 4)
+			lockedMerge(tb, mu, pose, 8)
+			tb.Barrier(bar)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Canneal performs randomized locked swaps of shared netlist elements: the
+// highest-sharing kernel, with HITM traffic on nearly every transaction.
+func Canneal(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("canneal")
+	swaps := 150 * cfg.Scale
+	const elements = 128
+	netlist := b.Space().AllocArray(elements, mem.WordSize)
+	// Fine-grained locking: one mutex per region of the netlist.
+	const regions = 8
+	mus := make([]program.SyncID, regions)
+	for i := range mus {
+		mus[i] = b.Mutex()
+	}
+	rng := rand.New(rand.NewSource(0xca77ea1))
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		for s := 0; s < swaps; s++ {
+			i := rng.Intn(elements)
+			j := rng.Intn(elements)
+			ri, rj := i*regions/elements, j*regions/elements
+			if ri > rj {
+				ri, rj = rj, ri
+			}
+			ai := netlist + mem.Addr(i*mem.WordSize)
+			aj := netlist + mem.Addr(j*mem.WordSize)
+			// Ordered acquisition avoids deadlock.
+			tb.Lock(mus[ri])
+			if rj != ri {
+				tb.Lock(mus[rj])
+			}
+			tb.Load(ai).Load(aj).Compute(3).Store(ai).Store(aj)
+			if rj != ri {
+				tb.Unlock(mus[rj])
+			}
+			tb.Unlock(mus[ri])
+		}
+	}
+	return b.MustBuild()
+}
+
+// Dedup is a three-stage pipeline (chunk → compress → write) over shared
+// buffers handed between stages through semaphores, so W→R sharing is the
+// kernel's steady state. Requires at least 3 threads; smaller configs get
+// one thread per stage anyway.
+func Dedup(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("dedup")
+	items := 60 * cfg.Scale
+	const bufWords = 8
+	bufs := b.Space().AllocArray(uint64(items*bufWords), mem.WordSize)
+	q12 := b.Semaphore()
+	q23 := b.Semaphore()
+	bufAt := func(i, w int) mem.Addr {
+		return bufs + mem.Addr((i*bufWords+w)*mem.WordSize)
+	}
+	// Stage 1: chunker fills buffers.
+	s1 := b.Thread()
+	for i := 0; i < items; i++ {
+		for w := 0; w < bufWords; w++ {
+			s1.Store(bufAt(i, w))
+		}
+		s1.Compute(4)
+		s1.Signal(q12)
+	}
+	// Stage 2: compressor reads, transforms in place, forwards.
+	s2 := b.Thread()
+	for i := 0; i < items; i++ {
+		s2.Wait(q12)
+		for w := 0; w < bufWords; w++ {
+			s2.Load(bufAt(i, w)).Store(bufAt(i, w))
+		}
+		s2.Compute(8)
+		s2.Signal(q23)
+	}
+	// Stage 3: writer drains.
+	s3 := b.Thread()
+	for i := 0; i < items; i++ {
+		s3.Wait(q23)
+		for w := 0; w < bufWords; w++ {
+			s3.Load(bufAt(i, w))
+		}
+		s3.Compute(2)
+	}
+	// Extra threads beyond the pipeline do private hashing work.
+	for t := 3; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		priv := b.Space().AllocArray(uint64(items), mem.WordSize)
+		privateSweep(tb, priv, items, 6)
+	}
+	return b.MustBuild()
+}
+
+// Facesim runs barrier-separated simulation steps where each thread updates
+// its private region plus a shared boundary strip under a lock.
+func Facesim(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("facesim")
+	const steps = 3
+	region := 400 * cfg.Scale
+	const boundary = 16
+	work := workerArrays(b, cfg.Threads, region)
+	bound := b.Space().AllocArray(boundary, mem.WordSize)
+	mu := b.Mutex()
+	bar := b.Barrier(cfg.Threads)
+	tbs := make([]*program.ThreadBuilder, cfg.Threads)
+	for t := range tbs {
+		tbs[t] = b.Thread()
+	}
+	for s := 0; s < steps; s++ {
+		for t, tb := range tbs {
+			privateSweep(tb, work[t], region, 5)
+			lockedMerge(tb, mu, bound, boundary)
+			tb.Barrier(bar)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Ferret is a four-stage similarity-search pipeline; stages pass query
+// records through semaphore queues while consulting a read-shared database.
+func Ferret(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("ferret")
+	queries := 50 * cfg.Scale
+	const recWords = 4
+	recs := b.Space().AllocArray(uint64(queries*recWords), mem.WordSize)
+	db := b.Space().AllocArray(64, mem.WordSize)
+	recAt := func(i, w int) mem.Addr {
+		return recs + mem.Addr((i*recWords+w)*mem.WordSize)
+	}
+	stages := 4
+	sems := make([]program.SyncID, stages-1)
+	for i := range sems {
+		sems[i] = b.Semaphore()
+	}
+	for s := 0; s < stages; s++ {
+		tb := b.Thread()
+		for i := 0; i < queries; i++ {
+			if s > 0 {
+				tb.Wait(sems[s-1])
+			}
+			for w := 0; w < recWords; w++ {
+				if s == 0 {
+					tb.Store(recAt(i, w))
+				} else {
+					tb.Load(recAt(i, w)).Store(recAt(i, w))
+				}
+			}
+			readSweep(tb, db, 8, 0)
+			tb.Compute(6)
+			if s < stages-1 {
+				tb.Signal(sems[s])
+			}
+		}
+	}
+	// Extra threads rank results privately.
+	for t := stages; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		priv := b.Space().AllocArray(uint64(queries), mem.WordSize)
+		privateSweep(tb, priv, queries, 4)
+	}
+	return b.MustBuild()
+}
+
+// Fluidanimate exchanges particles across cell boundaries every timestep:
+// each thread updates its private cells, then pushes into both neighbors'
+// shared edge cells under per-boundary locks.
+func Fluidanimate(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("fluidanimate")
+	const steps = 4
+	cells := 400 * cfg.Scale
+	const edgeWords = 8
+	work := workerArrays(b, cfg.Threads, cells)
+	// One shared edge strip and lock between each pair of neighbors.
+	edges := make([]mem.Addr, cfg.Threads)
+	mus := make([]program.SyncID, cfg.Threads)
+	for i := 0; i < cfg.Threads; i++ {
+		edges[i] = b.Space().AllocArray(edgeWords, mem.WordSize)
+		mus[i] = b.Mutex()
+	}
+	bar := b.Barrier(cfg.Threads)
+	tbs := make([]*program.ThreadBuilder, cfg.Threads)
+	for t := range tbs {
+		tbs[t] = b.Thread()
+	}
+	for s := 0; s < steps; s++ {
+		for t, tb := range tbs {
+			privateSweep(tb, work[t], cells, 4)
+			// Push into both boundary strips (self/right), lock-ordered.
+			left, right := t, (t+1)%cfg.Threads
+			lo, hi := left, right
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			tb.Lock(mus[lo])
+			if hi != lo {
+				tb.Lock(mus[hi])
+			}
+			for w := 0; w < edgeWords; w++ {
+				tb.Load(edges[left] + mem.Addr(w*mem.WordSize))
+				tb.Store(edges[right] + mem.Addr(w*mem.WordSize))
+			}
+			if hi != lo {
+				tb.Unlock(mus[hi])
+			}
+			tb.Unlock(mus[lo])
+			tb.Barrier(bar)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Freqmine grows private FP-trees and merges counts into a shared table
+// every batch.
+func Freqmine(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("freqmine")
+	batches := 3 * cfg.Scale
+	const batchWork = 400
+	const table = 32
+	work := workerArrays(b, cfg.Threads, batchWork)
+	shared := b.Space().AllocArray(table, mem.WordSize)
+	mu := b.Mutex()
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		for bt := 0; bt < batches; bt++ {
+			privateSweep(tb, work[t], batchWork, 3)
+			lockedMerge(tb, mu, shared, table/4)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Raytrace reads the shared scene (read-only), renders private tiles, and
+// claims work items off a shared atomic counter — sharing that is
+// synchronization, not data.
+func Raytrace(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("raytrace")
+	tiles := 20 * cfg.Scale
+	const tileWork = 24
+	scene := b.Space().AllocArray(96, mem.WordSize)
+	counter := b.Space().AllocLine(8)
+	fb := workerArrays(b, cfg.Threads, tiles*4)
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		for i := 0; i < tiles; i++ {
+			tb.AtomicLoad(counter)
+			tb.AtomicStore(counter) // claim a tile
+			readSweep(tb, scene, 12, 1)
+			for w := 0; w < tileWork; w++ {
+				tb.Compute(5)
+				if w%6 == 0 {
+					tb.Store(fb[t] + mem.Addr(((i*4)+(w/6))*mem.WordSize))
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Streamcluster repeatedly evaluates points against shared centers and
+// updates the centers under a lock each phase, between barriers — steady
+// moderate sharing.
+func Streamcluster(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("streamcluster")
+	const phases = 4
+	points := 500 * cfg.Scale
+	const centers = 16
+	work := workerArrays(b, cfg.Threads, points)
+	ctrs := b.Space().AllocArray(centers, mem.WordSize)
+	mu := b.Mutex()
+	bar := b.Barrier(cfg.Threads)
+	tbs := make([]*program.ThreadBuilder, cfg.Threads)
+	for t := range tbs {
+		tbs[t] = b.Thread()
+	}
+	for p := 0; p < phases; p++ {
+		for t, tb := range tbs {
+			// Evaluation phase reads the centers; a barrier separates it
+			// from the update phase so unlocked reads never overlap the
+			// locked writes.
+			for i := 0; i < points; i++ {
+				tb.Load(work[t] + mem.Addr(i*mem.WordSize))
+				tb.Load(ctrs + mem.Addr((i%centers)*mem.WordSize))
+				tb.Compute(2)
+			}
+			tb.Barrier(bar)
+			lockedMerge(tb, mu, ctrs, centers)
+			tb.Barrier(bar)
+		}
+	}
+	return b.MustBuild()
+}
+
+// Swaptions simulates fully private Monte-Carlo paths with heavy memory
+// traffic and zero sharing: the paper's best case, where demand-driven
+// analysis runs at essentially native speed while continuous analysis pays
+// full price (the "51× for one particular program" of the abstract).
+func Swaptions(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("swaptions")
+	paths := 700 * cfg.Scale
+	work := workerArrays(b, cfg.Threads, paths)
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		for i := 0; i < paths; i++ {
+			a := work[t] + mem.Addr(i*mem.WordSize)
+			tb.Load(a).Store(a)
+			if i%8 == 0 {
+				tb.Compute(1)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// Vips runs a fused image-processing pipeline over thread-private strips:
+// each strip applies a chain of point operations in place (heavy private
+// memory traffic), then updates the shared region descriptor and progress
+// accounting under a lock once per strip.
+func Vips(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("vips")
+	strips := 4 * cfg.Scale
+	const stripPixels = 120
+	const passes = 2
+	const descWords = 6
+	work := workerArrays(b, cfg.Threads, stripPixels)
+	desc := b.Space().AllocArray(descWords, mem.WordSize)
+	mu := b.Mutex()
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		for s := 0; s < strips; s++ {
+			for pass := 0; pass < passes; pass++ {
+				privateSweep(tb, work[t], stripPixels, 3)
+			}
+			lockedMerge(tb, mu, desc, descWords)
+		}
+	}
+	return b.MustBuild()
+}
+
+// X264 encodes rows in a wavefront: each row's thread waits for the row
+// above (semaphore), reads its boundary macroblocks, and writes its own.
+func X264(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("x264")
+	rowsPerThread := 5 * cfg.Scale
+	const mbWords = 48
+	totalRows := cfg.Threads * rowsPerThread
+	rows := b.Space().AllocArray(uint64(totalRows*mbWords), mem.WordSize)
+	rowAt := func(r, w int) mem.Addr {
+		return rows + mem.Addr((r*mbWords+w)*mem.WordSize)
+	}
+	sems := make([]program.SyncID, totalRows)
+	for i := range sems {
+		sems[i] = b.Semaphore()
+	}
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		for j := 0; j < rowsPerThread; j++ {
+			r := j*cfg.Threads + t // interleaved row ownership
+			if r > 0 {
+				tb.Wait(sems[r-1])
+			}
+			if r > 0 {
+				// Read the boundary of the row above (W→R sharing).
+				for w := 0; w < mbWords/8; w++ {
+					tb.Load(rowAt(r-1, w))
+				}
+			}
+			for w := 0; w < mbWords; w++ {
+				tb.Compute(3)
+				tb.Store(rowAt(r, w))
+			}
+			tb.Signal(sems[r])
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,253 @@
+package workloads
+
+import (
+	"demandrace/internal/mem"
+	"demandrace/internal/program"
+)
+
+// The Phoenix suite (Ranger et al., HPCA 2007) is map-reduce on shared
+// memory: workers process disjoint input slices with thread-private
+// intermediate state, and inter-thread sharing happens almost exclusively
+// in short, locked merge phases. That near-zero sharing fraction is why the
+// paper's demand-driven detector gains an order of magnitude on this suite.
+
+func init() {
+	register(Kernel{Name: "histogram", Suite: "phoenix",
+		Sharing: "private bins, one locked merge at end", Build: Histogram})
+	register(Kernel{Name: "kmeans", Suite: "phoenix",
+		Sharing: "private assignment, locked centroid update per iteration", Build: Kmeans})
+	register(Kernel{Name: "linear_regression", Suite: "phoenix",
+		Sharing: "private accumulation, tiny locked reduction", Build: LinearRegression})
+	register(Kernel{Name: "matrix_multiply", Suite: "phoenix",
+		Sharing: "read-shared inputs, private outputs (no write sharing)", Build: MatrixMultiply})
+	register(Kernel{Name: "pca", Suite: "phoenix",
+		Sharing: "barrier-phased, locked mean/cov accumulation", Build: PCA})
+	register(Kernel{Name: "string_match", Suite: "phoenix",
+		Sharing: "private scan, rare locked match counter", Build: StringMatch})
+	register(Kernel{Name: "word_count", Suite: "phoenix",
+		Sharing: "private tables, locked merge of shared table", Build: WordCount})
+	register(Kernel{Name: "reverse_index", Suite: "phoenix",
+		Sharing: "private extraction, locked shared-index appends", Build: ReverseIndex})
+}
+
+// Histogram counts pixel values into thread-private bins and merges them
+// into the shared histogram under one lock at the end.
+func Histogram(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("histogram")
+	elems := 400 * cfg.Scale
+	const bins = 32
+	inputs := workerArrays(b, cfg.Threads, elems)
+	privBins := workerArrays(b, cfg.Threads, bins)
+	sharedBins := b.Space().AllocArray(bins, mem.WordSize)
+	mu := b.Mutex()
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		// Map: read input, bump a private bin.
+		tb.Region("map")
+		for i := 0; i < elems; i++ {
+			tb.Load(inputs[t] + mem.Addr(i*mem.WordSize))
+			bin := privBins[t] + mem.Addr((i%bins)*mem.WordSize)
+			tb.Load(bin).Store(bin)
+		}
+		// Reduce: merge private bins into the shared histogram.
+		tb.Region("reduce")
+		lockedMerge(tb, mu, sharedBins, bins)
+	}
+	return b.MustBuild()
+}
+
+// Kmeans alternates a private assignment phase with a locked centroid
+// update, separated by barriers, for a few iterations.
+func Kmeans(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("kmeans")
+	const iters = 3
+	const clusters = 8
+	points := 600 * cfg.Scale
+	inputs := workerArrays(b, cfg.Threads, points)
+	sums := workerArrays(b, cfg.Threads, clusters)
+	centroids := b.Space().AllocArray(clusters, mem.WordSize)
+	mu := b.Mutex()
+	bar := b.Barrier(cfg.Threads)
+	tbs := make([]*program.ThreadBuilder, cfg.Threads)
+	for t := range tbs {
+		tbs[t] = b.Thread()
+	}
+	for it := 0; it < iters; it++ {
+		for t, tb := range tbs {
+			// Assignment: read centroids (read-shared), accumulate private
+			// sums.
+			readSweep(tb, centroids, clusters, 0)
+			for i := 0; i < points; i++ {
+				tb.Load(inputs[t] + mem.Addr(i*mem.WordSize))
+				s := sums[t] + mem.Addr((i%clusters)*mem.WordSize)
+				tb.Load(s).Store(s)
+				tb.Compute(3)
+			}
+			tb.Barrier(bar)
+			// Update: fold private sums into shared centroids under lock.
+			lockedMerge(tb, mu, centroids, clusters)
+			tb.Barrier(bar)
+		}
+	}
+	return b.MustBuild()
+}
+
+// LinearRegression accumulates five statistics privately over the input and
+// folds them into shared accumulators once.
+func LinearRegression(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("linear_regression")
+	elems := 500 * cfg.Scale
+	inputs := workerArrays(b, cfg.Threads, elems)
+	acc := workerArrays(b, cfg.Threads, 5)
+	shared := b.Space().AllocArray(5, mem.WordSize)
+	mu := b.Mutex()
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		for i := 0; i < elems; i++ {
+			tb.Load(inputs[t] + mem.Addr(i*mem.WordSize))
+			a := acc[t] + mem.Addr((i%5)*mem.WordSize)
+			tb.Load(a).Store(a)
+			tb.Compute(2)
+		}
+		lockedMerge(tb, mu, shared, 5)
+	}
+	return b.MustBuild()
+}
+
+// MatrixMultiply reads two shared input matrices and writes private output
+// rows: all cross-thread sharing is read-only, which the HITM indicator
+// correctly ignores.
+func MatrixMultiply(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("matrix_multiply")
+	n := 8 * cfg.Scale // rows per thread
+	const dim = 12
+	matA := b.Space().AllocArray(uint64(dim*dim), mem.WordSize)
+	matB := b.Space().AllocArray(uint64(dim*dim), mem.WordSize)
+	outRows := workerArrays(b, cfg.Threads, n*dim)
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		for r := 0; r < n; r++ {
+			for c := 0; c < dim; c++ {
+				// Dot product: row of A, column of B.
+				tb.Load(matA + mem.Addr(((r*dim+c)%(dim*dim))*mem.WordSize))
+				tb.Load(matB + mem.Addr(((c*dim+r)%(dim*dim))*mem.WordSize))
+				tb.Compute(4)
+				tb.Store(outRows[t] + mem.Addr((r*dim+c)*mem.WordSize))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// PCA computes column means then covariances in two barrier-separated
+// phases, folding into shared accumulators under a lock after each phase.
+func PCA(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("pca")
+	rows := 600 * cfg.Scale
+	const cols = 8
+	inputs := workerArrays(b, cfg.Threads, rows)
+	means := b.Space().AllocArray(cols, mem.WordSize)
+	cov := b.Space().AllocArray(cols, mem.WordSize)
+	mu := b.Mutex()
+	bar := b.Barrier(cfg.Threads)
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		// Phase 1: private row sums → shared means.
+		privateSweep(tb, inputs[t], rows, 1)
+		lockedMerge(tb, mu, means, cols)
+		tb.Barrier(bar)
+		// Phase 2: covariance uses the (now read-shared) means.
+		readSweep(tb, means, cols, 0)
+		privateSweep(tb, inputs[t], rows, 2)
+		lockedMerge(tb, mu, cov, cols)
+	}
+	return b.MustBuild()
+}
+
+// StringMatch scans private key chunks and bumps a shared match counter
+// under a lock only on (rare) hits.
+func StringMatch(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("string_match")
+	elems := 2000 * cfg.Scale
+	inputs := workerArrays(b, cfg.Threads, elems)
+	counter := b.Space().AllocLine(8)
+	mu := b.Mutex()
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		for i := 0; i < elems; i++ {
+			tb.Load(inputs[t] + mem.Addr(i*mem.WordSize))
+			tb.Compute(3)
+			if i%650 == 649 { // a hit
+				lockedUpdate(tb, mu, counter)
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// WordCount builds private count tables and merges them into a shared table
+// in a locked reduce phase; the merge is larger than histogram's, so the
+// sharing phase is longer.
+func WordCount(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("word_count")
+	elems := 350 * cfg.Scale
+	const table = 64
+	inputs := workerArrays(b, cfg.Threads, elems)
+	privTables := workerArrays(b, cfg.Threads, table)
+	sharedTable := b.Space().AllocArray(table, mem.WordSize)
+	mu := b.Mutex()
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		for i := 0; i < elems; i++ {
+			tb.Load(inputs[t] + mem.Addr(i*mem.WordSize))
+			e := privTables[t] + mem.Addr((i%table)*mem.WordSize)
+			tb.Load(e).Store(e)
+			tb.Compute(1)
+		}
+		lockedMerge(tb, mu, sharedTable, table)
+	}
+	return b.MustBuild()
+}
+
+// ReverseIndex extracts links from private documents into private link
+// lists, then appends each thread's batch to the shared index under a lock
+// in one merge phase at the end — the map-reduce phasing of the original.
+func ReverseIndex(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("reverse_index")
+	docs := 40 * cfg.Scale
+	const scanPerDoc = 40
+	const linksPerThread = 20
+	inputs := workerArrays(b, cfg.Threads, docs*scanPerDoc)
+	links := workerArrays(b, cfg.Threads, linksPerThread)
+	index := b.Space().AllocArray(256, mem.WordSize)
+	tail := b.Space().AllocLine(8)
+	mu := b.Mutex()
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		// Map: scan documents, record extracted links privately.
+		for d := 0; d < docs; d++ {
+			for s := 0; s < scanPerDoc; s++ {
+				tb.Load(inputs[t] + mem.Addr((d*scanPerDoc+s)*mem.WordSize))
+				tb.Compute(2)
+			}
+			l := links[t] + mem.Addr((d%linksPerThread)*mem.WordSize)
+			tb.Store(l)
+		}
+		// Reduce: append the batch to the shared index.
+		tb.Lock(mu)
+		for i := 0; i < linksPerThread; i++ {
+			tb.Load(tail).Store(tail)
+			tb.Store(index + mem.Addr(((t*linksPerThread+i)%256)*mem.WordSize))
+		}
+		tb.Unlock(mu)
+	}
+	return b.MustBuild()
+}

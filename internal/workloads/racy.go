@@ -1,0 +1,135 @@
+package workloads
+
+import (
+	"demandrace/internal/mem"
+	"demandrace/internal/program"
+)
+
+// Racy regression kernels contain known races with known addresses, used to
+// check that both engines find what they should and by the accuracy
+// experiment as ground truth alongside fuzz-injected races.
+
+func init() {
+	register(Kernel{Name: "racy_counter", Suite: "racy", Racy: true,
+		Sharing: "unlocked shared counter (repeated W→W race)", Build: RacyCounter})
+	register(Kernel{Name: "racy_flag", Suite: "racy", Racy: true,
+		Sharing: "plain-store flag handoff (W→R race on flag and data)", Build: RacyFlag})
+	register(Kernel{Name: "racy_overlap", Suite: "racy", Racy: true,
+		Sharing: "off-by-one partitioning (boundary element races)", Build: RacyOverlap})
+	register(Kernel{Name: "racy_mostly_clean", Suite: "racy", Racy: true,
+		Sharing: "clean parallel kernel with one racy word", Build: RacyMostlyClean})
+	register(Kernel{Name: "racy_lock_inversion", Suite: "racy",
+		Sharing: "ABBA lock-order hazard (no data race, no manifested deadlock)", Build: RacyLockInversion})
+}
+
+// RacyCounter increments one shared counter from every thread with no lock:
+// the canonical repeated write-write race.
+func RacyCounter(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("racy_counter")
+	c := b.Space().AllocLine(8)
+	iters := 50 * cfg.Scale
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		tb.Region("counter-increment")
+		for i := 0; i < iters; i++ {
+			tb.Load(c).Store(c).Compute(3)
+		}
+	}
+	return b.MustBuild()
+}
+
+// RacyFlag publishes data through a plain (non-atomic) flag: both the flag
+// and the data race, repeatedly.
+func RacyFlag(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("racy_flag")
+	data := b.Space().AllocLine(8)
+	flag := b.Space().AllocLine(8)
+	iters := 40 * cfg.Scale
+	t0, t1 := b.Thread(), b.Thread()
+	t0.Region("publish")
+	t1.Region("consume")
+	for i := 0; i < iters; i++ {
+		t0.Store(data).Store(flag).Compute(2)
+		t1.Load(flag).Load(data).Compute(2)
+	}
+	return b.MustBuild()
+}
+
+// RacyOverlap partitions an array with an off-by-one bug: each thread also
+// writes the first element of its right neighbor's slice.
+func RacyOverlap(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("racy_overlap")
+	per := 30 * cfg.Scale
+	arr := b.Space().AllocArray(uint64(per*cfg.Threads+1), mem.WordSize)
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		lo := t * per
+		hi := lo + per // off-by-one: hi belongs to the neighbor
+		for rep := 0; rep < 3; rep++ {
+			for i := lo; i <= hi; i++ {
+				a := arr + mem.Addr(i*mem.WordSize)
+				tb.Load(a).Store(a)
+			}
+			tb.Compute(5)
+		}
+	}
+	return b.MustBuild()
+}
+
+// RacyMostlyClean is a large clean data-parallel kernel with a single
+// racy shared word touched occasionally: the needle-in-haystack case where
+// demand-driven analysis shines (fast everywhere, enabled around the
+// sharing bursts).
+func RacyMostlyClean(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("racy_mostly_clean")
+	elems := 300 * cfg.Scale
+	work := workerArrays(b, cfg.Threads, elems)
+	bad := b.Space().AllocLine(8)
+	for t := 0; t < cfg.Threads; t++ {
+		tb := b.Thread()
+		tb.Region("private-sweep")
+		for i := 0; i < elems; i++ {
+			a := work[t] + mem.Addr(i*mem.WordSize)
+			tb.Load(a).Store(a).Compute(2)
+			if i%100 == 50 {
+				tb.Region("stats-update")
+				tb.Load(bad).Store(bad) // the bug
+				tb.Region("private-sweep")
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// RacyLockInversion acquires two locks in opposite orders from two threads
+// at temporally disjoint points: the run completes, no data race exists,
+// but the lock-order graph carries the ABBA hazard the deadlock engine
+// must flag.
+func RacyLockInversion(cfg Config) *program.Program {
+	cfg = cfg.normalized()
+	b := program.NewBuilder("racy_lock_inversion")
+	a, bb := b.Mutex(), b.Mutex()
+	x := b.Space().AllocLine(8)
+	iters := 10 * cfg.Scale
+	t0 := b.Thread()
+	for i := 0; i < iters; i++ {
+		t0.Lock(a).Lock(bb).Load(x).Store(x).Unlock(bb).Unlock(a).Compute(4)
+	}
+	// The second thread runs its inverted sections only after a compute
+	// prologue longer (in ops, the scheduling unit) than thread 0's whole
+	// body, so the hazard never manifests under the deterministic
+	// scheduler — exactly the case that needs a lock-order engine rather
+	// than luck.
+	t1 := b.Thread()
+	for i := 0; i < iters*8+16; i++ {
+		t1.Compute(25)
+	}
+	for i := 0; i < iters; i++ {
+		t1.Lock(bb).Lock(a).Load(x).Store(x).Unlock(a).Unlock(bb).Compute(4)
+	}
+	return b.MustBuild()
+}

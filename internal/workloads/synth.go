@@ -1,0 +1,89 @@
+package workloads
+
+import (
+	"fmt"
+
+	"demandrace/internal/mem"
+	"demandrace/internal/program"
+)
+
+// SynthSpec parameterizes a synthetic kernel whose single controlled
+// variable is its sharing profile — the knob the paper's results pivot on.
+// The sharing-fraction sweep experiment uses it to trace the demand-driven
+// detector's speedup as a continuous function of sharing, rather than at
+// the benchmark suites' fixed points.
+type SynthSpec struct {
+	// Threads is the worker count (default 4).
+	Threads int
+	// Iters is the per-thread iteration count (default 500). Each
+	// iteration is one private load+store plus compute.
+	Iters int
+	// ShareEvery makes every k-th iteration also perform a shared-data
+	// update; 0 disables sharing entirely.
+	ShareEvery int
+	// SharedWords sizes the shared region touched per sharing burst
+	// (default 4).
+	SharedWords int
+	// ComputeDensity is the compute cycles per iteration (default 3).
+	ComputeDensity uint64
+	// Unlocked leaves the shared updates unsynchronized, turning every
+	// sharing burst into a data race (for accuracy sweeps).
+	Unlocked bool
+}
+
+func (s SynthSpec) normalized() SynthSpec {
+	if s.Threads <= 0 {
+		s.Threads = 4
+	}
+	if s.Iters <= 0 {
+		s.Iters = 500
+	}
+	if s.SharedWords <= 0 {
+		s.SharedWords = 4
+	}
+	if s.ComputeDensity == 0 {
+		s.ComputeDensity = 3
+	}
+	return s
+}
+
+// Name renders a descriptive program name for the spec.
+func (s SynthSpec) Name() string {
+	lock := "locked"
+	if s.Unlocked {
+		lock = "racy"
+	}
+	return fmt.Sprintf("synth_t%d_i%d_s%d_%s", s.Threads, s.Iters, s.ShareEvery, lock)
+}
+
+// Synth builds the kernel described by spec.
+func Synth(spec SynthSpec) *program.Program {
+	spec = spec.normalized()
+	b := program.NewBuilder(spec.Name())
+	work := workerArrays(b, spec.Threads, spec.Iters)
+	shared := b.Space().AllocArray(uint64(spec.SharedWords), mem.WordSize)
+	mu := b.Mutex()
+	for t := 0; t < spec.Threads; t++ {
+		tb := b.Thread()
+		tb.Region("private")
+		for i := 0; i < spec.Iters; i++ {
+			a := work[t] + mem.Addr(i*mem.WordSize)
+			tb.Load(a).Store(a).Compute(spec.ComputeDensity)
+			if spec.ShareEvery > 0 && i%spec.ShareEvery == spec.ShareEvery-1 {
+				tb.Region("shared-burst")
+				if !spec.Unlocked {
+					tb.Lock(mu)
+				}
+				for w := 0; w < spec.SharedWords; w++ {
+					sa := shared + mem.Addr(w*mem.WordSize)
+					tb.Load(sa).Store(sa)
+				}
+				if !spec.Unlocked {
+					tb.Unlock(mu)
+				}
+				tb.Region("private")
+			}
+		}
+	}
+	return b.MustBuild()
+}

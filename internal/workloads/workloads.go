@@ -1,0 +1,160 @@
+// Package workloads builds the synthetic benchmark programs the experiments
+// run: a Phoenix-like suite (map-reduce kernels with rare, phase-end
+// sharing), a PARSEC-like suite (pipeline and neighbor-exchange kernels
+// with more frequent sharing), microbenchmarks that characterize the HITM
+// indicator, and deliberately racy regression kernels.
+//
+// The real benchmark suites cannot run on a simulator that executes op-level
+// programs, so each kernel here is a structural miniature: it reproduces the
+// original's *sharing profile* — which threads touch which data, under what
+// synchronization, in which phase — because that profile is the single
+// property the paper's results depend on. Compute ops stand in for the
+// arithmetic between memory references, with per-kernel compute density
+// chosen to mimic whether the original is memory- or compute-bound.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"demandrace/internal/mem"
+	"demandrace/internal/program"
+)
+
+// Config sizes a kernel build.
+type Config struct {
+	// Threads is the worker count (default 4).
+	Threads int
+	// Scale multiplies iteration counts (default 1). Kernels are sized so
+	// Scale=1 yields tens of thousands of ops.
+	Scale int
+}
+
+// DefaultConfig is 4 threads at scale 1.
+func DefaultConfig() Config { return Config{Threads: 4, Scale: 1} }
+
+func (c Config) normalized() Config {
+	if c.Threads <= 0 {
+		c.Threads = 4
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// Kernel is one buildable workload.
+type Kernel struct {
+	// Name identifies the kernel (unique across suites).
+	Name string
+	// Suite is "phoenix", "parsec", "micro", or "racy".
+	Suite string
+	// Sharing summarizes the kernel's sharing profile for reports.
+	Sharing string
+	// Racy marks kernels that contain deliberate data races.
+	Racy bool
+	// Build constructs the program.
+	Build func(Config) *program.Program
+}
+
+var registry []Kernel
+
+func register(k Kernel) {
+	for _, e := range registry {
+		if e.Name == k.Name {
+			panic(fmt.Sprintf("workloads: duplicate kernel %q", k.Name))
+		}
+	}
+	registry = append(registry, k)
+}
+
+// All returns every registered kernel, ordered by suite then name.
+func All() []Kernel {
+	out := append([]Kernel(nil), registry...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Suite != out[j].Suite {
+			return out[i].Suite < out[j].Suite
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Suite returns the kernels of one suite, sorted by name.
+func Suite(name string) []Kernel {
+	var out []Kernel
+	for _, k := range All() {
+		if k.Suite == name {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// ByName finds a kernel.
+func ByName(name string) (Kernel, bool) {
+	for _, k := range registry {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+// Names lists all kernel names (sorted by suite then name).
+func Names() []string {
+	var out []string
+	for _, k := range All() {
+		out = append(out, k.Name)
+	}
+	return out
+}
+
+// ---- shared builder helpers ----
+
+// privateSweep appends a load+store pass over a thread-private array with
+// interleaved compute, the backbone of the map phases.
+func privateSweep(tb *program.ThreadBuilder, base mem.Addr, elems int, computePer uint64) {
+	for i := 0; i < elems; i++ {
+		a := base + mem.Addr(i*mem.WordSize)
+		tb.Load(a).Store(a)
+		if computePer > 0 {
+			tb.Compute(computePer)
+		}
+	}
+}
+
+// readSweep appends a read-only pass over a (possibly shared) array.
+func readSweep(tb *program.ThreadBuilder, base mem.Addr, elems int, computePer uint64) {
+	for i := 0; i < elems; i++ {
+		tb.Load(base + mem.Addr(i*mem.WordSize))
+		if computePer > 0 {
+			tb.Compute(computePer)
+		}
+	}
+}
+
+// lockedUpdate appends a lock-protected read-modify-write of one shared
+// word.
+func lockedUpdate(tb *program.ThreadBuilder, mu program.SyncID, addr mem.Addr) {
+	tb.Lock(mu).Load(addr).Store(addr).Unlock(mu)
+}
+
+// lockedMerge appends a lock-protected merge of elems shared words.
+func lockedMerge(tb *program.ThreadBuilder, mu program.SyncID, base mem.Addr, elems int) {
+	tb.Lock(mu)
+	for i := 0; i < elems; i++ {
+		a := base + mem.Addr(i*mem.WordSize)
+		tb.Load(a).Store(a)
+	}
+	tb.Unlock(mu)
+}
+
+// workerArrays allocates one line-aligned private array per thread.
+func workerArrays(b *program.Builder, threads, elems int) []mem.Addr {
+	out := make([]mem.Addr, threads)
+	for i := range out {
+		out[i] = b.Space().AllocArray(uint64(elems), mem.WordSize)
+	}
+	return out
+}

@@ -1,0 +1,386 @@
+package workloads
+
+import (
+	"testing"
+
+	"demandrace/internal/cache"
+	"demandrace/internal/demand"
+	"demandrace/internal/runner"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	counts := map[string]int{}
+	for _, k := range All() {
+		counts[k.Suite]++
+	}
+	if counts["phoenix"] != 8 {
+		t.Errorf("phoenix kernels = %d, want 8", counts["phoenix"])
+	}
+	if counts["parsec"] != 13 {
+		t.Errorf("parsec kernels = %d, want 13 (the full suite)", counts["parsec"])
+	}
+	if counts["micro"] != 7 {
+		t.Errorf("micro kernels = %d, want 7", counts["micro"])
+	}
+	if counts["racy"] != 5 {
+		t.Errorf("racy kernels = %d, want 5", counts["racy"])
+	}
+}
+
+func TestByName(t *testing.T) {
+	k, ok := ByName("histogram")
+	if !ok || k.Suite != "phoenix" {
+		t.Errorf("ByName(histogram) = %+v, %v", k, ok)
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("found a kernel that should not exist")
+	}
+	if len(Names()) != len(All()) {
+		t.Error("Names and All disagree")
+	}
+}
+
+func TestSuiteFiltering(t *testing.T) {
+	for _, k := range Suite("phoenix") {
+		if k.Suite != "phoenix" {
+			t.Errorf("Suite(phoenix) returned %s kernel %s", k.Suite, k.Name)
+		}
+	}
+	prev := ""
+	for _, k := range Suite("parsec") {
+		if k.Name < prev {
+			t.Error("suite not sorted by name")
+		}
+		prev = k.Name
+	}
+}
+
+// TestAllKernelsBuildAndValidate builds every kernel at several
+// configurations; MustBuild panics on any validation failure.
+func TestAllKernelsBuildAndValidate(t *testing.T) {
+	cfgs := []Config{
+		{}, // defaults
+		{Threads: 1, Scale: 1},
+		{Threads: 2, Scale: 1},
+		{Threads: 8, Scale: 2},
+	}
+	for _, k := range All() {
+		for _, cfg := range cfgs {
+			p := k.Build(cfg)
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s %+v: %v", k.Name, cfg, err)
+			}
+			if p.TotalOps() == 0 {
+				t.Errorf("%s %+v: empty program", k.Name, cfg)
+			}
+		}
+	}
+}
+
+// TestAllKernelsRunToCompletion is the big smoke test: every kernel under
+// every policy must terminate without deadlock.
+func TestAllKernelsRunToCompletion(t *testing.T) {
+	policies := []demand.PolicyKind{demand.Off, demand.Continuous, demand.HITMDemand}
+	for _, k := range All() {
+		p := k.Build(Config{Threads: 4, Scale: 1})
+		for _, pol := range policies {
+			if _, err := runner.Run(p, runner.DefaultConfig().WithPolicy(pol)); err != nil {
+				t.Errorf("%s under %v: %v", k.Name, pol, err)
+			}
+		}
+	}
+}
+
+func TestPhoenixSuiteLowSharing(t *testing.T) {
+	// The suite's defining property: well under a few percent of accesses
+	// are cache-visible sharing.
+	for _, k := range Suite("phoenix") {
+		p := k.Build(DefaultConfig())
+		r, err := runner.Run(p, runner.DefaultConfig().WithPolicy(demand.Off))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := r.SharingFraction(); f > 0.05 {
+			t.Errorf("%s sharing fraction = %.4f, want ≤ 0.05", k.Name, f)
+		}
+	}
+}
+
+func TestCleanKernelsReportNoRaces(t *testing.T) {
+	// Every kernel not marked Racy — including micro_false_sharing, whose
+	// threads touch distinct words — must be race-free under continuous
+	// analysis.
+	for _, k := range All() {
+		if k.Racy || k.Suite == "racy" {
+			continue
+		}
+		p := k.Build(Config{Threads: 4, Scale: 1})
+		r, err := runner.Run(p, runner.DefaultConfig().WithPolicy(demand.Continuous))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Races) != 0 {
+			t.Errorf("%s: false positives: %v", k.Name, r.Races)
+		}
+	}
+}
+
+func TestFalseSharingKernelCleanToDetector(t *testing.T) {
+	// Hardware sees sharing, detector must not report: the words differ.
+	p := MicroFalseSharing(DefaultConfig())
+	r, err := runner.Run(p, runner.DefaultConfig().WithPolicy(demand.Continuous))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Races) != 0 {
+		t.Errorf("false sharing misreported as race: %v", r.Races)
+	}
+	if r.SharedHITM == 0 {
+		t.Error("false sharing produced no HITM")
+	}
+}
+
+func TestRacyKernelsReportRaces(t *testing.T) {
+	for _, k := range Suite("racy") {
+		if k.Name == "racy_lock_inversion" {
+			// A lock-order hazard, not a data race: covered by
+			// TestLockInversionFlaggedByDeadlockEngine.
+			continue
+		}
+		p := k.Build(Config{Threads: 4, Scale: 1})
+		r, err := runner.Run(p, runner.DefaultConfig().WithPolicy(demand.Continuous))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Races) == 0 {
+			t.Errorf("%s: continuous analysis found no races", k.Name)
+		}
+	}
+}
+
+func TestRacyKernelsFoundByDemand(t *testing.T) {
+	// All racy kernels race repeatedly, so the demand-driven detector must
+	// find at least one race in each.
+	for _, k := range Suite("racy") {
+		if k.Name == "racy_lock_inversion" {
+			continue // no data race to find
+		}
+		p := k.Build(Config{Threads: 4, Scale: 2})
+		cfg := runner.DefaultConfig().WithPolicy(demand.HITMDemand)
+		r, err := runner.Run(p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Races) == 0 {
+			t.Errorf("%s: demand-driven analysis found no races", k.Name)
+		}
+	}
+}
+
+func TestMicroProducerConsumerHITMRate(t *testing.T) {
+	p := MicroProducerConsumer(Config{Threads: 2, Scale: 1})
+	r, err := runner.Run(p, runner.DefaultConfig().WithPolicy(demand.Off))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 iterations: the producer's store after the first iteration also
+	// HITMs (consumer holds it Shared → store is clean-upgrade... no: after
+	// consumer's load both are Shared, producer's next store is an S→M
+	// upgrade, no HITM). Expect ≈1 HITM per iteration from the consumer.
+	if r.SharedHITM < 95 {
+		t.Errorf("HITM count = %d, want ≈100", r.SharedHITM)
+	}
+}
+
+func TestMicroReadSharingNoSteadyHITM(t *testing.T) {
+	p := MicroReadSharing(Config{Threads: 4, Scale: 1})
+	r, err := runner.Run(p, runner.DefaultConfig().WithPolicy(demand.Off))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At most the initial dirty handoff(s) can HITM; steady-state reads
+	// must not.
+	if r.SharedHITM > 3 {
+		t.Errorf("read sharing produced %d HITMs", r.SharedHITM)
+	}
+}
+
+func TestMicroPrivateZeroSharing(t *testing.T) {
+	p := MicroPrivate(DefaultConfig())
+	r, err := runner.Run(p, runner.DefaultConfig().WithPolicy(demand.Off))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SharedHITM != 0 || r.SharedPeer != 0 {
+		t.Errorf("private kernel shared: HITM=%d peer=%d", r.SharedHITM, r.SharedPeer)
+	}
+}
+
+func TestMicroEvictionHidesSharingOnSmallCache(t *testing.T) {
+	p := MicroEviction(Config{Threads: 2, Scale: 1})
+	cfg := runner.DefaultConfig().WithPolicy(demand.Off)
+	// A small L1 guarantees the churn evicts the shared line.
+	cfg.Cache = cache.Config{Cores: 2, SMT: 1, L1Sets: 4, L1Ways: 2}
+	r, err := runner.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The consumer's 20 loads of genuinely-shared data should mostly miss
+	// to memory with no HITM.
+	if r.SharedHITM > 2 {
+		t.Errorf("eviction churn still produced %d HITMs", r.SharedHITM)
+	}
+	if r.Cache.Writebacks == 0 {
+		t.Error("no writebacks despite churn")
+	}
+}
+
+func TestSwaptionsIsBestCase(t *testing.T) {
+	// The 51×-class program: essentially zero sharing and memory-bound.
+	p := Swaptions(DefaultConfig())
+	reps, err := runner.RunPolicies(p, runner.DefaultConfig(),
+		demand.Continuous, demand.HITMDemand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := reps[0].Slowdown / reps[1].Slowdown
+	if speedup < 20 {
+		t.Errorf("swaptions speedup = %.1f, want ≫ (≥20)", speedup)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration should panic")
+		}
+	}()
+	register(Kernel{Name: "histogram", Suite: "phoenix", Build: Histogram})
+}
+
+func TestLockInversionFlaggedByDeadlockEngine(t *testing.T) {
+	p := RacyLockInversion(Config{Threads: 2, Scale: 2})
+	cfg := runner.DefaultConfig().WithPolicy(demand.Continuous)
+	cfg.Deadlock = true
+	r, err := runner.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Races) != 0 {
+		t.Errorf("lock-inversion kernel has no data race, got %v", r.Races)
+	}
+	if len(r.DeadlockReports) != 1 {
+		t.Errorf("deadlock reports = %v", r.DeadlockReports)
+	}
+}
+
+func TestAppsSuite(t *testing.T) {
+	apps := Suite("apps")
+	if len(apps) != 4 {
+		t.Fatalf("apps suite = %d kernels", len(apps))
+	}
+	// All run to completion under demand analysis.
+	for _, k := range apps {
+		p := k.Build(Config{Threads: 4, Scale: 1})
+		if _, err := runner.Run(p, runner.DefaultConfig().WithPolicy(demand.HITMDemand)); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+}
+
+func TestAppWebserverFindsOnlyTheHitCounterRace(t *testing.T) {
+	p := AppWebserver(Config{Threads: 4, Scale: 1})
+	r, err := runner.Run(p, runner.DefaultConfig().WithPolicy(demand.Continuous))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.RacyAddrs()); got != 1 {
+		t.Fatalf("racy words = %d (%v), want exactly the hit counter", got, r.Races)
+	}
+	// The report carries the annotated region.
+	if r.Races[0].CurRegion != "stats" && r.Races[0].PrevRegion != "stats" {
+		t.Errorf("race not attributed to the stats region: %v", r.Races[0])
+	}
+}
+
+func TestAppDCLPRaces(t *testing.T) {
+	p := AppDCLP(Config{Threads: 4, Scale: 1})
+	r, err := runner.Run(p, runner.DefaultConfig().WithPolicy(demand.Continuous))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both the flag and payload words race.
+	if len(r.RacyAddrs()) < 2 {
+		t.Errorf("DCLP racy words = %v", r.RacyAddrs())
+	}
+}
+
+func TestAppRingBufferCleanButHot(t *testing.T) {
+	p := AppRingBuffer(Config{Threads: 2, Scale: 1})
+	r, err := runner.Run(p, runner.DefaultConfig().WithPolicy(demand.Continuous))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Races) != 0 {
+		t.Errorf("ring buffer races: %v", r.Races)
+	}
+	if r.SharingFraction() < 0.2 {
+		t.Errorf("ring buffer sharing = %.3f, expected communication-heavy", r.SharingFraction())
+	}
+}
+
+func TestAppWorkStealingClean(t *testing.T) {
+	p := AppWorkStealing(Config{Threads: 4, Scale: 1})
+	r, err := runner.Run(p, runner.DefaultConfig().WithPolicy(demand.Continuous))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Races) != 0 {
+		t.Errorf("work stealing races: %v", r.Races)
+	}
+}
+
+func TestSynthSpec(t *testing.T) {
+	// Zero-sharing spec produces no HITM; unlocked sharing produces races;
+	// locked sharing produces none.
+	clean := Synth(SynthSpec{Threads: 4, Iters: 100})
+	r, err := runner.Run(clean, runner.DefaultConfig().WithPolicy(demand.Continuous))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SharedHITM != 0 || len(r.Races) != 0 {
+		t.Errorf("no-sharing synth: HITM=%d races=%d", r.SharedHITM, len(r.Races))
+	}
+
+	locked := Synth(SynthSpec{Threads: 4, Iters: 100, ShareEvery: 10})
+	r, err = runner.Run(locked, runner.DefaultConfig().WithPolicy(demand.Continuous))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SharedHITM == 0 {
+		t.Error("locked synth produced no sharing")
+	}
+	if len(r.Races) != 0 {
+		t.Errorf("locked synth races: %v", r.Races)
+	}
+
+	racy := Synth(SynthSpec{Threads: 4, Iters: 100, ShareEvery: 10, Unlocked: true})
+	r, err = runner.Run(racy, runner.DefaultConfig().WithPolicy(demand.Continuous))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Races) == 0 {
+		t.Error("unlocked synth produced no races")
+	}
+}
+
+func TestSynthName(t *testing.T) {
+	s := SynthSpec{Threads: 2, Iters: 10, ShareEvery: 5}
+	if s.Name() != "synth_t2_i10_s5_locked" {
+		t.Errorf("Name = %q", s.Name())
+	}
+	s.Unlocked = true
+	if s.Name() != "synth_t2_i10_s5_racy" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
