@@ -1,5 +1,9 @@
-// Command ddrace runs one bundled workload kernel under a chosen analysis
+// Command ddrace runs bundled workload kernels under a chosen analysis
 // policy and prints the race and performance report.
+//
+// Multi-run modes (-batch, -compare, -explore) fan their independent runs
+// out across a worker pool (-workers, one per CPU by default); output is
+// byte-identical for any worker count.
 //
 // Usage:
 //
@@ -8,18 +12,24 @@
 //	ddrace -list
 //	ddrace -kernel kmeans -compare            # all policies side by side
 //	ddrace -kernel racy_flag -trace out.drt   # record a binary trace
+//	ddrace -batch phoenix                     # whole suite, one row per kernel
+//	ddrace -batch all -policy continuous      # every bundled kernel
+//	ddrace -batch histogram,kmeans,x264       # explicit kernel list
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"demandrace"
 	"demandrace/internal/cache"
 	"demandrace/internal/demand"
+	"demandrace/internal/parallel"
 	"demandrace/internal/report"
 	"demandrace/internal/sched"
 	"demandrace/internal/stats"
@@ -59,6 +69,8 @@ func run(args []string, out io.Writer) error {
 	var (
 		list      = fs.Bool("list", false, "list bundled kernels and exit")
 		kernel    = fs.String("kernel", "", "kernel to run (see -list)")
+		batch     = fs.String("batch", "", "run many kernels under -policy: comma-separated names, a suite (phoenix|parsec|micro|racy), or \"all\"")
+		workersF  = fs.Int("workers", 0, "parallel fan-out for -batch/-compare/-explore (0 = one per CPU, 1 = serial)")
 		policy    = fs.String("policy", "hitm-demand", "analysis policy: off|continuous|sync-only|hitm-demand|hybrid|sampling|watch-demand|page-demand")
 		rate      = fs.Float64("rate", 0.1, "per-access analysis probability for -policy sampling")
 		watchcap  = fs.Int("watchcap", 0, "watchpoint registers per context for -policy watch-demand (0 = default 4)")
@@ -99,29 +111,6 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprint(out, tb)
 		return nil
 	}
-	if *kernel == "" {
-		return fmt.Errorf("missing -kernel (use -list to see choices)")
-	}
-	k, ok := demandrace.KernelByName(*kernel)
-	if !ok {
-		return fmt.Errorf("unknown kernel %q (use -list)", *kernel)
-	}
-	p := k.Build(demandrace.KernelConfig{Threads: *threads, Scale: *scale})
-
-	var injections []demandrace.Injection
-	if *injectN > 0 {
-		var err error
-		p, injections, err = demandrace.InjectRaces(p, demandrace.InjectionConfig{
-			Seed: *seed, Count: *injectN, Repeats: *injectRep,
-		})
-		if err != nil {
-			return err
-		}
-		for _, in := range injections {
-			fmt.Fprintln(out, in)
-		}
-	}
-
 	cfg := demandrace.DefaultConfig()
 	cfg.Cache.Cores = *cores
 	cfg.Cache.SMT = *smt
@@ -150,8 +139,39 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg.Demand.Scope = sc
 
+	if *batch != "" {
+		pol, err := parsePolicy(*policy)
+		if err != nil {
+			return err
+		}
+		return runBatch(out, *batch, cfg.WithPolicy(pol),
+			demandrace.KernelConfig{Threads: *threads, Scale: *scale}, *workersF)
+	}
+
+	if *kernel == "" {
+		return fmt.Errorf("missing -kernel (use -list to see choices)")
+	}
+	k, ok := demandrace.KernelByName(*kernel)
+	if !ok {
+		return fmt.Errorf("unknown kernel %q (use -list)", *kernel)
+	}
+	p := k.Build(demandrace.KernelConfig{Threads: *threads, Scale: *scale})
+
+	var injections []demandrace.Injection
+	if *injectN > 0 {
+		p, injections, err = demandrace.InjectRaces(p, demandrace.InjectionConfig{
+			Seed: *seed, Count: *injectN, Repeats: *injectRep,
+		})
+		if err != nil {
+			return err
+		}
+		for _, in := range injections {
+			fmt.Fprintln(out, in)
+		}
+	}
+
 	if *compare {
-		return comparePolicies(out, p, cfg, *verbose)
+		return comparePolicies(out, p, cfg, *workersF, *verbose)
 	}
 
 	pol, err := parsePolicy(*policy)
@@ -160,7 +180,7 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg = cfg.WithPolicy(pol)
 	if *explore > 0 {
-		return exploreSchedules(out, p, cfg, *explore)
+		return exploreSchedules(out, p, cfg, *explore, *workersF)
 	}
 	if *traceOut != "" {
 		cfg.Tracer = demandrace.NewTraceRecorder(p.Name)
@@ -235,8 +255,67 @@ func printReport(out io.Writer, rep *demandrace.Report, verbose bool) {
 	}
 }
 
-func exploreSchedules(out io.Writer, p *demandrace.Program, cfg demandrace.Config, seeds int) error {
-	ex, err := demandrace.Explore(p, cfg, seeds)
+// resolveBatch expands a -batch spec into kernels: "all", a suite name, or
+// a comma-separated kernel list.
+func resolveBatch(spec string) ([]demandrace.Kernel, error) {
+	switch spec {
+	case "all":
+		return demandrace.Kernels(), nil
+	case "phoenix", "parsec", "micro", "racy":
+		ks := demandrace.KernelSuite(spec)
+		if len(ks) == 0 {
+			return nil, fmt.Errorf("suite %q is empty", spec)
+		}
+		return ks, nil
+	}
+	var ks []demandrace.Kernel
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		k, ok := demandrace.KernelByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown kernel %q in -batch (use -list)", name)
+		}
+		ks = append(ks, k)
+	}
+	return ks, nil
+}
+
+// runBatch fans the kernels out across the worker pool — each run owns its
+// own program and simulated machine — and prints one summary row per kernel
+// in the order the batch named them.
+func runBatch(out io.Writer, spec string, cfg demandrace.Config, kc demandrace.KernelConfig, workers int) error {
+	ks, err := resolveBatch(spec)
+	if err != nil {
+		return err
+	}
+	eng := parallel.New(workers)
+	reps, err := parallel.Map(context.Background(), eng, len(ks), func(_ context.Context, i int) (*demandrace.Report, error) {
+		p := ks[i].Build(kc)
+		r, err := demandrace.Run(p, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("kernel %s: %w", ks[i].Name, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable(fmt.Sprintf("batch: %d kernels under %s", len(ks), cfg.Demand.Kind),
+		"kernel", "suite", "slowdown (×)", "sharing frac", "analyzed frac", "racy words", "reports")
+	for i, r := range reps {
+		tb.AddRow(ks[i].Name, ks[i].Suite,
+			fmt.Sprintf("%.2f", r.Slowdown),
+			fmt.Sprintf("%.4f", r.SharingFraction()),
+			fmt.Sprintf("%.4f", r.Demand.AnalyzedFraction()),
+			fmt.Sprintf("%d", len(r.RacyAddrs())),
+			fmt.Sprintf("%d", len(r.Races)))
+	}
+	fmt.Fprint(out, tb)
+	return nil
+}
+
+func exploreSchedules(out io.Writer, p *demandrace.Program, cfg demandrace.Config, seeds, workers int) error {
+	ex, err := demandrace.ExploreParallel(p, cfg, seeds, workers)
 	if err != nil {
 		return err
 	}
@@ -250,12 +329,12 @@ func exploreSchedules(out io.Writer, p *demandrace.Program, cfg demandrace.Confi
 	return nil
 }
 
-func comparePolicies(out io.Writer, p *demandrace.Program, cfg demandrace.Config, verbose bool) error {
+func comparePolicies(out io.Writer, p *demandrace.Program, cfg demandrace.Config, workers int, verbose bool) error {
 	kinds := []demandrace.Policy{
 		demand.Off, demand.SyncOnly, demand.Sampling, demand.PageDemand, demand.WatchDemand,
 		demand.HITMDemand, demand.Hybrid, demand.Continuous,
 	}
-	reps, err := demandrace.RunPolicies(p, cfg, kinds...)
+	reps, err := demandrace.RunPoliciesParallel(p, cfg, workers, kinds...)
 	if err != nil {
 		return err
 	}

@@ -159,3 +159,47 @@ func TestExploreFlag(t *testing.T) {
 		t.Errorf("solid race not reported:\n%s", out)
 	}
 }
+
+func TestBatchSuite(t *testing.T) {
+	out := runCLI(t, "-batch", "phoenix")
+	if !strings.Contains(out, "batch: 8 kernels under hitm-demand") {
+		t.Errorf("missing batch header:\n%s", out)
+	}
+	for _, want := range []string{"histogram", "kmeans", "word_count"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("batch output missing kernel %q", want)
+		}
+	}
+}
+
+func TestBatchExplicitListDeterministic(t *testing.T) {
+	serial := runCLI(t, "-batch", "histogram,x264,racy_counter", "-policy", "continuous", "-workers", "1")
+	wide := runCLI(t, "-batch", "histogram,x264,racy_counter", "-policy", "continuous", "-workers", "8")
+	if serial != wide {
+		t.Errorf("batch output differs across worker counts:\n--- serial ---\n%s--- workers=8 ---\n%s", serial, wide)
+	}
+	// Rows come out in the order the batch named them.
+	if h, x := strings.Index(serial, "histogram"), strings.Index(serial, "x264"); h < 0 || x < 0 || h > x {
+		t.Errorf("batch rows out of order:\n%s", serial)
+	}
+	if !strings.Contains(serial, "racy_counter") {
+		t.Errorf("racy_counter row missing:\n%s", serial)
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	for _, spec := range []string{"nope", "histogram,nope"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-batch", spec}, &buf); err == nil {
+			t.Errorf("-batch %s: expected error", spec)
+		}
+	}
+}
+
+func TestCompareWorkersDeterministic(t *testing.T) {
+	serial := runCLI(t, "-kernel", "micro_private", "-compare", "-workers", "1")
+	wide := runCLI(t, "-kernel", "micro_private", "-compare", "-workers", "8")
+	if serial != wide {
+		t.Errorf("-compare output differs across worker counts:\n%s\nvs\n%s", serial, wide)
+	}
+}

@@ -1,11 +1,19 @@
 // Command experiments regenerates the tables and figures of the paper's
 // evaluation (reconstructed per DESIGN.md).
 //
+// Independent simulation runs fan out across a worker pool (one worker per
+// CPU by default; bound it with -workers). Tables are byte-identical for
+// every worker count; a timing summary — per-experiment wall clock, run
+// throughput, and realized parallel speedup — goes to stderr so it never
+// perturbs the comparable stdout stream.
+//
 // Usage:
 //
 //	experiments -exp all
 //	experiments -exp fig4 -threads 8 -scale 2
 //	experiments -exp fig1 -csv
+//	experiments -quick               # seconds-long smoke run of every experiment
+//	experiments -workers 1           # serial baseline (identical output)
 package main
 
 import (
@@ -13,32 +21,47 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"demandrace/internal/experiments"
+	"demandrace/internal/parallel"
 	"demandrace/internal/stats"
 )
 
 type tabler interface{ Table() *stats.Table }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+// run executes the selected experiments, rendering tables to out and the
+// timing/throughput summary to diag. Keeping the two streams separate is
+// what lets `-workers N` output be byte-compared against `-workers 1`.
+func run(args []string, out, diag io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		exp     = fs.String("exp", "all", "experiment: scorecard|tab1|fig1|fig2|fig3|fig4|fig5|fig6|fig7|tab3|tab4|tab5|tab6|all")
 		threads = fs.Int("threads", 4, "worker thread count")
 		scale   = fs.Int("scale", 1, "workload scale factor")
 		csv     = fs.Bool("csv", false, "emit CSV instead of text tables")
+		workers = fs.Int("workers", 0, "parallel simulation runs (0 = one per CPU, 1 = serial)")
+		quick   = fs.Bool("quick", false, "smoke mode: trimmed kernels and seeds, runs in seconds")
+		timing  = fs.Bool("timing", true, "print wall-clock/throughput stats to stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	o := experiments.Options{Threads: *threads, Scale: *scale}
+	eng := parallel.New(*workers)
+	o := experiments.Options{
+		Threads: *threads,
+		Scale:   *scale,
+		Workers: *workers,
+		Quick:   *quick,
+		Engine:  eng,
+	}
 
 	runners := map[string]func(experiments.Options) (tabler, error){
 		"tab1":      func(o experiments.Options) (tabler, error) { return experiments.Tab1(o) },
@@ -66,17 +89,54 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 
+	type timingRow struct {
+		name  string
+		wall  time.Duration
+		delta parallel.Stats
+	}
+	var rows []timingRow
+	suiteStart := time.Now()
 	for _, name := range names {
+		prev := eng.Stats()
+		expStart := time.Now()
 		res, err := runners[name](o)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
+		rows = append(rows, timingRow{name: name, wall: time.Since(expStart), delta: eng.Stats().Sub(prev)})
 		tb := res.Table()
 		if *csv {
 			fmt.Fprint(out, tb.CSV())
 		} else {
 			fmt.Fprintln(out, tb)
 		}
+	}
+	suiteWall := time.Since(suiteStart)
+
+	if *timing {
+		total := eng.Stats()
+		tb := stats.NewTable(
+			fmt.Sprintf("Harness timing — %d workers", eng.Workers()),
+			"experiment", "runs", "busy (serial-equiv)", "wall", "speedup (×)", "runs/s")
+		for _, r := range rows {
+			tb.AddRow(r.name,
+				fmt.Sprintf("%d", r.delta.Jobs),
+				r.delta.Busy.Round(time.Millisecond).String(),
+				r.wall.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.2f", r.delta.Speedup()),
+				fmt.Sprintf("%.1f", r.delta.Throughput()))
+		}
+		suiteSpeedup := 0.0
+		if suiteWall > 0 {
+			suiteSpeedup = float64(total.Busy) / float64(suiteWall)
+		}
+		tb.AddRow("TOTAL",
+			fmt.Sprintf("%d", total.Jobs),
+			total.Busy.Round(time.Millisecond).String(),
+			suiteWall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2f", suiteSpeedup),
+			fmt.Sprintf("%.1f", float64(total.Jobs)/suiteWall.Seconds()))
+		fmt.Fprintln(diag, tb)
 	}
 	return nil
 }

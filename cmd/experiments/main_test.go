@@ -2,13 +2,14 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 )
 
 func TestSingleExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-exp", "fig2"}, &buf); err != nil {
+	if err := run([]string{"-exp", "fig2"}, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -19,7 +20,7 @@ func TestSingleExperiment(t *testing.T) {
 
 func TestCSVMode(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-exp", "fig2", "-csv"}, &buf); err != nil {
+	if err := run([]string{"-exp", "fig2", "-csv"}, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	first := strings.SplitN(buf.String(), "\n", 2)[0]
@@ -30,17 +31,71 @@ func TestCSVMode(t *testing.T) {
 
 func TestUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-exp", "fig99"}, &buf); err == nil {
+	if err := run([]string{"-exp", "fig99"}, &buf, io.Discard); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestThreadsAndScaleFlags(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-exp", "fig2", "-threads", "2", "-scale", "1"}, &buf); err != nil {
+	if err := run([]string{"-exp", "fig2", "-threads", "2", "-scale", "1"}, &buf, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if buf.Len() == 0 {
 		t.Error("no output")
+	}
+}
+
+// TestWorkersByteIdentical is the CLI-level determinism check: the tables a
+// parallel run renders must match the serial run byte for byte.
+func TestWorkersByteIdentical(t *testing.T) {
+	var serial, wide bytes.Buffer
+	if err := run([]string{"-exp", "fig4", "-workers", "1"}, &serial, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-exp", "fig4", "-workers", "8"}, &wide, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != wide.String() {
+		t.Errorf("-workers 8 output differs from -workers 1:\n--- serial ---\n%s\n--- workers=8 ---\n%s",
+			serial.String(), wide.String())
+	}
+}
+
+// TestQuickSmokeMode runs the full -quick suite: every experiment's code
+// path in a few seconds.
+func TestQuickSmokeMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick"}, &buf, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Scorecard", "Tab.1", "Fig.1", "Fig.4", "Tab.3", "Fig.7", "Tab.6"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("quick output missing %s", want)
+		}
+	}
+}
+
+// TestTimingGoesToDiag checks the timing summary lands on the diagnostic
+// stream, never the comparable table stream.
+func TestTimingGoesToDiag(t *testing.T) {
+	var out, diag bytes.Buffer
+	if err := run([]string{"-exp", "fig2"}, &out, &diag); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "Harness timing") {
+		t.Error("timing summary leaked into table stream")
+	}
+	d := diag.String()
+	if !strings.Contains(d, "Harness timing") || !strings.Contains(d, "TOTAL") {
+		t.Errorf("diag stream missing timing summary:\n%s", d)
+	}
+	var silent bytes.Buffer
+	if err := run([]string{"-exp", "fig2", "-timing=false"}, io.Discard, &silent); err != nil {
+		t.Fatal(err)
+	}
+	if silent.Len() != 0 {
+		t.Errorf("-timing=false still wrote diagnostics:\n%s", silent.String())
 	}
 }

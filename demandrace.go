@@ -176,15 +176,29 @@ func RunPolicies(p *Program, cfg Config, policies ...Policy) ([]*Report, error) 
 	return runner.RunPolicies(p, cfg, policies...)
 }
 
+// RunPoliciesParallel is RunPolicies fanned out across workers goroutines
+// (0 = one per CPU). Runs are pure, so the reports — still in policy
+// order — are identical to the serial ones.
+func RunPoliciesParallel(p *Program, cfg Config, workers int, policies ...Policy) ([]*Report, error) {
+	return runner.RunPoliciesParallel(p, cfg, workers, policies...)
+}
+
 // Exploration aggregates a program's race behavior across many seeded
 // interleavings.
 type Exploration = runner.Exploration
 
 // Explore runs p under cfg once per seed in [0, seeds) with seeded-random
 // interleaving and aggregates the racy-address sets — the "run it until
-// the bug shows" workflow.
+// the bug shows" workflow. Seeds run concurrently, one worker per CPU.
 func Explore(p *Program, cfg Config, seeds int) (*Exploration, error) {
 	return runner.Explore(p, cfg, seeds)
+}
+
+// ExploreParallel is Explore with an explicit fan-out width (0 = one
+// worker per CPU, 1 = serial). Aggregation is in seed order, so results
+// are identical for any width.
+func ExploreParallel(p *Program, cfg Config, seeds, workers int) (*Exploration, error) {
+	return runner.ExploreWorkers(p, cfg, seeds, workers)
 }
 
 // Kernel is a bundled benchmark workload.

@@ -32,7 +32,6 @@ type Fig3Result struct {
 // small-cache eviction variants.
 func Fig3(o Options) (*Fig3Result, error) {
 	o = o.normalized()
-	res := &Fig3Result{}
 
 	type variant struct {
 		name     string
@@ -66,10 +65,11 @@ func Fig3(o Options) (*Fig3Result, error) {
 		{"private control", "micro_private", def, "",
 			"0 HITM, 0 races"},
 	}
-	for _, v := range variants {
+	rows, err := fanOut(o, len(variants), func(i int) (Fig3Row, error) {
+		v := variants[i]
 		k, ok := workloads.ByName(v.kernel)
 		if !ok {
-			return nil, fmt.Errorf("experiments: kernel %q missing", v.kernel)
+			return Fig3Row{}, fmt.Errorf("experiments: kernel %q missing", v.kernel)
 		}
 		threads := 2
 		if v.kernel == "micro_private" || v.kernel == "micro_read_sharing" {
@@ -80,18 +80,21 @@ func Fig3(o Options) (*Fig3Result, error) {
 		cfg.Cache = v.cacheCfg
 		r, err := runner.Run(p, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig3 %s: %w", v.name, err)
+			return Fig3Row{}, fmt.Errorf("experiments: fig3 %s: %w", v.name, err)
 		}
-		res.Rows = append(res.Rows, Fig3Row{
+		return Fig3Row{
 			Case:     v.name,
 			MemOps:   r.MemOps,
 			HITM:     r.SharedHITM,
 			Samples:  r.PMU.Seen,
 			Races:    len(r.RacyAddrs()),
 			Expected: v.expected,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig3Result{Rows: rows}, nil
 }
 
 // Table renders the result.
@@ -138,46 +141,69 @@ type Tab3Result struct {
 	Seeds int
 }
 
-// Tab3 injects races into clean kernels across several seeds.
+// Tab3 injects races into clean kernels across several seeds. Every
+// (kernel, repeats, seed) cell is an independent run; the fan-out flattens
+// the full grid and the per-row tallies are summed in seed order.
 func Tab3(o Options) (*Tab3Result, error) {
 	o = o.normalized()
-	const seeds = 8
+	seeds := o.quickSeeds(8)
 	const perSeed = 3
 	kernels := []string{"histogram", "blackscholes", "streamcluster", "swaptions"}
-	res := &Tab3Result{Seeds: seeds}
-	for _, name := range kernels {
-		for _, repeats := range []int{4, 1} {
-			row := Tab3Row{Kernel: name, Repeats: repeats}
-			for seed := 0; seed < seeds; seed++ {
-				p, err := buildProgram(name, o)
-				if err != nil {
-					return nil, err
-				}
-				injected, injs, err := racefuzz.Inject(p, racefuzz.Config{
-					Seed: int64(seed), Count: perSeed, Repeats: repeats,
-				})
-				if err != nil {
-					return nil, err
-				}
-				reps, err := runner.RunPolicies(injected, runner.DefaultConfig(),
-					demand.Continuous, demand.HITMDemand)
-				if err != nil {
-					return nil, err
-				}
-				row.Injected += len(injs)
-				contAddrs := racyAddrSet(reps[0])
-				demAddrs := racyAddrSet(reps[1])
-				for _, in := range injs {
-					if contAddrs[in.Addr] {
-						row.ContFound++
-					}
-					if demAddrs[in.Addr] {
-						row.DemandFound++
-					}
-				}
-			}
-			res.Rows = append(res.Rows, row)
+	if o.Quick {
+		kernels = []string{"histogram", "streamcluster"}
+	}
+	repeatsAxis := []int{4, 1}
+
+	type tally struct{ injected, cont, dem int }
+	nRows := len(kernels) * len(repeatsAxis)
+	cells, err := fanOut(o, nRows*seeds, func(i int) (tally, error) {
+		row, seed := i/seeds, i%seeds
+		name := kernels[row/len(repeatsAxis)]
+		repeats := repeatsAxis[row%len(repeatsAxis)]
+		p, err := buildProgram(name, o)
+		if err != nil {
+			return tally{}, err
 		}
+		injected, injs, err := racefuzz.Inject(p, racefuzz.Config{
+			Seed: int64(seed), Count: perSeed, Repeats: repeats,
+		})
+		if err != nil {
+			return tally{}, err
+		}
+		reps, err := runner.RunPolicies(injected, runner.DefaultConfig(),
+			demand.Continuous, demand.HITMDemand)
+		if err != nil {
+			return tally{}, err
+		}
+		t := tally{injected: len(injs)}
+		contAddrs := racyAddrSet(reps[0])
+		demAddrs := racyAddrSet(reps[1])
+		for _, in := range injs {
+			if contAddrs[in.Addr] {
+				t.cont++
+			}
+			if demAddrs[in.Addr] {
+				t.dem++
+			}
+		}
+		return t, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Tab3Result{Seeds: seeds}
+	for row := 0; row < nRows; row++ {
+		r := Tab3Row{
+			Kernel:  kernels[row/len(repeatsAxis)],
+			Repeats: repeatsAxis[row%len(repeatsAxis)],
+		}
+		for seed := 0; seed < seeds; seed++ {
+			t := cells[row*seeds+seed]
+			r.Injected += t.injected
+			r.ContFound += t.cont
+			r.DemandFound += t.dem
+		}
+		res.Rows = append(res.Rows, r)
 	}
 	return res, nil
 }
@@ -221,10 +247,14 @@ type Fig6Result struct {
 	Rows []Fig6Row
 }
 
-// Fig6 sweeps policies and demand scopes on representative kernels.
+// Fig6 sweeps policies and demand scopes on representative kernels; the
+// (kernel × policy) grid runs as one fan-out.
 func Fig6(o Options) (*Fig6Result, error) {
 	o = o.normalized()
 	kernels := []string{"histogram", "streamcluster", "racy_mostly_clean"}
+	if o.Quick {
+		kernels = []string{"histogram", "racy_mostly_clean"}
+	}
 	type pv struct {
 		label    string
 		kind     demand.PolicyKind
@@ -244,31 +274,32 @@ func Fig6(o Options) (*Fig6Result, error) {
 		{"hybrid/global", demand.Hybrid, demand.ScopeGlobal, false, false},
 		{"continuous", demand.Continuous, demand.ScopeGlobal, false, false},
 	}
-	res := &Fig6Result{}
-	for _, name := range kernels {
-		for _, pol := range policies {
-			p, err := buildProgram(name, o)
-			if err != nil {
-				return nil, err
-			}
-			cfg := runner.DefaultConfig().WithPolicy(pol.kind)
-			cfg.Demand.Scope = pol.scope
-			cfg.Demand.Adaptive = pol.adaptive
-			cfg.Demand.SyncTrigger = pol.syncTrig
-			r, err := runner.Run(p, cfg)
-			if err != nil {
-				return nil, err
-			}
-			res.Rows = append(res.Rows, Fig6Row{
-				Kernel:   name,
-				Policy:   pol.label,
-				Slowdown: r.Slowdown,
-				Analyzed: r.Demand.AnalyzedFraction(),
-				Races:    len(r.RacyAddrs()),
-			})
+	rows, err := fanOut(o, len(kernels)*len(policies), func(i int) (Fig6Row, error) {
+		name, pol := kernels[i/len(policies)], policies[i%len(policies)]
+		p, err := buildProgram(name, o)
+		if err != nil {
+			return Fig6Row{}, err
 		}
+		cfg := runner.DefaultConfig().WithPolicy(pol.kind)
+		cfg.Demand.Scope = pol.scope
+		cfg.Demand.Adaptive = pol.adaptive
+		cfg.Demand.SyncTrigger = pol.syncTrig
+		r, err := runner.Run(p, cfg)
+		if err != nil {
+			return Fig6Row{}, err
+		}
+		return Fig6Row{
+			Kernel:   name,
+			Policy:   pol.label,
+			Slowdown: r.Slowdown,
+			Analyzed: r.Demand.AnalyzedFraction(),
+			Races:    len(r.RacyAddrs()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig6Result{Rows: rows}, nil
 }
 
 // Table renders the result.
@@ -300,10 +331,12 @@ type Tab4Result struct {
 	Seeds int
 }
 
-// Tab4 sweeps SAV × skid on injected races over a clean host kernel.
+// Tab4 sweeps SAV × skid on injected races over a clean host kernel. The
+// (SAV, skid, seed) grid is flattened; per-row means are summed in seed
+// order so the floating-point totals match a serial loop exactly.
 func Tab4(o Options) (*Tab4Result, error) {
 	o = o.normalized()
-	const seeds = 6
+	seeds := o.quickSeeds(6)
 	const perSeed = 3
 	host := "histogram"
 	// The sweep tops out at 8 because these kernels produce tens of HITM
@@ -311,53 +344,70 @@ func Tab4(o Options) (*Tab4Result, error) {
 	// values scale with its programs the same way.
 	savs := []uint64{1, 2, 4, 8}
 	skids := []int{0, 20}
-	res := &Tab4Result{Seeds: seeds}
-	for _, sav := range savs {
-		for _, skid := range skids {
-			row := Tab4Row{SampleAfter: sav, Skid: skid}
-			contFound, demFound := 0, 0
-			var slowSum, intrSum float64
-			for seed := 0; seed < seeds; seed++ {
-				p, err := buildProgram(host, o)
-				if err != nil {
-					return nil, err
-				}
-				injected, injs, err := racefuzz.Inject(p, racefuzz.Config{
-					Seed: int64(seed), Count: perSeed, Repeats: 6,
-				})
-				if err != nil {
-					return nil, err
-				}
-				cfg := runner.DefaultConfig()
-				cfg.PMU.SampleAfter = sav
-				cfg.PMU.Skid = skid
-				reps, err := runner.RunPolicies(injected, cfg,
-					demand.Continuous, demand.HITMDemand)
-				if err != nil {
-					return nil, err
-				}
-				contAddrs := racyAddrSet(reps[0])
-				demAddrs := racyAddrSet(reps[1])
-				for _, in := range injs {
-					if contAddrs[in.Addr] {
-						contFound++
-					}
-					if demAddrs[in.Addr] {
-						demFound++
-					}
-				}
-				slowSum += reps[1].Slowdown
-				intrSum += float64(reps[1].PMU.Delivered)
-			}
-			if contFound > 0 {
-				row.Recall = float64(demFound) / float64(contFound)
-			} else {
-				row.Recall = 1
-			}
-			row.Slowdown = slowSum / seeds
-			row.Interrupts = intrSum / seeds
-			res.Rows = append(res.Rows, row)
+
+	type sample struct {
+		cont, dem  int
+		slow, intr float64
+	}
+	nRows := len(savs) * len(skids)
+	cells, err := fanOut(o, nRows*seeds, func(i int) (sample, error) {
+		row, seed := i/seeds, i%seeds
+		sav := savs[row/len(skids)]
+		skid := skids[row%len(skids)]
+		p, err := buildProgram(host, o)
+		if err != nil {
+			return sample{}, err
 		}
+		injected, injs, err := racefuzz.Inject(p, racefuzz.Config{
+			Seed: int64(seed), Count: perSeed, Repeats: 6,
+		})
+		if err != nil {
+			return sample{}, err
+		}
+		cfg := runner.DefaultConfig()
+		cfg.PMU.SampleAfter = sav
+		cfg.PMU.Skid = skid
+		reps, err := runner.RunPolicies(injected, cfg,
+			demand.Continuous, demand.HITMDemand)
+		if err != nil {
+			return sample{}, err
+		}
+		s := sample{slow: reps[1].Slowdown, intr: float64(reps[1].PMU.Delivered)}
+		contAddrs := racyAddrSet(reps[0])
+		demAddrs := racyAddrSet(reps[1])
+		for _, in := range injs {
+			if contAddrs[in.Addr] {
+				s.cont++
+			}
+			if demAddrs[in.Addr] {
+				s.dem++
+			}
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Tab4Result{Seeds: seeds}
+	for row := 0; row < nRows; row++ {
+		r := Tab4Row{SampleAfter: savs[row/len(skids)], Skid: skids[row%len(skids)]}
+		contFound, demFound := 0, 0
+		var slowSum, intrSum float64
+		for seed := 0; seed < seeds; seed++ {
+			s := cells[row*seeds+seed]
+			contFound += s.cont
+			demFound += s.dem
+			slowSum += s.slow
+			intrSum += s.intr
+		}
+		if contFound > 0 {
+			r.Recall = float64(demFound) / float64(contFound)
+		} else {
+			r.Recall = 1
+		}
+		r.Slowdown = slowSum / float64(seeds)
+		r.Interrupts = intrSum / float64(seeds)
+		res.Rows = append(res.Rows, r)
 	}
 	return res, nil
 }

@@ -32,17 +32,18 @@ type Tab1Result struct {
 	Rows []Tab1Row
 }
 
-// Tab1 profiles every evaluation kernel.
+// Tab1 profiles every evaluation kernel, one fan-out job per kernel.
 func Tab1(o Options) (*Tab1Result, error) {
 	o = o.normalized()
-	res := &Tab1Result{}
-	for _, k := range suiteKernels() {
+	ks := suiteKernels(o)
+	rows, err := fanOut(o, len(ks), func(i int) (Tab1Row, error) {
+		k := ks[i]
 		p := k.Build(o.kernelConfig())
 		r, err := runner.Run(p, runner.DefaultConfig().WithPolicy(demand.Off))
 		if err != nil {
-			return nil, fmt.Errorf("experiments: tab1 %s: %w", k.Name, err)
+			return Tab1Row{}, fmt.Errorf("experiments: tab1 %s: %w", k.Name, err)
 		}
-		res.Rows = append(res.Rows, Tab1Row{
+		return Tab1Row{
 			Kernel:          k.Name,
 			Suite:           k.Suite,
 			Threads:         p.NumThreads(),
@@ -53,9 +54,12 @@ func Tab1(o Options) (*Tab1Result, error) {
 			Sems:            p.Semaphores,
 			SyncOpsExecuted: countSync(p),
 			SharingPct:      100 * r.SharingFraction(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Tab1Result{Rows: rows}, nil
 }
 
 func countSync(p *program.Program) uint64 {

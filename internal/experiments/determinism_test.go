@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"testing"
+
+	"demandrace/internal/parallel"
+)
+
+// The parallel engine's determinism contract (see ARCHITECTURE.md): any
+// Options.Workers value must render byte-identical tables. Fig4 is the
+// headline per-kernel fan-out; Tab3 additionally exercises flattened
+// multi-axis grids (kernel × repeats × seed) with ordered floating-point
+// and integer aggregation.
+
+func renderFig4(t *testing.T, workers int) string {
+	t.Helper()
+	r, err := Fig4(Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("Fig4 workers=%d: %v", workers, err)
+	}
+	return r.Table().String()
+}
+
+func renderTab3(t *testing.T, workers int) string {
+	t.Helper()
+	r, err := Tab3(Options{Workers: workers})
+	if err != nil {
+		t.Fatalf("Tab3 workers=%d: %v", workers, err)
+	}
+	return r.Table().String()
+}
+
+func TestFig4DeterministicAcrossWorkers(t *testing.T) {
+	serial := renderFig4(t, 1)
+	wide := renderFig4(t, 8)
+	if serial != wide {
+		t.Errorf("Fig4 tables differ:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, wide)
+	}
+}
+
+func TestTab3DeterministicAcrossWorkers(t *testing.T) {
+	serial := renderTab3(t, 1)
+	wide := renderTab3(t, 8)
+	if serial != wide {
+		t.Errorf("Tab3 tables differ:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s", serial, wide)
+	}
+}
+
+// TestQuickModeDeterministicAcrossWorkers pins the same contract on the
+// trimmed -quick grids, which exercise different flattening shapes.
+func TestQuickModeDeterministicAcrossWorkers(t *testing.T) {
+	for name, fn := range map[string]func(Options) (interface{ String() string }, error){
+		"fig5": func(o Options) (interface{ String() string }, error) {
+			r, err := Fig5(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"tab4": func(o Options) (interface{ String() string }, error) {
+			r, err := Tab4(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+		"tab5": func(o Options) (interface{ String() string }, error) {
+			r, err := Tab5(o)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		},
+	} {
+		serial, err := fn(Options{Quick: true, Workers: 1})
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		wide, err := fn(Options{Quick: true, Workers: 8})
+		if err != nil {
+			t.Fatalf("%s wide: %v", name, err)
+		}
+		if serial.String() != wide.String() {
+			t.Errorf("%s quick tables differ:\n--- workers=1 ---\n%s\n--- workers=8 ---\n%s",
+				name, serial.String(), wide.String())
+		}
+	}
+}
+
+// TestSharedEngineAccumulatesAcrossExperiments checks the throughput
+// accounting cmd/experiments reports: one engine shared by several
+// experiments must see every run.
+func TestSharedEngineAccumulatesAcrossExperiments(t *testing.T) {
+	eng := parallel.New(4)
+	o := Options{Quick: true, Engine: eng}
+	if _, err := Fig1(o); err != nil {
+		t.Fatal(err)
+	}
+	afterFig1 := eng.Stats()
+	if afterFig1.Jobs != len(suiteKernels(Options{Quick: true})) {
+		t.Errorf("Fig1 quick ran %d jobs, want %d", afterFig1.Jobs, len(suiteKernels(Options{Quick: true})))
+	}
+	if _, err := Fig7(o); err != nil {
+		t.Fatal(err)
+	}
+	delta := eng.Stats().Sub(afterFig1)
+	if delta.Jobs != 4 {
+		t.Errorf("Fig7 quick added %d jobs, want 4 sweep points", delta.Jobs)
+	}
+	if total := eng.Stats(); total.Busy <= 0 || total.Wall <= 0 {
+		t.Errorf("engine stats not accumulating: %+v", total)
+	}
+}

@@ -3,6 +3,13 @@
 // returning a structured result with a Table() renderer; cmd/experiments
 // prints them and bench_test.go wraps each in a testing.B benchmark.
 //
+// Every experiment is a fan-out of independent simulation runs — each run
+// owns its program, scheduler seed, and cache hierarchy — so all of them
+// execute their runs through internal/parallel's worker pool. Results are
+// merged in submission order, which keeps every rendered table byte-for-byte
+// identical to a serial execution regardless of Options.Workers (the
+// determinism regression test in determinism_test.go pins this down).
+//
 // Experiment index (see DESIGN.md for the full mapping):
 //
 //	Fig1  – motivation: slowdown of continuous happens-before analysis
@@ -16,9 +23,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"demandrace/internal/demand"
+	"demandrace/internal/parallel"
 	"demandrace/internal/program"
 	"demandrace/internal/runner"
 	"demandrace/internal/stats"
@@ -31,6 +40,19 @@ type Options struct {
 	Threads int
 	// Scale is the workload scale factor (default 1).
 	Scale int
+	// Workers bounds the fan-out of independent simulation runs
+	// (default runtime.NumCPU(); 1 forces a serial loop). Any value
+	// produces byte-identical tables — see the package comment.
+	Workers int
+	// Quick trims kernel sets and seed counts to a smoke-test subset that
+	// exercises every experiment's code path in seconds. Quick tables are
+	// internally deterministic but not comparable to full-suite output.
+	Quick bool
+	// Engine, when non-nil, runs the fan-out and accumulates wall-clock /
+	// throughput stats across experiments (cmd/experiments shares one
+	// engine over the whole suite and reports it). When nil, a private
+	// engine is built from Workers.
+	Engine *parallel.Engine
 }
 
 func (o Options) normalized() Options {
@@ -40,6 +62,9 @@ func (o Options) normalized() Options {
 	if o.Scale <= 0 {
 		o.Scale = 1
 	}
+	if o.Engine == nil {
+		o.Engine = parallel.New(o.Workers)
+	}
 	return o
 }
 
@@ -47,9 +72,46 @@ func (o Options) kernelConfig() workloads.Config {
 	return workloads.Config{Threads: o.Threads, Scale: o.Scale}
 }
 
-// suiteKernels returns the evaluation kernels (phoenix + parsec suites).
-func suiteKernels() []workloads.Kernel {
-	return append(workloads.Suite("phoenix"), workloads.Suite("parsec")...)
+// fanOut runs fn(i) for i in [0,n) on the options' engine and returns the
+// results in submission order — the deterministic-aggregation primitive
+// every experiment builds on. Call on normalized Options only.
+func fanOut[T any](o Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	return parallel.Map(nil, o.Engine, n, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+}
+
+// quickSuite is the Quick-mode kernel subset: two Phoenix-class and four
+// PARSEC-class kernels spanning the sharing spectrum (including the
+// headline best-speedup kernel and the high-sharing tail).
+var quickSuite = []string{"histogram", "word_count", "blackscholes", "swaptions", "streamcluster", "canneal"}
+
+// suiteKernels returns the evaluation kernels (phoenix + parsec suites),
+// trimmed to quickSuite when o.Quick is set.
+func suiteKernels(o Options) []workloads.Kernel {
+	all := append(workloads.Suite("phoenix"), workloads.Suite("parsec")...)
+	if !o.Quick {
+		return all
+	}
+	want := map[string]bool{}
+	for _, n := range quickSuite {
+		want[n] = true
+	}
+	var out []workloads.Kernel
+	for _, k := range all {
+		if want[k.Name] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// quickSeeds trims a seed count in Quick mode.
+func (o Options) quickSeeds(full int) int {
+	if o.Quick && full > 2 {
+		return 2
+	}
+	return full
 }
 
 func runKernel(k workloads.Kernel, o Options, pol demand.PolicyKind) (*runner.Report, error) {
@@ -86,17 +148,18 @@ type Fig1Result struct {
 // Fig1 runs every evaluation kernel under continuous analysis.
 func Fig1(o Options) (*Fig1Result, error) {
 	o = o.normalized()
-	ks := suiteKernels()
-	res := &Fig1Result{Kernels: ks}
-	for _, k := range ks {
-		r, err := runKernel(k, o, demand.Continuous)
+	ks := suiteKernels(o)
+	slowdowns, err := fanOut(o, len(ks), func(i int) (float64, error) {
+		r, err := runKernel(ks[i], o, demand.Continuous)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		res.Slowdowns = append(res.Slowdowns, r.Slowdown)
+		return r.Slowdown, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res.Geomean = geoBySuite(ks, res.Slowdowns)
-	return res, nil
+	return &Fig1Result{Kernels: ks, Slowdowns: slowdowns, Geomean: geoBySuite(ks, slowdowns)}, nil
 }
 
 // Table renders the result.
@@ -123,20 +186,30 @@ type Fig2Result struct {
 // Fig2 profiles sharing with the tool disabled (native execution).
 func Fig2(o Options) (*Fig2Result, error) {
 	o = o.normalized()
-	ks := suiteKernels()
-	res := &Fig2Result{Kernels: ks}
-	for _, k := range ks {
-		r, err := runKernel(k, o, demand.Off)
+	ks := suiteKernels(o)
+	type profile struct {
+		hitm, peer float64
+		memOps     uint64
+	}
+	profiles, err := fanOut(o, len(ks), func(i int) (profile, error) {
+		r, err := runKernel(ks[i], o, demand.Off)
 		if err != nil {
-			return nil, err
+			return profile{}, err
 		}
-		res.HITMFrac = append(res.HITMFrac, r.SharingFraction())
-		peer := 0.0
+		p := profile{hitm: r.SharingFraction(), memOps: r.MemOps}
 		if r.MemOps > 0 {
-			peer = float64(r.SharedPeer) / float64(r.MemOps)
+			p.peer = float64(r.SharedPeer) / float64(r.MemOps)
 		}
-		res.PeerFrac = append(res.PeerFrac, peer)
-		res.MemOps = append(res.MemOps, r.MemOps)
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{Kernels: ks}
+	for _, p := range profiles {
+		res.HITMFrac = append(res.HITMFrac, p.hitm)
+		res.PeerFrac = append(res.PeerFrac, p.peer)
+		res.MemOps = append(res.MemOps, p.memOps)
 	}
 	return res, nil
 }
@@ -172,23 +245,29 @@ type Fig4Result struct {
 // Fig4 runs every evaluation kernel under both policies.
 func Fig4(o Options) (*Fig4Result, error) {
 	o = o.normalized()
-	ks := suiteKernels()
-	res := &Fig4Result{Kernels: ks}
-	for _, k := range ks {
-		p := k.Build(o.kernelConfig())
+	ks := suiteKernels(o)
+	type pair struct{ cont, dem float64 }
+	pairs, err := fanOut(o, len(ks), func(i int) (pair, error) {
+		p := ks[i].Build(o.kernelConfig())
 		reps, err := runner.RunPolicies(p, runner.DefaultConfig(),
 			demand.Continuous, demand.HITMDemand)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
-		cont, dem := reps[0].Slowdown, reps[1].Slowdown
-		sp := cont / dem
-		res.Continuous = append(res.Continuous, cont)
-		res.Demand = append(res.Demand, dem)
+		return pair{cont: reps[0].Slowdown, dem: reps[1].Slowdown}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig4Result{Kernels: ks}
+	for i, pr := range pairs {
+		sp := pr.cont / pr.dem
+		res.Continuous = append(res.Continuous, pr.cont)
+		res.Demand = append(res.Demand, pr.dem)
 		res.Speedup = append(res.Speedup, sp)
 		if sp > res.BestSpeedup {
 			res.BestSpeedup = sp
-			res.Best = k.Name
+			res.Best = ks[i].Name
 		}
 	}
 	res.GeomeanSpeedup = geoBySuite(ks, res.Speedup)
@@ -218,33 +297,42 @@ type Fig5Result struct {
 }
 
 // Fig5 sweeps thread counts on a low-sharing, a moderate, and a
-// high-sharing kernel.
+// high-sharing kernel. The (kernel × thread-count) grid is flattened into
+// one fan-out so every cell runs concurrently.
 func Fig5(o Options) (*Fig5Result, error) {
 	o = o.normalized()
 	res := &Fig5Result{
 		Kernels:      []string{"swaptions", "histogram", "streamcluster", "canneal"},
 		ThreadCounts: []int{1, 2, 4, 8, 16},
 	}
-	for _, name := range res.Kernels {
+	if o.Quick {
+		res.Kernels = []string{"swaptions", "canneal"}
+		res.ThreadCounts = []int{1, 4, 16}
+	}
+	nt := len(res.ThreadCounts)
+	cells, err := fanOut(o, len(res.Kernels)*nt, func(i int) (float64, error) {
+		name, th := res.Kernels[i/nt], res.ThreadCounts[i%nt]
 		k, ok := workloads.ByName(name)
 		if !ok {
-			return nil, fmt.Errorf("experiments: kernel %q missing", name)
+			return 0, fmt.Errorf("experiments: kernel %q missing", name)
 		}
-		var row []float64
-		for _, th := range res.ThreadCounts {
-			p := k.Build(workloads.Config{Threads: th, Scale: o.Scale})
-			cfg := runner.DefaultConfig()
-			// Give the machine enough contexts for the thread count.
-			if th > cfg.Cache.Cores {
-				cfg.Cache.Cores = th
-			}
-			reps, err := runner.RunPolicies(p, cfg, demand.Continuous, demand.HITMDemand)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, reps[0].Slowdown/reps[1].Slowdown)
+		p := k.Build(workloads.Config{Threads: th, Scale: o.Scale})
+		cfg := runner.DefaultConfig()
+		// Give the machine enough contexts for the thread count.
+		if th > cfg.Cache.Cores {
+			cfg.Cache.Cores = th
 		}
-		res.Speedup = append(res.Speedup, row)
+		reps, err := runner.RunPolicies(p, cfg, demand.Continuous, demand.HITMDemand)
+		if err != nil {
+			return 0, err
+		}
+		return reps[0].Slowdown / reps[1].Slowdown, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Kernels {
+		res.Speedup = append(res.Speedup, cells[i*nt:(i+1)*nt])
 	}
 	return res, nil
 }

@@ -33,36 +33,42 @@ type Tab6Result struct {
 	Rows []Tab6Row
 }
 
-// Tab6 runs multi-consumer and suite kernels under both protocols.
+// Tab6 runs multi-consumer and suite kernels under both protocols; the
+// (kernel × protocol) grid runs as one fan-out.
 func Tab6(o Options) (*Tab6Result, error) {
 	o = o.normalized()
 	kernels := []string{"micro_read_sharing", "x264", "streamcluster", "racy_mostly_clean"}
-	res := &Tab6Result{}
-	for _, name := range kernels {
-		for _, proto := range []cache.Protocol{cache.MESI, cache.MOESI} {
-			p, err := buildProgram(name, o)
-			if err != nil {
-				return nil, err
-			}
-			cfg := runner.DefaultConfig()
-			cfg.Cache.Protocol = proto
-			reps, err := runner.RunPolicies(p, cfg,
-				demand.Off, demand.Continuous, demand.HITMDemand)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: tab6 %s/%v: %w", name, proto, err)
-			}
-			off, cont, dem := reps[0], reps[1], reps[2]
-			res.Rows = append(res.Rows, Tab6Row{
-				Kernel:     name,
-				Protocol:   proto.String(),
-				HITM:       off.SharedHITM,
-				Continuous: cont.Slowdown,
-				Demand:     dem.Slowdown,
-				Races:      len(dem.RacyAddrs()),
-			})
-		}
+	if o.Quick {
+		kernels = []string{"micro_read_sharing", "racy_mostly_clean"}
 	}
-	return res, nil
+	protos := []cache.Protocol{cache.MESI, cache.MOESI}
+	rows, err := fanOut(o, len(kernels)*len(protos), func(i int) (Tab6Row, error) {
+		name, proto := kernels[i/len(protos)], protos[i%len(protos)]
+		p, err := buildProgram(name, o)
+		if err != nil {
+			return Tab6Row{}, err
+		}
+		cfg := runner.DefaultConfig()
+		cfg.Cache.Protocol = proto
+		reps, err := runner.RunPolicies(p, cfg,
+			demand.Off, demand.Continuous, demand.HITMDemand)
+		if err != nil {
+			return Tab6Row{}, fmt.Errorf("experiments: tab6 %s/%v: %w", name, proto, err)
+		}
+		off, cont, dem := reps[0], reps[1], reps[2]
+		return Tab6Row{
+			Kernel:     name,
+			Protocol:   proto.String(),
+			HITM:       off.SharedHITM,
+			Continuous: cont.Slowdown,
+			Demand:     dem.Slowdown,
+			Races:      len(dem.RacyAddrs()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Tab6Result{Rows: rows}, nil
 }
 
 // Table renders the result.

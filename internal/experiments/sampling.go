@@ -32,10 +32,12 @@ type Tab5Result struct {
 	Seeds int
 }
 
-// Tab5 scores each policy on the same injected-race workloads.
+// Tab5 scores each policy on the same injected-race workloads. The
+// (policy × seed) grid is one fan-out; per-policy means are summed in seed
+// order for bit-stable floating-point totals.
 func Tab5(o Options) (*Tab5Result, error) {
 	o = o.normalized()
-	const seeds = 8
+	seeds := o.quickSeeds(8)
 	const perSeed = 3
 	host := "histogram"
 
@@ -53,46 +55,65 @@ func Tab5(o Options) (*Tab5Result, error) {
 		{"continuous", demand.Config{Kind: demand.Continuous}},
 	}
 
+	type sample struct {
+		contFound, found int
+		slow, analyzed   float64
+	}
+	cells, err := fanOut(o, len(policies)*seeds, func(i int) (sample, error) {
+		pol, seed := policies[i/seeds], i%seeds
+		p, err := buildProgram(host, o)
+		if err != nil {
+			return sample{}, err
+		}
+		injected, injs, err := racefuzz.Inject(p, racefuzz.Config{
+			Seed: int64(seed), Count: perSeed, Repeats: 4,
+		})
+		if err != nil {
+			return sample{}, err
+		}
+		cfg := runner.DefaultConfig()
+		cfg.Demand = pol.cfg
+		cfg.Demand.Seed = int64(seed)
+		r, err := runner.Run(injected, cfg)
+		if err != nil {
+			return sample{}, err
+		}
+		oracle, err := runner.Run(injected, runner.DefaultConfig().WithPolicy(demand.Continuous))
+		if err != nil {
+			return sample{}, err
+		}
+		s := sample{slow: r.Slowdown, analyzed: r.Demand.AnalyzedFraction()}
+		oracleAddrs := racyAddrSet(oracle)
+		gotAddrs := racyAddrSet(r)
+		for _, in := range injs {
+			if oracleAddrs[in.Addr] {
+				s.contFound++
+				if gotAddrs[in.Addr] {
+					s.found++
+				}
+			}
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Tab5Result{Seeds: seeds}
-	for _, pol := range policies {
+	for pi, pol := range policies {
 		var contFound, found int
 		var slowSum, analyzedSum float64
 		for seed := 0; seed < seeds; seed++ {
-			p, err := buildProgram(host, o)
-			if err != nil {
-				return nil, err
-			}
-			injected, injs, err := racefuzz.Inject(p, racefuzz.Config{
-				Seed: int64(seed), Count: perSeed, Repeats: 4,
-			})
-			if err != nil {
-				return nil, err
-			}
-			cfg := runner.DefaultConfig()
-			cfg.Demand = pol.cfg
-			cfg.Demand.Seed = int64(seed)
-			r, err := runner.Run(injected, cfg)
-			if err != nil {
-				return nil, err
-			}
-			oracle, err := runner.Run(injected, runner.DefaultConfig().WithPolicy(demand.Continuous))
-			if err != nil {
-				return nil, err
-			}
-			oracleAddrs := racyAddrSet(oracle)
-			gotAddrs := racyAddrSet(r)
-			for _, in := range injs {
-				if oracleAddrs[in.Addr] {
-					contFound++
-					if gotAddrs[in.Addr] {
-						found++
-					}
-				}
-			}
-			slowSum += r.Slowdown
-			analyzedSum += r.Demand.AnalyzedFraction()
+			s := cells[pi*seeds+seed]
+			contFound += s.contFound
+			found += s.found
+			slowSum += s.slow
+			analyzedSum += s.analyzed
 		}
-		row := Tab5Row{Policy: pol.label, Slowdown: slowSum / seeds, Analyzed: analyzedSum / seeds}
+		row := Tab5Row{
+			Policy:   pol.label,
+			Slowdown: slowSum / float64(seeds),
+			Analyzed: analyzedSum / float64(seeds),
+		}
 		if contFound > 0 {
 			row.Recall = float64(found) / float64(contFound)
 		} else {

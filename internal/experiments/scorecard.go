@@ -19,8 +19,11 @@ type ScorecardResult struct {
 	RepeatedRecall               float64
 }
 
-// Scorecard runs the three source experiments and aggregates.
+// Scorecard runs the three source experiments and aggregates. The three
+// run back-to-back (each fans its own runs out across o's engine), so the
+// condensed numbers are exactly the ones the underlying tables report.
 func Scorecard(o Options) (*ScorecardResult, error) {
+	o = o.normalized()
 	f1, err := Fig1(o)
 	if err != nil {
 		return nil, err

@@ -34,11 +34,16 @@ type Fig7Result struct {
 	Rows []Fig7Row
 }
 
-// Fig7 sweeps the sharing knob from "never" to "constantly".
+// Fig7 sweeps the sharing knob from "never" to "constantly"; every point
+// on the curve runs concurrently.
 func Fig7(o Options) (*Fig7Result, error) {
 	o = o.normalized()
-	res := &Fig7Result{}
-	for _, shareEvery := range []int{0, 400, 200, 100, 50, 25, 12, 6, 3} {
+	knob := []int{0, 400, 200, 100, 50, 25, 12, 6, 3}
+	if o.Quick {
+		knob = []int{0, 100, 12, 3}
+	}
+	rows, err := fanOut(o, len(knob), func(i int) (Fig7Row, error) {
+		shareEvery := knob[i]
 		spec := workloads.SynthSpec{
 			Threads:    o.Threads,
 			Iters:      500 * o.Scale,
@@ -48,19 +53,22 @@ func Fig7(o Options) (*Fig7Result, error) {
 		reps, err := runner.RunPolicies(p, runner.DefaultConfig(),
 			demand.Off, demand.Continuous, demand.HITMDemand)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: fig7 share=%d: %w", shareEvery, err)
+			return Fig7Row{}, fmt.Errorf("experiments: fig7 share=%d: %w", shareEvery, err)
 		}
 		off, cont, dem := reps[0], reps[1], reps[2]
-		res.Rows = append(res.Rows, Fig7Row{
+		return Fig7Row{
 			ShareEvery:  shareEvery,
 			SharingFrac: off.SharingFraction(),
 			Continuous:  cont.Slowdown,
 			Demand:      dem.Slowdown,
 			Speedup:     cont.Slowdown / dem.Slowdown,
 			Analyzed:    dem.Demand.AnalyzedFraction(),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Fig7Result{Rows: rows}, nil
 }
 
 // Table renders the result.

@@ -1,0 +1,259 @@
+// Package parallel is the experiment fan-out engine: it runs independent
+// simulation jobs across a bounded pool of goroutines and merges their
+// results in deterministic submission order.
+//
+// Every simulation run in this repository is a pure function of
+// (program, config, seed) — the scheduler is deterministic and the PMU's
+// only nondeterminism is seeded — so the experiment harness is
+// embarrassingly parallel: regenerating a figure is N independent runs
+// whose results are aggregated afterward. This package exploits that shape
+// while preserving the repository's determinism contract:
+//
+//   - Map returns results indexed by submission order, never completion
+//     order. Aggregation code observes the exact sequence a serial loop
+//     would have produced, so every rendered table is byte-identical
+//     regardless of worker count (see ARCHITECTURE.md, "Determinism
+//     contract").
+//   - On failure the error reported is the one with the lowest job index,
+//     even if a later job failed first in wall-clock time, and its message
+//     contains nothing timing-dependent.
+//   - A failing job cancels the shared Context so idle workers stop picking
+//     up new jobs; in-flight jobs run to completion and their results are
+//     still returned (partial-result reporting).
+//
+// The Engine also accumulates Stats — job count, summed per-job busy time,
+// and fan-out wall time — so the speedup delivered by parallelism is itself
+// a measurable, reportable quantity (cmd/experiments prints it after every
+// suite regeneration).
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// DefaultWorkers is the default fan-out width: one worker per logical CPU.
+func DefaultWorkers() int { return runtime.NumCPU() }
+
+// Engine is a bounded fan-out executor. The zero value is not usable; build
+// one with New. An Engine is safe for concurrent use and may be shared
+// across many Map/ForEach calls; its Stats accumulate over all of them.
+type Engine struct {
+	workers int
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New returns an engine that fans out across at most workers goroutines.
+// workers <= 0 selects DefaultWorkers; workers == 1 degrades to a serial
+// loop (useful both as the determinism baseline and under `go test -race`
+// bisection).
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	return &Engine{workers: workers}
+}
+
+// Workers returns the configured fan-out width.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats returns a snapshot of the engine's cumulative counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Stats aggregates the engine's work. Busy sums the wall-clock duration of
+// every completed job; Wall sums the duration of every Map/ForEach call.
+// Busy/Wall therefore measures the realized parallel speedup: ≈1 when
+// serial, approaching the worker count when the fan-out keeps every worker
+// fed.
+type Stats struct {
+	// Jobs is the number of jobs that ran to completion.
+	Jobs int
+	// Busy is the summed duration of completed jobs — the serial-equivalent
+	// execution time.
+	Busy time.Duration
+	// Wall is the summed duration of the fan-out calls themselves.
+	Wall time.Duration
+}
+
+// Sub returns the difference s − prev, for windowed (per-experiment)
+// accounting against a shared engine.
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{Jobs: s.Jobs - prev.Jobs, Busy: s.Busy - prev.Busy, Wall: s.Wall - prev.Wall}
+}
+
+// Speedup is the realized parallel speedup Busy/Wall (0 when no work ran).
+func (s Stats) Speedup() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(s.Wall)
+}
+
+// Throughput is the completed-job rate in jobs per wall-clock second
+// (0 when no work ran).
+func (s Stats) Throughput() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Jobs) / s.Wall.Seconds()
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d jobs, busy %v / wall %v, speedup %.2f×, %.1f jobs/s",
+		s.Jobs, s.Busy.Round(time.Millisecond), s.Wall.Round(time.Millisecond),
+		s.Speedup(), s.Throughput())
+}
+
+// Error reports a failed job. The message deliberately names only the job
+// index and underlying error — never anything timing-dependent — so failure
+// output is as deterministic as success output.
+type Error struct {
+	// Index is the submission index of the failed job. When several jobs
+	// fail, Map reports the lowest index.
+	Index int
+	// Err is the job's error.
+	Err error
+	// Completed is the number of jobs that ran to completion before the
+	// fan-out drained. It depends on scheduling and is for programmatic
+	// inspection only; Error() omits it.
+	Completed int
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("parallel: job %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the job's error to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Map runs fn(ctx, i) for every i in [0, n) on e's worker pool and returns
+// the results in index order. A nil ctx means context.Background().
+//
+// The first failure (lowest index among failures) cancels the context
+// passed to outstanding jobs and stops idle workers from starting new ones;
+// results of jobs that completed anyway are returned alongside the *Error.
+// Entries for jobs that never ran (or failed) are left as T's zero value.
+func Map[T any](ctx context.Context, e *Engine, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	defer func() { e.addWall(time.Since(start)) }()
+
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return out, mapSerial(ctx, e, out, fn)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int)
+	errs := make([]error, n)
+	done := make([]bool, n)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				t0 := time.Now()
+				v, err := fn(ctx, i)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				out[i] = v
+				done[i] = true
+				e.addJob(time.Since(t0))
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		// Check first so an already-cancelled context feeds no jobs at all;
+		// the select alone could still randomly pick the send branch.
+		if ctx.Err() != nil {
+			break feed
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	completed := 0
+	for _, d := range done {
+		if d {
+			completed++
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return out, &Error{Index: i, Err: err, Completed: completed}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// mapSerial is the workers==1 path: an inline loop with identical
+// cancellation and error semantics, no goroutines involved.
+func mapSerial[T any](ctx context.Context, e *Engine, out []T, fn func(ctx context.Context, i int) (T, error)) error {
+	completed := 0
+	for i := range out {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		v, err := fn(ctx, i)
+		if err != nil {
+			return &Error{Index: i, Err: err, Completed: completed}
+		}
+		out[i] = v
+		completed++
+		e.addJob(time.Since(t0))
+	}
+	return nil
+}
+
+// ForEach is Map for jobs with no result value.
+func ForEach(ctx context.Context, e *Engine, n int, fn func(ctx context.Context, i int) error) error {
+	_, err := Map(ctx, e, n, func(ctx context.Context, i int) (struct{}, error) {
+		return struct{}{}, fn(ctx, i)
+	})
+	return err
+}
+
+func (e *Engine) addJob(d time.Duration) {
+	e.mu.Lock()
+	e.stats.Jobs++
+	e.stats.Busy += d
+	e.mu.Unlock()
+}
+
+func (e *Engine) addWall(d time.Duration) {
+	e.mu.Lock()
+	e.stats.Wall += d
+	e.mu.Unlock()
+}

@@ -1,0 +1,216 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdersResultsBySubmission(t *testing.T) {
+	e := New(8)
+	out, err := Map(nil, e, 100, func(_ context.Context, i int) (int, error) {
+		// Finish out of submission order on purpose.
+		time.Sleep(time.Duration((i%7)*100) * time.Microsecond)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapMatchesSerial(t *testing.T) {
+	job := func(_ context.Context, i int) (string, error) {
+		return fmt.Sprintf("job-%03d", i), nil
+	}
+	serial, err := Map(nil, New(1), 50, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := Map(nil, New(16), 50, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != wide[i] {
+			t.Fatalf("index %d: serial %q vs parallel %q", i, serial[i], wide[i])
+		}
+	}
+}
+
+func TestMapReportsLowestIndexError(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 8} {
+		e := New(workers)
+		_, err := Map(nil, e, 40, func(_ context.Context, i int) (int, error) {
+			switch i {
+			case 3:
+				// The higher-index failure arrives first in wall-clock time.
+				time.Sleep(2 * time.Millisecond)
+				return 0, fmt.Errorf("index three: %w", boom)
+			case 1:
+				if workers == 1 {
+					return 0, fmt.Errorf("index one: %w", boom)
+				}
+				time.Sleep(5 * time.Millisecond)
+				return 0, fmt.Errorf("index one: %w", boom)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		var pe *Error
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: error %T is not *parallel.Error", workers, err)
+		}
+		if pe.Index != 1 {
+			t.Errorf("workers=%d: reported index %d, want lowest failing index 1", workers, pe.Index)
+		}
+		if !errors.Is(err, boom) {
+			t.Errorf("workers=%d: cause not unwrapped", workers)
+		}
+	}
+}
+
+func TestMapPartialResultsOnFailure(t *testing.T) {
+	e := New(4)
+	out, err := Map(nil, e, 10, func(_ context.Context, i int) (int, error) {
+		if i == 9 {
+			return 0, errors.New("last job fails")
+		}
+		return i + 1, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if len(out) != 10 {
+		t.Fatalf("len(out) = %d", len(out))
+	}
+	// Every successful job that ran must have deposited its result.
+	completed := 0
+	for i := 0; i < 9; i++ {
+		if out[i] == i+1 {
+			completed++
+		} else if out[i] != 0 {
+			t.Errorf("out[%d] = %d: neither result nor zero value", i, out[i])
+		}
+	}
+	var pe *Error
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not *parallel.Error", err)
+	}
+	if pe.Completed != completed {
+		t.Errorf("Completed = %d, observed %d deposited results", pe.Completed, completed)
+	}
+}
+
+func TestMapFailureStopsNewJobs(t *testing.T) {
+	e := New(2)
+	var started atomic.Int32
+	_, err := Map(nil, e, 1000, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, errors.New("immediate failure")
+		}
+		time.Sleep(100 * time.Microsecond)
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := started.Load(); n == 1000 {
+		t.Error("every job started despite first-job failure")
+	}
+}
+
+func TestMapHonorsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		_, err := Map(ctx, New(workers), 10, func(_ context.Context, i int) (int, error) {
+			ran.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: %d jobs ran under a pre-cancelled context", workers, ran.Load())
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	e := New(4)
+	hits := make([]atomic.Int32, 20)
+	if err := ForEach(nil, e, 20, func(_ context.Context, i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Errorf("job %d ran %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	e := New(4)
+	before := e.Stats()
+	if before.Jobs != 0 || before.Speedup() != 0 || before.Throughput() != 0 {
+		t.Fatalf("fresh engine has stats %+v", before)
+	}
+	if _, err := Map(nil, e, 8, func(_ context.Context, i int) (int, error) {
+		time.Sleep(time.Millisecond)
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Jobs != 8 {
+		t.Errorf("Jobs = %d, want 8", s.Jobs)
+	}
+	if s.Busy <= 0 || s.Wall <= 0 {
+		t.Errorf("stats not recorded: %+v", s)
+	}
+	// Windowed accounting.
+	if d := s.Sub(before); d.Jobs != 8 {
+		t.Errorf("Sub: Jobs = %d", d.Jobs)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	if w := New(0).Workers(); w != DefaultWorkers() {
+		t.Errorf("New(0).Workers() = %d, want %d", w, DefaultWorkers())
+	}
+	if w := New(-3).Workers(); w != DefaultWorkers() {
+		t.Errorf("New(-3).Workers() = %d", w)
+	}
+	if w := New(5).Workers(); w != 5 {
+		t.Errorf("New(5).Workers() = %d", w)
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	out, err := Map(nil, New(4), 0, func(_ context.Context, i int) (int, error) {
+		t.Error("job ran")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}

@@ -1,6 +1,19 @@
 // Package report renders a run's results as a self-contained HTML page —
 // the shareable artifact a race-detection tool hands to the developer who
 // has to fix the bug.
+//
+// The page carries everything needed to act on a report without the tool:
+// the run configuration (program, policy, machine shape), each detected
+// race with both access sites and their stack-free op coordinates, the
+// sharing profile that triggered analysis, and the cost summary (slowdown
+// vs native, fraction of accesses analyzed). An optional set of comparison
+// runs — typically the same program under other policies — renders as a
+// side-by-side summary table, mirroring the paper's continuous-vs-demand
+// presentation.
+//
+// Everything inlines into one file (styles included, no external assets),
+// so the page survives being mailed around or attached to a bug tracker.
+// cmd/ddrace writes it via the -html flag.
 package report
 
 import (

@@ -1,10 +1,12 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"demandrace/internal/mem"
+	"demandrace/internal/parallel"
 	"demandrace/internal/program"
 	"demandrace/internal/sched"
 )
@@ -46,14 +48,21 @@ func (e *Exploration) FlakyAddrs() []mem.Addr {
 }
 
 // Explore runs p under cfg once per seed in [0, seeds), using seeded-random
-// interleaving, and aggregates the racy-address sets.
+// interleaving, and aggregates the racy-address sets. Seeds run across one
+// worker per CPU; use ExploreWorkers to bound the fan-out.
 func Explore(p *program.Program, cfg Config, seeds int) (*Exploration, error) {
+	return ExploreWorkers(p, cfg, seeds, 0)
+}
+
+// ExploreWorkers is Explore with an explicit fan-out width (0 = one worker
+// per CPU, 1 = serial). Every seed is an independent run; reports are
+// aggregated in seed order, so the result is identical for any width.
+func ExploreWorkers(p *program.Program, cfg Config, seeds, workers int) (*Exploration, error) {
 	if seeds < 1 {
 		return nil, fmt.Errorf("runner: Explore needs ≥ 1 seed, got %d", seeds)
 	}
-	ex := &Exploration{Seeds: seeds, HitRate: map[mem.Addr]float64{}}
-	counts := map[mem.Addr]int{}
-	for seed := 0; seed < seeds; seed++ {
+	eng := parallel.New(workers)
+	reports, err := parallel.Map(context.Background(), eng, seeds, func(_ context.Context, seed int) (*Report, error) {
 		c := cfg
 		c.Sched.Policy = sched.RandomInterleave
 		c.Sched.Seed = int64(seed)
@@ -61,7 +70,14 @@ func Explore(p *program.Program, cfg Config, seeds int) (*Exploration, error) {
 		if err != nil {
 			return nil, fmt.Errorf("runner: explore seed %d: %w", seed, err)
 		}
-		ex.Reports = append(ex.Reports, r)
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ex := &Exploration{Seeds: seeds, HitRate: map[mem.Addr]float64{}, Reports: reports}
+	counts := map[mem.Addr]int{}
+	for _, r := range reports {
 		seen := map[mem.Addr]bool{}
 		for _, rc := range r.Races {
 			if !seen[rc.Addr] {

@@ -8,9 +8,18 @@
 // policy does not perturb the interleaving. Comparing two policies on the
 // same program therefore compares them on the *identical* execution, which
 // is the property that makes the accuracy experiments meaningful.
+//
+// Purity also makes Run safe to call from many goroutines at once, on the
+// same or different programs: every piece of mutable state (caches, PMU,
+// detectors, accumulators) is built inside the call, and the Program is
+// never written after construction. RunPoliciesParallel and ExploreWorkers
+// exploit this through internal/parallel's bounded worker pool; their
+// results are merged in submission order, so they are drop-in replacements
+// for the serial loops with byte-identical output.
 package runner
 
 import (
+	"context"
 	"fmt"
 
 	"demandrace/internal/cache"
@@ -19,6 +28,7 @@ import (
 	"demandrace/internal/demand"
 	"demandrace/internal/detector"
 	"demandrace/internal/lockset"
+	"demandrace/internal/parallel"
 	"demandrace/internal/perf"
 	"demandrace/internal/program"
 	"demandrace/internal/sched"
@@ -410,4 +420,18 @@ func RunPolicies(p *program.Program, cfg Config, kinds ...demand.PolicyKind) ([]
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// RunPoliciesParallel is RunPolicies fanned out across workers goroutines
+// (0 = one per CPU). Each policy's run owns its entire pipeline, so the
+// reports — still ordered by policy — are identical to the serial ones.
+func RunPoliciesParallel(p *program.Program, cfg Config, workers int, kinds ...demand.PolicyKind) ([]*Report, error) {
+	eng := parallel.New(workers)
+	return parallel.Map(context.Background(), eng, len(kinds), func(_ context.Context, i int) (*Report, error) {
+		r, err := Run(p, cfg.WithPolicy(kinds[i]))
+		if err != nil {
+			return nil, fmt.Errorf("runner: policy %v: %w", kinds[i], err)
+		}
+		return r, nil
+	})
 }

@@ -1,6 +1,20 @@
 // Package stats provides the aggregation and table rendering used by the
 // experiment harness: geometric means (the paper's suite-level summary
 // statistic), arithmetic summaries, and fixed-width table output.
+//
+// Table is the single rendering path for every figure and table the
+// experiments regenerate. Each experiment result exposes a Table() method
+// returning one of these; cmd/experiments prints either its aligned text
+// form (String) or its CSV form. Because all rendering funnels through
+// Table with fixed-precision formatting, "the same numbers" and "the same
+// bytes" coincide — which is what lets the determinism regression tests
+// compare parallel and serial experiment runs by simple string equality.
+//
+// Aggregation helpers follow the paper's conventions: suite-level speedups
+// are summarized with Geomean (ratios compose multiplicatively), while
+// rates and counts use arithmetic Mean. All helpers return NaN on empty or
+// invalid input rather than panicking, so a table cell renders as "NaN"
+// instead of killing a long experiment sweep.
 package stats
 
 import (
