@@ -2,19 +2,27 @@
 // policy and prints the race and performance report.
 //
 // Multi-run modes (-batch, -compare, -explore) fan their independent runs
-// out across a worker pool (-workers, one per CPU by default); output is
-// byte-identical for any worker count.
+// out across a worker pool (-workers, one per CPU by default); stdout is
+// byte-identical for any worker count, and a timing table goes to stderr.
+//
+// Telemetry: -trace writes a Chrome trace-event JSON timeline (open in
+// Perfetto or chrome://tracing), -events writes an NDJSON event log, and
+// -metrics prints a Prometheus-style text exposition. All three are
+// timestamped in simulated cycles, never wall clock, so they are
+// byte-deterministic.
 //
 // Usage:
 //
 //	ddrace -kernel histogram -policy hitm-demand
 //	ddrace -kernel racy_counter -policy continuous -threads 8 -lockset
 //	ddrace -list
-//	ddrace -kernel kmeans -compare            # all policies side by side
-//	ddrace -kernel racy_flag -trace out.drt   # record a binary trace
-//	ddrace -batch phoenix                     # whole suite, one row per kernel
-//	ddrace -batch all -policy continuous      # every bundled kernel
-//	ddrace -batch histogram,kmeans,x264       # explicit kernel list
+//	ddrace -kernel kmeans -compare             # all policies side by side
+//	ddrace -kernel racy_flag -trace out.json   # Chrome trace-event timeline
+//	ddrace -kernel racy_flag -metrics          # metrics exposition
+//	ddrace -kernel racy_flag -record out.drt   # binary trace for ddreplay
+//	ddrace -batch phoenix                      # whole suite, one row per kernel
+//	ddrace -batch all -policy continuous       # every bundled kernel
+//	ddrace -batch histogram,kmeans,x264        # explicit kernel list
 package main
 
 import (
@@ -25,10 +33,12 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"demandrace"
 	"demandrace/internal/cache"
 	"demandrace/internal/demand"
+	"demandrace/internal/obs"
 	"demandrace/internal/parallel"
 	"demandrace/internal/report"
 	"demandrace/internal/sched"
@@ -37,7 +47,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "ddrace:", err)
 		os.Exit(1)
 	}
@@ -64,7 +74,10 @@ func parseScope(s string) (demandrace.Scope, error) {
 	return 0, fmt.Errorf("unknown scope %q (global|pair|self)", s)
 }
 
-func run(args []string, out io.Writer) error {
+// run executes one CLI invocation, writing comparable output to out and
+// wall-clock diagnostics (the batch timing table) to diag. The split keeps
+// stdout byte-deterministic across worker counts.
+func run(args []string, out, diag io.Writer) error {
 	fs := flag.NewFlagSet("ddrace", flag.ContinueOnError)
 	var (
 		list      = fs.Bool("list", false, "list bundled kernels and exit")
@@ -92,7 +105,10 @@ func run(args []string, out io.Writer) error {
 		fullvc    = fs.Bool("fullvc", false, "use the full-vector-clock detector variant")
 		compare   = fs.Bool("compare", false, "run all policies and print a comparison table")
 		explore   = fs.Int("explore", 0, "explore N random interleavings and aggregate racy words")
-		traceOut  = fs.String("trace", "", "write a binary trace of the run to this file")
+		traceOut  = fs.String("trace", "", "write a Chrome trace-event JSON timeline (simulated-cycle timestamps) to this file")
+		eventsOut = fs.String("events", "", "write the telemetry event log as NDJSON to this file")
+		metricsF  = fs.Bool("metrics", false, "print a Prometheus-style metrics exposition after the report")
+		recordOut = fs.String("record", "", "write a binary replay trace of the run to this file (see ddreplay)")
 		injectN   = fs.Int("inject", 0, "inject N synthetic races before running")
 		injectRep = fs.Int("inject-repeats", 3, "accesses per side of each injected race")
 		verbose   = fs.Bool("v", false, "print every race report")
@@ -140,12 +156,15 @@ func run(args []string, out io.Writer) error {
 	cfg.Demand.Scope = sc
 
 	if *batch != "" {
+		if *traceOut != "" || *eventsOut != "" || *recordOut != "" {
+			return fmt.Errorf("-trace/-events/-record apply to single-kernel runs; drop them or use -kernel")
+		}
 		pol, err := parsePolicy(*policy)
 		if err != nil {
 			return err
 		}
-		return runBatch(out, *batch, cfg.WithPolicy(pol),
-			demandrace.KernelConfig{Threads: *threads, Scale: *scale}, *workersF)
+		return runBatch(out, diag, *batch, cfg.WithPolicy(pol),
+			demandrace.KernelConfig{Threads: *threads, Scale: *scale}, *workersF, *metricsF)
 	}
 
 	if *kernel == "" {
@@ -171,7 +190,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if *compare {
-		return comparePolicies(out, p, cfg, *workersF, *verbose)
+		return comparePolicies(out, p, cfg, *workersF, *verbose, *metricsF)
 	}
 
 	pol, err := parsePolicy(*policy)
@@ -182,8 +201,16 @@ func run(args []string, out io.Writer) error {
 	if *explore > 0 {
 		return exploreSchedules(out, p, cfg, *explore, *workersF)
 	}
-	if *traceOut != "" {
+	if *recordOut != "" {
 		cfg.Tracer = demandrace.NewTraceRecorder(p.Name)
+	}
+	// Telemetry rides along whenever any consumer wants it; the HTML page
+	// needs the tracer too, for its mode-timeline section.
+	if *traceOut != "" || *eventsOut != "" || *htmlOut != "" {
+		cfg.Trace = obs.NewTracer()
+	}
+	if *metricsF {
+		cfg.Metrics = obs.NewRegistry()
 	}
 	rep, err := demandrace.Run(p, cfg)
 	if err != nil {
@@ -197,6 +224,11 @@ func run(args []string, out io.Writer) error {
 		}
 	} else {
 		printReport(out, rep, *verbose)
+	}
+	if *metricsF {
+		if err := cfg.Metrics.WriteProm(out); err != nil {
+			return err
+		}
 	}
 	if *htmlOut != "" {
 		f, err := os.Create(*htmlOut)
@@ -215,11 +247,34 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		defer f.Close()
+		if err := obs.WriteChromeTrace(f, rep.Program, cfg.Trace.Events(), rep.Timeline); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "chrome trace: %d events, %d spans written to %s\n",
+			cfg.Trace.Len(), len(rep.Timeline), *traceOut)
+	}
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := obs.WriteNDJSON(f, cfg.Trace.Events()); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "event log: %d events written to %s\n", cfg.Trace.Len(), *eventsOut)
+	}
+	if *recordOut != "" {
+		f, err := os.Create(*recordOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
 		if err := trace.EncodeBinary(f, cfg.Tracer.Trace()); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "trace: %d events written to %s\n",
-			len(cfg.Tracer.Trace().Events), *traceOut)
+			len(cfg.Tracer.Trace().Events), *recordOut)
 	}
 	return nil
 }
@@ -282,13 +337,20 @@ func resolveBatch(spec string) ([]demandrace.Kernel, error) {
 
 // runBatch fans the kernels out across the worker pool — each run owns its
 // own program and simulated machine — and prints one summary row per kernel
-// in the order the batch named them.
-func runBatch(out io.Writer, spec string, cfg demandrace.Config, kc demandrace.KernelConfig, workers int) error {
+// in the order the batch named them. With metrics enabled, every run feeds
+// one shared registry (counters and histograms commute, so the exposition on
+// stdout is byte-identical for any worker count); the wall-clock timing
+// table goes to diag only.
+func runBatch(out, diag io.Writer, spec string, cfg demandrace.Config, kc demandrace.KernelConfig, workers int, metrics bool) error {
 	ks, err := resolveBatch(spec)
 	if err != nil {
 		return err
 	}
+	if metrics {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	eng := parallel.New(workers)
+	start := time.Now()
 	reps, err := parallel.Map(context.Background(), eng, len(ks), func(_ context.Context, i int) (*demandrace.Report, error) {
 		p := ks[i].Build(kc)
 		r, err := demandrace.Run(p, cfg)
@@ -297,6 +359,7 @@ func runBatch(out io.Writer, spec string, cfg demandrace.Config, kc demandrace.K
 		}
 		return r, nil
 	})
+	wall := time.Since(start)
 	if err != nil {
 		return err
 	}
@@ -311,6 +374,23 @@ func runBatch(out io.Writer, spec string, cfg demandrace.Config, kc demandrace.K
 			fmt.Sprintf("%d", len(r.Races)))
 	}
 	fmt.Fprint(out, tb)
+	if metrics {
+		if err := cfg.Metrics.WriteProm(out); err != nil {
+			return err
+		}
+	}
+	es := eng.Stats()
+	if metrics {
+		// Engine timing is wall-clock-derived, so it goes through its own
+		// registry straight to diag — never the deterministic stdout one.
+		dreg := obs.NewRegistry()
+		es.Publish(dreg, "batch")
+		if err := dreg.WriteProm(diag); err != nil {
+			return err
+		}
+	}
+	fmt.Fprint(diag, parallel.TimingTable(eng.Workers(),
+		[]parallel.TimingRow{{Name: "batch:" + spec, Wall: wall, Delta: es}}, es, wall))
 	return nil
 }
 
@@ -329,10 +409,13 @@ func exploreSchedules(out io.Writer, p *demandrace.Program, cfg demandrace.Confi
 	return nil
 }
 
-func comparePolicies(out io.Writer, p *demandrace.Program, cfg demandrace.Config, workers int, verbose bool) error {
+func comparePolicies(out io.Writer, p *demandrace.Program, cfg demandrace.Config, workers int, verbose, metrics bool) error {
 	kinds := []demandrace.Policy{
 		demand.Off, demand.SyncOnly, demand.Sampling, demand.PageDemand, demand.WatchDemand,
 		demand.HITMDemand, demand.Hybrid, demand.Continuous,
+	}
+	if metrics {
+		cfg.Metrics = obs.NewRegistry()
 	}
 	reps, err := demandrace.RunPoliciesParallel(p, cfg, workers, kinds...)
 	if err != nil {
@@ -351,6 +434,11 @@ func comparePolicies(out io.Writer, p *demandrace.Program, cfg demandrace.Config
 			r.Demand.AnalyzedFraction(), len(r.Races))
 	}
 	fmt.Fprint(out, tb)
+	if metrics {
+		if err := cfg.Metrics.WriteProm(out); err != nil {
+			return err
+		}
+	}
 	if verbose {
 		for _, r := range reps {
 			for _, rc := range r.Races {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ import (
 func runCLI(t *testing.T, args ...string) string {
 	t.Helper()
 	var buf bytes.Buffer
-	if err := run(args, &buf); err != nil {
+	if err := run(args, &buf, io.Discard); err != nil {
 		t.Fatalf("ddrace %v: %v", args, err)
 	}
 	return buf.String()
@@ -57,15 +58,161 @@ func TestInjectFlag(t *testing.T) {
 	}
 }
 
-func TestTraceFlagWritesFile(t *testing.T) {
+func TestRecordFlagWritesFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "out.drt")
-	out := runCLI(t, "-kernel", "racy_flag", "-policy", "continuous", "-trace", path)
+	out := runCLI(t, "-kernel", "racy_flag", "-policy", "continuous", "-record", path)
 	if !strings.Contains(out, "events written to") {
 		t.Errorf("missing trace confirmation:\n%s", out)
 	}
 	fi, err := os.Stat(path)
 	if err != nil || fi.Size() == 0 {
 		t.Errorf("trace file missing or empty: %v", err)
+	}
+}
+
+// chromeTraceDoc mirrors the Chrome trace-event JSON object model closely
+// enough to assert on span structure.
+type chromeTraceDoc struct {
+	TraceEvents []struct {
+		Name string  `json:"name"`
+		Cat  string  `json:"cat"`
+		Ph   string  `json:"ph"`
+		TS   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		TID  int     `json:"tid"`
+	} `json:"traceEvents"`
+	OtherData map[string]string `json:"otherData"`
+}
+
+func TestChromeTraceFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	out := runCLI(t, "-kernel", "racy_flag", "-policy", "hitm-demand", "-trace", path)
+	if !strings.Contains(out, "chrome trace:") {
+		t.Errorf("missing trace confirmation:\n%s", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTraceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.OtherData["clock"] != "simulated-cycles" {
+		t.Errorf("otherData.clock = %q", doc.OtherData["clock"])
+	}
+	// A racy kernel under hitm-demand must show a per-thread
+	// fast → analysis mode progression as complete ("X") spans.
+	var fast, analysis, instants int
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "X" && ev.Name == "fast":
+			fast++
+		case ev.Ph == "X" && ev.Name == "analysis":
+			analysis++
+		case ev.Ph == "i":
+			instants++
+		}
+	}
+	if fast == 0 || analysis == 0 {
+		t.Errorf("expected both fast and analysis spans, got fast=%d analysis=%d", fast, analysis)
+	}
+	if instants == 0 {
+		t.Error("expected instant pipeline events in the trace")
+	}
+}
+
+func TestEventsFlagWritesNDJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.ndjson")
+	runCLI(t, "-kernel", "racy_flag", "-policy", "hitm-demand", "-events", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("empty event log")
+	}
+	sawRace := false
+	for i, ln := range lines {
+		var ev map[string]interface{}
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i+1, err, ln)
+		}
+		if ev["kind"] == "race" {
+			sawRace = true
+		}
+	}
+	if !sawRace {
+		t.Error("racy kernel event log has no race event")
+	}
+}
+
+func TestMetricsFlag(t *testing.T) {
+	out := runCLI(t, "-kernel", "racy_counter", "-policy", "continuous", "-metrics")
+	for _, want := range []string{
+		"ddrace_runs_total 1",
+		"ddrace_detector_races_total",
+		"ddrace_run_slowdown_bucket",
+		"# TYPE ddrace_run_slowdown histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBatchRejectsSingleRunTelemetry(t *testing.T) {
+	for _, extra := range [][]string{
+		{"-trace", "x.json"}, {"-events", "x.ndjson"}, {"-record", "x.drt"},
+	} {
+		var buf bytes.Buffer
+		args := append([]string{"-batch", "histogram"}, extra...)
+		if err := run(args, &buf, io.Discard); err == nil {
+			t.Errorf("ddrace %v: expected error", args)
+		}
+	}
+}
+
+// TestTelemetryDeterminism is the acceptance check for the telemetry layer:
+// every exported artifact — metrics exposition, Chrome trace, NDJSON event
+// log — must be byte-identical between a serial and a wide fan-out, because
+// everything is timestamped in simulated cycles.
+func TestTelemetryDeterminism(t *testing.T) {
+	batch := func(workers string) string {
+		return runCLI(t, "-batch", "phoenix", "-policy", "hitm-demand", "-metrics", "-workers", workers)
+	}
+	if serial, wide := batch("1"), batch("8"); serial != wide {
+		t.Errorf("-batch -metrics output differs across worker counts:\n--- serial ---\n%s--- workers=8 ---\n%s", serial, wide)
+	}
+
+	artifacts := func(dir string) (string, string) {
+		tr, ev := filepath.Join(dir, "t.json"), filepath.Join(dir, "e.ndjson")
+		runCLI(t, "-kernel", "racy_flag", "-policy", "hitm-demand", "-trace", tr, "-events", ev)
+		tb, err := os.ReadFile(tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := os.ReadFile(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(tb), string(eb)
+	}
+	t1, e1 := artifacts(t.TempDir())
+	t2, e2 := artifacts(t.TempDir())
+	if t1 != t2 {
+		t.Error("chrome trace differs across runs")
+	}
+	if e1 != e2 {
+		t.Error("event log differs across runs")
+	}
+
+	cmp := func(workers string) string {
+		return runCLI(t, "-kernel", "micro_write_write", "-compare", "-metrics", "-workers", workers)
+	}
+	if serial, wide := cmp("1"), cmp("8"); serial != wide {
+		t.Errorf("-compare -metrics output differs across worker counts:\n%s\nvs\n%s", serial, wide)
 	}
 }
 
@@ -78,7 +225,7 @@ func TestErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var buf bytes.Buffer
-		if err := run(args, &buf); err == nil {
+		if err := run(args, &buf, io.Discard); err == nil {
 			t.Errorf("ddrace %v: expected error", args)
 		}
 	}
@@ -190,7 +337,7 @@ func TestBatchExplicitListDeterministic(t *testing.T) {
 func TestBatchErrors(t *testing.T) {
 	for _, spec := range []string{"nope", "histogram,nope"} {
 		var buf bytes.Buffer
-		if err := run([]string{"-batch", spec}, &buf); err == nil {
+		if err := run([]string{"-batch", spec}, &buf, io.Discard); err == nil {
 			t.Errorf("-batch %s: expected error", spec)
 		}
 	}

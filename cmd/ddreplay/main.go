@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ddrace -kernel racy_flag -policy continuous -trace run.drt
+//	ddrace -kernel racy_flag -policy continuous -record run.drt
 //	ddreplay run.drt
 //	ddreplay -fullvc -reports 5 run.drt
 //	ddreplay -json run.json        # JSON-encoded traces

@@ -14,9 +14,12 @@
 //	experiments -exp fig1 -csv
 //	experiments -quick               # seconds-long smoke run of every experiment
 //	experiments -workers 1           # serial baseline (identical output)
+//	experiments -quick -bench-json BENCH.json   # bench regression snapshot
+//	experiments -quick -metrics      # engine counters to stderr, Prometheus text
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +27,7 @@ import (
 	"time"
 
 	"demandrace/internal/experiments"
+	"demandrace/internal/obs"
 	"demandrace/internal/parallel"
 	"demandrace/internal/stats"
 )
@@ -50,6 +54,8 @@ func run(args []string, out, diag io.Writer) error {
 		workers = fs.Int("workers", 0, "parallel simulation runs (0 = one per CPU, 1 = serial)")
 		quick   = fs.Bool("quick", false, "smoke mode: trimmed kernels and seeds, runs in seconds")
 		timing  = fs.Bool("timing", true, "print wall-clock/throughput stats to stderr")
+		benchF  = fs.String("bench-json", "", "write per-experiment wall time and throughput to this JSON file")
+		metrics = fs.Bool("metrics", false, "print per-experiment engine counters to stderr as a Prometheus-style exposition")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,12 +95,7 @@ func run(args []string, out, diag io.Writer) error {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 
-	type timingRow struct {
-		name  string
-		wall  time.Duration
-		delta parallel.Stats
-	}
-	var rows []timingRow
+	var rows []parallel.TimingRow
 	suiteStart := time.Now()
 	for _, name := range names {
 		prev := eng.Stats()
@@ -103,7 +104,9 @@ func run(args []string, out, diag io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		rows = append(rows, timingRow{name: name, wall: time.Since(expStart), delta: eng.Stats().Sub(prev)})
+		rows = append(rows, parallel.TimingRow{
+			Name: name, Wall: time.Since(expStart), Delta: eng.Stats().Sub(prev),
+		})
 		tb := res.Table()
 		if *csv {
 			fmt.Fprint(out, tb.CSV())
@@ -112,31 +115,88 @@ func run(args []string, out, diag io.Writer) error {
 		}
 	}
 	suiteWall := time.Since(suiteStart)
+	total := eng.Stats()
 
 	if *timing {
-		total := eng.Stats()
-		tb := stats.NewTable(
-			fmt.Sprintf("Harness timing — %d workers", eng.Workers()),
-			"experiment", "runs", "busy (serial-equiv)", "wall", "speedup (×)", "runs/s")
+		fmt.Fprintln(diag, parallel.TimingTable(eng.Workers(), rows, total, suiteWall))
+	}
+	if *metrics {
+		// Wall-clock-derived engine counters are diagnostics: they go to
+		// diag only, through their own registry, never the comparable
+		// stdout stream.
+		reg := obs.NewRegistry()
 		for _, r := range rows {
-			tb.AddRow(r.name,
-				fmt.Sprintf("%d", r.delta.Jobs),
-				r.delta.Busy.Round(time.Millisecond).String(),
-				r.wall.Round(time.Millisecond).String(),
-				fmt.Sprintf("%.2f", r.delta.Speedup()),
-				fmt.Sprintf("%.1f", r.delta.Throughput()))
+			r.Delta.Publish(reg, r.Name)
 		}
-		suiteSpeedup := 0.0
-		if suiteWall > 0 {
-			suiteSpeedup = float64(total.Busy) / float64(suiteWall)
+		total.Publish(reg, "suite")
+		if err := reg.WriteProm(diag); err != nil {
+			return err
 		}
-		tb.AddRow("TOTAL",
-			fmt.Sprintf("%d", total.Jobs),
-			total.Busy.Round(time.Millisecond).String(),
-			suiteWall.Round(time.Millisecond).String(),
-			fmt.Sprintf("%.2f", suiteSpeedup),
-			fmt.Sprintf("%.1f", float64(total.Jobs)/suiteWall.Seconds()))
-		fmt.Fprintln(diag, tb)
+	}
+	if *benchF != "" {
+		if err := writeBenchJSON(*benchF, eng.Workers(), *threads, *scale, *quick, rows, total, suiteWall); err != nil {
+			return err
+		}
+		fmt.Fprintf(diag, "bench snapshot written to %s\n", *benchF)
 	}
 	return nil
+}
+
+// benchEntry is one experiment's timing in the bench-regression snapshot.
+type benchEntry struct {
+	Name       string  `json:"name"`
+	Runs       int     `json:"runs"`
+	BusyNS     int64   `json:"busy_ns"`
+	WallNS     int64   `json:"wall_ns"`
+	Speedup    float64 `json:"speedup"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+}
+
+// benchDoc is the -bench-json file layout: enough metadata to tell whether
+// two snapshots are comparable, then one entry per experiment plus a total.
+type benchDoc struct {
+	Schema      int          `json:"schema"`
+	Workers     int          `json:"workers"`
+	Threads     int          `json:"threads"`
+	Scale       int          `json:"scale"`
+	Quick       bool         `json:"quick"`
+	Experiments []benchEntry `json:"experiments"`
+	Total       benchEntry   `json:"total"`
+}
+
+// writeBenchJSON snapshots per-experiment wall time and throughput. The
+// numbers are wall-clock-derived by nature — the file is a bench artifact,
+// not a deterministic export, and lives outside the stdout byte-equality
+// contract.
+func writeBenchJSON(path string, workers, threads, scale int, quick bool,
+	rows []parallel.TimingRow, total parallel.Stats, suiteWall time.Duration) error {
+	doc := benchDoc{Schema: 1, Workers: workers, Threads: threads, Scale: scale, Quick: quick}
+	for _, r := range rows {
+		doc.Experiments = append(doc.Experiments, benchEntry{
+			Name:       r.Name,
+			Runs:       r.Delta.Jobs,
+			BusyNS:     int64(r.Delta.Busy),
+			WallNS:     int64(r.Wall),
+			Speedup:    r.Delta.Speedup(),
+			RunsPerSec: r.Delta.Throughput(),
+		})
+	}
+	doc.Total = benchEntry{
+		Name:   "total",
+		Runs:   total.Jobs,
+		BusyNS: int64(total.Busy),
+		WallNS: int64(suiteWall),
+	}
+	if suiteWall > 0 {
+		doc.Total.Speedup = float64(total.Busy) / float64(suiteWall)
+		doc.Total.RunsPerSec = float64(total.Jobs) / suiteWall.Seconds()
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }

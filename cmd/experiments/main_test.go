@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -97,5 +100,60 @@ func TestTimingGoesToDiag(t *testing.T) {
 	}
 	if silent.Len() != 0 {
 		t.Errorf("-timing=false still wrote diagnostics:\n%s", silent.String())
+	}
+}
+
+// TestBenchJSON checks the bench-regression snapshot: valid JSON, one entry
+// per experiment, plausible totals.
+func TestBenchJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out, diag bytes.Buffer
+	if err := run([]string{"-exp", "fig2", "-bench-json", path}, &out, &diag); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diag.String(), "bench snapshot written") {
+		t.Errorf("missing confirmation on diag:\n%s", diag.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("bench file is not valid JSON: %v", err)
+	}
+	if doc.Schema != 1 {
+		t.Errorf("schema = %d", doc.Schema)
+	}
+	if len(doc.Experiments) != 1 || doc.Experiments[0].Name != "fig2" {
+		t.Errorf("experiments = %+v", doc.Experiments)
+	}
+	if doc.Experiments[0].Runs == 0 || doc.Experiments[0].WallNS <= 0 {
+		t.Errorf("fig2 entry has no runs or wall time: %+v", doc.Experiments[0])
+	}
+	if doc.Total.Runs != doc.Experiments[0].Runs {
+		t.Errorf("total runs %d != fig2 runs %d", doc.Total.Runs, doc.Experiments[0].Runs)
+	}
+}
+
+// TestMetricsGoesToDiag checks -metrics renders the engine counters as a
+// Prometheus exposition on the diagnostic stream only.
+func TestMetricsGoesToDiag(t *testing.T) {
+	var out, diag bytes.Buffer
+	if err := run([]string{"-exp", "fig2", "-metrics"}, &out, &diag); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "ddrace_parallel_") {
+		t.Error("engine counters leaked into table stream")
+	}
+	d := diag.String()
+	for _, want := range []string{
+		"ddrace_parallel_fig2_jobs_total",
+		"ddrace_parallel_suite_jobs_total",
+		"# TYPE ddrace_parallel_fig2_wall_ns_total counter",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diag exposition missing %q:\n%s", want, d)
+		}
 	}
 }

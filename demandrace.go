@@ -41,11 +41,14 @@
 package demandrace
 
 import (
+	"io"
+
 	"demandrace/internal/cache"
 	"demandrace/internal/cost"
 	"demandrace/internal/demand"
 	"demandrace/internal/detector"
 	"demandrace/internal/mem"
+	"demandrace/internal/obs"
 	"demandrace/internal/perf"
 	"demandrace/internal/program"
 	"demandrace/internal/racefuzz"
@@ -249,6 +252,36 @@ func ReplayTrace(tr *Trace, opt DetectorOptions) *detector.Detector {
 // TraceTimeline renders a trace as per-thread ASCII activity strips showing
 // fast/analyzed spans, synchronization, and caught vs unobserved HITMs.
 func TraceTimeline(tr *Trace, width int) string { return trace.Timeline(tr, width) }
+
+// EventTracer records cycle-timestamped pipeline telemetry (HITM events,
+// PMU overflows, mode transitions, race reports). Install one in
+// Config.Trace; timestamps are simulated cycles, so traces are
+// byte-deterministic. See internal/obs for the event taxonomy.
+type EventTracer = obs.Tracer
+
+// NewEventTracer returns an empty tracer for Config.Trace.
+func NewEventTracer() *EventTracer { return obs.NewTracer() }
+
+// TelemetryEvent is one recorded pipeline event.
+type TelemetryEvent = obs.Event
+
+// ModeSpan is one contiguous stretch of a thread's run in fast or analysis
+// mode; Report.Timeline holds them when a tracer was installed.
+type ModeSpan = obs.Span
+
+// MetricsRegistry collects named counters, gauges, and histograms. Install
+// one in Config.Metrics; counters and histograms may be shared across
+// concurrent runs and still export deterministic totals.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry for Config.Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WriteChromeTrace renders tracer events plus mode spans as Chrome
+// trace-event JSON, loadable in Perfetto or chrome://tracing.
+func WriteChromeTrace(w io.Writer, program string, events []TelemetryEvent, spans []ModeSpan) error {
+	return obs.WriteChromeTrace(w, program, events, spans)
+}
 
 // CostModel holds the cycle-cost constants slowdowns are computed from.
 type CostModel = cost.Model

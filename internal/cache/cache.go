@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"demandrace/internal/mem"
+	"demandrace/internal/obs"
 )
 
 // State is a MESI line state.
@@ -297,6 +298,9 @@ type Hierarchy struct {
 	// sink receives every coherence event; nil means events are only
 	// returned in Results. The PMU installs itself here.
 	sink func(Event)
+	// trace records PMU-relevant coherence events (HITM, invalidation,
+	// writeback) as cycle-timestamped telemetry; nil disables recording.
+	trace *obs.Tracer
 }
 
 // New constructs a hierarchy. It panics on an invalid configuration, since
@@ -325,6 +329,9 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 // SetEventSink installs fn to observe every coherence event as it happens.
 func (h *Hierarchy) SetEventSink(fn func(Event)) { h.sink = fn }
 
+// SetTracer installs the telemetry tracer (nil disables tracing).
+func (h *Hierarchy) SetTracer(t *obs.Tracer) { h.trace = t }
+
 // Stats returns a snapshot of the counters.
 func (h *Hierarchy) Stats() Stats { return h.stats }
 
@@ -344,6 +351,20 @@ func (h *Hierarchy) emit(ev Event, res *Result) {
 	res.Events = append(res.Events, ev)
 	if h.sink != nil {
 		h.sink(ev)
+	}
+	if h.trace != nil {
+		var kind obs.Kind
+		switch ev.Kind {
+		case EvHITM:
+			kind = obs.KindHITM
+		case EvInvalidation:
+			kind = obs.KindInvalidation
+		case EvWriteback:
+			kind = obs.KindWriteback
+		default:
+			return
+		}
+		h.trace.Emit(kind, -1, int(ev.Ctx), uint64(ev.Line), int64(ev.Src), "")
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 
 	"demandrace/internal/cache"
 	"demandrace/internal/mem"
+	"demandrace/internal/obs"
 	"demandrace/internal/pageprot"
 	"demandrace/internal/perf"
 	"demandrace/internal/program"
@@ -250,6 +251,9 @@ type Controller struct {
 	watch map[cache.Context]*watchpoint.Unit
 	// pages is the protection tracker for PageDemand.
 	pages *pageprot.Tracker
+	// trace records mode transitions and counter toggles; nil disables
+	// recording.
+	trace *obs.Tracer
 	stats Stats
 }
 
@@ -320,6 +324,9 @@ func (c *Controller) SetCounterControl(fn func(ctx cache.Context, enabled bool))
 	c.counterCtl = fn
 }
 
+// SetTracer installs the telemetry tracer (nil disables tracing).
+func (c *Controller) SetTracer(t *obs.Tracer) { c.trace = t }
+
 // syncCounter updates the PMU arming of thread t's context after a mode
 // change: disabled iff every thread on the context is analyzing.
 func (c *Controller) syncCounter(t vclock.TID) {
@@ -334,6 +341,11 @@ func (c *Controller) syncCounter(t vclock.TID) {
 			break
 		}
 	}
+	enabled := int64(0)
+	if !allAnalyzing {
+		enabled = 1
+	}
+	c.trace.Emit(obs.KindCounterToggle, int(t), int(ctx), 0, enabled, "")
 	c.counterCtl(ctx, !allAnalyzing)
 }
 
@@ -399,6 +411,7 @@ func (c *Controller) armWatch(s perf.Sample) {
 		}
 		if !u.Watching(s.Line) {
 			c.stats.EnableTransitions++
+			c.trace.Emit(obs.KindWatchArm, -1, int(ctx), uint64(s.Line), 0, "")
 		}
 		u.Watch(s.Line)
 	}
@@ -431,6 +444,7 @@ func (c *Controller) enable(t vclock.TID) {
 		st.analyzing = true
 		st.fastOps = 0
 		c.stats.EnableTransitions++
+		c.trace.Emit(obs.KindModeEnable, int(t), int(c.ctxOf(t)), 0, 0, "")
 		c.syncCounter(t)
 	}
 }
@@ -495,6 +509,7 @@ func (c *Controller) ShouldAnalyze(t vclock.TID, op program.Op) bool {
 			// Protection fault: a sharing indication, handled like a PMU
 			// sample under the configured scope.
 			c.stats.Samples++
+			c.trace.Emit(obs.KindPageFault, int(t), int(c.ctxOf(t)), uint64(op.Addr), 0, "")
 			switch c.cfg.Scope {
 			case ScopeGlobal:
 				for i := range c.threads {
@@ -516,6 +531,7 @@ func (c *Controller) ShouldAnalyze(t vclock.TID, op program.Op) bool {
 				st.analyzing = false
 				st.quiet = 0
 				c.stats.DisableTransitions++
+				c.trace.Emit(obs.KindModeDecay, int(t), int(c.ctxOf(t)), 0, 0, "")
 			}
 		}
 	case HITMDemand, Hybrid:
@@ -527,6 +543,7 @@ func (c *Controller) ShouldAnalyze(t vclock.TID, op program.Op) bool {
 				st.quiet = 0
 				st.fastOps = 0
 				c.stats.DisableTransitions++
+				c.trace.Emit(obs.KindModeDecay, int(t), int(c.ctxOf(t)), 0, 0, "")
 				c.syncCounter(t)
 			}
 		} else {

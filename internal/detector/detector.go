@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"demandrace/internal/mem"
+	"demandrace/internal/obs"
 	"demandrace/internal/program"
 	"demandrace/internal/shadow"
 	"demandrace/internal/syncmodel"
@@ -116,6 +117,8 @@ type Detector struct {
 	reports []Report
 	perAddr map[mem.Addr]int
 	stats   Stats
+	// trace records race-report telemetry; nil disables recording.
+	trace *obs.Tracer
 }
 
 // New builds a detector for a program with numThreads threads and the given
@@ -151,6 +154,9 @@ func (d *Detector) Reports() []Report { return d.reports }
 // Stats returns a snapshot of the work counters.
 func (d *Detector) Stats() Stats { return d.stats }
 
+// SetTracer installs the telemetry tracer (nil disables tracing).
+func (d *Detector) SetTracer(t *obs.Tracer) { d.trace = t }
+
 // ClockOf exposes thread t's clock for tests and the trace annotator.
 func (d *Detector) ClockOf(t vclock.TID) *vclock.VC { return d.threads[t] }
 
@@ -174,6 +180,7 @@ func (d *Detector) report(r Report) {
 	}
 	d.perAddr[r.Addr]++
 	d.reports = append(d.reports, r)
+	d.trace.Emit(obs.KindRace, int(r.Cur), -1, uint64(r.Addr), int64(r.Prev), r.Kind.String())
 }
 
 // OnRead analyzes a read of addr by thread t.

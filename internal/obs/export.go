@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// schema chrome://tracing and Perfetto load). Timestamps are nominally
+// microseconds; we write simulated cycles — the viewer renders them as a
+// unitless timeline, which is exactly what a deterministic trace wants.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    uint64            `json:"ts"`
+	Dur   uint64            `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent     `json:"traceEvents"`
+	OtherData   map[string]string `json:"otherData,omitempty"`
+}
+
+// chromeTID maps an event onto a viewer row: the thread when the event is
+// thread-scoped, otherwise the hardware context.
+func chromeTID(ev Event) int {
+	if ev.TID >= 0 {
+		return ev.TID
+	}
+	if ev.Ctx >= 0 {
+		return ev.Ctx
+	}
+	return 0
+}
+
+// WriteChromeTrace renders spans and events as Chrome trace-event JSON.
+// Spans become complete ("X") slices named "analysis"/"fast" on their
+// thread's row; every tracer event becomes a thread-scoped instant ("i").
+// The program name lands in otherData. Output bytes are a pure function of
+// the inputs: no clocks, no map-ordered iteration.
+func WriteChromeTrace(w io.Writer, program string, events []Event, spans []Span) error {
+	out := chromeTrace{
+		TraceEvents: make([]chromeEvent, 0, len(spans)+len(events)),
+		OtherData:   map[string]string{"program": program, "clock": "simulated-cycles"},
+	}
+	for _, s := range spans {
+		name := "fast"
+		if s.Analyzing {
+			name = "analysis"
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: name, Cat: "mode", Phase: "X",
+			TS: s.Start, Dur: s.Dur(), PID: 1, TID: s.TID,
+		})
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Kind.String(), Cat: "pipeline", Phase: "i", Scope: "t",
+			TS: ev.TS, PID: 1, TID: chromeTID(ev),
+		}
+		if ev.Detail != "" {
+			ce.Args = map[string]string{"detail": ev.Detail}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ndjsonEvent is the NDJSON export schema for one event: snake_case keys,
+// the kind spelled out, sentinels omitted.
+type ndjsonEvent struct {
+	TS     uint64 `json:"ts"`
+	Kind   string `json:"kind"`
+	TID    *int   `json:"tid,omitempty"`
+	Ctx    *int   `json:"ctx,omitempty"`
+	Line   uint64 `json:"line,omitempty"`
+	Aux    int64  `json:"aux,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// WriteNDJSON writes one JSON object per event, newline-delimited — the
+// log-shipper-friendly form of the trace. Deterministic byte output.
+func WriteNDJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		ev := &events[i]
+		ne := ndjsonEvent{
+			TS: ev.TS, Kind: ev.Kind.String(),
+			Line: ev.Line, Aux: ev.Aux, Detail: ev.Detail,
+		}
+		if ev.TID >= 0 {
+			tid := ev.TID
+			ne.TID = &tid
+		}
+		if ev.Ctx >= 0 {
+			ctx := ev.Ctx
+			ne.Ctx = &ctx
+		}
+		if err := enc.Encode(ne); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,279 @@
+// Package obs is the deterministic telemetry layer: a structured event
+// tracer and a metrics registry shared by every stage of the pipeline
+// (cache → perf → demand → detector → runner) and surfaced by both CLIs.
+//
+// The paper's argument is temporal — hardware notices sharing and the
+// analysis must wake up *in time* — so end-of-run aggregates cannot answer
+// the questions that matter when a race is missed: was the thread still in
+// fast mode when the second access retired? did the sample skid past it?
+// had the quiet timer already decayed analysis away? The tracer records
+// exactly those pipeline events, each timestamped in **simulated cycles**
+// from the cost model's tool clock, never wall-clock time. Simulated
+// timestamps make traces a pure function of (program, config, seed): the
+// same run produces byte-identical telemetry at any -workers width, so the
+// repository's determinism contract (see ARCHITECTURE.md) extends to every
+// exported artifact.
+//
+// Both halves are built to be left on:
+//
+//   - a nil *Tracer or *Registry is a valid no-op receiver, so
+//     instrumentation sites cost one pointer test when telemetry is off;
+//   - event emission is an append to a preallocated slice;
+//   - counters and histograms use atomic updates, so a registry may be
+//     shared across the parallel engine's workers and still export
+//     deterministic totals (integer addition commutes; the registry
+//     deliberately stores no floats on concurrent paths).
+//
+// Exporters live in export.go: Chrome trace-event JSON (per-thread
+// fast/analysis spans plus instant events, loadable in Perfetto or
+// chrome://tracing), Prometheus-style text exposition, and NDJSON event
+// logs. The package depends only on the standard library.
+package obs
+
+import "fmt"
+
+// Clock returns the current time in simulated cycles. The runner installs
+// the cost accumulator's tool-cycle counter; wall clocks must never be
+// used here (they would break the determinism contract).
+type Clock func() uint64
+
+// Kind classifies one pipeline event.
+type Kind uint8
+
+const (
+	// KindHITM marks an access served by a remote Modified line — the
+	// paper's demand signal, emitted by the cache hierarchy.
+	KindHITM Kind = iota
+	// KindInvalidation marks a line invalidated by a remote store.
+	KindInvalidation
+	// KindWriteback marks a dirty eviction (the indicator's blind spot).
+	KindWriteback
+	// KindOverflow marks a PMU counter overflow (an interrupt queued).
+	KindOverflow
+	// KindSampleDelivered marks an overflow interrupt reaching the demand
+	// controller; Aux is 1 when delivery was delayed by skid.
+	KindSampleDelivered
+	// KindSampleDropped marks a matching event that escaped counting
+	// (imprecise-counter loss).
+	KindSampleDropped
+	// KindModeEnable marks one thread flipping fast → analysis.
+	KindModeEnable
+	// KindModeDecay marks one thread's quiet timer expiring: analysis →
+	// fast.
+	KindModeDecay
+	// KindCounterToggle marks a context's PMU counter being armed (Aux=1)
+	// or disarmed (Aux=0) by the controller.
+	KindCounterToggle
+	// KindWatchArm marks a watchpoint register pointed at a shared line.
+	KindWatchArm
+	// KindPageFault marks a page-protection fault taken by PageDemand.
+	KindPageFault
+	// KindRace marks a race report leaving the happens-before detector;
+	// Aux is the prior thread, TID the current one.
+	KindRace
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHITM:
+		return "hitm"
+	case KindInvalidation:
+		return "invalidation"
+	case KindWriteback:
+		return "writeback"
+	case KindOverflow:
+		return "pmu-overflow"
+	case KindSampleDelivered:
+		return "sample-delivered"
+	case KindSampleDropped:
+		return "sample-dropped"
+	case KindModeEnable:
+		return "mode-enable"
+	case KindModeDecay:
+		return "mode-decay"
+	case KindCounterToggle:
+		return "counter-toggle"
+	case KindWatchArm:
+		return "watch-arm"
+	case KindPageFault:
+		return "page-fault"
+	case KindRace:
+		return "race"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one cycle-timestamped pipeline event. Fields not meaningful for
+// a kind hold their documented sentinel (-1 for TID/Ctx, 0 for Line/Aux).
+type Event struct {
+	// TS is the event time in simulated cycles (the cost model's tool
+	// clock at emission).
+	TS uint64
+	// Kind classifies the event.
+	Kind Kind
+	// TID is the software thread involved, -1 when not thread-scoped.
+	TID int
+	// Ctx is the hardware context involved, -1 when not context-scoped.
+	Ctx int
+	// Line is the cache line or word address involved, 0 when none.
+	Line uint64
+	// Aux is kind-specific: the peer core for HITM, the counter index for
+	// overflows, 1/0 for toggles and skidded deliveries, the prior thread
+	// for races.
+	Aux int64
+	// Detail is an optional short human label (race kind, policy note).
+	Detail string
+}
+
+// Tracer records pipeline events in emission order. The zero value is not
+// usable; build one with NewTracer. A nil *Tracer is a valid no-op: every
+// method checks the receiver, which is the fast path when tracing is off.
+// Tracers are not safe for concurrent use — each simulated run owns one,
+// exactly like its cache hierarchy and PMU.
+type Tracer struct {
+	clock   Clock
+	events  []Event
+	limit   int
+	dropped uint64
+}
+
+// NewTracer returns an empty tracer with no event cap. Until SetClock is
+// called, events are stamped 0.
+func NewTracer() *Tracer {
+	return &Tracer{events: make([]Event, 0, 1024)}
+}
+
+// SetClock installs the simulated-cycle clock used to stamp events.
+func (t *Tracer) SetClock(c Clock) {
+	if t == nil {
+		return
+	}
+	t.clock = c
+}
+
+// SetLimit caps the number of recorded events (0 = unlimited). Events past
+// the cap are counted in Dropped but not stored.
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	t.limit = n
+}
+
+// Emit records one event, stamping it with the current simulated time.
+// Safe to call on a nil tracer.
+func (t *Tracer) Emit(kind Kind, tid, ctx int, line uint64, aux int64, detail string) {
+	if t == nil {
+		return
+	}
+	if t.limit > 0 && len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
+	var ts uint64
+	if t.clock != nil {
+		ts = t.clock()
+	}
+	t.events = append(t.events, Event{
+		TS: ts, Kind: kind, TID: tid, Ctx: ctx, Line: line, Aux: aux, Detail: detail,
+	})
+}
+
+// Events returns the recorded events in emission order. The slice is the
+// tracer's backing store; callers must not mutate it. Nil-safe.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// Len returns the number of recorded events. Nil-safe.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Dropped returns how many events the cap discarded. Nil-safe.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// CountByKind tallies recorded events per kind. Nil-safe.
+func (t *Tracer) CountByKind() map[Kind]uint64 {
+	if t == nil {
+		return nil
+	}
+	m := make(map[Kind]uint64)
+	for _, ev := range t.events {
+		m[ev.Kind]++
+	}
+	return m
+}
+
+// Span is one contiguous stretch of a thread's execution in a single mode.
+type Span struct {
+	// TID is the thread.
+	TID int
+	// Start and End bound the span in simulated cycles, half-open.
+	Start, End uint64
+	// Analyzing reports the mode: true = analysis, false = fast.
+	Analyzing bool
+}
+
+// Dur returns the span length in cycles.
+func (s Span) Dur() uint64 { return s.End - s.Start }
+
+// ThreadSpans folds a run's mode-transition events into per-thread
+// fast/analysis spans covering [0, end). startAnalyzing gives the mode
+// every thread begins in (true under the continuous policy, false
+// otherwise). Zero-length spans are elided. The result is ordered by
+// thread, then by start time — deterministic for a deterministic event
+// stream.
+func ThreadSpans(events []Event, end uint64, numThreads int, startAnalyzing bool) []Span {
+	type cursor struct {
+		start     uint64
+		analyzing bool
+	}
+	cur := make([]cursor, numThreads)
+	for i := range cur {
+		cur[i].analyzing = startAnalyzing
+	}
+	spans := make([][]Span, numThreads)
+	flip := func(tid int, ts uint64, to bool) {
+		c := &cur[tid]
+		if c.analyzing == to {
+			return
+		}
+		if ts > c.start {
+			spans[tid] = append(spans[tid], Span{TID: tid, Start: c.start, End: ts, Analyzing: c.analyzing})
+		}
+		c.start = ts
+		c.analyzing = to
+	}
+	for _, ev := range events {
+		if ev.TID < 0 || ev.TID >= numThreads {
+			continue
+		}
+		switch ev.Kind {
+		case KindModeEnable:
+			flip(ev.TID, ev.TS, true)
+		case KindModeDecay:
+			flip(ev.TID, ev.TS, false)
+		}
+	}
+	var out []Span
+	for tid := 0; tid < numThreads; tid++ {
+		c := cur[tid]
+		if end > c.start {
+			spans[tid] = append(spans[tid], Span{TID: tid, Start: c.start, End: end, Analyzing: c.analyzing})
+		}
+		out = append(out, spans[tid]...)
+	}
+	return out
+}

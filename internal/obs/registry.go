@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// unusable; obtain one from a Registry. A nil *Counter is a valid no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n. Nil-safe.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Nil-safe.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count. Nil-safe.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a set-to-current-value integer metric. Because last-writer-wins
+// is order-dependent, gauges are for single-writer (per-run or CLI-level)
+// use only; the runner publishes counters and histograms exclusively so a
+// registry shared across parallel workers stays deterministic. A nil
+// *Gauge is a valid no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge's value. Nil-safe.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the current value. Nil-safe.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution metric. Observations and the
+// running sum are held as integers (the sum in millionths), so concurrent
+// observation from the parallel engine's workers commutes and exports are
+// byte-deterministic — the reason this histogram deliberately stores no
+// floats. A nil *Histogram is a valid no-op.
+type Histogram struct {
+	// bounds are inclusive upper bucket bounds, ascending; an implicit
+	// +Inf bucket follows.
+	bounds []float64
+	// counts has len(bounds)+1 entries; counts[i] tallies observations in
+	// (bounds[i-1], bounds[i]], the final entry tallies the +Inf bucket.
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	// sumMicro accumulates observations in integer millionths.
+	sumMicro atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample. Negative samples clamp to zero. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumMicro.Add(uint64(v * 1e6))
+}
+
+// Count returns the number of observations. Nil-safe.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the observation total (rounded to millionths). Nil-safe.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.sumMicro.Load()) / 1e6
+}
+
+// Bounds returns the bucket upper bounds. Nil-safe.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCount returns the tally of bucket i (the final index is the +Inf
+// bucket). Nil-safe.
+func (h *Histogram) BucketCount(i int) uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.counts[i].Load()
+}
+
+// Registry is a named collection of metrics. Handle lookup (Counter,
+// Gauge, Histogram) is get-or-create and mutex-guarded; the returned
+// handles update lock-free, cheap enough to leave on in the hot pipeline.
+// A nil *Registry is a valid no-op that hands out nil handles, so
+// instrumented code never branches on "is telemetry enabled".
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil-safe
+// (returns a nil handle).
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (later calls may pass nil bounds). Nil-safe.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Merge folds o into r: counters and histogram buckets add, gauges take
+// o's value. Call it from a single goroutine, in a deterministic order
+// (e.g. submission order of a batch), to keep merged output deterministic.
+func (r *Registry) Merge(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for name, c := range o.counters {
+		r.Counter(name).Add(c.Value())
+	}
+	for name, g := range o.gauges {
+		r.Gauge(name).Set(g.Value())
+	}
+	for name, h := range o.hists {
+		dst := r.Histogram(name, h.bounds)
+		for i := range h.counts {
+			dst.counts[i].Add(h.counts[i].Load())
+		}
+		dst.count.Add(h.count.Load())
+		dst.sumMicro.Add(h.sumMicro.Load())
+	}
+}
+
+// CounterValue returns the named counter's value without creating it.
+// Nil-safe.
+func (r *Registry) CounterValue(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name].Value()
+}
+
+// formatBound renders a histogram bound the same way every time ("g"
+// shortest form), keeping exposition byte-stable.
+func formatBound(b float64) string { return strconv.FormatFloat(b, 'g', -1, 64) }
+
+// WriteProm writes the registry in Prometheus text exposition format,
+// sorted by metric name so output is byte-deterministic. Values are
+// integers (or fixed-precision sums), never wall-clock derived unless the
+// caller put wall-clock values in — the runner never does. Nil-safe.
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	kind := make(map[string]byte, cap(names))
+	for name := range r.counters {
+		names = append(names, name)
+		kind[name] = 'c'
+	}
+	for name := range r.gauges {
+		names = append(names, name)
+		kind[name] = 'g'
+	}
+	for name := range r.hists {
+		names = append(names, name)
+		kind[name] = 'h'
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		switch kind[name] {
+		case 'c':
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, r.counters[name].Value()); err != nil {
+				return err
+			}
+		case 'g':
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, r.gauges[name].Value()); err != nil {
+				return err
+			}
+		case 'h':
+			h := r.hists[name]
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			cum := uint64(0)
+			for i, b := range h.bounds {
+				cum += h.counts[i].Load()
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum); err != nil {
+					return err
+				}
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+				name, strconv.FormatFloat(h.Sum(), 'f', 6, 64), name, h.count.Load()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

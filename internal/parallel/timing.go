@@ -1,0 +1,67 @@
+package parallel
+
+import (
+	"fmt"
+	"time"
+
+	"demandrace/internal/obs"
+	"demandrace/internal/stats"
+)
+
+// Publish records s into reg as ddrace_parallel_<scope>_* counters
+// (job count plus busy/wall nanoseconds). These are wall-clock-derived
+// diagnostics: publish them only into a diagnostics registry rendered to
+// stderr, never into the deterministic registry exported by -metrics —
+// the determinism contract forbids wall-clock values in exported
+// artifacts.
+func (s Stats) Publish(reg *obs.Registry, scope string) {
+	if reg == nil {
+		return
+	}
+	reg.Counter(fmt.Sprintf("ddrace_parallel_%s_jobs_total", scope)).Add(uint64(s.Jobs))
+	reg.Counter(fmt.Sprintf("ddrace_parallel_%s_busy_ns_total", scope)).Add(uint64(s.Busy))
+	reg.Counter(fmt.Sprintf("ddrace_parallel_%s_wall_ns_total", scope)).Add(uint64(s.Wall))
+}
+
+// TimingRow is one window of engine activity: an experiment, a batch, a
+// compare fan-out.
+type TimingRow struct {
+	// Name labels the window.
+	Name string
+	// Wall is the window's wall-clock duration as observed by the caller
+	// (an experiment can spend wall time outside Map calls, so this can
+	// exceed Delta.Wall).
+	Wall time.Duration
+	// Delta is the engine stats accumulated during the window.
+	Delta Stats
+}
+
+// TimingTable renders per-window timing plus a TOTAL line as the shared
+// table both CLIs print to stderr (cmd/experiments per experiment,
+// cmd/ddrace per batch). total should be the engine's cumulative stats and
+// totalWall the whole invocation's wall time.
+func TimingTable(workers int, rows []TimingRow, total Stats, totalWall time.Duration) *stats.Table {
+	tb := stats.NewTable(
+		fmt.Sprintf("Harness timing — %d workers", workers),
+		"window", "runs", "busy (serial-equiv)", "wall", "speedup (×)", "runs/s")
+	for _, r := range rows {
+		tb.AddRow(r.Name,
+			fmt.Sprintf("%d", r.Delta.Jobs),
+			r.Delta.Busy.Round(time.Millisecond).String(),
+			r.Wall.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2f", r.Delta.Speedup()),
+			fmt.Sprintf("%.1f", r.Delta.Throughput()))
+	}
+	suiteSpeedup, suiteRate := 0.0, 0.0
+	if totalWall > 0 {
+		suiteSpeedup = float64(total.Busy) / float64(totalWall)
+		suiteRate = float64(total.Jobs) / totalWall.Seconds()
+	}
+	tb.AddRow("TOTAL",
+		fmt.Sprintf("%d", total.Jobs),
+		total.Busy.Round(time.Millisecond).String(),
+		totalWall.Round(time.Millisecond).String(),
+		fmt.Sprintf("%.2f", suiteSpeedup),
+		fmt.Sprintf("%.1f", suiteRate))
+	return tb
+}

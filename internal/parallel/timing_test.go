@@ -1,0 +1,55 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"demandrace/internal/obs"
+)
+
+func TestStatsPublish(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := Stats{Jobs: 3, Busy: 2 * time.Second, Wall: time.Second}
+	s.Publish(reg, "batch")
+	for name, want := range map[string]uint64{
+		"ddrace_parallel_batch_jobs_total":    3,
+		"ddrace_parallel_batch_busy_ns_total": uint64(2 * time.Second),
+		"ddrace_parallel_batch_wall_ns_total": uint64(time.Second),
+	} {
+		if got := reg.CounterValue(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	// Nil registry: a no-op, not a panic.
+	s.Publish(nil, "batch")
+}
+
+func TestTimingTable(t *testing.T) {
+	rows := []TimingRow{
+		{Name: "fig1", Wall: time.Second, Delta: Stats{Jobs: 4, Busy: 2 * time.Second, Wall: time.Second}},
+		{Name: "fig2", Wall: 2 * time.Second, Delta: Stats{Jobs: 6, Busy: 3 * time.Second, Wall: 2 * time.Second}},
+	}
+	total := Stats{Jobs: 10, Busy: 5 * time.Second, Wall: 3 * time.Second}
+	out := TimingTable(4, rows, total, 3*time.Second).String()
+	for _, want := range []string{
+		"Harness timing — 4 workers",
+		"fig1", "fig2", "TOTAL",
+		"speedup", "runs/s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timing table missing %q:\n%s", want, out)
+		}
+	}
+	// TOTAL speedup = 5s busy / 3s wall.
+	if !strings.Contains(out, "1.67") {
+		t.Errorf("suite speedup missing:\n%s", out)
+	}
+}
+
+func TestTimingTableZeroWall(t *testing.T) {
+	out := TimingTable(1, nil, Stats{}, 0).String()
+	if !strings.Contains(out, "TOTAL") || !strings.Contains(out, "0.00") {
+		t.Errorf("zero-wall table malformed:\n%s", out)
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"demandrace/internal/cache"
 	"demandrace/internal/mem"
+	"demandrace/internal/obs"
 )
 
 // Selector chooses which coherence events a counter counts.
@@ -216,6 +217,8 @@ type PMU struct {
 	enabled  []bool
 	rng      *rand.Rand
 	stats    Stats
+	// trace records overflow/skid/drop telemetry; nil disables recording.
+	trace *obs.Tracer
 }
 
 // New constructs a PMU. It panics on invalid configuration.
@@ -244,6 +247,9 @@ func (p *PMU) Config() Config { return p.cfg }
 
 // SetHandler installs the overflow interrupt handler.
 func (p *PMU) SetHandler(h Handler) { p.handler = h }
+
+// SetTracer installs the telemetry tracer (nil disables tracing).
+func (p *PMU) SetTracer(t *obs.Tracer) { p.trace = t }
 
 // SetEnabled turns counting on or off for one context. Disabled contexts
 // neither count nor deliver; the demand controller disables the counter
@@ -281,6 +287,7 @@ func (p *PMU) Observe(ev cache.Event) {
 		p.stats.Seen++
 		if p.rng != nil && p.rng.Float64() < p.cfg.DropRate {
 			p.stats.Dropped++
+			p.trace.Emit(obs.KindSampleDropped, -1, int(ctx), uint64(ev.Line), int64(ci), "")
 			continue
 		}
 		p.stats.Counted++
@@ -291,6 +298,7 @@ func (p *PMU) Observe(ev cache.Event) {
 		}
 		st.counts[ci] = 0
 		p.stats.Overflows++
+		p.trace.Emit(obs.KindOverflow, -1, int(ctx), uint64(ev.Line), int64(ci), cc.Sel.String())
 		s := Sample{
 			Ctx:     ctx,
 			Counter: ci,
@@ -341,6 +349,11 @@ func (p *PMU) DrainAll() {
 
 func (p *PMU) deliver(s Sample) {
 	p.stats.Delivered++
+	skidded := int64(0)
+	if s.Skidded {
+		skidded = 1
+	}
+	p.trace.Emit(obs.KindSampleDelivered, -1, int(s.Ctx), uint64(s.Line), skidded, s.Sel.String())
 	if p.handler != nil {
 		p.handler(s)
 	}

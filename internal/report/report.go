@@ -21,6 +21,7 @@ import (
 	"html/template"
 	"io"
 
+	"demandrace/internal/obs"
 	"demandrace/internal/runner"
 )
 
@@ -30,6 +31,60 @@ type Page struct {
 	// Extra holds optional comparison runs (e.g., other policies on the
 	// same program), rendered as a summary table.
 	Extra []*runner.Report
+	// Timeline holds one row per thread of the mode timeline (built from
+	// Rep.Timeline; empty when the run carried no telemetry tracer).
+	Timeline []TimelineRow
+}
+
+// TimelineSeg is one rendered span of a thread's mode timeline.
+type TimelineSeg struct {
+	// WidthPct is the span's share of the run, as a CSS percentage.
+	WidthPct float64
+	// Analyzing selects the span's color class.
+	Analyzing bool
+	// Cycles is the span length, for the tooltip.
+	Cycles uint64
+}
+
+// TimelineRow is one thread's strip of fast/analysis segments.
+type TimelineRow struct {
+	TID  int
+	Segs []TimelineSeg
+	// AnalyzedPct is the thread's analysis-mode residency in cycles.
+	AnalyzedPct float64
+}
+
+// buildTimeline folds the runner's spans into per-thread rendered rows.
+func buildTimeline(spans []obs.Span, totalCycles uint64) []TimelineRow {
+	if len(spans) == 0 || totalCycles == 0 {
+		return nil
+	}
+	byTID := map[int]*TimelineRow{}
+	var order []int
+	var analyzed = map[int]uint64{}
+	for _, s := range spans {
+		row, ok := byTID[s.TID]
+		if !ok {
+			row = &TimelineRow{TID: s.TID}
+			byTID[s.TID] = row
+			order = append(order, s.TID)
+		}
+		row.Segs = append(row.Segs, TimelineSeg{
+			WidthPct:  100 * float64(s.Dur()) / float64(totalCycles),
+			Analyzing: s.Analyzing,
+			Cycles:    s.Dur(),
+		})
+		if s.Analyzing {
+			analyzed[s.TID] += s.Dur()
+		}
+	}
+	out := make([]TimelineRow, 0, len(order))
+	for _, tid := range order {
+		row := byTID[tid]
+		row.AnalyzedPct = 100 * float64(analyzed[tid]) / float64(totalCycles)
+		out = append(out, *row)
+	}
+	return out
 }
 
 var tmpl = template.Must(template.New("report").Funcs(template.FuncMap{
@@ -51,6 +106,12 @@ th { background: #f5f5f5; }
 .bar { background: #eee; border-radius: 3px; height: .8rem; width: 12rem; display: inline-block; vertical-align: middle; }
 .bar span { background: #4a6fa5; height: 100%; display: block; border-radius: 3px; }
 code { background: #f2f2f2; padding: .1rem .3rem; border-radius: 3px; }
+.strip { display: flex; height: 1rem; border-radius: 3px; overflow: hidden; background: #eee; }
+.strip .fast { background: #cfd8dc; height: 100%; }
+.strip .analysis { background: #e57373; height: 100%; }
+.tl-label { font-family: ui-monospace, monospace; font-size: .85rem; width: 3rem; }
+.legend { font-size: .8rem; color: #555; }
+.legend .chip { display: inline-block; width: .8rem; height: .8rem; border-radius: 2px; vertical-align: middle; margin: 0 .3rem 0 .8rem; }
 </style>
 </head>
 <body>
@@ -72,6 +133,20 @@ code { background: #f2f2f2; padding: .1rem .3rem; border-radius: 3px; }
 <tr><th>sharing fraction (HITM)</th><td>{{pct .Rep.SharingFraction}} of {{.Rep.MemOps}} accesses</td></tr>
 <tr><th>PMU samples / mode switches</th><td>{{.Rep.Demand.Samples}} / {{.Rep.Demand.EnableTransitions}} on, {{.Rep.Demand.DisableTransitions}} off</td></tr>
 </table>
+
+{{if .Timeline}}
+<h2>Mode timeline</h2>
+<p class="legend">Per-thread execution mode over simulated cycles:
+<span class="chip" style="background:#cfd8dc"></span>fast (uninstrumented)
+<span class="chip" style="background:#e57373"></span>analysis (instrumented)</p>
+<table>
+{{range .Timeline}}
+<tr><td class="tl-label">t{{.TID}}</td>
+<td><div class="strip">{{range .Segs}}<div class="{{if .Analyzing}}analysis{{else}}fast{{end}}" style="width:{{f2 .WidthPct}}%" title="{{.Cycles}} cycles"></div>{{end}}</div></td>
+<td>{{f2 .AnalyzedPct}}% analyzed</td></tr>
+{{end}}
+</table>
+{{end}}
 
 {{if .Rep.Races}}
 <h2>Data races</h2>
@@ -128,6 +203,12 @@ code { background: #f2f2f2; padding: .1rem .3rem; border-radius: 3px; }
 `))
 
 // Write renders the report for rep (plus optional comparison runs) to w.
+// When the run carried a telemetry tracer (Config.Trace), the page includes
+// a per-thread mode timeline built from rep.Timeline.
 func Write(w io.Writer, rep *runner.Report, extra ...*runner.Report) error {
-	return tmpl.Execute(w, Page{Rep: rep, Extra: extra})
+	return tmpl.Execute(w, Page{
+		Rep:      rep,
+		Extra:    extra,
+		Timeline: buildTimeline(rep.Timeline, rep.ToolCycles),
+	})
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"demandrace/internal/demand"
+	"demandrace/internal/obs"
 	"demandrace/internal/report"
 	"demandrace/internal/runner"
 	"demandrace/internal/workloads"
@@ -87,6 +88,50 @@ func TestReportComparisonTable(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "Policy comparison") || !strings.Contains(out, "hitm-demand") {
 		t.Error("comparison table missing")
+	}
+}
+
+func TestReportModeTimeline(t *testing.T) {
+	// With a tracer attached, a demand-policy run over a racy kernel yields
+	// fast→analysis transitions, and the page renders them as a per-thread
+	// strip.
+	r := runKernel(t, "racy_flag", demand.HITMDemand, func(c *runner.Config) {
+		c.Trace = obs.NewTracer()
+	})
+	if len(r.Timeline) == 0 {
+		t.Fatal("run with tracer produced no timeline spans")
+	}
+	var buf bytes.Buffer
+	if err := report.Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Mode timeline",
+		`class="strip"`,
+		`class="analysis"`,
+		`class="fast"`,
+		"% analyzed",
+		`class="tl-label"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline section missing %q", want)
+		}
+	}
+	// Strip widths are percentages of the run; every segment carries one.
+	if !strings.Contains(out, "style=\"width:") {
+		t.Error("timeline segments carry no widths")
+	}
+}
+
+func TestReportNoTimelineWithoutTracer(t *testing.T) {
+	r := runKernel(t, "racy_flag", demand.HITMDemand, nil)
+	var buf bytes.Buffer
+	if err := report.Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Mode timeline") {
+		t.Error("timeline section rendered without telemetry")
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"demandrace/internal/demand"
 	"demandrace/internal/detector"
 	"demandrace/internal/lockset"
+	"demandrace/internal/obs"
 	"demandrace/internal/parallel"
 	"demandrace/internal/perf"
 	"demandrace/internal/program"
@@ -60,6 +61,15 @@ type Config struct {
 	// Deadlock additionally runs the lock-order (potential-deadlock)
 	// engine over the analyzed lock operations.
 	Deadlock bool
+	// Trace, when non-nil, records cycle-timestamped pipeline telemetry
+	// (HITMs, PMU overflows and skidded deliveries, mode transitions,
+	// race reports) across every stage. Timestamps come from the cost
+	// model's tool clock, so traces are deterministic.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives the run's counters at completion.
+	// Only counters and histograms are published, so one registry may be
+	// shared across parallel runs and still export deterministic totals.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig is a 4-core machine running the paper's demand-driven
@@ -143,6 +153,11 @@ type Report struct {
 	Detector detector.Stats
 	// Steps is the scheduler's executed-op count.
 	Steps uint64
+	// Timeline holds each thread's fast/analysis spans in simulated
+	// cycles, derived from the telemetry trace (nil unless Config.Trace
+	// was set). The report package renders it as the mode-timeline
+	// section.
+	Timeline []obs.Span
 }
 
 // SharingFraction is the fraction of data accesses that hit a remote
@@ -344,6 +359,16 @@ func Run(p *program.Program, cfg Config) (*Report, error) {
 	det := detector.ForProgram(p, cfg.Detector)
 	acc := cost.NewAccumulator(cfg.Cost)
 
+	if cfg.Trace != nil {
+		// Telemetry timestamps are the tool clock: simulated cycles under
+		// the attached tool, advancing deterministically with the run.
+		cfg.Trace.SetClock(acc.ToolCycles)
+		hier.SetTracer(cfg.Trace)
+		pmu.SetTracer(cfg.Trace)
+		ctl.SetTracer(cfg.Trace)
+		det.SetTracer(cfg.Trace)
+	}
+
 	rep := &Report{Program: p.Name, Policy: cfg.Demand.Kind}
 	ex := &executor{
 		cfg: cfg, prog: p, hier: hier, pmu: pmu, ctl: ctl, det: det, acc: acc,
@@ -405,6 +430,11 @@ func Run(p *program.Program, cfg Config) (*Report, error) {
 	rep.Threads = ctl.Residency()
 	rep.Detector = det.Stats()
 	rep.Steps = sc.Steps()
+	if cfg.Trace != nil {
+		rep.Timeline = obs.ThreadSpans(cfg.Trace.Events(), acc.ToolCycles(),
+			p.NumThreads(), cfg.Demand.Kind == demand.Continuous)
+	}
+	publishMetrics(cfg.Metrics, rep)
 	return rep, nil
 }
 

@@ -1,0 +1,127 @@
+package runner
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"demandrace/internal/demand"
+	"demandrace/internal/obs"
+)
+
+func TestTelemetryTraceCoversPipeline(t *testing.T) {
+	cfg := DefaultConfig().WithPolicy(demand.HITMDemand)
+	cfg.Trace = obs.NewTracer()
+	rep := mustRun(t, racyLoop(40), cfg)
+
+	byKind := cfg.Trace.CountByKind()
+	for _, k := range []obs.Kind{
+		obs.KindHITM, obs.KindOverflow, obs.KindSampleDelivered,
+		obs.KindModeEnable, obs.KindRace,
+	} {
+		if byKind[k] == 0 {
+			t.Errorf("racy run emitted no %s events", k)
+		}
+	}
+	// Timestamps come from the tool-cycle clock, which only moves forward.
+	events := cfg.Trace.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].TS < events[i-1].TS {
+			t.Fatalf("event %d goes backwards: %d after %d", i, events[i].TS, events[i-1].TS)
+		}
+	}
+	if events[len(events)-1].TS > rep.ToolCycles {
+		t.Errorf("event past end of run: %d > %d", events[len(events)-1].TS, rep.ToolCycles)
+	}
+
+	// The folded timeline must show a demand policy actually switching: at
+	// least one fast span and one analysis span.
+	var fast, analysis bool
+	for _, s := range rep.Timeline {
+		if s.Analyzing {
+			analysis = true
+		} else {
+			fast = true
+		}
+	}
+	if !fast || !analysis {
+		t.Errorf("timeline missing a mode: fast=%v analysis=%v (%d spans)", fast, analysis, len(rep.Timeline))
+	}
+}
+
+func TestTelemetryMetricsMatchReport(t *testing.T) {
+	cfg := DefaultConfig().WithPolicy(demand.HITMDemand)
+	cfg.Metrics = obs.NewRegistry()
+	rep := mustRun(t, racyLoop(40), cfg)
+
+	for name, want := range map[string]uint64{
+		"ddrace_runs_total":           1,
+		"ddrace_cycles_tool_total":    rep.ToolCycles,
+		"ddrace_cycles_native_total":  rep.NativeCycles,
+		"ddrace_cache_hitm_total":     rep.Cache.HITM,
+		"ddrace_pmu_overflows_total":  rep.PMU.Overflows,
+		"ddrace_detector_races_total": rep.Detector.Races,
+		"ddrace_race_reports_total":   uint64(len(rep.Races)),
+		"ddrace_demand_enables_total": rep.Demand.EnableTransitions,
+		"ddrace_sched_steps_total":    rep.Steps,
+	} {
+		if got := cfg.Metrics.CounterValue(name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+	if got := cfg.Metrics.Histogram("ddrace_run_slowdown", nil).Count(); got != 1 {
+		t.Errorf("slowdown histogram count = %d", got)
+	}
+}
+
+func TestTelemetrySharedRegistryAccumulates(t *testing.T) {
+	cfg := DefaultConfig().WithPolicy(demand.Continuous)
+	cfg.Metrics = obs.NewRegistry()
+	mustRun(t, racyLoop(10), cfg)
+	mustRun(t, cleanParallel(2, 10), cfg)
+	if got := cfg.Metrics.CounterValue("ddrace_runs_total"); got != 2 {
+		t.Errorf("runs_total = %d", got)
+	}
+}
+
+// TestTelemetryDeterminism asserts the whole telemetry surface is a pure
+// function of (program, config, seed): re-running yields identical event
+// streams, timelines, and metric expositions.
+func TestTelemetryDeterminism(t *testing.T) {
+	capture := func() ([]obs.Event, []obs.Span, string) {
+		cfg := DefaultConfig().WithPolicy(demand.HITMDemand)
+		cfg.Trace = obs.NewTracer()
+		cfg.Metrics = obs.NewRegistry()
+		rep := mustRun(t, racyLoop(30), cfg)
+		var buf bytes.Buffer
+		if err := cfg.Metrics.WriteProm(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return cfg.Trace.Events(), rep.Timeline, buf.String()
+	}
+	e1, s1, m1 := capture()
+	e2, s2, m2 := capture()
+	if !reflect.DeepEqual(e1, e2) {
+		t.Error("event streams differ between identical runs")
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Error("timelines differ between identical runs")
+	}
+	if m1 != m2 {
+		t.Errorf("metric expositions differ:\n%s\nvs\n%s", m1, m2)
+	}
+}
+
+func TestTelemetryContinuousTimelineIsAllAnalysis(t *testing.T) {
+	cfg := DefaultConfig().WithPolicy(demand.Continuous)
+	cfg.Trace = obs.NewTracer()
+	rep := mustRun(t, racyLoop(10), cfg)
+	if len(rep.Timeline) == 0 {
+		t.Fatal("no timeline spans")
+	}
+	for _, s := range rep.Timeline {
+		if !s.Analyzing {
+			t.Errorf("continuous policy produced a fast span: %+v", s)
+		}
+	}
+}
