@@ -42,8 +42,10 @@ import (
 	"demandrace/internal/parallel"
 	"demandrace/internal/report"
 	"demandrace/internal/sched"
+	"demandrace/internal/service"
 	"demandrace/internal/stats"
 	"demandrace/internal/trace"
+	"demandrace/internal/version"
 )
 
 func main() {
@@ -53,26 +55,9 @@ func main() {
 	}
 }
 
-func parsePolicy(s string) (demandrace.Policy, error) {
-	for _, k := range []demandrace.Policy{
-		demand.Off, demand.Continuous, demand.SyncOnly, demand.HITMDemand,
-		demand.Hybrid, demand.Sampling, demand.WatchDemand, demand.PageDemand,
-	} {
-		if k.String() == s {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown policy %q (off|continuous|sync-only|hitm-demand|hybrid|sampling|watch-demand|page-demand)", s)
-}
+func parsePolicy(s string) (demandrace.Policy, error) { return demand.ParsePolicy(s) }
 
-func parseScope(s string) (demandrace.Scope, error) {
-	for _, sc := range []demandrace.Scope{demand.ScopeGlobal, demand.ScopePair, demand.ScopeSelf} {
-		if sc.String() == s {
-			return sc, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown scope %q (global|pair|self)", s)
-}
+func parseScope(s string) (demandrace.Scope, error) { return demand.ParseScope(s) }
 
 // run executes one CLI invocation, writing comparable output to out and
 // wall-clock diagnostics (the batch timing table) to diag. The split keeps
@@ -114,9 +99,15 @@ func run(args []string, out, diag io.Writer) error {
 		verbose   = fs.Bool("v", false, "print every race report")
 		asJSON    = fs.Bool("json", false, "emit the full report as JSON")
 		htmlOut   = fs.String("html", "", "write a self-contained HTML report to this file")
+		submitURL = fs.String("submit", "", "submit the run to a ddserved daemon at this base URL instead of running locally")
+		verFlag   = fs.Bool("version", false, "print the version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *verFlag {
+		fmt.Fprintln(out, version.String("ddrace"))
+		return nil
 	}
 
 	if *list {
@@ -127,6 +118,22 @@ func run(args []string, out, diag io.Writer) error {
 		fmt.Fprint(out, tb)
 		return nil
 	}
+	if *submitURL != "" {
+		if *kernel == "" {
+			return fmt.Errorf("-submit needs -kernel (batch submission is not supported)")
+		}
+		req := service.Request{
+			Kernel: *kernel, Threads: *threads, Scale: *scale,
+			Policy: *policy, Scope: *scope,
+			Cores: *cores, SMT: *smt, Prefetch: *prefetch, MOESI: *moesi,
+			SampleAfter: *sav, Skid: *skid,
+			QuietOps: *quiet, Adaptive: *adaptive, SampleRate: *rate, WatchCap: *watchcap,
+			Seed: *seed, Random: *random,
+			Lockset: *lockset, Deadlock: *deadlockF, FullVC: *fullvc,
+		}
+		return submitRemote(out, *submitURL, req, *asJSON, *verbose)
+	}
+
 	cfg := demandrace.DefaultConfig()
 	cfg.Cache.Cores = *cores
 	cfg.Cache.SMT = *smt
@@ -276,6 +283,29 @@ func run(args []string, out, diag io.Writer) error {
 		fmt.Fprintf(out, "trace: %d events written to %s\n",
 			len(cfg.Tracer.Trace().Events), *recordOut)
 	}
+	return nil
+}
+
+// submitRemote runs the job on a ddserved daemon: submit, poll to a
+// terminal state, fetch the report, and print it like a local run.
+func submitRemote(out io.Writer, base string, req service.Request, asJSON, verbose bool) error {
+	cl := &service.Client{BaseURL: strings.TrimRight(base, "/")}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	data, st, err := cl.Run(ctx, req)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		_, err := out.Write(data)
+		return err
+	}
+	fmt.Fprintf(out, "job:       %s on %s (cache hit: %v)\n", st.ID, base, st.CacheHit)
+	var rep demandrace.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("decoding daemon report: %w", err)
+	}
+	printReport(out, &rep, verbose)
 	return nil
 }
 

@@ -19,6 +19,13 @@ func runCLI(t *testing.T, args ...string) string {
 	return buf.String()
 }
 
+func TestVersionFlag(t *testing.T) {
+	out := runCLI(t, "-version")
+	if !strings.HasPrefix(out, "ddrace version ") {
+		t.Errorf("-version output = %q", out)
+	}
+}
+
 func TestList(t *testing.T) {
 	out := runCLI(t, "-list")
 	for _, want := range []string{"histogram", "swaptions", "micro_eviction", "racy_counter", "vips"} {

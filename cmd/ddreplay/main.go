@@ -20,6 +20,7 @@ import (
 
 	"demandrace/internal/detector"
 	"demandrace/internal/trace"
+	"demandrace/internal/version"
 )
 
 func main() {
@@ -28,8 +29,13 @@ func main() {
 		reports  = flag.Int("reports", 1, "max race reports per address (-1 = unlimited)")
 		asJSON   = flag.Bool("json", false, "decode the trace as JSON instead of binary")
 		timeline = flag.Int("timeline", 0, "render a per-thread activity timeline this many columns wide")
+		verFlag  = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+	if *verFlag {
+		fmt.Println(version.String("ddreplay"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ddreplay [-fullvc] [-reports N] [-json] <trace-file>")
 		os.Exit(2)

@@ -1,0 +1,120 @@
+// Command ddserved is the race-analysis service daemon: it accepts
+// analysis jobs over HTTP — a bundled kernel plus runner knobs as JSON, or
+// an uploaded binary trace — runs them on a bounded worker pool, and serves
+// JSON reports with content-addressed result caching and queue
+// backpressure.
+//
+// Endpoints:
+//
+//	POST /v1/jobs          submit (JSON request or binary trace upload)
+//	GET  /v1/jobs/{id}     poll job status
+//	GET  /v1/results/{id}  fetch the report of a done job
+//	GET  /healthz          liveness + drain state
+//	GET  /metrics          Prometheus text exposition
+//
+// Usage:
+//
+//	ddserved -addr 127.0.0.1:8318
+//	ddserved -addr 127.0.0.1:0 -addr-file /tmp/ddserved.addr   # random port
+//	curl -d '{"kernel":"racy_flag"}' localhost:8318/v1/jobs
+//	ddrace -kernel histogram -policy hitm-demand -submit http://localhost:8318
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: intake stops, queued and
+// in-flight jobs drain (bounded by -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"demandrace/internal/service"
+	"demandrace/internal/version"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8318", "listen address (port 0 picks a free port; see -addr-file)")
+		addrFile    = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+		workers     = flag.Int("workers", 0, "analysis worker pool width (0 = one per CPU)")
+		queueDepth  = flag.Int("queue", 64, "submission queue depth; a full queue answers 429")
+		cacheSize   = flag.Int("cache", 256, "result cache entries (negative disables caching)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-job deadline")
+		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
+		maxBytes    = flag.Int64("max-trace-bytes", 64<<20, "max accepted trace upload size in bytes")
+		maxEvents   = flag.Uint64("max-trace-events", 1<<22, "max events an uploaded trace may declare")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before jobs are hard-canceled")
+		versionFlag = flag.Bool("version", false, "print the version and exit")
+	)
+	flag.Parse()
+	if *versionFlag {
+		fmt.Println(version.String("ddserved"))
+		return
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, *addrFile, service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheEntries:   *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxTraceBytes:  *maxBytes,
+		MaxTraceEvents: *maxEvents,
+	}, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "ddserved:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is canceled (main wires ctx to SIGINT/SIGTERM),
+// then drains gracefully.
+func run(ctx context.Context, addr, addrFile string, cfg service.Config, drain time.Duration) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
+
+	svc := service.NewServer(cfg)
+	svc.Start()
+	httpSrv := &http.Server{Handler: svc.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	n := svc.Config()
+	fmt.Fprintf(os.Stderr, "ddserved %s listening on http://%s (workers=%d queue=%d cache=%d)\n",
+		version.Version, bound, n.Workers, n.QueueDepth, n.CacheEntries)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "ddserved: draining...")
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	// Drain order: stop intake and finish jobs first, then close the HTTP
+	// listener, so pollers can still fetch results while jobs complete.
+	if err := svc.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "ddserved: drain incomplete: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "ddserved: stopped")
+	return nil
+}

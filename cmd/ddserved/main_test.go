@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"demandrace/internal/service"
+	"demandrace/internal/version"
+)
+
+// TestServeSubmitShutdown boots the daemon on a random port, runs one job
+// end to end over HTTP, and exercises the graceful-shutdown path.
+func TestServeSubmitShutdown(t *testing.T) {
+	dir := t.TempDir()
+	addrFile := filepath.Join(dir, "addr")
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, "127.0.0.1:0", addrFile, service.Config{Workers: 1}, 30*time.Second)
+	}()
+
+	var addr string
+	for i := 0; i < 200; i++ {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			addr = string(b)
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("daemon never wrote -addr-file")
+	}
+
+	cl := &service.Client{BaseURL: "http://" + addr, PollInterval: 5 * time.Millisecond}
+	data, st, err := cl.Run(context.Background(), service.Request{Kernel: "racy_flag"})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if st.State != service.StateDone || len(data) == 0 {
+		t.Fatalf("job ended %q with %d result bytes", st.State, len(data))
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET metrics: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
+func TestVersionBanner(t *testing.T) {
+	got := version.String("ddserved")
+	if !strings.HasPrefix(got, "ddserved version ") || strings.ContainsRune(got, '\n') {
+		t.Fatalf("banner %q is not a single 'ddserved version X' line", got)
+	}
+}

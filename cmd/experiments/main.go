@@ -30,6 +30,7 @@ import (
 	"demandrace/internal/obs"
 	"demandrace/internal/parallel"
 	"demandrace/internal/stats"
+	"demandrace/internal/version"
 )
 
 type tabler interface{ Table() *stats.Table }
@@ -56,9 +57,14 @@ func run(args []string, out, diag io.Writer) error {
 		timing  = fs.Bool("timing", true, "print wall-clock/throughput stats to stderr")
 		benchF  = fs.String("bench-json", "", "write per-experiment wall time and throughput to this JSON file")
 		metrics = fs.Bool("metrics", false, "print per-experiment engine counters to stderr as a Prometheus-style exposition")
+		verFlag = fs.Bool("version", false, "print the version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *verFlag {
+		fmt.Fprintln(out, version.String("experiments"))
+		return nil
 	}
 	eng := parallel.New(*workers)
 	o := experiments.Options{

@@ -10,6 +10,16 @@ import (
 	"testing"
 )
 
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-version"}, &buf, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "experiments version ") {
+		t.Errorf("-version output = %q", buf.String())
+	}
+}
+
 func TestSingleExperiment(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-exp", "fig2"}, &buf, io.Discard); err != nil {

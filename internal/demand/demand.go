@@ -113,6 +113,22 @@ func (k PolicyKind) Selector() perf.Selector {
 	return perf.SelHITM
 }
 
+// Policies lists every PolicyKind in definition order, for CLI/API surfaces
+// that enumerate or parse them.
+func Policies() []PolicyKind {
+	return []PolicyKind{Off, Continuous, SyncOnly, HITMDemand, Hybrid, Sampling, WatchDemand, PageDemand}
+}
+
+// ParsePolicy inverts PolicyKind.String.
+func ParsePolicy(s string) (PolicyKind, error) {
+	for _, k := range Policies() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown policy %q (off|continuous|sync-only|hitm-demand|hybrid|sampling|watch-demand|page-demand)", s)
+}
+
 // Scope chooses which threads a sample flips into analysis mode.
 type Scope uint8
 
@@ -138,6 +154,16 @@ func (s Scope) String() string {
 		return "self"
 	}
 	return fmt.Sprintf("Scope(%d)", uint8(s))
+}
+
+// ParseScope inverts Scope.String.
+func ParseScope(s string) (Scope, error) {
+	for _, sc := range []Scope{ScopeGlobal, ScopePair, ScopeSelf} {
+		if sc.String() == s {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scope %q (global|pair|self)", s)
 }
 
 // Config parameterizes the controller.

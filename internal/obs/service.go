@@ -1,0 +1,38 @@
+package obs
+
+// Canonical metric names for the ddserved service layer. They live here —
+// next to the Registry that exports them — so the daemon, its client, and
+// the tests agree on one spelling, and so /metrics dashboards survive
+// refactors of internal/service.
+//
+// Naming follows the Prometheus conventions the rest of the repository
+// uses: `ddserved_` prefix, `_total` suffix on counters, bare names for
+// gauges. Service gauges are single-writer (the daemon's own bookkeeping),
+// which is the regime the Gauge type documents as safe.
+const (
+	// SvcJobsSubmitted counts accepted submissions (cache hits included).
+	SvcJobsSubmitted = "ddserved_jobs_submitted_total"
+	// SvcJobsCompleted counts jobs that finished with a result.
+	SvcJobsCompleted = "ddserved_jobs_completed_total"
+	// SvcJobsFailed counts jobs that ended in an execution error.
+	SvcJobsFailed = "ddserved_jobs_failed_total"
+	// SvcJobsCanceled counts jobs stopped by deadline or cancellation.
+	SvcJobsCanceled = "ddserved_jobs_canceled_total"
+	// SvcJobsRejected counts submissions bounced by backpressure (HTTP 429)
+	// or refused during drain (HTTP 503).
+	SvcJobsRejected = "ddserved_jobs_rejected_total"
+
+	// SvcCacheHits / SvcCacheMisses / SvcCacheEvictions instrument the
+	// content-addressed result cache.
+	SvcCacheHits      = "ddserved_cache_hits_total"
+	SvcCacheMisses    = "ddserved_cache_misses_total"
+	SvcCacheEvictions = "ddserved_cache_evictions_total"
+
+	// SvcHTTPRequests counts every request the API mux serves.
+	SvcHTTPRequests = "ddserved_http_requests_total"
+
+	// SvcQueueDepth is the current number of queued (not yet running) jobs.
+	SvcQueueDepth = "ddserved_queue_depth"
+	// SvcJobsInflight is the current number of running jobs.
+	SvcJobsInflight = "ddserved_jobs_inflight"
+)

@@ -1,0 +1,59 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"demandrace/internal/workloads"
+)
+
+func TestRunContextAlreadyCanceled(t *testing.T) {
+	k, _ := workloads.ByName("racy_flag")
+	p := k.Build(workloads.Config{Threads: 4, Scale: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := RunContext(ctx, p, DefaultConfig())
+	if rep != nil {
+		t.Fatal("canceled run produced a report")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextDeadlineAbortsLongRun(t *testing.T) {
+	// A scaled-up kernel runs far beyond the 1 ms budget; the quantum-
+	// boundary check must stop it long before completion.
+	k, _ := workloads.ByName("histogram")
+	p := k.Build(workloads.Config{Threads: 4, Scale: 200})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := RunContext(ctx, p, DefaultConfig())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	// Generous bound: aborting must not take anywhere near a full run.
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("cancellation took %v; quantum-boundary check not effective", d)
+	}
+}
+
+func TestRunContextBackgroundMatchesRun(t *testing.T) {
+	k, _ := workloads.ByName("racy_flag")
+	p := k.Build(workloads.Config{Threads: 4, Scale: 1})
+	cfg := DefaultConfig()
+	r1, err := Run(p, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r2, err := RunContext(context.Background(), p, cfg)
+	if err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if r1.ToolCycles != r2.ToolCycles || r1.Steps != r2.Steps || len(r1.Races) != len(r2.Races) {
+		t.Fatalf("RunContext diverged from Run: %v vs %v", r1, r2)
+	}
+}

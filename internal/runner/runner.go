@@ -342,6 +342,19 @@ func (e *executor) BarrierRelease(id program.SyncID, parties []vclock.TID) {
 
 // Run executes p under cfg and returns the full report.
 func Run(p *program.Program, cfg Config) (*Report, error) {
+	return RunContext(context.Background(), p, cfg)
+}
+
+// RunContext is Run with a deadline/cancellation context. The context is
+// checked at scheduler-quantum boundaries — the finest point at which the
+// simulation can stop without tearing an operation — so even multi-second
+// runs abort promptly. A canceled run returns an error satisfying
+// errors.Is(err, ctx.Err()); no partial Report is produced, because every
+// statistic in a Report is defined over a completed execution.
+func RunContext(ctx context.Context, p *program.Program, cfg Config) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -395,7 +408,7 @@ func Run(p *program.Program, cfg Config) (*Report, error) {
 		ctl.SetCounterControl(pmu.SetEnabled)
 	}
 
-	if err := sc.Run(ex); err != nil {
+	if err := sc.RunContext(ctx, ex); err != nil {
 		return nil, err
 	}
 	pmu.DrainAll()

@@ -10,6 +10,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -175,7 +176,24 @@ func (s *Scheduler) Steps() uint64 { return s.steps }
 // Run executes the program to completion, delivering every op to ex.
 // It returns a *DeadlockError if the program cannot finish.
 func (s *Scheduler) Run(ex Executor) error {
+	return s.RunContext(context.Background(), ex)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is polled at every
+// scheduler-quantum boundary (between slots, never mid-op), so a long
+// simulation aborts within one quantum of cancellation while the executed
+// prefix stays exactly the prefix a full run would have produced. A context
+// without a Done channel (context.Background) adds no per-slot cost.
+func (s *Scheduler) RunContext(ctx context.Context, ex Executor) error {
+	done := ctx.Done()
 	for {
+		if done != nil {
+			select {
+			case <-done:
+				return fmt.Errorf("sched: run interrupted after %d steps: %w", s.steps, ctx.Err())
+			default:
+			}
+		}
 		ti, ok := s.pick()
 		if !ok {
 			if s.allDone() {

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	"demandrace/internal/obs"
+)
+
+// resultCache is the content-addressed result store: cache key (hash of
+// program+config) → marshaled JSON result, with LRU eviction bounded in
+// entries. Because simulation runs are pure, entries never go stale; the
+// only reason to evict is memory.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits, misses, evictions *obs.Counter
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// newResultCache builds a cache holding at most capacity entries
+// (capacity <= 0 disables caching: every lookup misses, every store drops).
+func newResultCache(capacity int, reg *obs.Registry) *resultCache {
+	return &resultCache{
+		cap:       capacity,
+		entries:   make(map[string]*list.Element),
+		order:     list.New(),
+		hits:      reg.Counter(obs.SvcCacheHits),
+		misses:    reg.Counter(obs.SvcCacheMisses),
+		evictions: reg.Counter(obs.SvcCacheEvictions),
+	}
+}
+
+// get returns the cached result for key, refreshing its recency.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).data, true
+}
+
+// put stores a result, evicting the least recently used entry past cap.
+func (c *resultCache) put(key string, data []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Pure jobs make identical data; just refresh recency.
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
+	for len(c.entries) > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+}
+
+// len returns the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"testing"
+
+	"demandrace/internal/obs"
+)
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := newResultCache(2, reg)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	// Touch "a" so "b" becomes the eviction victim.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.put("c", []byte("C"))
+	if c.len() != 2 {
+		t.Fatalf("cache len = %d, want 2", c.len())
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction; LRU order wrong")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite being most recently used")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Fatal("c missing after insert")
+	}
+	if got := reg.CounterValue(obs.SvcCacheEvictions); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	// hits: a, a, c = 3; misses: b = 1
+	if got := reg.CounterValue(obs.SvcCacheHits); got != 3 {
+		t.Fatalf("hits = %d, want 3", got)
+	}
+	if got := reg.CounterValue(obs.SvcCacheMisses); got != 1 {
+		t.Fatalf("misses = %d, want 1", got)
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(-1, obs.NewRegistry())
+	c.put("a", []byte("A"))
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+func TestRequestCacheKeyCanonical(t *testing.T) {
+	// Explicit defaults and zero values must share a cache entry.
+	a := Request{Kernel: "racy_flag"}
+	b := Request{Kernel: "racy_flag", Threads: 4, Scale: 1, Policy: "hitm-demand", Scope: "global", Cores: 4, SMT: 1, SampleAfter: 1, SampleRate: 0.1}
+	if a.cacheKey() != b.cacheKey() {
+		t.Fatal("normalized-equal requests hash differently")
+	}
+	// The deadline must not split the cache.
+	c := Request{Kernel: "racy_flag", TimeoutMS: 1234}
+	if a.cacheKey() != c.cacheKey() {
+		t.Fatal("timeout_ms perturbed the cache key")
+	}
+	// Anything semantic must.
+	d := Request{Kernel: "racy_flag", Seed: 1}
+	if a.cacheKey() == d.cacheKey() {
+		t.Fatal("different seeds share a cache key")
+	}
+	e := Request{Kernel: "histogram"}
+	if a.cacheKey() == e.cacheKey() {
+		t.Fatal("different kernels share a cache key")
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	if err := (Request{Kernel: "racy_flag"}).Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	for _, r := range []Request{
+		{},
+		{Kernel: "nope"},
+		{Kernel: "racy_flag", Policy: "bogus"},
+		{Kernel: "racy_flag", Scope: "bogus"},
+	} {
+		if err := r.Validate(); err == nil {
+			t.Fatalf("request %+v validated", r)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// Client talks to a ddserved daemon. The zero value is not usable; set
+// BaseURL (e.g. "http://127.0.0.1:8318").
+type Client struct {
+	// BaseURL is the daemon's root URL, without a trailing slash.
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// PollInterval paces Wait's status polling (default 50ms).
+	PollInterval time.Duration
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	Code    int
+	Message string
+	// RetryAfter echoes the Retry-After header on 429/503 (seconds, 0 if
+	// absent), so callers can implement backoff.
+	RetryAfter int
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: daemon returned %d: %s", e.Code, e.Message)
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues a request and decodes either a Status or an APIError.
+func (c *Client) do(req *http.Request) (Status, error) {
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return Status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return Status{}, apiError(resp)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return Status{}, fmt.Errorf("service: decoding daemon response: %w", err)
+	}
+	return st, nil
+}
+
+func apiError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body)
+	if body.Error == "" {
+		body.Error = resp.Status
+	}
+	retry, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+	return &APIError{Code: resp.StatusCode, Message: body.Error, RetryAfter: retry}
+}
+
+// Submit posts a kernel-analysis request.
+func (c *Client) Submit(ctx context.Context, r Request) (Status, error) {
+	body, err := json.Marshal(r)
+	if err != nil {
+		return Status{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return Status{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req)
+}
+
+// SubmitTrace posts a binary trace for offline replay.
+func (c *Client) SubmitTrace(ctx context.Context, tr io.Reader, opts TraceOptions) (Status, error) {
+	q := url.Values{}
+	if opts.FullVC {
+		q.Set("fullvc", "1")
+	}
+	if opts.MaxReports != 0 {
+		q.Set("max_reports", strconv.Itoa(opts.MaxReports))
+	}
+	if opts.TimeoutMS != 0 {
+		q.Set("timeout_ms", strconv.FormatInt(opts.TimeoutMS, 10))
+	}
+	u := c.BaseURL + "/v1/jobs"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, tr)
+	if err != nil {
+		return Status{}, err
+	}
+	req.Header.Set("Content-Type", TraceContentType)
+	return c.do(req)
+}
+
+// Status fetches a job's current state.
+func (c *Client) Status(ctx context.Context, id string) (Status, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return Status{}, err
+	}
+	return c.do(req)
+}
+
+// Result fetches a done job's result JSON.
+func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+"/v1/results/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Wait polls until the job reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string) (Status, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return Status{}, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-time.After(interval):
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}
+
+// Run submits a request, waits for completion, and fetches the result —
+// the whole ddrace -submit round trip. A failed or canceled job returns
+// its terminal Status alongside the error.
+func (c *Client) Run(ctx context.Context, r Request) ([]byte, Status, error) {
+	st, err := c.Submit(ctx, r)
+	if err != nil {
+		return nil, st, err
+	}
+	if st, err = c.Wait(ctx, st.ID); err != nil {
+		return nil, st, err
+	}
+	if st.State != StateDone {
+		return nil, st, fmt.Errorf("service: job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	data, err := c.Result(ctx, st.ID)
+	return data, st, err
+}

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"mime"
+	"net/http"
+	"strconv"
+
+	"demandrace/internal/obs"
+	"demandrace/internal/trace"
+)
+
+// TraceContentType is the media type of a binary trace upload; raw
+// application/octet-stream is accepted as a synonym.
+const TraceContentType = "application/x-ddrace-trace"
+
+// Handler returns the service API:
+//
+//	POST /v1/jobs          submit a job (JSON Request, or a binary trace
+//	                       upload with ?fullvc=1&max_reports=N&timeout_ms=D)
+//	GET  /v1/jobs/{id}     job status
+//	GET  /v1/results/{id}  result JSON of a done job
+//	GET  /healthz          liveness and drain state
+//	GET  /metrics          Prometheus text exposition of the registry
+//
+// Submissions answer 202 (accepted), 200 (cache hit, already done), 400
+// (malformed), 413 (upload over limits), 429 + Retry-After (queue full),
+// or 503 (draining).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	counted := s.reg.Counter(obs.SvcHTTPRequests)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		counted.Inc()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	var (
+		st  Status
+		err error
+	)
+	switch ct {
+	case TraceContentType, "application/octet-stream":
+		q := r.URL.Query()
+		opts := TraceOptions{FullVC: q.Get("fullvc") == "1" || q.Get("fullvc") == "true"}
+		if v := q.Get("max_reports"); v != "" {
+			opts.MaxReports, _ = strconv.Atoi(v)
+		}
+		if v := q.Get("timeout_ms"); v != "" {
+			opts.TimeoutMS, _ = strconv.ParseInt(v, 10, 64)
+		}
+		st, err = s.SubmitTrace(r.Body, opts)
+	default:
+		var req Request
+		if derr := json.NewDecoder(r.Body).Decode(&req); derr != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", derr))
+			return
+		}
+		st, err = s.Submit(req)
+	}
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	code := http.StatusAccepted
+	if st.State == StateDone {
+		code = http.StatusOK // cache hit: the result is already fetchable
+	}
+	writeJSON(w, code, st)
+}
+
+// writeSubmitError maps admission errors onto status codes.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	var lim *trace.LimitError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.As(err, &lim):
+		writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Status(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	data, st, err := s.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	switch st.State {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, st.Error)
+	case StateCanceled:
+		writeError(w, http.StatusGatewayTimeout, st.Error)
+	default:
+		// Not terminal yet: tell the poller to come back.
+		writeJSON(w, http.StatusConflict, st)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	body := map[string]any{
+		"status":   "ok",
+		"queued":   len(s.queue),
+		"inflight": s.inflight,
+	}
+	draining := s.closed
+	s.mu.Unlock()
+	code := http.StatusOK
+	if draining {
+		body["status"] = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WriteProm(w); err != nil {
+		// Headers are gone; nothing useful left to do but note it.
+		fmt.Fprintf(w, "# write error: %v\n", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

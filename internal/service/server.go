@@ -1,0 +1,422 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"demandrace/internal/obs"
+	"demandrace/internal/parallel"
+	"demandrace/internal/runner"
+	"demandrace/internal/trace"
+	"demandrace/internal/workloads"
+)
+
+// Config shapes a Server. Zero fields take defaults.
+type Config struct {
+	// Workers is the analysis worker-pool width (0 = one per CPU).
+	Workers int
+	// QueueDepth bounds the submission queue; a full queue rejects with
+	// ErrQueueFull (default 64).
+	QueueDepth int
+	// CacheEntries bounds the result cache (default 256; negative disables
+	// caching entirely).
+	CacheEntries int
+	// DefaultTimeout applies to jobs that request none (default 30s);
+	// MaxTimeout caps what a request may ask for (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxTraceBytes / MaxTraceEvents bound uploaded traces (defaults
+	// 64 MiB / 4 Mi events).
+	MaxTraceBytes  int64
+	MaxTraceEvents uint64
+	// Registry receives service metrics, and — because runner counters
+	// commute — the aggregated ddrace_* counters of every executed job.
+	// Nil builds a private one.
+	Registry *obs.Registry
+}
+
+func (c Config) normalized() Config {
+	if c.Workers <= 0 {
+		c.Workers = parallel.DefaultWorkers()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxTraceBytes <= 0 {
+		c.MaxTraceBytes = 64 << 20
+	}
+	if c.MaxTraceEvents == 0 {
+		c.MaxTraceEvents = 1 << 22
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// runFunc is a job body: pure work under a deadline context.
+type runFunc func(ctx context.Context) ([]byte, error)
+
+// Server is the race-analysis service: a bounded submission queue feeding a
+// worker pool, a content-addressed result cache, and a job store. Build
+// with NewServer, call Start to launch the workers, serve Handler over
+// HTTP, and Shutdown to drain.
+type Server struct {
+	cfg Config
+	reg *obs.Registry
+	eng *parallel.Engine
+
+	queue   chan *Job
+	drained chan struct{}
+	cache   *resultCache
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	seq      uint64
+	closed   bool // intake stopped (draining)
+	started  bool
+	inflight int
+
+	// baseCtx parents every job context; canceling it is the hard-stop
+	// escape hatch when a drain deadline expires.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	gQueue    *obs.Gauge
+	gInflight *obs.Gauge
+	cSubmit   *obs.Counter
+	cComplete *obs.Counter
+	cFail     *obs.Counter
+	cCancel   *obs.Counter
+	cReject   *obs.Counter
+}
+
+// NewServer builds a stopped server; call Start to launch the worker pool.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.normalized()
+	baseCtx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:        cfg,
+		reg:        cfg.Registry,
+		eng:        parallel.New(cfg.Workers),
+		queue:      make(chan *Job, cfg.QueueDepth),
+		drained:    make(chan struct{}),
+		cache:      newResultCache(cfg.CacheEntries, cfg.Registry),
+		jobs:       make(map[string]*Job),
+		baseCtx:    baseCtx,
+		baseCancel: cancel,
+		gQueue:     cfg.Registry.Gauge(obs.SvcQueueDepth),
+		gInflight:  cfg.Registry.Gauge(obs.SvcJobsInflight),
+		cSubmit:    cfg.Registry.Counter(obs.SvcJobsSubmitted),
+		cComplete:  cfg.Registry.Counter(obs.SvcJobsCompleted),
+		cFail:      cfg.Registry.Counter(obs.SvcJobsFailed),
+		cCancel:    cfg.Registry.Counter(obs.SvcJobsCanceled),
+		cReject:    cfg.Registry.Counter(obs.SvcJobsRejected),
+	}
+}
+
+// Registry returns the server's metrics registry (served at /metrics).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Config returns the server's normalized configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// Start launches the worker pool. The pool is Config.Workers loops over
+// the shared queue, bounded by an internal/parallel Engine, so pool busy
+// time shows up in the engine's stats like every other fan-out in the
+// repository. Start is idempotent.
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	go func() {
+		defer close(s.drained)
+		_ = parallel.ForEach(context.Background(), s.eng, s.cfg.Workers,
+			func(context.Context, int) error {
+				for job := range s.queue {
+					s.execute(job)
+				}
+				return nil
+			})
+	}()
+}
+
+// Shutdown drains gracefully: intake stops (submissions get ErrDraining),
+// queued and in-flight jobs run to completion, and the call returns once
+// the pool exits. If ctx expires first, in-flight jobs are hard-canceled
+// through their contexts and the ctx error is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	started := s.started
+	s.mu.Unlock()
+	if !started {
+		return nil
+	}
+	select {
+	case <-s.drained:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-s.drained
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether intake has been stopped.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// timeoutFor clamps a requested per-job deadline to server policy.
+func (s *Server) timeoutFor(ms int64) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+// Submit validates and admits a kernel-analysis job: a cache hit completes
+// immediately, otherwise the job is enqueued. ErrQueueFull and ErrDraining
+// are the backpressure signals.
+func (s *Server) Submit(req Request) (Status, error) {
+	if err := req.Validate(); err != nil {
+		return Status{}, err
+	}
+	n := req.normalized()
+	rcfg, kc, err := n.config()
+	if err != nil {
+		return Status{}, err
+	}
+	// Jobs publish their simulation counters into the shared registry;
+	// counters commute, so totals are well-defined at any concurrency.
+	rcfg.Metrics = s.reg
+	kernel, _ := workloads.ByName(n.Kernel)
+	j := &Job{
+		kind:    "kernel",
+		name:    n.Kernel,
+		policy:  n.Policy,
+		key:     n.cacheKey(),
+		timeout: s.timeoutFor(n.TimeoutMS),
+		done:    make(chan struct{}),
+		run: func(ctx context.Context) ([]byte, error) {
+			rep, err := runner.RunContext(ctx, kernel.Build(kc), rcfg)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(rep)
+		},
+	}
+	return s.admit(j)
+}
+
+// SubmitTrace decodes an uploaded binary trace under the server's limits
+// and admits a replay job. Oversized or malformed uploads fail here, before
+// anything is queued; a *trace.LimitError is returned as-is so the HTTP
+// layer can answer 413.
+func (s *Server) SubmitTrace(r io.Reader, opts TraceOptions) (Status, error) {
+	raw, err := readAllLimited(r, s.cfg.MaxTraceBytes)
+	if err != nil {
+		return Status{}, err
+	}
+	tr, err := trace.DecodeBinaryLimited(bytes.NewReader(raw), trace.DecodeLimits{
+		MaxEvents: s.cfg.MaxTraceEvents,
+		MaxBytes:  s.cfg.MaxTraceBytes,
+	})
+	if err != nil {
+		return Status{}, fmt.Errorf("service: decoding uploaded trace: %w", err)
+	}
+	j := &Job{
+		kind:    "trace",
+		name:    tr.Program,
+		key:     traceCacheKey(raw, opts),
+		timeout: s.timeoutFor(opts.TimeoutMS),
+		done:    make(chan struct{}),
+		run: func(ctx context.Context) ([]byte, error) {
+			// Replay cost is bounded by the decode limits; honor the
+			// deadline between construction and the (fast) replay.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return json.Marshal(replay(tr, opts))
+		},
+	}
+	return s.admit(j)
+}
+
+// readAllLimited reads at most max bytes, failing with a typed
+// *trace.LimitError when the input is larger.
+func readAllLimited(r io.Reader, max int64) ([]byte, error) {
+	raw, err := io.ReadAll(io.LimitReader(r, max+1))
+	if err != nil {
+		return nil, fmt.Errorf("service: reading upload: %w", err)
+	}
+	if int64(len(raw)) > max {
+		return nil, &trace.LimitError{What: "bytes", Limit: uint64(max), Got: uint64(len(raw))}
+	}
+	return raw, nil
+}
+
+// admit registers j and either completes it from the cache or enqueues it.
+func (s *Server) admit(j *Job) (Status, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.cReject.Inc()
+		return Status{}, ErrDraining
+	}
+	if data, ok := s.cache.get(j.key); ok {
+		s.seq++
+		j.id = fmt.Sprintf("j-%d", s.seq)
+		j.state = StateDone
+		j.result = data
+		j.cacheHit = true
+		close(j.done)
+		s.jobs[j.id] = j
+		st := s.statusLocked(j)
+		s.mu.Unlock()
+		s.cSubmit.Inc()
+		return st, nil
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.cReject.Inc()
+		return Status{}, ErrQueueFull
+	}
+	s.seq++
+	j.id = fmt.Sprintf("j-%d", s.seq)
+	j.state = StateQueued
+	s.jobs[j.id] = j
+	s.gQueue.Set(int64(len(s.queue)))
+	st := s.statusLocked(j)
+	s.mu.Unlock()
+	s.cSubmit.Inc()
+	return st, nil
+}
+
+// execute runs one dequeued job to a terminal state. Panics in the job
+// body are contained: the job fails, the worker survives.
+func (s *Server) execute(j *Job) {
+	s.mu.Lock()
+	j.state = StateRunning
+	s.inflight++
+	s.gInflight.Set(int64(s.inflight))
+	s.gQueue.Set(int64(len(s.queue)))
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(s.baseCtx, j.timeout)
+	data, err := func() (data []byte, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = fmt.Errorf("service: job panicked: %v", p)
+			}
+		}()
+		return j.run(ctx)
+	}()
+	cancel()
+
+	s.mu.Lock()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = data
+		s.cache.put(j.key, data)
+		s.cComplete.Inc()
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		j.state = StateCanceled
+		j.errMsg = err.Error()
+		s.cCancel.Inc()
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.cFail.Inc()
+	}
+	s.inflight--
+	s.gInflight.Set(int64(s.inflight))
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// Status returns the snapshot of a job.
+func (s *Server) Status(id string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	return s.statusLocked(j), nil
+}
+
+// Result returns a done job's marshaled result. The boolean distinguishes
+// "no result yet" (false, with the current status) from done.
+func (s *Server) Result(id string) ([]byte, Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, Status{}, ErrNotFound
+	}
+	return j.result, s.statusLocked(j), nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (s *Server) Wait(ctx context.Context, id string) (Status, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Status{}, ErrNotFound
+	}
+	select {
+	case <-j.done:
+		return s.Status(id)
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	}
+}
+
+// QueueLen returns the number of queued (not yet running) jobs.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+func (s *Server) statusLocked(j *Job) Status {
+	return Status{
+		ID:       j.id,
+		Kind:     j.kind,
+		Name:     j.name,
+		Policy:   j.policy,
+		State:    j.state,
+		CacheHit: j.cacheHit,
+		Error:    j.errMsg,
+	}
+}

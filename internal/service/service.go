@@ -1,0 +1,288 @@
+// Package service turns the demandrace compute core into a long-running
+// race-analysis daemon: admission control, job lifecycle, result caching,
+// and an HTTP API (served by cmd/ddserved).
+//
+// The design leans on the property the rest of the repository is built
+// around: a simulation run is a pure function of (program, config). Purity
+// buys the service layer three things for free:
+//
+//   - Results are content-addressable. The cache key is a hash of the
+//     normalized request (or uploaded trace bytes), so an identical
+//     resubmission is a cache hit without any invalidation protocol.
+//   - Jobs are trivially parallel. The worker pool is a thin loop over a
+//     bounded queue, layered on internal/parallel's Engine.
+//   - Cancellation is clean. runner.RunContext aborts at scheduler-quantum
+//     boundaries, so per-job deadlines stop runaway simulations without
+//     tearing shared state.
+//
+// Backpressure is explicit: the submission queue is bounded, and a full
+// queue rejects with ErrQueueFull, which the HTTP layer maps to 429 +
+// Retry-After. Graceful shutdown stops intake (503) and drains queued and
+// in-flight jobs to completion before the daemon exits.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"demandrace/internal/cache"
+	"demandrace/internal/demand"
+	"demandrace/internal/detector"
+	"demandrace/internal/runner"
+	"demandrace/internal/sched"
+	"demandrace/internal/trace"
+	"demandrace/internal/workloads"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// The job lifecycle: Queued → Running → one of the terminal states.
+// Cache-hit submissions are born Done.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull rejects a submission because the bounded queue is at
+	// capacity (HTTP 429).
+	ErrQueueFull = errors.New("service: submission queue full")
+	// ErrDraining rejects a submission because the server is shutting down
+	// (HTTP 503).
+	ErrDraining = errors.New("service: server is draining")
+	// ErrNotFound reports an unknown job ID (HTTP 404).
+	ErrNotFound = errors.New("service: no such job")
+)
+
+// Request describes one kernel-analysis job: a bundled workload plus the
+// runner knobs the ddrace CLI exposes. The zero value of every optional
+// field means "default", and normalization is canonical — two requests
+// that normalize equal share one cache entry.
+type Request struct {
+	// Kernel names a bundled workload (see demandrace.Kernels). Required.
+	Kernel string `json:"kernel"`
+	// Threads and Scale size the kernel build (defaults 4 and 1).
+	Threads int `json:"threads,omitempty"`
+	Scale   int `json:"scale,omitempty"`
+	// Policy is the analysis policy name (default "hitm-demand").
+	Policy string `json:"policy,omitempty"`
+	// Scope is the demand scope name (default "global").
+	Scope string `json:"scope,omitempty"`
+	// Cores and SMT shape the simulated machine (defaults 4 and 1).
+	Cores int `json:"cores,omitempty"`
+	SMT   int `json:"smt,omitempty"`
+	// Prefetch enables the next-line hardware prefetcher.
+	Prefetch bool `json:"prefetch,omitempty"`
+	// MOESI selects the AMD-style protocol instead of MESI.
+	MOESI bool `json:"moesi,omitempty"`
+	// SampleAfter, Skid program the PMU (defaults 1 and 0).
+	SampleAfter uint64 `json:"sample_after,omitempty"`
+	Skid        int    `json:"skid,omitempty"`
+	// QuietOps, Adaptive, SampleRate, WatchCap parameterize the demand
+	// controller.
+	QuietOps   uint64  `json:"quiet_ops,omitempty"`
+	Adaptive   bool    `json:"adaptive,omitempty"`
+	SampleRate float64 `json:"sample_rate,omitempty"`
+	WatchCap   int     `json:"watch_cap,omitempty"`
+	// Seed drives the PMU and (with Random) the interleaving.
+	Seed   int64 `json:"seed,omitempty"`
+	Random bool  `json:"random,omitempty"`
+	// Lockset / Deadlock enable the extra engines; FullVC selects the
+	// full-vector-clock detector variant.
+	Lockset  bool `json:"lockset,omitempty"`
+	Deadlock bool `json:"deadlock,omitempty"`
+	FullVC   bool `json:"fullvc,omitempty"`
+	// TimeoutMS bounds the job's execution (0 = server default; capped at
+	// the server maximum). Excluded from the cache key: a deadline changes
+	// whether a result is produced, never which result.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// normalized fills defaults so equal-meaning requests become equal values.
+func (r Request) normalized() Request {
+	if r.Threads <= 0 {
+		r.Threads = 4
+	}
+	if r.Scale <= 0 {
+		r.Scale = 1
+	}
+	if r.Policy == "" {
+		r.Policy = demand.HITMDemand.String()
+	}
+	if r.Scope == "" {
+		r.Scope = demand.ScopeGlobal.String()
+	}
+	if r.Cores <= 0 {
+		r.Cores = 4
+	}
+	if r.SMT <= 0 {
+		r.SMT = 1
+	}
+	if r.SampleAfter == 0 {
+		r.SampleAfter = 1
+	}
+	if r.SampleRate == 0 {
+		r.SampleRate = 0.1
+	}
+	return r
+}
+
+// Validate checks the request against the bundled kernels and policy names.
+func (r Request) Validate() error {
+	if r.Kernel == "" {
+		return errors.New("service: request missing kernel")
+	}
+	if _, ok := workloads.ByName(r.Kernel); !ok {
+		return fmt.Errorf("service: unknown kernel %q", r.Kernel)
+	}
+	n := r.normalized()
+	if _, err := demand.ParsePolicy(n.Policy); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if _, err := demand.ParseScope(n.Scope); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	return nil
+}
+
+// cacheKey hashes the normalized request minus its deadline. JSON field
+// order is fixed by the struct, so the encoding is canonical.
+func (r Request) cacheKey() string {
+	n := r.normalized()
+	n.TimeoutMS = 0
+	b, _ := json.Marshal(n)
+	sum := sha256.Sum256(append([]byte("kernel:"), b...))
+	return hex.EncodeToString(sum[:])
+}
+
+// config translates the request into the runner configuration, mirroring
+// the ddrace CLI's flag wiring.
+func (r Request) config() (runner.Config, workloads.Config, error) {
+	n := r.normalized()
+	pol, err := demand.ParsePolicy(n.Policy)
+	if err != nil {
+		return runner.Config{}, workloads.Config{}, err
+	}
+	scope, err := demand.ParseScope(n.Scope)
+	if err != nil {
+		return runner.Config{}, workloads.Config{}, err
+	}
+	cfg := runner.DefaultConfig()
+	cfg.Cache.Cores = n.Cores
+	cfg.Cache.SMT = n.SMT
+	cfg.Cache.NextLinePrefetch = n.Prefetch
+	if n.MOESI {
+		cfg.Cache.Protocol = cache.MOESI
+	}
+	cfg.PMU.SampleAfter = n.SampleAfter
+	cfg.PMU.Skid = n.Skid
+	cfg.PMU.Seed = n.Seed
+	cfg.Demand.QuietOps = n.QuietOps
+	cfg.Demand.SampleRate = n.SampleRate
+	cfg.Demand.Seed = n.Seed
+	cfg.Demand.WatchCapacity = n.WatchCap
+	cfg.Demand.Adaptive = n.Adaptive
+	cfg.Demand.Scope = scope
+	cfg.Lockset = n.Lockset
+	cfg.Deadlock = n.Deadlock
+	cfg.Detector.FullVC = n.FullVC
+	cfg.Sched.Seed = n.Seed
+	if n.Random {
+		cfg.Sched.Policy = sched.RandomInterleave
+	}
+	cfg = cfg.WithPolicy(pol)
+	return cfg, workloads.Config{Threads: n.Threads, Scale: n.Scale}, nil
+}
+
+// TraceOptions parameterize an uploaded-trace replay job.
+type TraceOptions struct {
+	// FullVC replays through the full-vector-clock detector variant.
+	FullVC bool `json:"fullvc,omitempty"`
+	// MaxReports caps race reports per address (0 = 1, -1 = unlimited).
+	MaxReports int `json:"max_reports,omitempty"`
+	// TimeoutMS bounds the job like Request.TimeoutMS.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// ReplayResult is the JSON result of a trace-replay job.
+type ReplayResult struct {
+	Program  string            `json:"program"`
+	Events   int               `json:"events"`
+	Threads  int               `json:"threads"`
+	HITM     int               `json:"hitm"`
+	Analyzed int               `json:"analyzed"`
+	Races    []detector.Report `json:"races"`
+	Stats    detector.Stats    `json:"stats"`
+}
+
+// traceCacheKey hashes the raw trace bytes plus replay options.
+func traceCacheKey(raw []byte, opts TraceOptions) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "trace:fullvc=%v:reports=%d:", opts.FullVC, opts.MaxReports)
+	h.Write(raw)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// replay runs the trace-replay job body.
+func replay(tr *trace.Trace, opts TraceOptions) ReplayResult {
+	reports := opts.MaxReports
+	if reports == 0 {
+		reports = 1
+	}
+	det := trace.Replay(tr, detector.Options{FullVC: opts.FullVC, MaxReportsPerAddr: reports})
+	s := trace.Summarize(tr)
+	return ReplayResult{
+		Program:  s.Program,
+		Events:   s.Events,
+		Threads:  s.Threads,
+		HITM:     s.HITM,
+		Analyzed: s.Analyzed,
+		Races:    det.Reports(),
+		Stats:    det.Stats(),
+	}
+}
+
+// Job is the service's unit of work. Fields are mutated only under the
+// owning Server's lock; Done is closed exactly once on reaching a terminal
+// state.
+type Job struct {
+	id       string
+	kind     string // "kernel" or "trace"
+	name     string // kernel name or trace program name
+	policy   string // kernel jobs only
+	key      string // cache key
+	timeout  time.Duration
+	state    State
+	errMsg   string
+	cacheHit bool
+	result   []byte
+	done     chan struct{}
+	// run executes the job body; nil for cache-hit jobs.
+	run runFunc
+}
+
+// Status is the externally visible snapshot of a job, served as JSON by
+// GET /v1/jobs/{id}.
+type Status struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"`
+	Name     string `json:"name"`
+	Policy   string `json:"policy,omitempty"`
+	State    State  `json:"state"`
+	CacheHit bool   `json:"cache_hit"`
+	Error    string `json:"error,omitempty"`
+}

@@ -264,9 +264,77 @@ const (
 	preallocCap = 1 << 12
 )
 
-// DecodeBinary reads a trace written by EncodeBinary.
+// DecodeLimits bounds what DecodeBinaryLimited will accept from an
+// untrusted trace. Zero fields mean "no bound for this dimension".
+type DecodeLimits struct {
+	// MaxEvents caps the event count a trace may declare (and decode).
+	MaxEvents uint64
+	// MaxBytes caps the total bytes consumed from the reader. Enforcement
+	// is within one bufio read-ahead (4 KiB) of exact.
+	MaxBytes int64
+}
+
+// DefaultDecodeLimits bounds decoding at 16 Mi events / 1 GiB of input —
+// far above any trace the simulator produces, low enough that a malformed
+// or hostile stream cannot exhaust memory.
+var DefaultDecodeLimits = DecodeLimits{MaxEvents: 1 << 24, MaxBytes: 1 << 30}
+
+// LimitError reports an input that exceeds a decode limit. It is the typed
+// signal service-layer callers (the ddserved upload path) turn into an
+// HTTP 413 instead of a generic parse failure.
+type LimitError struct {
+	// What names the exceeded dimension ("events", "bytes", "program name",
+	// "barrier parties", "label").
+	What string
+	// Limit is the configured cap; Got is the offending value (for the
+	// bytes dimension, Got is the limit at which reading stopped).
+	Limit, Got uint64
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("trace: %s %d exceeds decode limit %d", e.What, e.Got, e.Limit)
+}
+
+// limitReader fails with a typed *LimitError once more than cap bytes have
+// been consumed (cap <= 0 disables the bound).
+type limitReader struct {
+	r         io.Reader
+	cap       int64 // configured bound, for the error message
+	remaining int64 // budget left; <0 means unlimited
+}
+
+func (l *limitReader) Read(p []byte) (int, error) {
+	if l.remaining >= 0 {
+		if l.remaining == 0 {
+			return 0, &LimitError{What: "bytes", Limit: uint64(l.cap), Got: uint64(l.cap)}
+		}
+		if int64(len(p)) > l.remaining {
+			p = p[:l.remaining]
+		}
+	}
+	n, err := l.r.Read(p)
+	if l.remaining >= 0 {
+		l.remaining -= int64(n)
+	}
+	return n, err
+}
+
+// DecodeBinary reads a trace written by EncodeBinary, bounded by
+// DefaultDecodeLimits.
 func DecodeBinary(r io.Reader) (*Trace, error) {
-	br := bufio.NewReader(r)
+	return DecodeBinaryLimited(r, DefaultDecodeLimits)
+}
+
+// DecodeBinaryLimited reads a trace written by EncodeBinary, refusing input
+// that exceeds lim with a *LimitError. The limits guard allocation, not just
+// parsing: a declared event count beyond MaxEvents fails before any event is
+// decoded, and the reader stops consuming at MaxBytes.
+func DecodeBinaryLimited(r io.Reader, lim DecodeLimits) (*Trace, error) {
+	lr := &limitReader{r: r, cap: lim.MaxBytes, remaining: lim.MaxBytes}
+	if lim.MaxBytes <= 0 {
+		lr.remaining = -1
+	}
+	br := bufio.NewReader(lr)
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
@@ -279,7 +347,7 @@ func DecodeBinary(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	if nameLen > maxNameLen {
-		return nil, fmt.Errorf("trace: program name length %d exceeds limit", nameLen)
+		return nil, &LimitError{What: "program name", Limit: maxNameLen, Got: nameLen}
 	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
@@ -288,6 +356,9 @@ func DecodeBinary(r io.Reader) (*Trace, error) {
 	count, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
+	}
+	if lim.MaxEvents > 0 && count > lim.MaxEvents {
+		return nil, &LimitError{What: "events", Limit: lim.MaxEvents, Got: count}
 	}
 	// Do not trust count for allocation; events append as they decode.
 	tr := &Trace{Program: string(name), Events: make([]Event, 0, min(count, preallocCap))}
@@ -323,7 +394,7 @@ func DecodeBinary(r io.Reader) (*Trace, error) {
 				return nil, err
 			}
 			if np > maxParties {
-				return nil, fmt.Errorf("trace: barrier party count %d exceeds limit", np)
+				return nil, &LimitError{What: "barrier parties", Limit: maxParties, Got: np}
 			}
 			e.Parties = make([]vclock.TID, np)
 			for j := range e.Parties {
@@ -340,7 +411,7 @@ func DecodeBinary(r io.Reader) (*Trace, error) {
 				return nil, err
 			}
 			if n > maxStrLen {
-				return nil, fmt.Errorf("trace: label length %d exceeds limit", n)
+				return nil, &LimitError{What: "label", Limit: maxStrLen, Got: n}
 			}
 			buf := make([]byte, n)
 			if _, err := io.ReadFull(br, buf); err != nil {

@@ -1,0 +1,14 @@
+// Package version holds the build version stamped into every binary.
+//
+// Version defaults to "dev" and is overridden at build time:
+//
+//	go build -ldflags "-X demandrace/internal/version.Version=v1.2.3" ./cmd/...
+//
+// Every command exposes it through a -version flag.
+package version
+
+// Version is the build version, overridden via -ldflags.
+var Version = "dev"
+
+// String renders the canonical one-line version banner for a binary.
+func String(binary string) string { return binary + " version " + Version }
