@@ -23,6 +23,13 @@
 //	ddrace -batch phoenix                      # whole suite, one row per kernel
 //	ddrace -batch all -policy continuous       # every bundled kernel
 //	ddrace -batch histogram,kmeans,x264        # explicit kernel list
+//	ddrace -kernel kmeans -profile out.folded  # deterministic cycle profile
+//
+// Wall-clock diagnostics (the batch timing table, structured progress
+// lines) go to stderr through a leveled logger; -log-level=error silences
+// them, -log-format=json makes them machine-readable. The -profile output
+// is NOT wall clock: it samples the simulated-cycle clock, so the folded
+// stacks are byte-identical across runs.
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -39,7 +47,9 @@ import (
 	"demandrace/internal/cache"
 	"demandrace/internal/demand"
 	"demandrace/internal/obs"
+	olog "demandrace/internal/obs/log"
 	"demandrace/internal/parallel"
+	"demandrace/internal/prof"
 	"demandrace/internal/report"
 	"demandrace/internal/sched"
 	"demandrace/internal/service"
@@ -100,10 +110,23 @@ func run(args []string, out, diag io.Writer) error {
 		asJSON    = fs.Bool("json", false, "emit the full report as JSON")
 		htmlOut   = fs.String("html", "", "write a self-contained HTML report to this file")
 		submitURL = fs.String("submit", "", "submit the run to a ddserved daemon at this base URL instead of running locally")
+		profOut   = fs.String("profile", "", "write a deterministic folded-stack cycle profile (flamegraph-ready) to this file and print the top sites")
+		profEvery = fs.Uint64("profile-every", 0, "cycle-profiler sampling period in simulated cycles (0 = default 1024)")
 		verFlag   = fs.Bool("version", false, "print the version and exit")
 	)
+	logFlags := olog.Register(fs, olog.FormatText)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	lg, err := logFlags.Logger(diag)
+	if err != nil {
+		return err
+	}
+	// The timing table and other wall-clock diagnostics flow through the
+	// logger's level gate: -log-level=error leaves stderr silent.
+	timingDiag := diag
+	if !lg.Enabled(context.Background(), slog.LevelInfo) {
+		timingDiag = io.Discard
 	}
 	if *verFlag {
 		fmt.Fprintln(out, version.String("ddrace"))
@@ -130,8 +153,9 @@ func run(args []string, out, diag io.Writer) error {
 			QuietOps: *quiet, Adaptive: *adaptive, SampleRate: *rate, WatchCap: *watchcap,
 			Seed: *seed, Random: *random,
 			Lockset: *lockset, Deadlock: *deadlockF, FullVC: *fullvc,
+			Profile: *profOut != "", ProfileEvery: *profEvery,
 		}
-		return submitRemote(out, *submitURL, req, *asJSON, *verbose)
+		return submitRemote(out, *submitURL, req, *asJSON, *verbose, *profOut)
 	}
 
 	cfg := demandrace.DefaultConfig()
@@ -163,14 +187,14 @@ func run(args []string, out, diag io.Writer) error {
 	cfg.Demand.Scope = sc
 
 	if *batch != "" {
-		if *traceOut != "" || *eventsOut != "" || *recordOut != "" {
-			return fmt.Errorf("-trace/-events/-record apply to single-kernel runs; drop them or use -kernel")
+		if *traceOut != "" || *eventsOut != "" || *recordOut != "" || *profOut != "" {
+			return fmt.Errorf("-trace/-events/-record/-profile apply to single-kernel runs; drop them or use -kernel")
 		}
 		pol, err := parsePolicy(*policy)
 		if err != nil {
 			return err
 		}
-		return runBatch(out, diag, *batch, cfg.WithPolicy(pol),
+		return runBatch(out, timingDiag, *batch, cfg.WithPolicy(pol),
 			demandrace.KernelConfig{Threads: *threads, Scale: *scale}, *workersF, *metricsF)
 	}
 
@@ -197,6 +221,9 @@ func run(args []string, out, diag io.Writer) error {
 	}
 
 	if *compare {
+		if *profOut != "" {
+			return fmt.Errorf("-profile applies to a single run; drop -compare")
+		}
 		return comparePolicies(out, p, cfg, *workersF, *verbose, *metricsF)
 	}
 
@@ -206,7 +233,13 @@ func run(args []string, out, diag io.Writer) error {
 	}
 	cfg = cfg.WithPolicy(pol)
 	if *explore > 0 {
+		if *profOut != "" {
+			return fmt.Errorf("-profile applies to a single run; drop -explore")
+		}
 		return exploreSchedules(out, p, cfg, *explore, *workersF)
+	}
+	if *profOut != "" {
+		cfg.Prof = prof.New(*profEvery)
 	}
 	if *recordOut != "" {
 		cfg.Tracer = demandrace.NewTraceRecorder(p.Name)
@@ -283,12 +316,41 @@ func run(args []string, out, diag io.Writer) error {
 		fmt.Fprintf(out, "trace: %d events written to %s\n",
 			len(cfg.Tracer.Trace().Events), *recordOut)
 	}
+	if *profOut != "" {
+		if err := writeProfile(out, *profOut, rep.Profile); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeProfile saves a folded-stack cycle profile (one line per
+// thread/mode/site stack, flamegraph.pl-compatible) and prints the top
+// sites. Everything here is keyed to simulated cycles, so both the file and
+// the table are byte-deterministic.
+func writeProfile(out io.Writer, path string, pr *prof.Profile) error {
+	if pr == nil {
+		return fmt.Errorf("-profile: run produced no profile")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pr.WriteFolded(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "cycle profile: %d samples every %d cycles written to %s\n",
+		pr.TotalSamples, pr.Every, path)
+	fmt.Fprint(out, pr.Top(10))
 	return nil
 }
 
 // submitRemote runs the job on a ddserved daemon: submit, poll to a
-// terminal state, fetch the report, and print it like a local run.
-func submitRemote(out io.Writer, base string, req service.Request, asJSON, verbose bool) error {
+// terminal state, fetch the report, and print it like a local run. With
+// profOut set the request asks the daemon for a cycle profile and the
+// folded stacks land in the same file a local -profile run would write.
+func submitRemote(out io.Writer, base string, req service.Request, asJSON, verbose bool, profOut string) error {
 	cl := &service.Client{BaseURL: strings.TrimRight(base, "/")}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
@@ -296,16 +358,25 @@ func submitRemote(out io.Writer, base string, req service.Request, asJSON, verbo
 	if err != nil {
 		return err
 	}
-	if asJSON {
+	if asJSON && profOut == "" {
 		_, err := out.Write(data)
 		return err
 	}
-	fmt.Fprintf(out, "job:       %s on %s (cache hit: %v)\n", st.ID, base, st.CacheHit)
 	var rep demandrace.Report
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return fmt.Errorf("decoding daemon report: %w", err)
 	}
-	printReport(out, &rep, verbose)
+	if asJSON {
+		if _, err := out.Write(data); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(out, "job:       %s on %s (cache hit: %v)\n", st.ID, base, st.CacheHit)
+		printReport(out, &rep, verbose)
+	}
+	if profOut != "" {
+		return writeProfile(out, profOut, rep.Profile)
+	}
 	return nil
 }
 

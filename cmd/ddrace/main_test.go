@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -355,5 +356,94 @@ func TestCompareWorkersDeterministic(t *testing.T) {
 	wide := runCLI(t, "-kernel", "micro_private", "-compare", "-workers", "8")
 	if serial != wide {
 		t.Errorf("-compare output differs across worker counts:\n%s\nvs\n%s", serial, wide)
+	}
+}
+
+// TestProfileFlagDeterministic is the acceptance check for the cycle
+// profiler: two identical runs must write byte-identical folded stacks,
+// because samples are taken on the simulated-cycle clock, not wall time.
+func TestProfileFlagDeterministic(t *testing.T) {
+	folded := func(dir string) ([]byte, string) {
+		path := filepath.Join(dir, "out.folded")
+		out := runCLI(t, "-kernel", "racy_flag", "-policy", "hitm-demand", "-profile", path)
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, out
+	}
+	b1, out1 := folded(t.TempDir())
+	b2, _ := folded(t.TempDir())
+	if len(b1) == 0 {
+		t.Fatal("empty folded profile")
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("folded profiles differ across identical runs:\n%s\nvs\n%s", b1, b2)
+	}
+	// Folded lines carry the kernel name and end in a sample count.
+	for _, line := range strings.Split(strings.TrimSpace(string(b1)), "\n") {
+		if !strings.HasPrefix(line, "racy_flag;") || !strings.Contains(line, " ") {
+			t.Errorf("malformed folded line %q", line)
+		}
+	}
+	// Stdout gets the summary table; it is part of the deterministic surface.
+	if !strings.Contains(out1, "cycle profile:") || !strings.Contains(out1, "samples") {
+		t.Errorf("missing profile summary on stdout:\n%s", out1)
+	}
+}
+
+func TestProfileEveryChangesSampleDensity(t *testing.T) {
+	dir := t.TempDir()
+	coarse, fine := filepath.Join(dir, "c.folded"), filepath.Join(dir, "f.folded")
+	runCLI(t, "-kernel", "racy_flag", "-profile", coarse, "-profile-every", "4096")
+	runCLI(t, "-kernel", "racy_flag", "-profile", fine, "-profile-every", "64")
+	sum := func(path string) int {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, line := range strings.Split(strings.TrimSpace(string(b)), "\n") {
+			var n int
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &n); err != nil {
+				t.Fatalf("line %q: %v", line, err)
+			}
+			total += n
+		}
+		return total
+	}
+	if c, f := sum(coarse), sum(fine); f <= c {
+		t.Errorf("finer period should collect more samples: every=64 got %d, every=4096 got %d", f, c)
+	}
+}
+
+func TestBatchRejectsProfile(t *testing.T) {
+	for _, args := range [][]string{
+		{"-batch", "histogram", "-profile", "x.folded"},
+		{"-compare", "-kernel", "racy_flag", "-profile", "x.folded"},
+	} {
+		if err := run(args, io.Discard, io.Discard); err == nil {
+			t.Errorf("ddrace %v: expected error", args)
+		}
+	}
+}
+
+// TestLogLevelErrorSilencesBatchTiming: batch timing diagnostics flow
+// through the logger's level gate, so -log-level=error means zero stderr.
+func TestLogLevelErrorSilencesBatchTiming(t *testing.T) {
+	var diag bytes.Buffer
+	if err := run([]string{"-batch", "phoenix", "-log-level", "error"}, io.Discard, &diag); err != nil {
+		t.Fatal(err)
+	}
+	if diag.Len() != 0 {
+		t.Errorf("-log-level=error still wrote %d stderr bytes:\n%s", diag.Len(), diag.String())
+	}
+	// At the default level the timing lines are present.
+	var loud bytes.Buffer
+	if err := run([]string{"-batch", "phoenix"}, io.Discard, &loud); err != nil {
+		t.Fatal(err)
+	}
+	if loud.Len() == 0 {
+		t.Error("default level suppressed batch timing diagnostics")
 	}
 }

@@ -15,10 +15,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"sort"
+	"time"
 
 	"demandrace/internal/detector"
+	olog "demandrace/internal/obs/log"
 	"demandrace/internal/trace"
 	"demandrace/internal/version"
 )
@@ -31,27 +34,34 @@ func main() {
 		timeline = flag.Int("timeline", 0, "render a per-thread activity timeline this many columns wide")
 		verFlag  = flag.Bool("version", false, "print the version and exit")
 	)
+	logFlags := olog.Register(flag.CommandLine, olog.FormatText)
 	flag.Parse()
 	if *verFlag {
 		fmt.Println(version.String("ddreplay"))
 		return
 	}
+	lg, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddreplay:", err)
+		os.Exit(2)
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ddreplay [-fullvc] [-reports N] [-json] <trace-file>")
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, flag.Arg(0), *fullvc, *reports, *asJSON, *timeline); err != nil {
+	if err := run(os.Stdout, lg, flag.Arg(0), *fullvc, *reports, *asJSON, *timeline); err != nil {
 		fmt.Fprintln(os.Stderr, "ddreplay:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out io.Writer, path string, fullvc bool, reports int, asJSON bool, timeline int) error {
+func run(out io.Writer, lg *slog.Logger, path string, fullvc bool, reports int, asJSON bool, timeline int) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	decodeStart := time.Now()
 	var tr *trace.Trace
 	if asJSON {
 		tr, err = trace.DecodeJSON(f)
@@ -61,6 +71,10 @@ func run(out io.Writer, path string, fullvc bool, reports int, asJSON bool, time
 	if err != nil {
 		return err
 	}
+	// Wall-clock decode/replay timings are diagnostics: they go through the
+	// leveled logger (stderr), never the comparable stdout stream.
+	lg.Debug("trace decoded", "path", path, "events", len(tr.Events),
+		"dur_ms", float64(time.Since(decodeStart))/float64(time.Millisecond))
 
 	s := trace.Summarize(tr)
 	fmt.Fprintf(out, "trace:    %s (%d events, %d threads)\n", s.Program, s.Events, s.Threads)

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"demandrace"
+	olog "demandrace/internal/obs/log"
 	"demandrace/internal/trace"
 )
 
@@ -42,7 +43,7 @@ func record(t *testing.T, asJSON bool) string {
 func TestReplayBinary(t *testing.T) {
 	path := record(t, false)
 	var buf bytes.Buffer
-	if err := run(&buf, path, false, 1, false, 0); err != nil {
+	if err := run(&buf, olog.Discard(), path, false, 1, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -60,7 +61,7 @@ func TestReplayBinary(t *testing.T) {
 func TestReplayJSONAndFullVC(t *testing.T) {
 	path := record(t, true)
 	var buf bytes.Buffer
-	if err := run(&buf, path, true, -1, true, 20); err != nil {
+	if err := run(&buf, olog.Discard(), path, true, -1, true, 20); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "full-VC") {
@@ -70,12 +71,12 @@ func TestReplayJSONAndFullVC(t *testing.T) {
 
 func TestReplayErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "/nonexistent/file", false, 1, false, 0); err == nil {
+	if err := run(&buf, olog.Discard(), "/nonexistent/file", false, 1, false, 0); err == nil {
 		t.Error("missing file accepted")
 	}
 	// Binary decoder on a JSON file must fail cleanly.
 	path := record(t, true)
-	if err := run(&buf, path, false, 1, false, 0); err == nil {
+	if err := run(&buf, olog.Discard(), path, false, 1, false, 0); err == nil {
 		t.Error("JSON trace accepted by binary decoder")
 	}
 }

@@ -9,15 +9,23 @@
 //	POST /v1/jobs          submit (JSON request or binary trace upload)
 //	GET  /v1/jobs/{id}     poll job status
 //	GET  /v1/results/{id}  fetch the report of a done job
-//	GET  /healthz          liveness + drain state
+//	GET  /v1/stats         latency percentiles, SLO budget, pool state
+//	GET  /healthz          liveness, drain state, queue-pressure degradation
 //	GET  /metrics          Prometheus text exposition
 //
 // Usage:
 //
 //	ddserved -addr 127.0.0.1:8318
 //	ddserved -addr 127.0.0.1:0 -addr-file /tmp/ddserved.addr   # random port
+//	ddserved -debug-addr 127.0.0.1:8319                        # pprof+expvar
 //	curl -d '{"kernel":"racy_flag"}' localhost:8318/v1/jobs
 //	ddrace -kernel histogram -policy hitm-demand -submit http://localhost:8318
+//
+// Operational logs (access lines, job lifecycle) go to stderr as structured
+// JSON by default; tune with -log-level and -log-format. The optional
+// -debug-addr opens a second, loopback-only listener exposing
+// net/http/pprof and expvar — kept off the public mux so profiling is an
+// explicit opt-in.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: intake stops, queued and
 // in-flight jobs drain (bounded by -drain), then the process exits.
@@ -26,15 +34,18 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	olog "demandrace/internal/obs/log"
 	"demandrace/internal/service"
 	"demandrace/internal/version"
 )
@@ -43,78 +54,153 @@ func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8318", "listen address (port 0 picks a free port; see -addr-file)")
 		addrFile    = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
+		debugAddr   = flag.String("debug-addr", "", "optional second listener for net/http/pprof and expvar (empty = disabled)")
 		workers     = flag.Int("workers", 0, "analysis worker pool width (0 = one per CPU)")
 		queueDepth  = flag.Int("queue", 64, "submission queue depth; a full queue answers 429")
+		highWater   = flag.Int("high-water", 0, "queue depth at which /healthz degrades to 503 (0 = 3/4 of -queue)")
 		cacheSize   = flag.Int("cache", 256, "result cache entries (negative disables caching)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "default per-job deadline")
 		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
 		maxBytes    = flag.Int64("max-trace-bytes", 64<<20, "max accepted trace upload size in bytes")
 		maxEvents   = flag.Uint64("max-trace-events", 1<<22, "max events an uploaded trace may declare")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before jobs are hard-canceled")
+		sloLatency  = flag.Duration("slo-latency", 500*time.Millisecond, "request-latency SLO threshold reported by /v1/stats")
+		sloTarget   = flag.Float64("slo-target", 0.99, "fraction of requests that must meet -slo-latency")
 		versionFlag = flag.Bool("version", false, "print the version and exit")
 	)
+	logFlags := olog.Register(flag.CommandLine, olog.FormatJSON)
 	flag.Parse()
 	if *versionFlag {
 		fmt.Println(version.String("ddserved"))
 		return
 	}
+	lg, err := logFlags.Logger(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ddserved:", err)
+		os.Exit(2)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, *addrFile, service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		CacheEntries:   *cacheSize,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxTraceBytes:  *maxBytes,
-		MaxTraceEvents: *maxEvents,
-	}, *drain); err != nil {
-		fmt.Fprintln(os.Stderr, "ddserved:", err)
+	if err := run(ctx, options{
+		addr:      *addr,
+		addrFile:  *addrFile,
+		debugAddr: *debugAddr,
+		drain:     *drain,
+		cfg: service.Config{
+			Workers:        *workers,
+			QueueDepth:     *queueDepth,
+			QueueHighWater: *highWater,
+			CacheEntries:   *cacheSize,
+			DefaultTimeout: *timeout,
+			MaxTimeout:     *maxTimeout,
+			MaxTraceBytes:  *maxBytes,
+			MaxTraceEvents: *maxEvents,
+			SLOLatency:     *sloLatency,
+			SLOTarget:      *sloTarget,
+			Log:            lg,
+		},
+	}); err != nil {
+		lg.Error("ddserved exiting", "error", err.Error())
 		os.Exit(1)
 	}
 }
 
+type options struct {
+	addr      string
+	addrFile  string
+	debugAddr string
+	drain     time.Duration
+	cfg       service.Config
+}
+
 // run serves until ctx is canceled (main wires ctx to SIGINT/SIGTERM),
 // then drains gracefully.
-func run(ctx context.Context, addr, addrFile string, cfg service.Config, drain time.Duration) error {
-	ln, err := net.Listen("tcp", addr)
+func run(ctx context.Context, opts options) error {
+	if opts.cfg.Log == nil {
+		opts.cfg.Log = olog.Discard()
+	}
+	lg := opts.cfg.Log
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
 	}
 	bound := ln.Addr().String()
-	if addrFile != "" {
-		if err := os.WriteFile(addrFile, []byte(bound), 0o644); err != nil {
+	if opts.addrFile != "" {
+		if err := os.WriteFile(opts.addrFile, []byte(bound), 0o644); err != nil {
 			ln.Close()
 			return fmt.Errorf("writing -addr-file: %w", err)
 		}
 	}
 
-	svc := service.NewServer(cfg)
+	svc := service.NewServer(opts.cfg)
 	svc.Start()
 	httpSrv := &http.Server{Handler: svc.Handler()}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	n := svc.Config()
-	fmt.Fprintf(os.Stderr, "ddserved %s listening on http://%s (workers=%d queue=%d cache=%d)\n",
-		version.Version, bound, n.Workers, n.QueueDepth, n.CacheEntries)
+	lg.Info("ddserved listening",
+		"version", version.Version,
+		"addr", bound,
+		"workers", n.Workers,
+		"queue", n.QueueDepth,
+		"high_water", n.QueueHighWater,
+		"cache", n.CacheEntries,
+		"slo_latency_ms", n.SLOLatency.Milliseconds(),
+		"slo_target", n.SLOTarget,
+	)
+
+	var debugSrv *http.Server
+	if opts.debugAddr != "" {
+		dln, err := net.Listen("tcp", opts.debugAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("listening on -debug-addr: %w", err)
+		}
+		debugSrv = &http.Server{Handler: debugMux()}
+		go func() {
+			if err := debugSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				lg.Error("debug listener failed", "error", err.Error())
+			}
+		}()
+		lg.Info("debug listener up", "addr", dln.Addr().String(),
+			"endpoints", "/debug/pprof/ /debug/vars")
+	}
 
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "ddserved: draining...")
-	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	lg.Info("draining", "queued", svc.QueueLen(), "budget_ms", opts.drain.Milliseconds())
+	dctx, cancel := context.WithTimeout(context.Background(), opts.drain)
 	defer cancel()
 	// Drain order: stop intake and finish jobs first, then close the HTTP
 	// listener, so pollers can still fetch results while jobs complete.
 	if err := svc.Shutdown(dctx); err != nil {
-		fmt.Fprintf(os.Stderr, "ddserved: drain incomplete: %v\n", err)
+		lg.Warn("drain incomplete", "error", err.Error())
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
-	fmt.Fprintln(os.Stderr, "ddserved: stopped")
+	lg.Info("ddserved stopped")
 	return nil
+}
+
+// debugMux assembles the opt-in diagnostics surface: the stdlib pprof
+// handlers (wired explicitly — importing net/http/pprof for its
+// DefaultServeMux side effect would leak them onto any default-mux server)
+// plus the expvar JSON dump.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
 }

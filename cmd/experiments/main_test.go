@@ -167,3 +167,113 @@ func TestMetricsGoesToDiag(t *testing.T) {
 		}
 	}
 }
+
+// benchTestDoc builds a comparable two-experiment snapshot for check tests.
+func benchTestDoc(rates map[string]float64) benchDoc {
+	doc := benchDoc{Schema: 1, Workers: 1, Threads: 4, Scale: 1, Quick: true}
+	for _, name := range []string{"fig2", "fig4"} {
+		doc.Experiments = append(doc.Experiments, benchEntry{
+			Name: name, Runs: 10, RunsPerSec: rates[name],
+		})
+	}
+	doc.Total = benchEntry{Name: "total", Runs: 20, RunsPerSec: rates["total"]}
+	return doc
+}
+
+func writeBaseline(t *testing.T, doc benchDoc) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := writeBenchJSON(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckBenchWithinTolerancePasses(t *testing.T) {
+	base := benchTestDoc(map[string]float64{"fig2": 100, "fig4": 50, "total": 75})
+	cur := benchTestDoc(map[string]float64{"fig2": 110, "fig4": 45, "total": 70})
+	var diag bytes.Buffer
+	if err := checkBench(&diag, writeBaseline(t, base), cur, 0.30); err != nil {
+		t.Fatalf("within-band check failed: %v", err)
+	}
+	d := diag.String()
+	for _, want := range []string{"bench check", "fig2", "fig4", "total", "ok"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff table missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestCheckBenchRegressionFails(t *testing.T) {
+	base := benchTestDoc(map[string]float64{"fig2": 100, "fig4": 50, "total": 75})
+	cur := benchTestDoc(map[string]float64{"fig2": 40, "fig4": 50, "total": 60})
+	var diag bytes.Buffer
+	err := checkBench(&diag, writeBaseline(t, base), cur, 0.30)
+	if err == nil {
+		t.Fatal("60% regression passed a ±30% gate")
+	}
+	if !strings.Contains(err.Error(), "fig2") || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("error not actionable: %v", err)
+	}
+	if !strings.Contains(diag.String(), "SLOW") {
+		t.Errorf("diff table missing SLOW marker:\n%s", diag.String())
+	}
+}
+
+func TestCheckBenchIncomparableMetadata(t *testing.T) {
+	base := benchTestDoc(map[string]float64{"fig2": 100, "fig4": 50, "total": 75})
+	cur := base
+	cur.Workers = 8
+	err := checkBench(io.Discard, writeBaseline(t, base), cur, 0.30)
+	if err == nil || !strings.Contains(err.Error(), "not comparable") {
+		t.Fatalf("workers mismatch not rejected: %v", err)
+	}
+}
+
+func TestCheckBenchNewAndMissingExperiments(t *testing.T) {
+	base := benchTestDoc(map[string]float64{"fig2": 100, "fig4": 50, "total": 75})
+	base.Experiments = base.Experiments[:1] // baseline predates fig4
+	cur := benchTestDoc(map[string]float64{"fig2": 100, "fig4": 50, "total": 75})
+	var diag bytes.Buffer
+	if err := checkBench(&diag, writeBaseline(t, base), cur, 0.30); err != nil {
+		t.Fatalf("new experiment should not fail the gate: %v", err)
+	}
+	if !strings.Contains(diag.String(), "new (not in baseline)") {
+		t.Errorf("diff table missing new marker:\n%s", diag.String())
+	}
+	// A baseline row without a rate is skipped, not a division by zero.
+	base2 := benchTestDoc(map[string]float64{"fig2": 0, "fig4": 50, "total": 75})
+	if err := checkBench(io.Discard, writeBaseline(t, base2), cur, 0.30); err != nil {
+		t.Fatalf("zero-rate baseline row should be skipped: %v", err)
+	}
+}
+
+// TestBenchCheckEndToEnd runs the CLI twice: snapshot, then self-check with
+// best-of-2 repetition. The same machine moments apart must pass its own
+// baseline.
+func TestBenchCheckEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"-exp", "fig2", "-bench-json", path}, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var diag bytes.Buffer
+	if err := run([]string{"-exp", "fig2", "-bench-repeat", "2", "-bench-check", path},
+		io.Discard, &diag); err != nil {
+		t.Fatalf("self-check failed: %v\n%s", err, diag.String())
+	}
+	if !strings.Contains(diag.String(), "bench check vs") {
+		t.Errorf("diag missing check table:\n%s", diag.String())
+	}
+}
+
+// TestLogLevelErrorSilencesDiagnostics is the stderr-routing contract: at
+// -log-level=error the timing summary is suppressed entirely.
+func TestLogLevelErrorSilencesDiagnostics(t *testing.T) {
+	var diag bytes.Buffer
+	if err := run([]string{"-exp", "fig2", "-log-level", "error"}, io.Discard, &diag); err != nil {
+		t.Fatal(err)
+	}
+	if diag.Len() != 0 {
+		t.Errorf("-log-level=error still wrote %d diagnostic bytes:\n%s", diag.Len(), diag.String())
+	}
+}

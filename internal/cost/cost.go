@@ -69,6 +69,57 @@ func (m Model) validate() error {
 	return nil
 }
 
+// Breakdown attributes the accumulated cycles to their sources — the
+// "where does the time go" answer behind a run's slowdown number. The first
+// three components are native work (charged to both clocks); the rest are
+// tool-side additions only. ToolCycles = MemLatency + SyncNative + Compute
+// + the tool components.
+type Breakdown struct {
+	// MemLatency is hardware memory-access latency.
+	MemLatency uint64 `json:"mem_latency"`
+	// SyncNative is the native cost of synchronization ops.
+	SyncNative uint64 `json:"sync_native"`
+	// Compute is uninstrumented computation.
+	Compute uint64 `json:"compute"`
+	// AnalysisMem is per-access analysis (shadow lookups, VC compares) —
+	// the dominant term of continuous analysis.
+	AnalysisMem uint64 `json:"analysis_mem"`
+	// AnalysisSync is per-sync-op analysis.
+	AnalysisSync uint64 `json:"analysis_sync"`
+	// Interrupts is PMU overflow interrupt handling.
+	Interrupts uint64 `json:"interrupts"`
+	// ModeSwitch is instrumentation patching (fast ↔ analysis toggles).
+	ModeSwitch uint64 `json:"mode_switch"`
+	// WatchArm is watchpoint-register programming.
+	WatchArm uint64 `json:"watch_arm"`
+	// PageFault and ProtSweep are the PageDemand mechanism's costs.
+	PageFault uint64 `json:"page_fault"`
+	ProtSweep uint64 `json:"prot_sweep"`
+}
+
+// Components returns the breakdown as (name, cycles) pairs in a fixed
+// order, for tables and metric export.
+func (b Breakdown) Components() []struct {
+	Name   string
+	Cycles uint64
+} {
+	return []struct {
+		Name   string
+		Cycles uint64
+	}{
+		{"mem_latency", b.MemLatency},
+		{"sync_native", b.SyncNative},
+		{"compute", b.Compute},
+		{"analysis_mem", b.AnalysisMem},
+		{"analysis_sync", b.AnalysisSync},
+		{"interrupts", b.Interrupts},
+		{"mode_switch", b.ModeSwitch},
+		{"watch_arm", b.WatchArm},
+		{"page_fault", b.PageFault},
+		{"prot_sweep", b.ProtSweep},
+	}
+}
+
 // Accumulator tallies native and tool cycles for one run.
 type Accumulator struct {
 	model Model
@@ -76,6 +127,8 @@ type Accumulator struct {
 	native uint64
 	// tool is the cost under the attached tool.
 	tool uint64
+	// bd attributes tool cycles by source.
+	bd Breakdown
 }
 
 // NewAccumulator builds an accumulator over model. It panics on an invalid
@@ -95,8 +148,10 @@ func (a *Accumulator) Model() Model { return a.model }
 func (a *Accumulator) Mem(latency uint64, analyzed bool) {
 	a.native += latency
 	a.tool += latency
+	a.bd.MemLatency += latency
 	if analyzed {
 		a.tool += a.model.AnalysisMem
+		a.bd.AnalysisMem += a.model.AnalysisMem
 	}
 }
 
@@ -104,8 +159,10 @@ func (a *Accumulator) Mem(latency uint64, analyzed bool) {
 func (a *Accumulator) Sync(analyzed bool) {
 	a.native += a.model.SyncNative
 	a.tool += a.model.SyncNative
+	a.bd.SyncNative += a.model.SyncNative
 	if analyzed {
 		a.tool += a.model.AnalysisSync
+		a.bd.AnalysisSync += a.model.AnalysisSync
 	}
 }
 
@@ -113,22 +170,41 @@ func (a *Accumulator) Sync(analyzed bool) {
 func (a *Accumulator) Compute(n uint64) {
 	a.native += n
 	a.tool += n
+	a.bd.Compute += n
 }
 
 // Interrupt charges one PMU overflow interrupt (tool side only).
-func (a *Accumulator) Interrupt() { a.tool += a.model.Interrupt }
+func (a *Accumulator) Interrupt() {
+	a.tool += a.model.Interrupt
+	a.bd.Interrupts += a.model.Interrupt
+}
 
 // ModeSwitch charges n instrumentation toggles (tool side only).
-func (a *Accumulator) ModeSwitch(n uint64) { a.tool += n * a.model.ModeSwitch }
+func (a *Accumulator) ModeSwitch(n uint64) {
+	a.tool += n * a.model.ModeSwitch
+	a.bd.ModeSwitch += n * a.model.ModeSwitch
+}
 
 // WatchArm charges n watchpoint-register programmings (tool side only).
-func (a *Accumulator) WatchArm(n uint64) { a.tool += n * a.model.WatchArm }
+func (a *Accumulator) WatchArm(n uint64) {
+	a.tool += n * a.model.WatchArm
+	a.bd.WatchArm += n * a.model.WatchArm
+}
 
 // PageFaults charges n protection faults (tool side only).
-func (a *Accumulator) PageFaults(n uint64) { a.tool += n * a.model.PageFault }
+func (a *Accumulator) PageFaults(n uint64) {
+	a.tool += n * a.model.PageFault
+	a.bd.PageFault += n * a.model.PageFault
+}
 
 // ProtSweeps charges n re-protection sweeps (tool side only).
-func (a *Accumulator) ProtSweeps(n uint64) { a.tool += n * a.model.ProtSweep }
+func (a *Accumulator) ProtSweeps(n uint64) {
+	a.tool += n * a.model.ProtSweep
+	a.bd.ProtSweep += n * a.model.ProtSweep
+}
+
+// Breakdown returns the per-source attribution of the accumulated cycles.
+func (a *Accumulator) Breakdown() Breakdown { return a.bd }
 
 // NativeCycles returns the accumulated native time.
 func (a *Accumulator) NativeCycles() uint64 { return a.native }

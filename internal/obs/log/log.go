@@ -1,0 +1,166 @@
+// Package olog is the repository's structured-logging layer: a thin,
+// opinionated wrapper over log/slog shared by the daemon and the CLIs.
+//
+// It exists for three reasons:
+//
+//   - One spelling of the knobs. Every binary exposes the same -log-level
+//     and -log-format flags (Register), parsed the same way, so "make the
+//     tool quiet for scripting" is `-log-level=error` everywhere.
+//   - Diagnostics stay off stdout. Loggers write to the diagnostic stream
+//     (stderr by convention), never the comparable stdout stream, so the
+//     repository's byte-determinism contract is untouched by logging.
+//   - Request-scoped context. A job ID minted at admission travels through
+//     context.Context (WithJobID / JobID), and a logger carrying that ID
+//     travels alongside it (Into / From), so every layer that logs about a
+//     job tags the same id without threading parameters.
+//
+// Wall-clock timestamps are inherent to operational logs; that is fine
+// because logs are diagnostics, not exported artifacts. Nothing in this
+// package may be used to produce deterministic output.
+package olog
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Format selects the handler encoding.
+const (
+	// FormatText is slog's logfmt-style text handler — the human default
+	// for interactive CLI use.
+	FormatText = "text"
+	// FormatJSON is one JSON object per line — the machine default for the
+	// daemon, parseable by log shippers and the CI smoke test.
+	FormatJSON = "json"
+)
+
+// ParseLevel maps a flag string onto a slog.Level. Accepted values are
+// debug, info, warn, and error (case-insensitive).
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("olog: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// Options shape a logger.
+type Options struct {
+	// Level is the minimum level emitted (default info).
+	Level slog.Level
+	// Format is FormatText or FormatJSON (default text).
+	Format string
+	// Output receives the records. Nil discards everything.
+	Output io.Writer
+}
+
+// New builds a logger from opts. A nil Output yields a logger whose every
+// record is discarded (but which still answers Enabled truthfully, so
+// callers can gate expensive rendering on it).
+func New(opts Options) *slog.Logger {
+	w := opts.Output
+	if w == nil {
+		w = io.Discard
+	}
+	hopts := &slog.HandlerOptions{Level: opts.Level}
+	var h slog.Handler
+	if opts.Format == FormatJSON {
+		h = slog.NewJSONHandler(w, hopts)
+	} else {
+		h = slog.NewTextHandler(w, hopts)
+	}
+	return slog.New(h)
+}
+
+// Discard returns a logger that drops every record and reports every level
+// disabled — the nil-object for APIs that take a *slog.Logger.
+func Discard() *slog.Logger {
+	return slog.New(discardHandler{})
+}
+
+// discardHandler is an slog.Handler that is disabled at every level, so
+// callers gating work on Enabled skip it entirely.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// Flags holds the values of the shared logging flags after parsing.
+type Flags struct {
+	level  *string
+	format *string
+}
+
+// Register installs the shared -log-level and -log-format flags on fs.
+// defFormat is the binary's default encoding: FormatText for interactive
+// CLIs, FormatJSON for the daemon.
+func Register(fs *flag.FlagSet, defFormat string) *Flags {
+	if defFormat == "" {
+		defFormat = FormatText
+	}
+	return &Flags{
+		level:  fs.String("log-level", "info", "minimum log level: debug|info|warn|error"),
+		format: fs.String("log-format", defFormat, "log encoding: text|json"),
+	}
+}
+
+// Logger builds the logger the parsed flags describe, writing to w.
+func (f *Flags) Logger(w io.Writer) (*slog.Logger, error) {
+	lvl, err := ParseLevel(*f.level)
+	if err != nil {
+		return nil, err
+	}
+	switch *f.format {
+	case FormatText, FormatJSON:
+	default:
+		return nil, fmt.Errorf("olog: unknown log format %q (want text|json)", *f.format)
+	}
+	return New(Options{Level: lvl, Format: *f.format, Output: w}), nil
+}
+
+// ctxKey namespaces this package's context values.
+type ctxKey int
+
+const (
+	jobIDKey ctxKey = iota
+	loggerKey
+)
+
+// WithJobID returns a context carrying the job ID, the correlation key for
+// every log record about one unit of work.
+func WithJobID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, jobIDKey, id)
+}
+
+// JobID returns the job ID carried by ctx, if any.
+func JobID(ctx context.Context) (string, bool) {
+	id, ok := ctx.Value(jobIDKey).(string)
+	return id, ok
+}
+
+// Into returns a context carrying l, so deeper layers can log with the
+// caller's attributes (job ID, request route) without plumbing a parameter.
+func Into(ctx context.Context, l *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey, l)
+}
+
+// From returns the logger carried by ctx, or a Discard logger when none is
+// present — never nil, so call sites do not branch.
+func From(ctx context.Context) *slog.Logger {
+	if l, ok := ctx.Value(loggerKey).(*slog.Logger); ok && l != nil {
+		return l
+	}
+	return Discard()
+}

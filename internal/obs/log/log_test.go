@@ -1,0 +1,162 @@
+package olog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"io"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want slog.Level
+		ok   bool
+	}{
+		{"debug", slog.LevelDebug, true},
+		{"info", slog.LevelInfo, true},
+		{"", slog.LevelInfo, true},
+		{"WARN", slog.LevelWarn, true},
+		{"warning", slog.LevelWarn, true},
+		{" error ", slog.LevelError, true},
+		{"verbose", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseLevel(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseLevel(%q) error = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNewJSONOutputParses(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(Options{Level: slog.LevelInfo, Format: FormatJSON, Output: &buf})
+	lg.Info("job queued", "job_id", "j-1", "kind", "kernel")
+	lg.Debug("dropped", "k", "v") // below level: must not appear
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly 1 line, got %d:\n%s", len(lines), buf.String())
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, lines[0])
+	}
+	if rec["msg"] != "job queued" || rec["job_id"] != "j-1" || rec["kind"] != "kernel" {
+		t.Errorf("record missing fields: %v", rec)
+	}
+	if _, ok := rec["time"]; !ok {
+		t.Errorf("record missing timestamp: %v", rec)
+	}
+}
+
+func TestNewTextOutput(t *testing.T) {
+	var buf bytes.Buffer
+	lg := New(Options{Level: slog.LevelWarn, Format: FormatText, Output: &buf})
+	lg.Info("hidden")
+	lg.Warn("shown", "n", 3)
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("info leaked through warn level:\n%s", out)
+	}
+	if !strings.Contains(out, "msg=shown") || !strings.Contains(out, "n=3") {
+		t.Errorf("text output missing fields:\n%s", out)
+	}
+}
+
+func TestNewNilOutputDiscardsButStaysEnabled(t *testing.T) {
+	lg := New(Options{Level: slog.LevelInfo, Output: nil})
+	lg.Info("goes nowhere")
+	if !lg.Enabled(context.Background(), slog.LevelInfo) {
+		t.Error("nil-output logger should still answer Enabled truthfully")
+	}
+}
+
+func TestDiscardDisabledAtEveryLevel(t *testing.T) {
+	lg := Discard()
+	for _, lvl := range []slog.Level{slog.LevelDebug, slog.LevelInfo, slog.LevelWarn, slog.LevelError} {
+		if lg.Enabled(context.Background(), lvl) {
+			t.Errorf("Discard logger enabled at %v", lvl)
+		}
+	}
+	lg.Error("must not panic")
+}
+
+func TestRegisterAndLogger(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := Register(fs, FormatJSON)
+	if err := fs.Parse([]string{"-log-level=debug"}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	lg, err := f.Logger(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("visible")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("default format should have been JSON: %v\n%s", err, buf.String())
+	}
+}
+
+func TestRegisterRejectsBadValues(t *testing.T) {
+	for _, args := range [][]string{
+		{"-log-level=loud"},
+		{"-log-format=xml"},
+	} {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		f := Register(fs, "")
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Logger(io.Discard); err == nil {
+			t.Errorf("args %v: want error, got logger", args)
+		}
+	}
+}
+
+func TestJobIDContext(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := JobID(ctx); ok {
+		t.Error("empty context should carry no job ID")
+	}
+	ctx = WithJobID(ctx, "j-42")
+	id, ok := JobID(ctx)
+	if !ok || id != "j-42" {
+		t.Errorf("JobID = %q, %v; want j-42, true", id, ok)
+	}
+}
+
+func TestLoggerContext(t *testing.T) {
+	// Absent: From must return a safe non-nil discard logger.
+	got := From(context.Background())
+	if got == nil {
+		t.Fatal("From(empty) returned nil")
+	}
+	if got.Enabled(context.Background(), slog.LevelError) {
+		t.Error("fallback logger should be disabled")
+	}
+
+	var buf bytes.Buffer
+	lg := New(Options{Format: FormatJSON, Output: &buf}).With("job_id", "j-7")
+	ctx := Into(context.Background(), lg)
+	From(ctx).Info("deep in the stack")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not JSON: %v", err)
+	}
+	if rec["job_id"] != "j-7" {
+		t.Errorf("carried logger lost its attrs: %v", rec)
+	}
+}

@@ -112,6 +112,54 @@ func (h *Histogram) Sum() float64 {
 	return float64(h.sumMicro.Load()) / 1e6
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution by linear interpolation inside the containing bucket — the
+// same estimator Prometheus's histogram_quantile uses. The first bucket
+// interpolates from zero; a rank landing in the +Inf bucket clamps to the
+// highest finite bound. Returns 0 when the histogram is empty. Nil-safe.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (b-lo)*frac
+		}
+		cum += n
+	}
+	// Rank fell into the +Inf bucket: the best bounded answer is the top
+	// finite bound (or the sum/count mean when there are no finite bounds).
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return h.Sum() / float64(total)
+}
+
 // Bounds returns the bucket upper bounds. Nil-safe.
 func (h *Histogram) Bounds() []float64 {
 	if h == nil {

@@ -35,4 +35,26 @@ const (
 	SvcQueueDepth = "ddserved_queue_depth"
 	// SvcJobsInflight is the current number of running jobs.
 	SvcJobsInflight = "ddserved_jobs_inflight"
+	// SvcWorkerUtilization is the running-job share of the worker pool, in
+	// whole percent (100 = every worker busy).
+	SvcWorkerUtilization = "ddserved_worker_utilization_pct"
+
+	// SvcHTTPLatencyPrefix prefixes the per-endpoint wall-clock latency
+	// histograms (milliseconds); the route key is appended, e.g.
+	// ddserved_http_latency_ms_post_jobs. Wall-clock values are fine here:
+	// the service registry is a diagnostics surface, not a deterministic
+	// export.
+	SvcHTTPLatencyPrefix = "ddserved_http_latency_ms_"
+	// SvcQueueWait is the queued-to-running wall-clock wait histogram
+	// (milliseconds).
+	SvcQueueWait = "ddserved_queue_wait_ms"
+	// SvcJobDuration is the job execution wall-clock histogram
+	// (milliseconds), cache hits excluded.
+	SvcJobDuration = "ddserved_job_duration_ms"
+
+	// SvcSLORequests / SvcSLOBreaches feed the latency SLO error budget:
+	// every measured request, and those slower than the configured
+	// threshold.
+	SvcSLORequests = "ddserved_slo_requests_total"
+	SvcSLOBreaches = "ddserved_slo_breaches_total"
 )

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// TimedSpan is one wall-clock-timed stretch of service work: an HTTP
+// request, a queued job's wait, a job's execution. It is the operational
+// counterpart of the simulated-cycle Span — where Span answers "when was
+// this thread in analysis mode", TimedSpan answers "where did this request
+// spend its milliseconds".
+//
+// Spans form a tree: StartSpan links the new span to the one already in the
+// context, so a job executed by a worker goroutine still names the request
+// that submitted it. On End, the duration is observed into any histograms
+// attached with ObserveInto, which is how per-endpoint latency
+// distributions get fed without the handler knowing about metrics.
+//
+// TimedSpans measure wall-clock time and therefore must never contribute to
+// deterministic exports; they feed the service registry (a diagnostics
+// surface), not the simulation one. A nil *TimedSpan is a valid no-op
+// receiver, matching the package's tracer and registry conventions.
+type TimedSpan struct {
+	name   string
+	parent *TimedSpan
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []SpanAttr
+	hists []*Histogram
+	ended bool
+	dur   time.Duration
+}
+
+// SpanAttr is one key/value annotation on a span.
+type SpanAttr struct {
+	Key, Value string
+}
+
+// spanKey carries the active span through a context.
+type spanKey struct{}
+
+// StartSpan begins a span named name, parented to the span in ctx (if any),
+// and returns a derived context carrying the new span. The clock starts
+// immediately.
+func StartSpan(ctx context.Context, name string) (context.Context, *TimedSpan) {
+	s := &TimedSpan{name: name, parent: SpanFrom(ctx), start: time.Now()}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// SpanFrom returns the span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *TimedSpan {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*TimedSpan)
+	return s
+}
+
+// Name returns the span's name. Nil-safe.
+func (s *TimedSpan) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Parent returns the span this one was started under, or nil. Nil-safe.
+func (s *TimedSpan) Parent() *TimedSpan {
+	if s == nil {
+		return nil
+	}
+	return s.parent
+}
+
+// Path returns the slash-joined names from the root span down to this one —
+// the label access logs use to show request/job lineage. Nil-safe.
+func (s *TimedSpan) Path() string {
+	if s == nil {
+		return ""
+	}
+	if s.parent == nil {
+		return s.name
+	}
+	return s.parent.Path() + "/" + s.name
+}
+
+// SetAttr annotates the span. Later values for the same key append rather
+// than overwrite; readers see attributes in set order. Nil-safe.
+func (s *TimedSpan) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.attrs = append(s.attrs, SpanAttr{Key: key, Value: value})
+}
+
+// Attrs returns a copy of the span's annotations. Nil-safe.
+func (s *TimedSpan) Attrs() []SpanAttr {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]SpanAttr(nil), s.attrs...)
+}
+
+// ObserveInto registers h to receive the span's duration, in fractional
+// milliseconds, when End is called. Safe to call with a nil histogram (the
+// registration is skipped). Nil-safe.
+func (s *TimedSpan) ObserveInto(h *Histogram) {
+	if s == nil || h == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hists = append(s.hists, h)
+}
+
+// End stops the clock, feeds every attached histogram, and returns the
+// wall-clock duration. End is idempotent: the first call wins, later calls
+// return the recorded duration without re-observing. Nil-safe (returns 0).
+func (s *TimedSpan) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	if s.ended {
+		d := s.dur
+		s.mu.Unlock()
+		return d
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	hists := s.hists
+	d := s.dur
+	s.mu.Unlock()
+	ms := float64(d) / float64(time.Millisecond)
+	for _, h := range hists {
+		h.Observe(ms)
+	}
+	return d
+}
+
+// Duration returns the span length if ended, else the running elapsed time.
+// Nil-safe.
+func (s *TimedSpan) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// LatencyBuckets are the shared bucket bounds, in milliseconds, for
+// wall-clock latency histograms (HTTP requests, queue waits, job
+// executions). The sub-millisecond low end keeps percentile estimates
+// non-degenerate for fast in-process handlers; the top end covers the
+// longest job deadlines.
+var LatencyBuckets = []float64{
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+	1000, 2500, 5000, 10000, 30000, 60000,
+}

@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanLineage(t *testing.T) {
+	ctx, root := StartSpan(context.Background(), "http:post_jobs")
+	ctx2, child := StartSpan(ctx, "job")
+
+	if SpanFrom(ctx) != root || SpanFrom(ctx2) != child {
+		t.Fatal("contexts do not carry the expected spans")
+	}
+	if child.Parent() != root {
+		t.Errorf("child parent = %v, want root", child.Parent().Name())
+	}
+	if got := child.Path(); got != "http:post_jobs/job" {
+		t.Errorf("Path = %q", got)
+	}
+	if SpanFrom(context.Background()) != nil {
+		t.Error("empty context should carry no span")
+	}
+}
+
+func TestSpanAttrs(t *testing.T) {
+	_, s := StartSpan(context.Background(), "s")
+	s.SetAttr("job_id", "j-1")
+	s.SetAttr("kind", "kernel")
+	got := s.Attrs()
+	if len(got) != 2 || got[0] != (SpanAttr{"job_id", "j-1"}) || got[1] != (SpanAttr{"kind", "kernel"}) {
+		t.Errorf("Attrs = %v", got)
+	}
+}
+
+func TestSpanEndIdempotentAndObserves(t *testing.T) {
+	h := newHistogram(LatencyBuckets)
+	_, s := StartSpan(context.Background(), "s")
+	s.ObserveInto(h)
+	s.ObserveInto(nil) // must be skipped, not crash at End
+
+	d1 := s.End()
+	d2 := s.End()
+	if d1 != d2 {
+		t.Errorf("End not idempotent: %v then %v", d1, d2)
+	}
+	if got := h.Count(); got != 1 {
+		t.Errorf("histogram observed %d times, want 1", got)
+	}
+	if s.Duration() != d1 {
+		t.Errorf("Duration after End = %v, want %v", s.Duration(), d1)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var s *TimedSpan
+	s.SetAttr("k", "v")
+	s.ObserveInto(newHistogram(nil))
+	if s.End() != 0 || s.Duration() != 0 || s.Name() != "" || s.Path() != "" || s.Parent() != nil || s.Attrs() != nil {
+		t.Error("nil span methods must be no-ops")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	// 100 observations landing in the (1,10] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 1 || p50 > 10 {
+		t.Errorf("p50 = %v, want within (1,10]", p50)
+	}
+	// Out-of-range q clamps instead of panicking.
+	if h.Quantile(-1) < 0 || h.Quantile(2) > 10 {
+		t.Errorf("clamped quantiles out of range: %v %v", h.Quantile(-1), h.Quantile(2))
+	}
+	// +Inf bucket clamps to the top finite bound.
+	h2 := newHistogram([]float64{1, 10})
+	h2.Observe(1e6)
+	if got := h2.Quantile(0.99); got != 10 {
+		t.Errorf("overflow quantile = %v, want top bound 10", got)
+	}
+}
+
+// TestExportersUnderConcurrentWriters hammers the shared registry from
+// parallel span/metric emitters while Prometheus exporters snapshot it, and
+// runs concurrent NDJSON exports over per-writer tracers (a Tracer is
+// single-owner by contract — each simulated run has its own, like its cache
+// hierarchy). Both outputs must stay parseable throughout. Run with -race
+// this doubles as the data-race check the exporters promise.
+func TestExportersUnderConcurrentWriters(t *testing.T) {
+	reg := NewRegistry()
+
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	tracers := make([]*Tracer, writers)
+	for w := 0; w < writers; w++ {
+		tracers[w] = NewTracer()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			tr := tracers[w]
+			h := reg.Histogram("svc_latency_ms", LatencyBuckets)
+			c := reg.Counter("svc_requests_total")
+			g := reg.Gauge("svc_inflight")
+			for i := 0; i < perWriter; i++ {
+				_, s := StartSpan(context.Background(), fmt.Sprintf("w%d", w))
+				s.ObserveInto(h)
+				s.SetAttr("i", "x")
+				c.Inc()
+				g.Set(int64(i))
+				s.End()
+				tr.Emit(KindSampleDelivered, w, 0, uint64(i), 0, "concurrent")
+			}
+		}(w)
+	}
+
+	// A quiesced tracer whose events the NDJSON exporters share read-only.
+	done := NewTracer()
+	for i := 0; i < 100; i++ {
+		done.Emit(KindHITM, i%4, 0, uint64(i), 1, "pre-filled")
+	}
+
+	// Exporters race the metric writers: exposition must stay well-formed
+	// even when snapshotted mid-update.
+	var exwg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		exwg.Add(1)
+		go func() {
+			defer exwg.Done()
+			<-start
+			for j := 0; j < 20; j++ {
+				var prom, nd bytes.Buffer
+				if err := reg.WriteProm(&prom); err != nil {
+					t.Errorf("WriteProm: %v", err)
+				}
+				checkPromParses(t, prom.Bytes())
+				if err := WriteNDJSON(&nd, done.Events()); err != nil {
+					t.Errorf("WriteNDJSON: %v", err)
+				}
+				checkNDJSONParses(t, nd.Bytes())
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	exwg.Wait()
+
+	// Per-writer tracers, now quiesced, must each export parseable NDJSON.
+	for w, tr := range tracers {
+		var nd bytes.Buffer
+		if err := WriteNDJSON(&nd, tr.Events()); err != nil {
+			t.Fatalf("writer %d NDJSON: %v", w, err)
+		}
+		checkNDJSONParses(t, nd.Bytes())
+		if tr.Len() != perWriter {
+			t.Errorf("writer %d recorded %d events, want %d", w, tr.Len(), perWriter)
+		}
+	}
+
+	// Quiesced: totals must be exact.
+	if got := reg.CounterValue("svc_requests_total"); got != writers*perWriter {
+		t.Errorf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := reg.Histogram("svc_latency_ms", nil).Count(); got != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+	var prom bytes.Buffer
+	if err := reg.WriteProm(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), fmt.Sprintf("svc_requests_total %d", writers*perWriter)) {
+		t.Errorf("final exposition missing exact total:\n%s", prom.String())
+	}
+}
+
+// checkPromParses validates the text exposition line-by-line: comments are
+// "# TYPE name kind", samples are "name[{labels}] value".
+func checkPromParses(t *testing.T, b []byte) {
+	t.Helper()
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) != 4 || f[1] != "TYPE" {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		if _, err := fmt.Sscanf(f[1], "%f", new(float64)); err != nil {
+			t.Fatalf("non-numeric value in %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// checkNDJSONParses requires every line to be a standalone JSON object.
+func checkNDJSONParses(t *testing.T, b []byte) {
+	t.Helper()
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("NDJSON line does not parse: %v\n%s", err, sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanDurationRuns(t *testing.T) {
+	_, s := StartSpan(context.Background(), "s")
+	time.Sleep(time.Millisecond)
+	if s.Duration() <= 0 {
+		t.Error("running span should report positive elapsed time")
+	}
+}

@@ -1,0 +1,274 @@
+// Package prof is the deterministic cycle profiler: a sampling profiler for
+// the *simulated* machine, answering "which kernel site burns the tool's
+// cycles, in which analysis mode, on which thread".
+//
+// A real sampling profiler arms a timer and attributes each tick to the
+// code that was running. This one does exactly that against the cost
+// model's tool clock: every Every simulated cycles, the op whose charge
+// crossed the sampling boundary receives one sample, attributed to the
+// executing thread, its current analysis mode (fast vs. analysis), and its
+// current kernel site — the region label set by the program's OpMark
+// annotations, the stand-in for source locations. Because the clock is
+// simulated cycles and the scheduler is deterministic, the profile is a
+// pure function of (program, config, seed): the folded-stack export is
+// byte-identical across runs, machines, and -workers widths, like every
+// other artifact in this repository.
+//
+// Exports are the two shapes profiling tools expect: folded stacks
+// (program;thread;mode;site count — feed to any flamegraph renderer) and a
+// top-N table aggregated by site and mode. The package depends only on
+// internal/obs (for the Clock type) and internal/stats (for tables).
+package prof
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"demandrace/internal/obs"
+	"demandrace/internal/stats"
+)
+
+// DefaultEvery is the default sampling period in simulated tool cycles.
+// Small enough that second-scale kernels collect thousands of samples,
+// large enough to stay off every op's fast path.
+const DefaultEvery = 1024
+
+// RootSite is the site label attributed to execution before a thread's
+// first OpMark annotation.
+const RootSite = "main"
+
+// sampleKey is one attribution bucket.
+type sampleKey struct {
+	thread    int
+	analyzing bool
+	site      string
+}
+
+// Profiler collects cycle samples for one run. Like the tracer, a Profiler
+// belongs to a single run and is not safe for concurrent use; a nil
+// *Profiler is a valid no-op receiver, so instrumentation sites cost one
+// pointer test when profiling is off.
+type Profiler struct {
+	every  uint64
+	clock  obs.Clock
+	next   uint64
+	sites  []string
+	counts map[sampleKey]uint64
+	total  uint64
+}
+
+// New builds a profiler sampling every `every` simulated cycles
+// (0 = DefaultEvery).
+func New(every uint64) *Profiler {
+	if every == 0 {
+		every = DefaultEvery
+	}
+	return &Profiler{
+		every:  every,
+		next:   every,
+		counts: make(map[sampleKey]uint64),
+	}
+}
+
+// Every returns the sampling period in cycles. Nil-safe.
+func (p *Profiler) Every() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.every
+}
+
+// SetClock installs the simulated-cycle clock (the cost accumulator's
+// tool-cycle counter). Without a clock, Tick never fires. Nil-safe.
+func (p *Profiler) SetClock(c obs.Clock) {
+	if p == nil {
+		return
+	}
+	p.clock = c
+}
+
+// SetThreads sizes the per-thread site table. Threads beyond the sized
+// range grow the table lazily. Nil-safe.
+func (p *Profiler) SetThreads(n int) {
+	if p == nil {
+		return
+	}
+	p.growTo(n)
+}
+
+func (p *Profiler) growTo(n int) {
+	for len(p.sites) < n {
+		p.sites = append(p.sites, RootSite)
+	}
+}
+
+// Mark records that thread t entered kernel site `site` (an OpMark region
+// label). Subsequent samples on t attribute there until the next Mark.
+// Nil-safe.
+func (p *Profiler) Mark(t int, site string) {
+	if p == nil || t < 0 {
+		return
+	}
+	p.growTo(t + 1)
+	if site == "" {
+		site = RootSite
+	}
+	p.sites[t] = site
+}
+
+// Tick is called after thread t's op has been charged to the cost model;
+// analyzing is the thread's mode during that op. Every sampling boundary
+// the charge crossed books one sample against (t, mode, site). An op
+// costing more than one period (a long Compute, a page-fault storm)
+// correctly receives multiple samples — that is what makes sample counts
+// proportional to cycles. Nil-safe.
+func (p *Profiler) Tick(t int, analyzing bool) {
+	if p == nil || p.clock == nil || t < 0 {
+		return
+	}
+	now := p.clock()
+	if now < p.next {
+		return
+	}
+	p.growTo(t + 1)
+	key := sampleKey{thread: t, analyzing: analyzing, site: p.sites[t]}
+	for now >= p.next {
+		p.counts[key]++
+		p.total++
+		p.next += p.every
+	}
+}
+
+// Total returns the number of samples collected. Nil-safe.
+func (p *Profiler) Total() uint64 {
+	if p == nil {
+		return 0
+	}
+	return p.total
+}
+
+// Entry is one attribution bucket of a finished profile, JSON-exported in
+// service job results.
+type Entry struct {
+	Thread  int    `json:"thread"`
+	Mode    string `json:"mode"` // "fast" or "analysis"
+	Site    string `json:"site"`
+	Samples uint64 `json:"samples"`
+}
+
+// Profile is the immutable result of one run's sampling.
+type Profile struct {
+	// Program names the profiled kernel.
+	Program string `json:"program"`
+	// Every is the sampling period in simulated cycles.
+	Every uint64 `json:"every"`
+	// TotalSamples is the sample count across all entries.
+	TotalSamples uint64 `json:"total_samples"`
+	// Entries are the buckets, sorted by thread, then mode, then site —
+	// a deterministic order for a deterministic sampler.
+	Entries []Entry `json:"entries"`
+}
+
+func modeString(analyzing bool) string {
+	if analyzing {
+		return "analysis"
+	}
+	return "fast"
+}
+
+// Snapshot freezes the collected samples into a Profile. Nil-safe (returns
+// an empty profile).
+func (p *Profiler) Snapshot(program string) *Profile {
+	pr := &Profile{Program: program}
+	if p == nil {
+		return pr
+	}
+	pr.Every = p.every
+	pr.TotalSamples = p.total
+	pr.Entries = make([]Entry, 0, len(p.counts))
+	for k, n := range p.counts {
+		pr.Entries = append(pr.Entries, Entry{
+			Thread: k.thread, Mode: modeString(k.analyzing), Site: k.site, Samples: n,
+		})
+	}
+	sort.Slice(pr.Entries, func(i, j int) bool {
+		a, b := pr.Entries[i], pr.Entries[j]
+		if a.Thread != b.Thread {
+			return a.Thread < b.Thread
+		}
+		if a.Mode != b.Mode {
+			return a.Mode < b.Mode
+		}
+		return a.Site < b.Site
+	})
+	return pr
+}
+
+// WriteFolded writes the profile as folded stacks, one line per bucket:
+//
+//	program;t<thread>;<mode>;<site> <samples>
+//
+// The format every flamegraph renderer accepts (flamegraph.pl, inferno,
+// speedscope). Lines follow Entries order, so output bytes are a pure
+// function of the profile.
+func (pr *Profile) WriteFolded(w io.Writer) error {
+	for _, e := range pr.Entries {
+		if _, err := fmt.Fprintf(w, "%s;t%d;%s;%s %d\n",
+			pr.Program, e.Thread, e.Mode, e.Site, e.Samples); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Top aggregates the profile by (site, mode) across threads and returns the
+// n hottest rows as a table, with each row's share of total samples and of
+// cycles (samples × period). Ties break by site then mode, keeping the
+// table deterministic.
+func (pr *Profile) Top(n int) *stats.Table {
+	type agg struct {
+		site, mode string
+		samples    uint64
+	}
+	m := make(map[[2]string]*agg)
+	for _, e := range pr.Entries {
+		k := [2]string{e.Site, e.Mode}
+		a, ok := m[k]
+		if !ok {
+			a = &agg{site: e.Site, mode: e.Mode}
+			m[k] = a
+		}
+		a.samples += e.Samples
+	}
+	rows := make([]*agg, 0, len(m))
+	for _, a := range m {
+		rows = append(rows, a)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].samples != rows[j].samples {
+			return rows[i].samples > rows[j].samples
+		}
+		if rows[i].site != rows[j].site {
+			return rows[i].site < rows[j].site
+		}
+		return rows[i].mode < rows[j].mode
+	})
+	if n > 0 && len(rows) > n {
+		rows = rows[:n]
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("cycle profile: %s (%d samples × %d cycles)", pr.Program, pr.TotalSamples, pr.Every),
+		"site", "mode", "samples", "cycles", "share")
+	for _, a := range rows {
+		share := 0.0
+		if pr.TotalSamples > 0 {
+			share = float64(a.samples) / float64(pr.TotalSamples)
+		}
+		tb.AddRow(a.site, a.mode,
+			fmt.Sprintf("%d", a.samples),
+			fmt.Sprintf("%d", a.samples*pr.Every),
+			fmt.Sprintf("%.1f%%", 100*share))
+	}
+	return tb
+}

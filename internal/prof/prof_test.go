@@ -1,0 +1,201 @@
+package prof
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fakeClock is a settable simulated-cycle clock.
+type fakeClock struct{ now uint64 }
+
+func (c *fakeClock) clock() uint64 { return c.now }
+
+func TestTickSamplesOnPeriodBoundary(t *testing.T) {
+	p := New(100)
+	c := &fakeClock{}
+	p.SetClock(c.clock)
+	p.SetThreads(2)
+
+	c.now = 99
+	p.Tick(0, false)
+	if p.Total() != 0 {
+		t.Fatalf("sampled before the boundary: %d", p.Total())
+	}
+	c.now = 100
+	p.Tick(0, false)
+	if p.Total() != 1 {
+		t.Fatalf("boundary crossing should sample once, got %d", p.Total())
+	}
+	// Same clock value again: the boundary was consumed.
+	p.Tick(1, true)
+	if p.Total() != 1 {
+		t.Fatalf("re-tick at same cycle resampled: %d", p.Total())
+	}
+}
+
+func TestTickMultiPeriodOpGetsMultipleSamples(t *testing.T) {
+	p := New(100)
+	c := &fakeClock{}
+	p.SetClock(c.clock)
+	p.Mark(0, "storm")
+
+	// One op whose charge jumps the clock across 5 boundaries: sample count
+	// must be cycle-proportional, like a real PMU interrupt storm.
+	c.now = 512
+	p.Tick(0, true)
+	if p.Total() != 5 {
+		t.Fatalf("512 cycles / 100 per sample should book 5 samples, got %d", p.Total())
+	}
+	pr := p.Snapshot("k")
+	if len(pr.Entries) != 1 || pr.Entries[0].Samples != 5 || pr.Entries[0].Site != "storm" {
+		t.Fatalf("entries = %+v", pr.Entries)
+	}
+}
+
+func TestMarkRoutesAttribution(t *testing.T) {
+	p := New(10)
+	c := &fakeClock{}
+	p.SetClock(c.clock)
+
+	p.Mark(0, "map")
+	c.now = 10
+	p.Tick(0, false)
+	p.Mark(0, "reduce")
+	c.now = 20
+	p.Tick(0, true)
+	p.Mark(0, "") // empty label falls back to the root site
+	c.now = 30
+	p.Tick(0, false)
+
+	pr := p.Snapshot("k")
+	bySite := map[string]Entry{}
+	for _, e := range pr.Entries {
+		bySite[e.Site] = e
+	}
+	if bySite["map"].Mode != "fast" || bySite["map"].Samples != 1 {
+		t.Errorf("map entry = %+v", bySite["map"])
+	}
+	if bySite["reduce"].Mode != "analysis" || bySite["reduce"].Samples != 1 {
+		t.Errorf("reduce entry = %+v", bySite["reduce"])
+	}
+	if bySite[RootSite].Samples != 1 {
+		t.Errorf("root entry = %+v", bySite[RootSite])
+	}
+}
+
+func TestSnapshotOrderDeterministic(t *testing.T) {
+	build := func() *Profile {
+		p := New(1)
+		c := &fakeClock{}
+		p.SetClock(c.clock)
+		for i, site := range []string{"b", "a", "c", "a"} {
+			th := i % 2
+			p.Mark(th, site)
+			c.now += 3
+			p.Tick(th, i%2 == 0)
+		}
+		return p.Snapshot("k")
+	}
+	a, b := build(), build()
+	var fa, fb bytes.Buffer
+	if err := a.WriteFolded(&fa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteFolded(&fb); err != nil {
+		t.Fatal(err)
+	}
+	if fa.String() != fb.String() {
+		t.Fatalf("folded output differs between identical runs:\n%s\nvs\n%s", fa.String(), fb.String())
+	}
+	for i := 1; i < len(a.Entries); i++ {
+		p, q := a.Entries[i-1], a.Entries[i]
+		if p.Thread > q.Thread ||
+			(p.Thread == q.Thread && p.Mode > q.Mode) ||
+			(p.Thread == q.Thread && p.Mode == q.Mode && p.Site >= q.Site) {
+			t.Fatalf("entries not sorted at %d: %+v then %+v", i, p, q)
+		}
+	}
+}
+
+func TestWriteFoldedFormat(t *testing.T) {
+	pr := &Profile{
+		Program: "histogram",
+		Every:   1024,
+		Entries: []Entry{
+			{Thread: 0, Mode: "fast", Site: "map", Samples: 3},
+			{Thread: 1, Mode: "analysis", Site: "reduce", Samples: 7},
+		},
+	}
+	var buf bytes.Buffer
+	if err := pr.WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "histogram;t0;fast;map 3\nhistogram;t1;analysis;reduce 7\n"
+	if buf.String() != want {
+		t.Fatalf("folded output:\n%q\nwant\n%q", buf.String(), want)
+	}
+	// Flamegraph contract: semicolon-separated frames, space, count.
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		stack, count, ok := strings.Cut(line, " ")
+		if !ok || strings.Count(stack, ";") != 3 || count == "" {
+			t.Errorf("line %q is not a 4-frame folded stack", line)
+		}
+	}
+}
+
+func TestTopAggregatesAcrossThreads(t *testing.T) {
+	p := New(10)
+	c := &fakeClock{}
+	p.SetClock(c.clock)
+	// Same site+mode on two threads: Top must merge them.
+	p.Mark(0, "hot")
+	c.now = 10
+	p.Tick(0, true)
+	p.Mark(1, "hot")
+	c.now = 20
+	p.Tick(1, true)
+	p.Mark(0, "cold")
+	c.now = 30
+	p.Tick(0, false)
+
+	tb := p.Snapshot("k").Top(10)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + column row + separator + 2 aggregated rows.
+	if !strings.Contains(lines[len(lines)-2], "hot") || !strings.Contains(lines[len(lines)-2], "2") {
+		t.Errorf("hottest row should be hot/analysis with 2 samples:\n%s", out)
+	}
+	if !strings.Contains(out, "cold") {
+		t.Errorf("missing cold row:\n%s", out)
+	}
+}
+
+func TestNilProfilerIsNoOp(t *testing.T) {
+	var p *Profiler
+	p.SetClock(func() uint64 { return 1 })
+	p.SetThreads(4)
+	p.Mark(0, "x")
+	p.Tick(0, true)
+	if p.Total() != 0 || p.Every() != 0 {
+		t.Error("nil profiler should account nothing")
+	}
+	pr := p.Snapshot("k")
+	if pr.TotalSamples != 0 || len(pr.Entries) != 0 {
+		t.Errorf("nil snapshot = %+v", pr)
+	}
+}
+
+func TestNoClockNeverFires(t *testing.T) {
+	p := New(1)
+	p.Tick(0, true)
+	if p.Total() != 0 {
+		t.Error("profiler without a clock sampled")
+	}
+}
+
+func TestNewZeroUsesDefault(t *testing.T) {
+	if got := New(0).Every(); got != DefaultEvery {
+		t.Errorf("Every = %d, want %d", got, DefaultEvery)
+	}
+}

@@ -1,0 +1,116 @@
+package runner
+
+import (
+	"bytes"
+	"testing"
+
+	"demandrace/internal/demand"
+	"demandrace/internal/prof"
+	"demandrace/internal/program"
+)
+
+// regionedLoop is a racy producer/consumer with labeled phases, so profile
+// samples have sites to attribute to.
+func regionedLoop(iters int) *program.Program {
+	b := program.NewBuilder("regioned-loop")
+	x := b.Space().AllocLine(8)
+	t0, t1 := b.Thread(), b.Thread()
+	t0.Region("produce")
+	t1.Region("consume")
+	for i := 0; i < iters; i++ {
+		t0.Store(x).Compute(5)
+		t1.Load(x).Compute(5)
+	}
+	return b.MustBuild()
+}
+
+func TestProfileCollectsAndAttributes(t *testing.T) {
+	cfg := DefaultConfig().WithPolicy(demand.Continuous)
+	cfg.Prof = prof.New(256)
+	r := mustRun(t, regionedLoop(200), cfg)
+
+	if r.Profile == nil {
+		t.Fatal("report carries no profile despite cfg.Prof")
+	}
+	if r.Profile.TotalSamples == 0 {
+		t.Fatal("profiler collected no samples over a multi-thousand-cycle run")
+	}
+	if r.Profile.Every != 256 {
+		t.Errorf("profile period = %d, want 256", r.Profile.Every)
+	}
+	sites := map[string]bool{}
+	var sum uint64
+	for _, e := range r.Profile.Entries {
+		sites[e.Site] = true
+		sum += e.Samples
+	}
+	if sum != r.Profile.TotalSamples {
+		t.Errorf("entry samples sum %d != total %d", sum, r.Profile.TotalSamples)
+	}
+	if !sites["produce"] || !sites["consume"] {
+		t.Errorf("expected produce/consume attribution, got sites %v", sites)
+	}
+	// Under continuous analysis every sampled op should be in analysis mode.
+	for _, e := range r.Profile.Entries {
+		if e.Mode != "analysis" {
+			t.Errorf("continuous policy sampled %q mode: %+v", e.Mode, e)
+		}
+	}
+}
+
+func TestProfileSampleCountMatchesCycles(t *testing.T) {
+	cfg := DefaultConfig().WithPolicy(demand.HITMDemand)
+	cfg.Prof = prof.New(100)
+	r := mustRun(t, regionedLoop(100), cfg)
+	// The sampler fires once per crossed 100-cycle boundary, so the count
+	// tracks ToolCycles/period — minus whatever teardown charges (final mode
+	// switches, decay sweeps) land after the last executed op's tick. Allow
+	// that slack but insist the count is cycle-proportional, never more than
+	// the clock allows.
+	want := r.ToolCycles / 100
+	got := r.Profile.TotalSamples
+	if got > want+1 || got < want*8/10 {
+		t.Errorf("samples = %d, want within [%d, %d] (tool cycles %d)", got, want*8/10, want+1, r.ToolCycles)
+	}
+}
+
+func TestProfileByteDeterministic(t *testing.T) {
+	folded := func() []byte {
+		cfg := DefaultConfig().WithPolicy(demand.HITMDemand)
+		cfg.Prof = prof.New(0)
+		r := mustRun(t, regionedLoop(150), cfg)
+		var buf bytes.Buffer
+		if err := r.Profile.WriteFolded(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := folded(), folded()
+	if len(a) == 0 {
+		t.Fatal("empty folded output")
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("folded output differs across identical runs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestNoProfilerNoProfile(t *testing.T) {
+	r := mustRun(t, regionedLoop(10), DefaultConfig().WithPolicy(demand.HITMDemand))
+	if r.Profile != nil {
+		t.Errorf("report has a profile without cfg.Prof: %+v", r.Profile)
+	}
+}
+
+func TestCostBreakdownSumsToToolCycles(t *testing.T) {
+	r := mustRun(t, regionedLoop(100), DefaultConfig().WithPolicy(demand.HITMDemand))
+	var sum uint64
+	for _, c := range r.Cost.Components() {
+		sum += c.Cycles
+	}
+	if sum != r.ToolCycles {
+		t.Errorf("breakdown sums to %d, tool cycles are %d", sum, r.ToolCycles)
+	}
+	if r.Cost.MemLatency == 0 || r.Cost.AnalysisMem == 0 {
+		t.Errorf("expected nonzero mem and analysis components: %+v", r.Cost)
+	}
+}

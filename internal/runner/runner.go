@@ -31,6 +31,7 @@ import (
 	"demandrace/internal/obs"
 	"demandrace/internal/parallel"
 	"demandrace/internal/perf"
+	"demandrace/internal/prof"
 	"demandrace/internal/program"
 	"demandrace/internal/sched"
 	"demandrace/internal/trace"
@@ -70,6 +71,10 @@ type Config struct {
 	// Only counters and histograms are published, so one registry may be
 	// shared across parallel runs and still export deterministic totals.
 	Metrics *obs.Registry
+	// Prof, when non-nil, samples (thread, analysis-mode, kernel-site)
+	// every N simulated cycles against the cost model's tool clock. The
+	// resulting profile is deterministic and lands in Report.Profile.
+	Prof *prof.Profiler
 }
 
 // DefaultConfig is a 4-core machine running the paper's demand-driven
@@ -125,10 +130,11 @@ type Report struct {
 	Policy  demand.PolicyKind
 
 	// NativeCycles and ToolCycles are the cost model's totals; Slowdown is
-	// their ratio.
+	// their ratio. Cost attributes the tool cycles by source.
 	NativeCycles uint64
 	ToolCycles   uint64
 	Slowdown     float64
+	Cost         cost.Breakdown
 
 	// Races are the happens-before reports.
 	Races []detector.Report
@@ -158,6 +164,10 @@ type Report struct {
 	// was set). The report package renders it as the mode-timeline
 	// section.
 	Timeline []obs.Span
+	// Profile is the deterministic cycle profile (nil unless Config.Prof
+	// was set): sample counts by (thread, mode, kernel site), ready for
+	// folded-stack export.
+	Profile *prof.Profile `json:",omitempty"`
 }
 
 // SharingFraction is the fraction of data accesses that hit a remote
@@ -313,6 +323,12 @@ func (e *executor) Exec(t vclock.TID, ctx cache.Context, op program.Op) {
 		if e.cfg.Tracer != nil {
 			e.cfg.Tracer.RecordMark(t, ctx, label)
 		}
+		e.cfg.Prof.Mark(int(t), label)
+	}
+	if e.cfg.Prof != nil {
+		// The op above advanced the tool clock; attribute any sampling
+		// boundaries it crossed to the thread that was executing.
+		e.cfg.Prof.Tick(int(t), e.ctl.Analyzing(t))
 	}
 }
 
@@ -330,6 +346,9 @@ func (e *executor) BarrierRelease(id program.SyncID, parties []vclock.TID) {
 			e.acc.Sync(true)
 		} else {
 			e.acc.Sync(false)
+		}
+		if e.cfg.Prof != nil {
+			e.cfg.Prof.Tick(int(p), e.ctl.Analyzing(p))
 		}
 	}
 	if e.cfg.Tracer != nil {
@@ -381,6 +400,12 @@ func RunContext(ctx context.Context, p *program.Program, cfg Config) (*Report, e
 		ctl.SetTracer(cfg.Trace)
 		det.SetTracer(cfg.Trace)
 	}
+	if cfg.Prof != nil {
+		// The profiler samples against the same tool clock the telemetry
+		// uses, so profiles inherit the determinism contract.
+		cfg.Prof.SetClock(acc.ToolCycles)
+		cfg.Prof.SetThreads(p.NumThreads())
+	}
 
 	rep := &Report{Program: p.Name, Policy: cfg.Demand.Kind}
 	ex := &executor{
@@ -429,6 +454,7 @@ func RunContext(ctx context.Context, p *program.Program, cfg Config) (*Report, e
 	rep.NativeCycles = acc.NativeCycles()
 	rep.ToolCycles = acc.ToolCycles()
 	rep.Slowdown = acc.Slowdown()
+	rep.Cost = acc.Breakdown()
 	rep.Races = det.Reports()
 	if ex.ls != nil {
 		rep.LocksetReports = ex.ls.Reports()
@@ -446,6 +472,9 @@ func RunContext(ctx context.Context, p *program.Program, cfg Config) (*Report, e
 	if cfg.Trace != nil {
 		rep.Timeline = obs.ThreadSpans(cfg.Trace.Events(), acc.ToolCycles(),
 			p.NumThreads(), cfg.Demand.Kind == demand.Continuous)
+	}
+	if cfg.Prof != nil {
+		rep.Profile = cfg.Prof.Snapshot(p.Name)
 	}
 	publishMetrics(cfg.Metrics, rep)
 	return rep, nil

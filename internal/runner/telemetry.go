@@ -23,8 +23,12 @@ func publishMetrics(reg *obs.Registry, rep *Report) {
 	reg.Counter("ddrace_runs_total").Inc()
 
 	// Cost model: the two cycle totals; slowdown is their ratio, banded.
+	// The breakdown answers "where do the tool cycles go" per source.
 	reg.Counter("ddrace_cycles_native_total").Add(rep.NativeCycles)
 	reg.Counter("ddrace_cycles_tool_total").Add(rep.ToolCycles)
+	for _, c := range rep.Cost.Components() {
+		reg.Counter("ddrace_cost_" + c.Name + "_cycles_total").Add(c.Cycles)
+	}
 	reg.Histogram("ddrace_run_slowdown", slowdownBuckets).Observe(rep.Slowdown)
 	reg.Histogram("ddrace_run_analyzed_fraction", analyzedBuckets).Observe(rep.Demand.AnalyzedFraction())
 

@@ -85,6 +85,23 @@ func (c Config) validate() error {
 	return nil
 }
 
+// InterruptedError reports a run stopped by context cancellation, carrying
+// how far it got — the number the service's job-lifecycle logs attribute a
+// timeout to. It unwraps to the context error, so errors.Is(err, ctx.Err())
+// keeps working for every existing caller.
+type InterruptedError struct {
+	// Steps is the number of ops executed before the interruption.
+	Steps uint64
+	// Err is the context's error (context.Canceled or DeadlineExceeded).
+	Err error
+}
+
+func (e *InterruptedError) Error() string {
+	return fmt.Sprintf("sched: run interrupted after %d steps: %v", e.Steps, e.Err)
+}
+
+func (e *InterruptedError) Unwrap() error { return e.Err }
+
 // DeadlockError reports that no thread can make progress.
 type DeadlockError struct {
 	// Blocked describes each stuck thread.
@@ -190,7 +207,7 @@ func (s *Scheduler) RunContext(ctx context.Context, ex Executor) error {
 		if done != nil {
 			select {
 			case <-done:
-				return fmt.Errorf("sched: run interrupted after %d steps: %w", s.steps, ctx.Err())
+				return &InterruptedError{Steps: s.steps, Err: ctx.Err()}
 			default:
 			}
 		}

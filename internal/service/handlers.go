@@ -7,6 +7,7 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
+	"time"
 
 	"demandrace/internal/obs"
 	"demandrace/internal/trace"
@@ -16,29 +17,105 @@ import (
 // application/octet-stream is accepted as a synonym.
 const TraceContentType = "application/x-ddrace-trace"
 
+// route pairs a mux pattern with the stable key used for its latency
+// histogram (obs.SvcHTTPLatencyPrefix + key) and the /v1/stats row. quiet
+// routes are polled by infrastructure, so their access logs emit at debug.
+type route struct {
+	pattern string
+	key     string
+	quiet   bool
+	handler http.HandlerFunc
+}
+
+// routes returns the API surface in a fixed order — the same order
+// /v1/stats reports endpoints in.
+func (s *Server) routes() []route {
+	return []route{
+		{"POST /v1/jobs", "post_jobs", false, s.handleSubmit},
+		{"GET /v1/jobs/{id}", "get_job", false, s.handleStatus},
+		{"GET /v1/results/{id}", "get_result", false, s.handleResult},
+		{"GET /v1/stats", "get_stats", true, s.handleStats},
+		{"GET /healthz", "healthz", true, s.handleHealth},
+		{"GET /metrics", "metrics", true, s.handleMetrics},
+	}
+}
+
 // Handler returns the service API:
 //
 //	POST /v1/jobs          submit a job (JSON Request, or a binary trace
 //	                       upload with ?fullvc=1&max_reports=N&timeout_ms=D)
 //	GET  /v1/jobs/{id}     job status
 //	GET  /v1/results/{id}  result JSON of a done job
-//	GET  /healthz          liveness and drain state
+//	GET  /v1/stats         latency percentiles, SLO budget, pool state
+//	GET  /healthz          liveness, drain state, queue-pressure degradation
 //	GET  /metrics          Prometheus text exposition of the registry
 //
 // Submissions answer 202 (accepted), 200 (cache hit, already done), 400
 // (malformed), 413 (upload over limits), 429 + Retry-After (queue full),
 // or 503 (draining).
+//
+// Every route is wrapped in the observability middleware: a wall-clock
+// span, a per-endpoint latency histogram, the SLO breach counters, and a
+// structured access-log line (method, path, status, bytes, dur_ms).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for _, rt := range s.routes() {
+		mux.Handle(rt.pattern, s.instrument(rt))
+	}
 	counted := s.reg.Counter(obs.SvcHTTPRequests)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		counted.Inc()
 		mux.ServeHTTP(w, r)
+	})
+}
+
+// statusRecorder captures the status code and body bytes a handler wrote,
+// for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	n, err := sr.ResponseWriter.Write(b)
+	sr.bytes += n
+	return n, err
+}
+
+// instrument wraps one route with the request-scoped observability stack.
+func (s *Server) instrument(rt route) http.Handler {
+	hist := s.reg.Histogram(obs.SvcHTTPLatencyPrefix+rt.key, obs.LatencyBuckets)
+	sloReq := s.reg.Counter(obs.SvcSLORequests)
+	sloBreach := s.reg.Counter(obs.SvcSLOBreaches)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, span := obs.StartSpan(r.Context(), "http:"+rt.key)
+		span.ObserveInto(hist)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		rt.handler(rec, r.WithContext(ctx))
+		dur := span.End()
+
+		sloReq.Inc()
+		if dur > s.cfg.SLOLatency {
+			sloBreach.Inc()
+		}
+		logf := s.log.Info
+		if rt.quiet {
+			logf = s.log.Debug
+		}
+		logf("http request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", rt.key,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"dur_ms", float64(dur)/float64(time.Millisecond),
+		)
 	})
 }
 
@@ -58,14 +135,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if v := q.Get("timeout_ms"); v != "" {
 			opts.TimeoutMS, _ = strconv.ParseInt(v, 10, 64)
 		}
-		st, err = s.SubmitTrace(r.Body, opts)
+		st, err = s.SubmitTrace(r.Context(), r.Body, opts)
 	default:
 		var req Request
 		if derr := json.NewDecoder(r.Body).Decode(&req); derr != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", derr))
 			return
 		}
-		st, err = s.Submit(req)
+		st, err = s.Submit(r.Context(), req)
 	}
 	if err != nil {
 		s.writeSubmitError(w, err)
@@ -125,21 +202,49 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+// Health states, in degradation order. Load balancers should route traffic
+// only to "ok" backends; "degraded" (queue past the high-water mark) and
+// "draining" both answer 503 so shedding starts before hard 429 rejections.
+const (
+	HealthOK       = "ok"
+	HealthDegraded = "degraded"
+	HealthDraining = "draining"
+)
+
+// Health reports the server's current health state and queue occupancy.
+func (s *Server) Health() (state string, queued, inflight int) {
 	s.mu.Lock()
-	body := map[string]any{
-		"status":   "ok",
-		"queued":   len(s.queue),
-		"inflight": s.inflight,
+	defer s.mu.Unlock()
+	queued = len(s.queue)
+	inflight = s.inflight
+	switch {
+	case s.closed:
+		state = HealthDraining
+	case queued > s.cfg.QueueHighWater:
+		state = HealthDegraded
+	default:
+		state = HealthOK
 	}
-	draining := s.closed
-	s.mu.Unlock()
+	return state, queued, inflight
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	state, queued, inflight := s.Health()
+	body := map[string]any{
+		"status":     state,
+		"queued":     queued,
+		"inflight":   inflight,
+		"high_water": s.cfg.QueueHighWater,
+	}
 	code := http.StatusOK
-	if draining {
-		body["status"] = "draining"
+	if state != HealthOK {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, body)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,271 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	olog "demandrace/internal/obs/log"
+	"demandrace/internal/runner"
+)
+
+// syncBuffer lets the test read log output while server goroutines are
+// still writing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func getStats(t *testing.T, baseURL string) StatsSummary {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET /v1/stats: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/stats: status %d", resp.StatusCode)
+	}
+	var sum StatsSummary
+	if err := json.NewDecoder(resp.Body).Decode(&sum); err != nil {
+		t.Fatalf("decoding stats: %v", err)
+	}
+	return sum
+}
+
+func TestStatsPopulatedAfterJob(t *testing.T) {
+	_, ts, cl := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	st, err := cl.Submit(ctx, Request{Kernel: "racy_flag"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := cl.Wait(ctx, st.ID); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	sum := getStats(t, ts.URL)
+
+	if sum.Workers != 1 || sum.Health != HealthOK {
+		t.Errorf("workers/health = %d/%q", sum.Workers, sum.Health)
+	}
+	if sum.UptimeSeconds <= 0 {
+		t.Errorf("uptime = %v", sum.UptimeSeconds)
+	}
+	if sum.Jobs.Submitted != 1 || sum.Jobs.Completed != 1 {
+		t.Errorf("job counters = %+v", sum.Jobs)
+	}
+	// Endpoint rows come back in registration order, so dashboards can rely
+	// on stable positions.
+	wantRoutes := []string{"post_jobs", "get_job", "get_result", "get_stats", "healthz", "metrics"}
+	if len(sum.Endpoints) != len(wantRoutes) {
+		t.Fatalf("endpoints = %d rows, want %d", len(sum.Endpoints), len(wantRoutes))
+	}
+	for i, want := range wantRoutes {
+		if sum.Endpoints[i].Route != want {
+			t.Errorf("endpoint[%d] = %q, want %q", i, sum.Endpoints[i].Route, want)
+		}
+	}
+	// The submit and the status polls were measured: their percentiles must
+	// be non-zero (acceptance criterion for the stats endpoint).
+	post := sum.Endpoints[0]
+	if post.Count == 0 || post.P50MS <= 0 || post.P99MS <= 0 {
+		t.Errorf("post_jobs latency summary empty: %+v", post)
+	}
+	if sum.QueueWait.Count != 1 || sum.JobDuration.Count != 1 {
+		t.Errorf("queue_wait/job_duration counts = %d/%d, want 1/1",
+			sum.QueueWait.Count, sum.JobDuration.Count)
+	}
+	if sum.JobDuration.P50MS <= 0 {
+		t.Errorf("job duration p50 = %v, want > 0", sum.JobDuration.P50MS)
+	}
+	if sum.SLO.Requests == 0 || sum.SLO.Target != 0.99 || sum.SLO.ThresholdMS != 500 {
+		t.Errorf("SLO = %+v", sum.SLO)
+	}
+	if sum.SLO.Compliance < 0 || sum.SLO.Compliance > 1 {
+		t.Errorf("SLO compliance out of range: %v", sum.SLO.Compliance)
+	}
+}
+
+func TestHealthzDegradedOnQueuePressure(t *testing.T) {
+	// No workers started: submissions pile up in the queue deterministically.
+	s := NewServer(Config{QueueDepth: 8, QueueHighWater: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 4; i++ {
+		resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+			strings.NewReader(fmt.Sprintf(`{"kernel":"racy_flag","seed":%d}`, i)))
+		if err != nil {
+			t.Fatalf("POST %d: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz: status %d, want 503", resp.StatusCode)
+	}
+	var body struct {
+		Status    string `json:"status"`
+		Queued    int    `json:"queued"`
+		HighWater int    `json:"high_water"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding healthz body: %v", err)
+	}
+	if body.Status != HealthDegraded {
+		t.Errorf("status = %q, want %q", body.Status, HealthDegraded)
+	}
+	if body.Queued <= body.HighWater || body.HighWater != 2 {
+		t.Errorf("queued/high_water = %d/%d, want queued past 2", body.Queued, body.HighWater)
+	}
+	// /v1/stats mirrors the same pressure signal.
+	sum := getStats(t, ts.URL)
+	if sum.Health != HealthDegraded || !sum.Queue.Degraded {
+		t.Errorf("stats health = %q degraded=%v", sum.Health, sum.Queue.Degraded)
+	}
+	if sum.Queue.Depth != body.Queued || sum.Queue.Capacity != 8 {
+		t.Errorf("stats queue = %+v", sum.Queue)
+	}
+}
+
+func TestAccessLogsAndJobLifecycleLogs(t *testing.T) {
+	var logs syncBuffer
+	lg := olog.New(olog.Options{Level: slog.LevelDebug, Format: olog.FormatJSON, Output: &logs})
+	_, ts, cl := newTestServer(t, Config{Workers: 1, Log: lg})
+	ctx := context.Background()
+
+	st, err := cl.Submit(ctx, Request{Kernel: "racy_flag"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := cl.Wait(ctx, st.ID); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if _, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+
+	// The access line is written after the response body flushes, so give
+	// the handler goroutine a moment to get there.
+	deadline := time.Now().Add(2 * time.Second)
+	var access, healthz, lifecycle map[string]any
+	for time.Now().Before(deadline) {
+		access, healthz, lifecycle = nil, nil, nil
+		for _, line := range strings.Split(strings.TrimSpace(logs.String()), "\n") {
+			if line == "" {
+				continue
+			}
+			var rec map[string]any
+			if err := json.Unmarshal([]byte(line), &rec); err != nil {
+				t.Fatalf("log line is not JSON: %v\n%s", err, line)
+			}
+			switch {
+			case rec["msg"] == "http request" && rec["route"] == "post_jobs":
+				access = rec
+			case rec["msg"] == "http request" && rec["route"] == "healthz":
+				healthz = rec
+			case rec["msg"] == "job done":
+				lifecycle = rec
+			}
+		}
+		if access != nil && healthz != nil && lifecycle != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if access == nil {
+		t.Fatalf("no post_jobs access log in:\n%s", logs.String())
+	}
+	for _, key := range []string{"method", "path", "status", "bytes", "dur_ms", "level", "time"} {
+		if _, ok := access[key]; !ok {
+			t.Errorf("access log missing %q: %v", key, access)
+		}
+	}
+	if access["method"] != "POST" || access["path"] != "/v1/jobs" {
+		t.Errorf("access log fields = %v", access)
+	}
+	if healthz == nil {
+		t.Errorf("quiet healthz route not logged at debug level:\n%s", logs.String())
+	} else if healthz["level"] != "DEBUG" {
+		t.Errorf("healthz access log level = %v, want DEBUG", healthz["level"])
+	}
+	if lifecycle == nil {
+		t.Fatalf("no job lifecycle log in:\n%s", logs.String())
+	}
+	if lifecycle["job_id"] != st.ID {
+		t.Errorf("lifecycle log job_id = %v, want %s", lifecycle["job_id"], st.ID)
+	}
+}
+
+func TestProfileRequestedJob(t *testing.T) {
+	_, _, cl := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	st, err := cl.Submit(ctx, Request{Kernel: "racy_flag", Profile: true})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st, err = cl.Wait(ctx, st.ID); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	data, err := cl.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	var rep runner.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("decoding report: %v", err)
+	}
+	if rep.Profile == nil || rep.Profile.TotalSamples == 0 {
+		t.Fatalf("profiled job returned no profile: %+v", rep.Profile)
+	}
+	// The same request without profiling is a different cache key: it must
+	// rerun, and its report must carry no profile.
+	st2, err := cl.Submit(ctx, Request{Kernel: "racy_flag"})
+	if err != nil {
+		t.Fatalf("Submit unprofiled: %v", err)
+	}
+	if st2.CacheHit {
+		t.Fatal("unprofiled request hit the profiled job's cache entry")
+	}
+	if _, err := cl.Wait(ctx, st2.ID); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	// An identical profiled resubmit does hit.
+	st3, err := cl.Submit(ctx, Request{Kernel: "racy_flag", Profile: true})
+	if err != nil {
+		t.Fatalf("profiled resubmit: %v", err)
+	}
+	if !st3.CacheHit {
+		t.Fatal("identical profiled resubmission missed the cache")
+	}
+}

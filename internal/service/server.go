@@ -7,12 +7,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 	"time"
 
 	"demandrace/internal/obs"
+	olog "demandrace/internal/obs/log"
 	"demandrace/internal/parallel"
 	"demandrace/internal/runner"
+	"demandrace/internal/sched"
 	"demandrace/internal/trace"
 	"demandrace/internal/workloads"
 )
@@ -39,6 +42,18 @@ type Config struct {
 	// commute — the aggregated ddrace_* counters of every executed job.
 	// Nil builds a private one.
 	Registry *obs.Registry
+	// QueueHighWater is the queue depth at which /healthz starts answering
+	// degraded (503-with-body), so load balancers shed before the queue
+	// hard-rejects with 429 (0 = three quarters of QueueDepth).
+	QueueHighWater int
+	// SLOLatency and SLOTarget define the request-latency SLO reported by
+	// GET /v1/stats: SLOTarget of requests must complete within SLOLatency
+	// (defaults 500ms and 0.99).
+	SLOLatency time.Duration
+	SLOTarget  float64
+	// Log receives operational logs — request access lines, job lifecycle
+	// events, drain progress. Nil discards them.
+	Log *slog.Logger
 }
 
 func (c Config) normalized() Config {
@@ -65,6 +80,21 @@ func (c Config) normalized() Config {
 	}
 	if c.Registry == nil {
 		c.Registry = obs.NewRegistry()
+	}
+	if c.QueueHighWater <= 0 || c.QueueHighWater > c.QueueDepth {
+		c.QueueHighWater = c.QueueDepth * 3 / 4
+		if c.QueueHighWater < 1 {
+			c.QueueHighWater = 1
+		}
+	}
+	if c.SLOLatency <= 0 {
+		c.SLOLatency = 500 * time.Millisecond
+	}
+	if c.SLOTarget <= 0 || c.SLOTarget >= 1 {
+		c.SLOTarget = 0.99
+	}
+	if c.Log == nil {
+		c.Log = olog.Discard()
 	}
 	return c
 }
@@ -97,13 +127,19 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
+	log   *slog.Logger
+	start time.Time
+
 	gQueue    *obs.Gauge
 	gInflight *obs.Gauge
+	gUtil     *obs.Gauge
 	cSubmit   *obs.Counter
 	cComplete *obs.Counter
 	cFail     *obs.Counter
 	cCancel   *obs.Counter
 	cReject   *obs.Counter
+	hWait     *obs.Histogram
+	hJobDur   *obs.Histogram
 }
 
 // NewServer builds a stopped server; call Start to launch the worker pool.
@@ -120,13 +156,18 @@ func NewServer(cfg Config) *Server {
 		jobs:       make(map[string]*Job),
 		baseCtx:    baseCtx,
 		baseCancel: cancel,
+		log:        cfg.Log,
+		start:      time.Now(),
 		gQueue:     cfg.Registry.Gauge(obs.SvcQueueDepth),
 		gInflight:  cfg.Registry.Gauge(obs.SvcJobsInflight),
+		gUtil:      cfg.Registry.Gauge(obs.SvcWorkerUtilization),
 		cSubmit:    cfg.Registry.Counter(obs.SvcJobsSubmitted),
 		cComplete:  cfg.Registry.Counter(obs.SvcJobsCompleted),
 		cFail:      cfg.Registry.Counter(obs.SvcJobsFailed),
 		cCancel:    cfg.Registry.Counter(obs.SvcJobsCanceled),
 		cReject:    cfg.Registry.Counter(obs.SvcJobsRejected),
+		hWait:      cfg.Registry.Histogram(obs.SvcQueueWait, obs.LatencyBuckets),
+		hJobDur:    cfg.Registry.Histogram(obs.SvcJobDuration, obs.LatencyBuckets),
 	}
 }
 
@@ -206,8 +247,10 @@ func (s *Server) timeoutFor(ms int64) time.Duration {
 
 // Submit validates and admits a kernel-analysis job: a cache hit completes
 // immediately, otherwise the job is enqueued. ErrQueueFull and ErrDraining
-// are the backpressure signals.
-func (s *Server) Submit(req Request) (Status, error) {
+// are the backpressure signals. ctx scopes the admission only (span
+// parentage, log correlation) — the job body runs under its own deadline
+// context; context.Background is fine for non-HTTP callers.
+func (s *Server) Submit(ctx context.Context, req Request) (Status, error) {
 	if err := req.Validate(); err != nil {
 		return Status{}, err
 	}
@@ -235,14 +278,14 @@ func (s *Server) Submit(req Request) (Status, error) {
 			return json.Marshal(rep)
 		},
 	}
-	return s.admit(j)
+	return s.admit(ctx, j)
 }
 
 // SubmitTrace decodes an uploaded binary trace under the server's limits
 // and admits a replay job. Oversized or malformed uploads fail here, before
 // anything is queued; a *trace.LimitError is returned as-is so the HTTP
 // layer can answer 413.
-func (s *Server) SubmitTrace(r io.Reader, opts TraceOptions) (Status, error) {
+func (s *Server) SubmitTrace(ctx context.Context, r io.Reader, opts TraceOptions) (Status, error) {
 	raw, err := readAllLimited(r, s.cfg.MaxTraceBytes)
 	if err != nil {
 		return Status{}, err
@@ -269,7 +312,7 @@ func (s *Server) SubmitTrace(r io.Reader, opts TraceOptions) (Status, error) {
 			return json.Marshal(replay(tr, opts))
 		},
 	}
-	return s.admit(j)
+	return s.admit(ctx, j)
 }
 
 // readAllLimited reads at most max bytes, failing with a typed
@@ -286,11 +329,15 @@ func readAllLimited(r io.Reader, max int64) ([]byte, error) {
 }
 
 // admit registers j and either completes it from the cache or enqueues it.
-func (s *Server) admit(j *Job) (Status, error) {
+// The job's span is parented to the span in ctx (the submitting HTTP
+// request), so execution-side logs and metrics trace back to the request
+// that caused them.
+func (s *Server) admit(ctx context.Context, j *Job) (Status, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		s.cReject.Inc()
+		s.log.Warn("job rejected", "reason", "draining", "kind", j.kind, "name", j.name)
 		return Status{}, ErrDraining
 	}
 	if data, ok := s.cache.get(j.key); ok {
@@ -304,37 +351,57 @@ func (s *Server) admit(j *Job) (Status, error) {
 		st := s.statusLocked(j)
 		s.mu.Unlock()
 		s.cSubmit.Inc()
+		s.log.Info("job done", "job_id", j.id, "kind", j.kind, "name", j.name,
+			"state", string(StateDone), "cache_hit", true)
 		return st, nil
 	}
-	select {
-	case s.queue <- j:
-	default:
+	if len(s.queue) == cap(s.queue) {
 		s.mu.Unlock()
 		s.cReject.Inc()
+		s.log.Warn("job rejected", "reason", "queue full", "kind", j.kind, "name", j.name)
 		return Status{}, ErrQueueFull
 	}
 	s.seq++
 	j.id = fmt.Sprintf("j-%d", s.seq)
 	j.state = StateQueued
+	j.enqueued = time.Now()
+	_, j.span = obs.StartSpan(ctx, "job")
+	j.span.SetAttr("job_id", j.id)
+	// The job must be fully initialized before it becomes visible to a
+	// worker. The send cannot block: every send happens under s.mu and we
+	// just saw spare capacity (receives only ever free it up).
+	s.queue <- j
 	s.jobs[j.id] = j
 	s.gQueue.Set(int64(len(s.queue)))
 	st := s.statusLocked(j)
 	s.mu.Unlock()
 	s.cSubmit.Inc()
+	s.log.Info("job queued", "job_id", j.id, "kind", j.kind, "name", j.name,
+		"policy", j.policy, "timeout_ms", j.timeout.Milliseconds())
 	return st, nil
 }
 
 // execute runs one dequeued job to a terminal state. Panics in the job
 // body are contained: the job fails, the worker survives.
 func (s *Server) execute(j *Job) {
+	wait := time.Since(j.enqueued)
+	s.hWait.Observe(float64(wait) / float64(time.Millisecond))
+
 	s.mu.Lock()
 	j.state = StateRunning
 	s.inflight++
 	s.gInflight.Set(int64(s.inflight))
+	s.gUtil.Set(int64(100 * s.inflight / s.cfg.Workers))
 	s.gQueue.Set(int64(len(s.queue)))
 	s.mu.Unlock()
 
+	s.log.Info("job start", "job_id", j.id, "kind", j.kind, "name", j.name,
+		"queue_wait_ms", float64(wait)/float64(time.Millisecond))
+
+	runStart := time.Now()
 	ctx, cancel := context.WithTimeout(s.baseCtx, j.timeout)
+	ctx = olog.WithJobID(ctx, j.id)
+	ctx = olog.Into(ctx, s.log.With("job_id", j.id))
 	data, err := func() (data []byte, err error) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -344,6 +411,12 @@ func (s *Server) execute(j *Job) {
 		return j.run(ctx)
 	}()
 	cancel()
+	// The histogram and log line report the execution slice a worker spent;
+	// the span, ended here, covers the job end-to-end (wait + execution)
+	// under its submitting request's lineage.
+	runDur := time.Since(runStart)
+	s.hJobDur.Observe(float64(runDur) / float64(time.Millisecond))
+	j.span.End()
 
 	s.mu.Lock()
 	switch {
@@ -361,10 +434,25 @@ func (s *Server) execute(j *Job) {
 		j.errMsg = err.Error()
 		s.cFail.Inc()
 	}
+	state := j.state
 	s.inflight--
 	s.gInflight.Set(int64(s.inflight))
+	s.gUtil.Set(int64(100 * s.inflight / s.cfg.Workers))
 	s.mu.Unlock()
 	close(j.done)
+
+	attrs := []any{"job_id", j.id, "kind", j.kind, "name", j.name,
+		"state", string(state), "dur_ms", float64(runDur) / float64(time.Millisecond)}
+	var interrupted *sched.InterruptedError
+	if errors.As(err, &interrupted) {
+		attrs = append(attrs, "steps_at_interrupt", interrupted.Steps)
+	}
+	switch state {
+	case StateDone:
+		s.log.Info("job done", attrs...)
+	default:
+		s.log.Warn("job done", append(attrs, "error", j.errMsg)...)
+	}
 }
 
 // Status returns the snapshot of a job.

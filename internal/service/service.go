@@ -32,6 +32,8 @@ import (
 	"demandrace/internal/cache"
 	"demandrace/internal/demand"
 	"demandrace/internal/detector"
+	"demandrace/internal/obs"
+	"demandrace/internal/prof"
 	"demandrace/internal/runner"
 	"demandrace/internal/sched"
 	"demandrace/internal/trace"
@@ -106,6 +108,13 @@ type Request struct {
 	Lockset  bool `json:"lockset,omitempty"`
 	Deadlock bool `json:"deadlock,omitempty"`
 	FullVC   bool `json:"fullvc,omitempty"`
+	// Profile enables the deterministic cycle profiler; the report then
+	// carries sample counts by (thread, mode, kernel site). ProfileEvery is
+	// the sampling period in simulated cycles (0 = the profiler default).
+	// Both participate in the cache key: a profiled result is a different
+	// artifact than an unprofiled one.
+	Profile      bool   `json:"profile,omitempty"`
+	ProfileEvery uint64 `json:"profile_every,omitempty"`
 	// TimeoutMS bounds the job's execution (0 = server default; capped at
 	// the server maximum). Excluded from the cache key: a deadline changes
 	// whether a result is produced, never which result.
@@ -137,6 +146,14 @@ func (r Request) normalized() Request {
 	}
 	if r.SampleRate == 0 {
 		r.SampleRate = 0.1
+	}
+	// Canonicalize the profiler knobs so "profile with default period" has
+	// one spelling (and one cache entry), and a stray period without
+	// Profile set doesn't split the cache.
+	if !r.Profile {
+		r.ProfileEvery = 0
+	} else if r.ProfileEvery == 0 {
+		r.ProfileEvery = prof.DefaultEvery
 	}
 	return r
 }
@@ -203,6 +220,9 @@ func (r Request) config() (runner.Config, workloads.Config, error) {
 	cfg.Sched.Seed = n.Seed
 	if n.Random {
 		cfg.Sched.Policy = sched.RandomInterleave
+	}
+	if n.Profile {
+		cfg.Prof = prof.New(n.ProfileEvery)
 	}
 	cfg = cfg.WithPolicy(pol)
 	return cfg, workloads.Config{Threads: n.Threads, Scale: n.Scale}, nil
@@ -273,6 +293,12 @@ type Job struct {
 	done     chan struct{}
 	// run executes the job body; nil for cache-hit jobs.
 	run runFunc
+	// enqueued is the wall-clock admission time, the start of the
+	// queue-wait measurement.
+	enqueued time.Time
+	// span is the job's wall-clock span, parented to the submitting
+	// request's span so execution logs trace back to their submission.
+	span *obs.TimedSpan
 }
 
 // Status is the externally visible snapshot of a job, served as JSON by

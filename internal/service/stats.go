@@ -1,0 +1,139 @@
+package service
+
+import (
+	"time"
+
+	"demandrace/internal/obs"
+)
+
+// LatencySummary condenses one wall-clock histogram into the percentiles an
+// operator actually reads. Percentiles are bucket-interpolated estimates
+// (the same estimator as Prometheus's histogram_quantile).
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	P50MS float64 `json:"p50_ms"`
+	P90MS float64 `json:"p90_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"` // estimate: p100 clamps to the top finite bucket bound
+}
+
+// EndpointStats is one row of the per-route latency table.
+type EndpointStats struct {
+	Route string `json:"route"`
+	LatencySummary
+}
+
+// QueueStats describes submission-queue pressure.
+type QueueStats struct {
+	Depth     int  `json:"depth"`
+	Capacity  int  `json:"capacity"`
+	HighWater int  `json:"high_water"`
+	Degraded  bool `json:"degraded"`
+}
+
+// JobStats aggregates the job lifecycle counters.
+type JobStats struct {
+	Submitted      uint64 `json:"submitted"`
+	Completed      uint64 `json:"completed"`
+	Failed         uint64 `json:"failed"`
+	Canceled       uint64 `json:"canceled"`
+	Rejected       uint64 `json:"rejected"`
+	Inflight       int64  `json:"inflight"`
+	UtilizationPct int64  `json:"utilization_pct"`
+}
+
+// SLOStats is the request-latency error budget: of Requests measured,
+// Breaches exceeded ThresholdMS; the budget is the (1-Target) share the
+// service may burn while still Healthy.
+type SLOStats struct {
+	ThresholdMS float64 `json:"threshold_ms"`
+	Target      float64 `json:"target"`
+	Requests    uint64  `json:"requests"`
+	Breaches    uint64  `json:"breaches"`
+	Compliance  float64 `json:"compliance"`
+	BudgetUsed  float64 `json:"budget_used"`
+	Healthy     bool    `json:"healthy"`
+}
+
+// StatsSummary is the GET /v1/stats document: a self-contained operational
+// snapshot assembled from the wall-clock side of the registry. It is a
+// diagnostics surface — values here are intentionally non-deterministic,
+// unlike the simulation exports.
+type StatsSummary struct {
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	Workers       int             `json:"workers"`
+	Health        string          `json:"health"`
+	Queue         QueueStats      `json:"queue"`
+	Jobs          JobStats        `json:"jobs"`
+	Endpoints     []EndpointStats `json:"endpoints"`
+	QueueWait     LatencySummary  `json:"queue_wait"`
+	JobDuration   LatencySummary  `json:"job_duration"`
+	SLO           SLOStats        `json:"slo"`
+}
+
+// summarize reads one histogram into a LatencySummary.
+func summarize(h *obs.Histogram) LatencySummary {
+	return LatencySummary{
+		Count: h.Count(),
+		P50MS: h.Quantile(0.50),
+		P90MS: h.Quantile(0.90),
+		P99MS: h.Quantile(0.99),
+		MaxMS: h.Quantile(1.0),
+	}
+}
+
+// Stats assembles the current operational snapshot served at GET /v1/stats.
+func (s *Server) Stats() StatsSummary {
+	health, queued, _ := s.Health()
+
+	sum := StatsSummary{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.cfg.Workers,
+		Health:        health,
+		Queue: QueueStats{
+			Depth:     queued,
+			Capacity:  s.cfg.QueueDepth,
+			HighWater: s.cfg.QueueHighWater,
+			Degraded:  health == HealthDegraded,
+		},
+		Jobs: JobStats{
+			Submitted:      s.cSubmit.Value(),
+			Completed:      s.cComplete.Value(),
+			Failed:         s.cFail.Value(),
+			Canceled:       s.cCancel.Value(),
+			Rejected:       s.cReject.Value(),
+			Inflight:       s.gInflight.Value(),
+			UtilizationPct: s.gUtil.Value(),
+		},
+		QueueWait:   summarize(s.hWait),
+		JobDuration: summarize(s.hJobDur),
+	}
+
+	// The route table reuses the handler registration order, so the JSON is
+	// stable run to run even though the values are wall-clock.
+	for _, rt := range s.routes() {
+		h := s.reg.Histogram(obs.SvcHTTPLatencyPrefix+rt.key, obs.LatencyBuckets)
+		sum.Endpoints = append(sum.Endpoints, EndpointStats{
+			Route:          rt.key,
+			LatencySummary: summarize(h),
+		})
+	}
+
+	slo := SLOStats{
+		ThresholdMS: float64(s.cfg.SLOLatency) / float64(time.Millisecond),
+		Target:      s.cfg.SLOTarget,
+		Requests:    s.reg.CounterValue(obs.SvcSLORequests),
+		Breaches:    s.reg.CounterValue(obs.SvcSLOBreaches),
+		Compliance:  1,
+		Healthy:     true,
+	}
+	if slo.Requests > 0 {
+		slo.Compliance = 1 - float64(slo.Breaches)/float64(slo.Requests)
+		if budget := 1 - slo.Target; budget > 0 {
+			slo.BudgetUsed = (float64(slo.Breaches) / float64(slo.Requests)) / budget
+		}
+		slo.Healthy = slo.Compliance >= slo.Target
+	}
+	sum.SLO = slo
+	return sum
+}
