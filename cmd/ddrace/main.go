@@ -346,12 +346,22 @@ func writeProfile(out io.Writer, path string, pr *prof.Profile) error {
 	return nil
 }
 
-// submitRemote runs the job on a ddserved daemon: submit, poll to a
-// terminal state, fetch the report, and print it like a local run. With
-// profOut set the request asks the daemon for a cycle profile and the
-// folded stacks land in the same file a local -profile run would write.
+// submitRemote runs the job on a ddserved daemon (or a ddgate cluster
+// front — the surfaces are identical): submit, poll to a terminal state,
+// fetch the report, and print it like a local run. With profOut set the
+// request asks the daemon for a cycle profile and the folded stacks land
+// in the same file a local -profile run would write. Transient daemon
+// errors (429 backpressure, 5xx, connection drops) are retried with
+// exponential backoff before giving up.
 func submitRemote(out io.Writer, base string, req service.Request, asJSON, verbose bool, profOut string) error {
-	cl := &service.Client{BaseURL: strings.TrimRight(base, "/")}
+	cl := &service.Client{
+		BaseURL: strings.TrimRight(base, "/"),
+		Options: service.Options{
+			Timeout: 30 * time.Second,
+			Retries: 3,
+			Backoff: 250 * time.Millisecond,
+		},
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
 	data, st, err := cl.Run(ctx, req)

@@ -18,6 +18,7 @@
 //	ddserved -addr 127.0.0.1:8318
 //	ddserved -addr 127.0.0.1:0 -addr-file /tmp/ddserved.addr   # random port
 //	ddserved -debug-addr 127.0.0.1:8319                        # pprof+expvar
+//	ddserved -store-dir /var/lib/ddserved                      # results survive restarts
 //	curl -d '{"kernel":"racy_flag"}' localhost:8318/v1/jobs
 //	ddrace -kernel histogram -policy hitm-demand -submit http://localhost:8318
 //
@@ -47,6 +48,7 @@ import (
 
 	olog "demandrace/internal/obs/log"
 	"demandrace/internal/service"
+	"demandrace/internal/store"
 	"demandrace/internal/version"
 )
 
@@ -59,6 +61,9 @@ func main() {
 		queueDepth  = flag.Int("queue", 64, "submission queue depth; a full queue answers 429")
 		highWater   = flag.Int("high-water", 0, "queue depth at which /healthz degrades to 503 (0 = 3/4 of -queue)")
 		cacheSize   = flag.Int("cache", 256, "result cache entries (negative disables caching)")
+		storeDir    = flag.String("store-dir", "", "directory for the crash-safe on-disk result store (empty = memory-only cache)")
+		storeMax    = flag.Int64("store-max-bytes", 256<<20, "on-disk store size cap before oldest segments are compacted away (negative = unlimited)")
+		node        = flag.String("node", "", "node name reported in /v1/stats (default ddserved)")
 		timeout     = flag.Duration("timeout", 30*time.Second, "default per-job deadline")
 		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
 		maxBytes    = flag.Int64("max-trace-bytes", 64<<20, "max accepted trace upload size in bytes")
@@ -86,7 +91,10 @@ func main() {
 		addrFile:  *addrFile,
 		debugAddr: *debugAddr,
 		drain:     *drain,
+		storeDir:  *storeDir,
+		storeMax:  *storeMax,
 		cfg: service.Config{
+			Node:           *node,
 			Workers:        *workers,
 			QueueDepth:     *queueDepth,
 			QueueHighWater: *highWater,
@@ -110,6 +118,8 @@ type options struct {
 	addrFile  string
 	debugAddr string
 	drain     time.Duration
+	storeDir  string
+	storeMax  int64
 	cfg       service.Config
 }
 
@@ -120,6 +130,17 @@ func run(ctx context.Context, opts options) error {
 		opts.cfg.Log = olog.Discard()
 	}
 	lg := opts.cfg.Log
+
+	if opts.storeDir != "" {
+		st, err := store.Open(opts.storeDir, store.Options{MaxBytes: opts.storeMax, Log: lg})
+		if err != nil {
+			return fmt.Errorf("opening -store-dir: %w", err)
+		}
+		defer st.Close()
+		opts.cfg.Store = st
+		lg.Info("result store open", "dir", st.Dir(), "entries", st.Len(), "bytes", st.Size())
+	}
+
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err

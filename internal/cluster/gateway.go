@@ -1,0 +1,359 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"demandrace/internal/obs"
+	olog "demandrace/internal/obs/log"
+	"demandrace/internal/service"
+)
+
+// Config shapes a Gateway. Zero fields take defaults.
+type Config struct {
+	// Backends is the cluster membership, in any order (ring placement
+	// depends only on names). Required, non-empty, unique names.
+	Backends []Backend
+	// VNodes is the virtual-node count per backend (default DefaultVNodes).
+	VNodes int
+	// Retry is the forward policy: Retries bounds how many *additional*
+	// replicas a failed submission tries, Backoff paces them (exponential
+	// + jitter via Options.BackoffFor), and Timeout bounds each upstream
+	// attempt. Defaults: 2 retries, 100ms backoff, 2m attempt timeout.
+	Retry service.Options
+	// HedgeAfter launches a hedged duplicate of a submission to the next
+	// replica when the owner hasn't answered within this threshold; the
+	// first response wins and the loser is canceled through its context
+	// (0 disables hedging).
+	HedgeAfter time.Duration
+	// ProbeInterval paces the background health probes (default 1s);
+	// ProbeTimeout bounds each probe (default 2s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// FailAfter is the consecutive probe failures before a backend is
+	// evicted from the ring (default 2).
+	FailAfter int
+	// MaxBodyBytes bounds request bodies buffered for replay (default
+	// 64 MiB, matching ddserved's trace cap).
+	MaxBodyBytes int64
+	// Node names this gateway in /v1/stats (default "ddgate").
+	Node string
+	// Registry receives gateway metrics. Nil builds a private one.
+	Registry *obs.Registry
+	// Log receives operational logs. Nil discards them.
+	Log *slog.Logger
+	// HTTPClient is the upstream transport (default http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+func (c Config) normalized() Config {
+	if c.VNodes <= 0 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.Retry.Retries == 0 {
+		c.Retry.Retries = 2
+	}
+	if c.Retry.Backoff <= 0 {
+		c.Retry.Backoff = 100 * time.Millisecond
+	}
+	if c.Retry.Timeout <= 0 {
+		c.Retry.Timeout = 2 * time.Minute
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Node == "" {
+		c.Node = "ddgate"
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Log == nil {
+		c.Log = olog.Discard()
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+	return c
+}
+
+// Gateway fronts a set of ddserved backends with the same API surface a
+// single node exposes, so service.Client and `ddrace -submit` work
+// unchanged against either. Submissions route by content hash on the
+// consistent-hash ring; job polls route to the owning backend encoded in
+// the job ID ("<backend>:<remote id>").
+type Gateway struct {
+	cfg      Config
+	ring     *Ring
+	backends []*backend // configured order, for stable stats rows
+	byName   map[string]*backend
+	client   *http.Client
+	reg      *obs.Registry
+	log      *slog.Logger
+	start    time.Time
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	stopped  chan struct{}
+	started  bool
+
+	cRequests  *obs.Counter
+	cForwards  *obs.Counter
+	cRetries   *obs.Counter
+	cHedges    *obs.Counter
+	cHedgeWins *obs.Counter
+	cErrors    *obs.Counter
+	gRing      *obs.Gauge
+}
+
+// NewGateway validates cfg and builds a stopped gateway; call Start to
+// launch the health-probe loop (or drive ProbeNow manually). All backends
+// start admitted and healthy — the first probes correct that within
+// FailAfter intervals.
+func NewGateway(cfg Config) (*Gateway, error) {
+	cfg = cfg.normalized()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("cluster: gateway needs at least one backend")
+	}
+	g := &Gateway{
+		cfg:        cfg,
+		ring:       NewRing(cfg.VNodes),
+		byName:     make(map[string]*backend, len(cfg.Backends)),
+		client:     cfg.HTTPClient,
+		reg:        cfg.Registry,
+		log:        cfg.Log,
+		start:      time.Now(),
+		stop:       make(chan struct{}),
+		stopped:    make(chan struct{}),
+		cRequests:  cfg.Registry.Counter(obs.GateRequests),
+		cForwards:  cfg.Registry.Counter(obs.GateForwards),
+		cRetries:   cfg.Registry.Counter(obs.GateRetries),
+		cHedges:    cfg.Registry.Counter(obs.GateHedges),
+		cHedgeWins: cfg.Registry.Counter(obs.GateHedgeWins),
+		cErrors:    cfg.Registry.Counter(obs.GateErrors),
+		gRing:      cfg.Registry.Gauge(obs.GateRingMembers),
+	}
+	for _, b := range cfg.Backends {
+		if b.Name == "" || b.URL == "" {
+			return nil, fmt.Errorf("cluster: backend needs both name and URL (%+v)", b)
+		}
+		if _, dup := g.byName[b.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate backend name %q", b.Name)
+		}
+		nb := &backend{
+			Backend:  b,
+			health:   HealthOK,
+			cForward: cfg.Registry.Counter(obs.GateBackendForwardPrefix + obs.MetricName(b.Name)),
+			gHealth:  cfg.Registry.Gauge(obs.GateBackendHealthPrefix + obs.MetricName(b.Name)),
+		}
+		nb.gHealth.Set(int64(HealthOK))
+		g.byName[b.Name] = nb
+		g.backends = append(g.backends, nb)
+		g.ring.Add(b.Name)
+	}
+	g.gRing.Set(int64(g.ring.Size()))
+	return g, nil
+}
+
+// Ring exposes the gateway's ring (read-only use: tests, stats).
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+// Config returns the normalized configuration.
+func (g *Gateway) Config() Config { return g.cfg }
+
+// Start launches the background health-probe loop. Idempotent.
+func (g *Gateway) Start() {
+	if g.started {
+		return
+	}
+	g.started = true
+	go g.probeLoop()
+}
+
+// Stop halts the probe loop. Idempotent; safe if Start was never called.
+func (g *Gateway) Stop() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	if g.started {
+		<-g.stopped
+	}
+}
+
+// upstream is one fully-read backend response.
+type upstream struct {
+	status  int
+	header  http.Header
+	body    []byte
+	backend string // who answered
+}
+
+// retryableStatus reports whether an upstream answer should fail over to
+// a different replica. 429 is deliberately absent: it is backpressure
+// from the key's owner, and the client — not the gateway — decides
+// whether to wait it out (Retry-After is propagated untouched).
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusInternalServerError, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// attemptOne sends build's request to one backend and reads the answer.
+// The context is canceled as soon as the body is read — or by the caller,
+// which is how hedge losers die.
+func (g *Gateway) attemptOne(ctx context.Context, b *backend, build func(base string) (*http.Request, error)) (upstream, error) {
+	req, err := build(b.URL)
+	if err != nil {
+		return upstream{}, err
+	}
+	g.cForwards.Inc()
+	b.cForward.Inc()
+	resp, err := g.client.Do(req.WithContext(ctx))
+	if err != nil {
+		return upstream{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return upstream{}, fmt.Errorf("cluster: reading %s response: %w", b.Name, err)
+	}
+	return upstream{status: resp.StatusCode, header: resp.Header, body: body, backend: b.Name}, nil
+}
+
+// attemptHedged races one attempt against a hedge: the primary goes out
+// immediately, and if HedgeAfter elapses without an answer, the same
+// request is duplicated to the hedge backend. First usable response wins;
+// the loser's context is canceled. Safe because submissions are
+// idempotent — jobs are content-addressed and pure, so the worst case of
+// a double send is a duplicate cache entry on a non-owner.
+func (g *Gateway) attemptHedged(ctx context.Context, primary, hedge *backend, build func(base string) (*http.Request, error)) (upstream, error) {
+	type outcome struct {
+		up  upstream
+		err error
+	}
+	launch := func(b *backend, ch chan<- outcome) context.CancelFunc {
+		actx, cancel := context.WithTimeout(ctx, g.cfg.Retry.Timeout)
+		go func() {
+			up, err := g.attemptOne(actx, b, build)
+			ch <- outcome{up, err}
+		}()
+		return cancel
+	}
+
+	ch := make(chan outcome, 2) // buffered: losers never block
+	cancels := []context.CancelFunc{launch(primary, ch)}
+	defer func() {
+		for _, c := range cancels {
+			c()
+		}
+	}()
+
+	var hedgeTimer <-chan time.Time
+	if hedge != nil && g.cfg.HedgeAfter > 0 {
+		hedgeTimer = time.After(g.cfg.HedgeAfter)
+	}
+
+	inflight := 1
+	var last outcome
+	for inflight > 0 {
+		select {
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			g.cHedges.Inc()
+			g.log.Info("hedging request", "primary", primary.Name, "hedge", hedge.Name,
+				"after_ms", g.cfg.HedgeAfter.Milliseconds())
+			cancels = append(cancels, launch(hedge, ch))
+			inflight++
+		case out := <-ch:
+			inflight--
+			if out.err == nil && !retryableStatus(out.up.status) {
+				if out.up.backend != primary.Name {
+					g.cHedgeWins.Inc()
+				}
+				return out.up, nil
+			}
+			last = out // keep the failure; a sibling may still win
+		case <-ctx.Done():
+			return upstream{}, ctx.Err()
+		}
+	}
+	return last.up, last.err
+}
+
+// forward tries candidates in ring order with the configured retry
+// policy: attempt (possibly hedged), and on transient failure back off
+// with jitter and fail over to the next replica.
+func (g *Gateway) forward(ctx context.Context, candidates []string, build func(base string) (*http.Request, error)) (upstream, error) {
+	if len(candidates) == 0 {
+		return upstream{}, fmt.Errorf("cluster: no healthy backends in ring")
+	}
+	attempts := len(candidates)
+	if max := g.cfg.Retry.Retries + 1; attempts > max {
+		attempts = max
+	}
+	var (
+		last    upstream
+		lastErr error
+	)
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			g.cRetries.Inc()
+			if err := g.cfg.Retry.Sleep(ctx, i-1, 0); err != nil {
+				return upstream{}, err
+			}
+		}
+		primary := g.byName[candidates[i]]
+		var hedge *backend
+		if i+1 < len(candidates) {
+			hedge = g.byName[candidates[i+1]]
+		}
+		last, lastErr = g.attemptHedged(ctx, primary, hedge, build)
+		switch {
+		case lastErr != nil:
+			if ctx.Err() != nil {
+				return upstream{}, lastErr
+			}
+			g.log.Warn("forward attempt failed", "backend", primary.Name, "error", lastErr.Error())
+			continue
+		case retryableStatus(last.status):
+			g.log.Warn("forward attempt rejected", "backend", last.backend, "status", last.status)
+			continue
+		}
+		return last, nil
+	}
+	if lastErr != nil {
+		return upstream{}, lastErr
+	}
+	return last, nil // propagate the final retryable status as-is
+}
+
+// candidates returns the routable backends for a key in preference order.
+func (g *Gateway) candidates(key string) []string {
+	return g.ring.Lookup(key, len(g.backends))
+}
+
+// splitJobID decodes a gateway job ID "<backend>:<remote id>".
+func splitJobID(id string) (backendName, remoteID string, ok bool) {
+	return strings.Cut(id, ":")
+}
+
+// joinJobID encodes a backend-local job ID into the gateway namespace.
+func joinJobID(backendName, remoteID string) string {
+	return backendName + ":" + remoteID
+}

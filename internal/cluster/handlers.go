@@ -1,0 +1,292 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strconv"
+	"time"
+
+	"demandrace/internal/obs"
+	"demandrace/internal/service"
+)
+
+// route mirrors internal/service's route table: a mux pattern, the stable
+// key naming its latency histogram and stats row, and the quiet flag that
+// demotes infrastructure-poll access logs to debug.
+type route struct {
+	pattern string
+	key     string
+	quiet   bool
+	handler http.HandlerFunc
+}
+
+func (g *Gateway) routes() []route {
+	return []route{
+		{"POST /v1/jobs", "post_jobs", false, g.handleSubmit},
+		{"GET /v1/jobs/{id}", "get_job", false, g.handleJob},
+		{"GET /v1/results/{id}", "get_result", false, g.handleResult},
+		{"GET /v1/stats", "get_stats", true, g.handleStats},
+		{"GET /healthz", "healthz", true, g.handleHealth},
+		{"GET /metrics", "metrics", true, g.handleMetrics},
+	}
+}
+
+// Handler returns the gateway API — the same surface a single ddserved
+// node exposes, so service.Client and `ddrace -submit` work unchanged:
+//
+//	POST /v1/jobs          route by content hash, failover + hedging
+//	GET  /v1/jobs/{id}     forwarded to the owning backend (id prefix)
+//	GET  /v1/results/{id}  forwarded to the owning backend, bytes untouched
+//	GET  /v1/stats         gateway + per-backend aggregated stats
+//	GET  /healthz          ring capacity (503 only when no backend routable)
+//	GET  /metrics          Prometheus text exposition of the gateway registry
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, rt := range g.routes() {
+		mux.Handle(rt.pattern, g.instrument(rt))
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		g.cRequests.Inc()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// statusRecorder captures what a handler wrote, for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	n, err := sr.ResponseWriter.Write(b)
+	sr.bytes += n
+	return n, err
+}
+
+// instrument wraps one route with the span/latency/access-log stack,
+// mirroring the ddserved middleware so per-route dashboards read the same
+// on either tier.
+func (g *Gateway) instrument(rt route) http.Handler {
+	hist := g.reg.Histogram(obs.GateHTTPLatencyPrefix+rt.key, obs.LatencyBuckets)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, span := obs.StartSpan(r.Context(), "gate:"+rt.key)
+		span.ObserveInto(hist)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		rt.handler(rec, r.WithContext(ctx))
+		dur := span.End()
+		logf := g.log.Info
+		if rt.quiet {
+			logf = g.log.Debug
+		}
+		logf("http request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", rt.key,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"dur_ms", float64(dur)/float64(time.Millisecond),
+		)
+	})
+}
+
+// handleSubmit routes a submission by content hash. The body is buffered
+// (bounded) so retries and hedges can replay it, the routing key is
+// computed with the same hashes the backends use for caching, and the
+// winning backend's job ID comes back namespaced as "<backend>:<id>".
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, g.cfg.MaxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading request: %v", err))
+		return
+	}
+	if int64(len(body)) > g.cfg.MaxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("cluster: request body exceeds %d bytes", g.cfg.MaxBodyBytes))
+		return
+	}
+
+	var key string
+	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
+	switch ct {
+	case service.TraceContentType, "application/octet-stream":
+		q := r.URL.Query()
+		opts := service.TraceOptions{FullVC: q.Get("fullvc") == "1" || q.Get("fullvc") == "true"}
+		if v := q.Get("max_reports"); v != "" {
+			opts.MaxReports, _ = strconv.Atoi(v)
+		}
+		key = service.TraceCacheKey(body, opts)
+	default:
+		var req service.Request
+		if derr := json.Unmarshal(body, &req); derr != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", derr))
+			return
+		}
+		if verr := req.Validate(); verr != nil {
+			// Reject at the edge: no reason to burn a backend round trip
+			// on a request every backend would 400.
+			writeError(w, http.StatusBadRequest, verr.Error())
+			return
+		}
+		key = req.CacheKey()
+	}
+
+	candidates := g.candidates(key)
+	if len(candidates) == 0 {
+		g.cErrors.Inc()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "cluster: no healthy backends")
+		return
+	}
+	up, err := g.forward(r.Context(), candidates, func(base string) (*http.Request, error) {
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs?"+r.URL.RawQuery, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+		return req, nil
+	})
+	if err != nil {
+		g.cErrors.Inc()
+		g.log.Error("submission failed on every candidate", "key", key[:16], "error", err.Error())
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("cluster: all backends failed: %v", err))
+		return
+	}
+	g.log.Info("job routed", "key", key[:16], "backend", up.backend, "status", up.status)
+	g.relay(w, up, true)
+}
+
+// handleJob forwards a status poll to the backend encoded in the ID. The
+// returned status is re-namespaced so clients that feed a polled status's
+// ID back into /v1/results keep working.
+func (g *Gateway) handleJob(w http.ResponseWriter, r *http.Request) {
+	g.forwardToOwner(w, r, "/v1/jobs/", true)
+}
+
+// handleResult forwards a result fetch to the owning backend. The 200
+// body is relayed byte-for-byte: result bytes through the gateway are
+// identical to result bytes fetched directly.
+func (g *Gateway) handleResult(w http.ResponseWriter, r *http.Request) {
+	g.forwardToOwner(w, r, "/v1/results/", false)
+}
+
+// forwardToOwner routes a per-job GET to the backend that owns the job.
+// No failover here — job state is node-local, so a different replica can
+// only answer 404.
+func (g *Gateway) forwardToOwner(w http.ResponseWriter, r *http.Request, path string, rewriteID bool) {
+	name, remoteID, ok := splitJobID(r.PathValue("id"))
+	b := g.byName[name]
+	if !ok || b == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("cluster: no such job %q (gateway ids look like backend:j-n)", r.PathValue("id")))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.Retry.Timeout)
+	defer cancel()
+	up, err := g.attemptOne(ctx, b, func(base string) (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, base+path+remoteID, nil)
+	})
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("cluster: backend %s unreachable: %v", name, err))
+		return
+	}
+	g.relay(w, up, rewriteID)
+}
+
+// relay writes an upstream answer to the client. When rewriteID is set
+// and the body is a Status document, the job ID is re-namespaced into the
+// gateway's "<backend>:<id>" form; everything else passes through
+// untouched (headers worth keeping included).
+func (g *Gateway) relay(w http.ResponseWriter, up upstream, rewriteID bool) {
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := up.header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	body := up.body
+	if rewriteID {
+		if rewritten, ok := rewriteStatusID(body, up.backend); ok {
+			body = rewritten
+		}
+	}
+	w.WriteHeader(up.status)
+	w.Write(body)
+}
+
+// rewriteStatusID namespaces the "id" field of a Status JSON document.
+func rewriteStatusID(body []byte, backendName string) ([]byte, bool) {
+	var st service.Status
+	if err := json.Unmarshal(body, &st); err != nil || st.ID == "" {
+		return nil, false
+	}
+	st.ID = joinJobID(backendName, st.ID)
+	out, err := json.Marshal(st)
+	if err != nil {
+		return nil, false
+	}
+	return append(out, '\n'), true
+}
+
+// handleHealth reports ring capacity. The gateway stays 200 while at
+// least one backend is routable — shedding the whole cluster because one
+// replica died would turn a partial failure into a total one; only an
+// empty ring answers 503.
+func (g *Gateway) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	perBackend := make(map[string]string, len(g.backends))
+	ok, degraded := 0, 0
+	for _, b := range g.backends {
+		h := b.Health()
+		perBackend[b.Name] = h.String()
+		switch h {
+		case HealthOK:
+			ok++
+		case HealthDegraded:
+			degraded++
+		}
+	}
+	status := service.HealthOK
+	code := http.StatusOK
+	switch {
+	case ok+degraded == 0:
+		status = "down"
+		code = http.StatusServiceUnavailable
+	case ok < len(g.backends):
+		status = service.HealthDegraded
+	}
+	writeJSON(w, code, map[string]any{
+		"status":    status,
+		"ring_size": g.ring.Size(),
+		"backends":  perBackend,
+	})
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.Stats(r.Context()))
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := g.reg.WriteProm(w); err != nil {
+		fmt.Fprintf(w, "# write error: %v\n", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,173 @@
+// Package cluster is the horizontal-scale tier in front of N ddserved
+// backends: a consistent-hash ring that maps a job's content hash to the
+// backend that owns it, health checking that evicts and readmits backends,
+// and a forwarding gateway (served by cmd/ddgate) with bounded failover
+// retries and optional hedged requests.
+//
+// Routing is deterministic by design: the ring is seeded purely from
+// backend names (SHA-256 of name#vnode), and the routing key is the same
+// content hash the service layer uses for result caching. Same key + same
+// ring membership ⇒ same backend, which is what makes each backend's
+// result cache (and on-disk store) converge on its own shard of the
+// keyspace instead of every node caching everything.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// DefaultVNodes is the virtual-node count per backend. 128 points per
+// member keeps the keyspace share per backend within a few percent of
+// even for small clusters.
+const DefaultVNodes = 128
+
+// point is one virtual node on the ring.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring over named members with virtual nodes.
+// Members can be evicted (unroutable, but remembered) and readmitted;
+// point positions depend only on member names, so readmission restores
+// exactly the keyspace a member owned before eviction.
+type Ring struct {
+	mu     sync.RWMutex
+	vnodes int
+	known  map[string]bool // member -> active?
+	points []point         // active members only, sorted by (hash, member)
+}
+
+// NewRing builds an empty ring with the given virtual-node count per
+// member (<= 0 means DefaultVNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, known: make(map[string]bool)}
+}
+
+// pointHash places vnode i of a member: the first 8 bytes of
+// SHA-256("name#i"), big-endian. Deterministic across processes and
+// insertion orders.
+func pointHash(member string, i int) uint64 {
+	sum := sha256.Sum256([]byte(member + "#" + strconv.Itoa(i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// keyHash places a routing key on the ring. Keys are already content
+// hashes (hex SHA-256), but hashing again decouples ring position from
+// the key encoding.
+func keyHash(key string) uint64 {
+	sum := sha256.Sum256([]byte(key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts member as active. Re-adding an existing member readmits it.
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if active, ok := r.known[member]; ok && active {
+		return
+	}
+	r.known[member] = true
+	r.rebuildLocked()
+}
+
+// Evict marks member unroutable; its keys redistribute to the surviving
+// members until Readmit.
+func (r *Ring) Evict(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if active, ok := r.known[member]; !ok || !active {
+		return
+	}
+	r.known[member] = false
+	r.rebuildLocked()
+}
+
+// Readmit restores an evicted member to exactly its former keyspace.
+func (r *Ring) Readmit(member string) { r.Add(member) }
+
+// rebuildLocked regenerates the sorted point list from active members.
+// Membership changes are rare (health transitions), so a full rebuild
+// keeps Lookup allocation-free and simple.
+func (r *Ring) rebuildLocked() {
+	r.points = r.points[:0]
+	for member, active := range r.known {
+		if !active {
+			continue
+		}
+		for i := 0; i < r.vnodes; i++ {
+			r.points = append(r.points, point{hash: pointHash(member, i), member: member})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+}
+
+// Lookup returns up to n distinct active members in ring order starting
+// clockwise from key's position: the owner first, then the failover
+// candidates in the order retries should try them.
+func (r *Ring) Lookup(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	h := keyHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, p.member)
+		}
+	}
+	return out
+}
+
+// Owner returns the single member owning key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if m := r.Lookup(key, 1); len(m) == 1 {
+		return m[0]
+	}
+	return ""
+}
+
+// Active returns the sorted active member names.
+func (r *Ring) Active() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.known))
+	for member, active := range r.known {
+		if active {
+			out = append(out, member)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of active members.
+func (r *Ring) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, active := range r.known {
+		if active {
+			n++
+		}
+	}
+	return n
+}

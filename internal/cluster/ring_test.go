@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestRingLookupDeterministic: two rings built from the same members — in
+// different insertion orders — must place every key identically. This is
+// the property the whole cluster design leans on: any gateway instance
+// with the same membership routes the same.
+func TestRingLookupDeterministic(t *testing.T) {
+	a := NewRing(64)
+	for _, m := range []string{"n1", "n2", "n3"} {
+		a.Add(m)
+	}
+	b := NewRing(64)
+	for _, m := range []string{"n3", "n1", "n2"} {
+		b.Add(m)
+	}
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		la, lb := a.Lookup(key, 3), b.Lookup(key, 3)
+		if !reflect.DeepEqual(la, lb) {
+			t.Fatalf("key %q: ring A %v, ring B %v", key, la, lb)
+		}
+		if len(la) != 3 {
+			t.Fatalf("key %q: want 3 distinct candidates, got %v", key, la)
+		}
+		seen := map[string]bool{}
+		for _, m := range la {
+			if seen[m] {
+				t.Fatalf("key %q: duplicate candidate in %v", key, la)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+// TestRingDistribution: with virtual nodes, each of 3 members should own a
+// non-degenerate share of the keyspace. The bound is deliberately loose
+// (>10% each); we care that no member is starved, not about perfection.
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(DefaultVNodes)
+	members := []string{"n1", "n2", "n3"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, m := range members {
+		if share := float64(counts[m]) / keys; share < 0.10 {
+			t.Fatalf("member %s owns %.1f%% of keys, want > 10%% (counts %v)", m, share*100, counts)
+		}
+	}
+}
+
+// TestRingEvictionStability: evicting a member must leave every key it did
+// NOT own exactly where it was — only the evicted member's share moves.
+func TestRingEvictionStability(t *testing.T) {
+	r := NewRing(DefaultVNodes)
+	for _, m := range []string{"n1", "n2", "n3"} {
+		r.Add(m)
+	}
+	const keys = 1000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Owner(fmt.Sprintf("key-%d", i))
+	}
+
+	r.Evict("n2")
+	if got := r.Active(); !reflect.DeepEqual(got, []string{"n1", "n3"}) {
+		t.Fatalf("active after eviction = %v", got)
+	}
+	moved := 0
+	for i := range before {
+		after := r.Owner(fmt.Sprintf("key-%d", i))
+		if after == "n2" {
+			t.Fatalf("key-%d still routed to evicted member", i)
+		}
+		if before[i] != "n2" && after != before[i] {
+			t.Fatalf("key-%d moved %s -> %s though its owner was not evicted", i, before[i], after)
+		}
+		if before[i] == "n2" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test is vacuous: n2 owned no keys")
+	}
+
+	// Readmission restores the exact original placement.
+	r.Readmit("n2")
+	for i := range before {
+		if after := r.Owner(fmt.Sprintf("key-%d", i)); after != before[i] {
+			t.Fatalf("key-%d after readmission: %s, want %s", i, after, before[i])
+		}
+	}
+}
+
+// TestRingLookupSkipsEvicted: failover candidate lists never include an
+// evicted member, and shrink when membership does.
+func TestRingLookupSkipsEvicted(t *testing.T) {
+	r := NewRing(32)
+	for _, m := range []string{"n1", "n2", "n3"} {
+		r.Add(m)
+	}
+	r.Evict("n1")
+	for i := 0; i < 200; i++ {
+		cands := r.Lookup(fmt.Sprintf("key-%d", i), 3)
+		if len(cands) != 2 {
+			t.Fatalf("want 2 candidates after eviction, got %v", cands)
+		}
+		for _, m := range cands {
+			if m == "n1" {
+				t.Fatalf("evicted member in candidates %v", cands)
+			}
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Lookup("k", 2); got != nil {
+		t.Fatalf("empty ring lookup = %v", got)
+	}
+	if got := r.Owner("k"); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	if r.Size() != 0 {
+		t.Fatalf("empty ring size = %d", r.Size())
+	}
+}
+
+func TestParseBackends(t *testing.T) {
+	bs, err := ParseBackends("http://127.0.0.1:8318, fast=http://10.0.0.2:9000/")
+	if err != nil {
+		t.Fatalf("ParseBackends: %v", err)
+	}
+	want := []Backend{
+		{Name: "127.0.0.1-8318", URL: "http://127.0.0.1:8318"},
+		{Name: "fast", URL: "http://10.0.0.2:9000"},
+	}
+	if !reflect.DeepEqual(bs, want) {
+		t.Fatalf("parsed %+v, want %+v", bs, want)
+	}
+	for _, bad := range []string{"", "   ", "not-a-url", "a=http://x:1,a=http://y:2"} {
+		if _, err := ParseBackends(bad); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}

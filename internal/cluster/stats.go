@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"demandrace/internal/obs"
+	"demandrace/internal/service"
+)
+
+// RingStats describes the routing layer.
+type RingStats struct {
+	Members int      `json:"members"` // configured
+	Active  []string `json:"active"`  // currently routable, sorted
+	VNodes  int      `json:"vnodes"`  // per member
+}
+
+// GatewayCounters is the forwarding ledger.
+type GatewayCounters struct {
+	Requests  uint64 `json:"requests"`
+	Forwards  uint64 `json:"forwards"`
+	Retries   uint64 `json:"retries"`
+	Hedges    uint64 `json:"hedges"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	Errors    uint64 `json:"errors"`
+}
+
+// BackendStats is one backend's row in the gateway stats document: the
+// gateway's view of it (health, forwards) plus the backend's own /v1/stats
+// snapshot when it was reachable (nil otherwise). The nested summary keeps
+// its own node field, so aggregated numbers stay attributable.
+type BackendStats struct {
+	Name      string                `json:"name"`
+	URL       string                `json:"url"`
+	Health    string                `json:"health"`
+	Forwarded uint64                `json:"forwarded"`
+	Stats     *service.StatsSummary `json:"stats,omitempty"`
+}
+
+// ClusterStats is ddgate's GET /v1/stats document. Jobs sums the job
+// lifecycle counters across every reachable backend — a cluster total —
+// while Backends keeps the per-node breakdown.
+type ClusterStats struct {
+	Node          string           `json:"node"`
+	UptimeSeconds float64          `json:"uptime_seconds"`
+	Ring          RingStats        `json:"ring"`
+	Gateway       GatewayCounters  `json:"gateway"`
+	Jobs          service.JobStats `json:"jobs"`
+	Backends      []BackendStats   `json:"backends"`
+}
+
+// statsProbeTimeout bounds each backend stats fetch; a hung backend must
+// not hold the whole document hostage.
+const statsProbeTimeout = 2 * time.Second
+
+// Stats assembles the aggregated operational snapshot: gateway-local
+// counters plus a concurrent fan-out to every backend's /v1/stats.
+func (g *Gateway) Stats(ctx context.Context) ClusterStats {
+	cs := ClusterStats{
+		Node:          g.cfg.Node,
+		UptimeSeconds: time.Since(g.start).Seconds(),
+		Ring: RingStats{
+			Members: len(g.backends),
+			Active:  g.ring.Active(),
+			VNodes:  g.cfg.VNodes,
+		},
+		Gateway: GatewayCounters{
+			Requests:  g.reg.CounterValue(obs.GateRequests),
+			Forwards:  g.reg.CounterValue(obs.GateForwards),
+			Retries:   g.reg.CounterValue(obs.GateRetries),
+			Hedges:    g.reg.CounterValue(obs.GateHedges),
+			HedgeWins: g.reg.CounterValue(obs.GateHedgeWins),
+			Errors:    g.reg.CounterValue(obs.GateErrors),
+		},
+		Backends: make([]BackendStats, len(g.backends)),
+	}
+
+	var wg sync.WaitGroup
+	for i, b := range g.backends {
+		cs.Backends[i] = BackendStats{
+			Name:      b.Name,
+			URL:       b.URL,
+			Health:    b.Health().String(),
+			Forwarded: b.cForward.Value(),
+		}
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, statsProbeTimeout)
+			defer cancel()
+			cl := &service.Client{BaseURL: b.URL, HTTPClient: g.client}
+			sum, err := cl.Stats(sctx)
+			if err != nil {
+				g.log.Debug("backend stats unavailable", "backend", b.Name, "error", err.Error())
+				return
+			}
+			cs.Backends[i].Stats = &sum
+		}(i, b)
+	}
+	wg.Wait()
+
+	for _, bs := range cs.Backends {
+		if bs.Stats == nil {
+			continue
+		}
+		cs.Jobs.Submitted += bs.Stats.Jobs.Submitted
+		cs.Jobs.Completed += bs.Stats.Jobs.Completed
+		cs.Jobs.Failed += bs.Stats.Jobs.Failed
+		cs.Jobs.Canceled += bs.Stats.Jobs.Canceled
+		cs.Jobs.Rejected += bs.Stats.Jobs.Rejected
+		cs.Jobs.Inflight += bs.Stats.Jobs.Inflight
+	}
+	return cs
+}

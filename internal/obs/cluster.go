@@ -1,0 +1,58 @@
+package obs
+
+// Canonical metric names for the ddgate cluster gateway. Like the
+// ddserved_* names in service.go, they live next to the Registry so the
+// gateway, its tests, and the CI smoke assertions agree on one spelling.
+//
+// The registry is label-free, so per-backend series encode the backend
+// name in the metric name via the *Prefix constants (sanitized through
+// MetricName).
+const (
+	// GateRequests counts every request the gateway mux serves.
+	GateRequests = "ddgate_requests_total"
+	// GateForwards counts upstream attempts the gateway issued (first
+	// tries, retries, and hedges all included).
+	GateForwards = "ddgate_forwards_total"
+	// GateRetries counts failover retries: attempts re-sent to a different
+	// replica after a transient upstream failure.
+	GateRetries = "ddgate_retries_total"
+	// GateHedges counts hedge requests launched after the latency
+	// threshold; GateHedgeWins counts the subset where the hedge answered
+	// first.
+	GateHedges    = "ddgate_hedges_total"
+	GateHedgeWins = "ddgate_hedge_wins_total"
+	// GateErrors counts requests that exhausted every candidate backend
+	// (answered 502 to the client).
+	GateErrors = "ddgate_errors_total"
+
+	// GateRingMembers is the current number of routable (non-evicted)
+	// backends in the consistent-hash ring.
+	GateRingMembers = "ddgate_ring_members"
+
+	// GateBackendHealthPrefix prefixes the per-backend health gauges
+	// (0 = down/evicted, 1 = degraded, 2 = ok), e.g.
+	// ddgate_backend_health_127_0_0_1_8318.
+	GateBackendHealthPrefix = "ddgate_backend_health_"
+	// GateBackendForwardPrefix prefixes the per-backend forwarded-request
+	// counters.
+	GateBackendForwardPrefix = "ddgate_backend_requests_total_"
+
+	// GateHTTPLatencyPrefix prefixes the gateway's per-endpoint wall-clock
+	// latency histograms (milliseconds), mirroring SvcHTTPLatencyPrefix.
+	GateHTTPLatencyPrefix = "ddgate_http_latency_ms_"
+)
+
+// MetricName sanitizes s into a legal Prometheus metric-name suffix:
+// every byte outside [a-zA-Z0-9_] becomes '_'. Backend names (derived
+// from host:port) pass through here before being appended to a *Prefix.
+func MetricName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}

@@ -57,4 +57,15 @@ const (
 	// threshold.
 	SvcSLORequests = "ddserved_slo_requests_total"
 	SvcSLOBreaches = "ddserved_slo_breaches_total"
+
+	// SvcStoreHits counts result-cache lookups answered from the on-disk
+	// store after an in-memory miss (only possible with -store-dir).
+	SvcStoreHits = "ddserved_store_hits_total"
+	// SvcStoreErrors counts failed store writes; the job still completes,
+	// the result just isn't durable.
+	SvcStoreErrors = "ddserved_store_errors_total"
+	// SvcStoreEntries / SvcStoreBytes gauge the on-disk store's current
+	// footprint.
+	SvcStoreEntries = "ddserved_store_entries"
+	SvcStoreBytes   = "ddserved_store_bytes"
 )

@@ -5,19 +5,30 @@ import (
 	"sync"
 
 	"demandrace/internal/obs"
+	"demandrace/internal/store"
 )
 
 // resultCache is the content-addressed result store: cache key (hash of
 // program+config) → marshaled JSON result, with LRU eviction bounded in
 // entries. Because simulation runs are pure, entries never go stale; the
 // only reason to evict is memory.
+//
+// With a backing store attached the cache becomes two-tier: every put is
+// written through to disk, an in-memory miss falls back to a disk lookup
+// (promoting the entry back into the LRU), and construction repopulates
+// the LRU from disk so cache contents survive restarts. LRU eviction then
+// only bounds memory — evicted entries remain answerable from disk until
+// the store's own size cap evicts their segment.
 type resultCache struct {
 	mu      sync.Mutex
 	cap     int
 	entries map[string]*list.Element
 	order   *list.List // front = most recently used
+	disk    *store.Store
 
 	hits, misses, evictions *obs.Counter
+	diskHits, diskErrors    *obs.Counter
+	gDiskEntries, gDiskSize *obs.Gauge
 }
 
 type cacheEntry struct {
@@ -26,39 +37,83 @@ type cacheEntry struct {
 }
 
 // newResultCache builds a cache holding at most capacity entries
-// (capacity <= 0 disables caching: every lookup misses, every store drops).
-func newResultCache(capacity int, reg *obs.Registry) *resultCache {
-	return &resultCache{
-		cap:       capacity,
-		entries:   make(map[string]*list.Element),
-		order:     list.New(),
-		hits:      reg.Counter(obs.SvcCacheHits),
-		misses:    reg.Counter(obs.SvcCacheMisses),
-		evictions: reg.Counter(obs.SvcCacheEvictions),
+// (capacity <= 0 disables in-memory caching: every lookup misses unless
+// the backing store answers, every store drops). disk may be nil; when
+// set, the LRU is warmed from it, newest entries first.
+func newResultCache(capacity int, reg *obs.Registry, disk *store.Store) *resultCache {
+	c := &resultCache{
+		cap:          capacity,
+		entries:      make(map[string]*list.Element),
+		order:        list.New(),
+		disk:         disk,
+		hits:         reg.Counter(obs.SvcCacheHits),
+		misses:       reg.Counter(obs.SvcCacheMisses),
+		evictions:    reg.Counter(obs.SvcCacheEvictions),
+		diskHits:     reg.Counter(obs.SvcStoreHits),
+		diskErrors:   reg.Counter(obs.SvcStoreErrors),
+		gDiskEntries: reg.Gauge(obs.SvcStoreEntries),
+		gDiskSize:    reg.Gauge(obs.SvcStoreBytes),
 	}
+	if disk != nil {
+		// Warm the LRU in write order: put-front + trim leaves the newest
+		// stored results resident.
+		disk.Each(func(key string, data []byte) error {
+			c.mu.Lock()
+			c.insertLocked(key, data)
+			c.mu.Unlock()
+			return nil
+		})
+		c.publishDiskGauges()
+	}
+	return c
 }
 
-// get returns the cached result for key, refreshing its recency.
+// get returns the cached result for key, refreshing its recency. An
+// in-memory miss consults the backing store and promotes a disk hit.
 func (c *resultCache) get(key string) ([]byte, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		c.misses.Inc()
-		return nil, false
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits.Inc()
+		data := el.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		return data, true
 	}
-	c.order.MoveToFront(el)
-	c.hits.Inc()
-	return el.Value.(*cacheEntry).data, true
+	c.mu.Unlock()
+	if c.disk != nil {
+		if data, ok := c.disk.Get(key); ok {
+			c.mu.Lock()
+			c.insertLocked(key, data)
+			c.mu.Unlock()
+			c.diskHits.Inc()
+			c.hits.Inc()
+			return data, true
+		}
+	}
+	c.misses.Inc()
+	return nil, false
 }
 
-// put stores a result, evicting the least recently used entry past cap.
+// put stores a result in memory and writes it through to the backing
+// store. A store write failure is counted and logged by the store, never
+// surfaced to the job — the result just isn't durable.
 func (c *resultCache) put(key string, data []byte) {
+	c.mu.Lock()
+	c.insertLocked(key, data)
+	c.mu.Unlock()
+	if c.disk != nil {
+		if err := c.disk.Put(key, data); err != nil {
+			c.diskErrors.Inc()
+		}
+		c.publishDiskGauges()
+	}
+}
+
+// insertLocked adds (or refreshes) a memory entry and trims past cap.
+func (c *resultCache) insertLocked(key string, data []byte) {
 	if c.cap <= 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		// Pure jobs make identical data; just refresh recency.
 		c.order.MoveToFront(el)
@@ -71,6 +126,12 @@ func (c *resultCache) put(key string, data []byte) {
 		delete(c.entries, last.Value.(*cacheEntry).key)
 		c.evictions.Inc()
 	}
+}
+
+// publishDiskGauges mirrors the store's footprint into the registry.
+func (c *resultCache) publishDiskGauges() {
+	c.gDiskEntries.Set(int64(c.disk.Len()))
+	c.gDiskSize.Set(c.disk.Size())
 }
 
 // len returns the current entry count.

@@ -1,14 +1,17 @@
 package service
 
 import (
+	"bytes"
+	"context"
 	"testing"
 
 	"demandrace/internal/obs"
+	"demandrace/internal/store"
 )
 
 func TestResultCacheLRUEviction(t *testing.T) {
 	reg := obs.NewRegistry()
-	c := newResultCache(2, reg)
+	c := newResultCache(2, reg, nil)
 	c.put("a", []byte("A"))
 	c.put("b", []byte("B"))
 	// Touch "a" so "b" becomes the eviction victim.
@@ -41,7 +44,7 @@ func TestResultCacheLRUEviction(t *testing.T) {
 }
 
 func TestResultCacheDisabled(t *testing.T) {
-	c := newResultCache(-1, obs.NewRegistry())
+	c := newResultCache(-1, obs.NewRegistry(), nil)
 	c.put("a", []byte("A"))
 	if _, ok := c.get("a"); ok {
 		t.Fatal("disabled cache stored an entry")
@@ -52,22 +55,108 @@ func TestRequestCacheKeyCanonical(t *testing.T) {
 	// Explicit defaults and zero values must share a cache entry.
 	a := Request{Kernel: "racy_flag"}
 	b := Request{Kernel: "racy_flag", Threads: 4, Scale: 1, Policy: "hitm-demand", Scope: "global", Cores: 4, SMT: 1, SampleAfter: 1, SampleRate: 0.1}
-	if a.cacheKey() != b.cacheKey() {
+	if a.CacheKey() != b.CacheKey() {
 		t.Fatal("normalized-equal requests hash differently")
 	}
 	// The deadline must not split the cache.
 	c := Request{Kernel: "racy_flag", TimeoutMS: 1234}
-	if a.cacheKey() != c.cacheKey() {
+	if a.CacheKey() != c.CacheKey() {
 		t.Fatal("timeout_ms perturbed the cache key")
 	}
 	// Anything semantic must.
 	d := Request{Kernel: "racy_flag", Seed: 1}
-	if a.cacheKey() == d.cacheKey() {
+	if a.CacheKey() == d.CacheKey() {
 		t.Fatal("different seeds share a cache key")
 	}
 	e := Request{Kernel: "histogram"}
-	if a.cacheKey() == e.cacheKey() {
+	if a.CacheKey() == e.CacheKey() {
 		t.Fatal("different kernels share a cache key")
+	}
+}
+
+// TestStoreBackedCacheSurvivesRestart is the durability acceptance test:
+// a result computed by one server incarnation must be a byte-identical
+// cache hit on the next incarnation sharing the same -store-dir.
+func TestStoreBackedCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	req := Request{Kernel: "racy_flag", Seed: 3}
+
+	st1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("Open store: %v", err)
+	}
+	s1, _, cl1 := newTestServer(t, Config{Workers: 1, Store: st1})
+	first, err := cl1.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := cl1.Wait(ctx, first.ID); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	d1, err := cl1.Result(ctx, first.ID)
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	sctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := s1.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatalf("Close store: %v", err)
+	}
+
+	// "Restart": a fresh server over the same directory.
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	s2, _, cl2 := newTestServer(t, Config{Workers: 1, Store: st2})
+	again, err := cl2.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("Submit after restart: %v", err)
+	}
+	if !again.CacheHit {
+		t.Fatal("resubmission after restart was not a cache hit")
+	}
+	d2, err := cl2.Result(ctx, again.ID)
+	if err != nil {
+		t.Fatalf("Result after restart: %v", err)
+	}
+	if !bytes.Equal(d1, d2) {
+		t.Fatal("replayed result differs from the original bytes")
+	}
+	if sum := s2.Stats(); sum.Store == nil || sum.Store.Entries != 1 {
+		t.Fatalf("stats store section = %+v, want 1 entry", sum.Store)
+	}
+}
+
+// TestDiskFallbackAfterLRUEviction checks the two-tier path: an entry
+// evicted from memory is still answered from disk and promoted back.
+func TestDiskFallbackAfterLRUEviction(t *testing.T) {
+	st, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatalf("Open store: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	reg := obs.NewRegistry()
+	c := newResultCache(1, reg, st)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B")) // evicts "a" from memory, both on disk
+	got, ok := c.get("a")
+	if !ok || !bytes.Equal(got, []byte("A")) {
+		t.Fatalf("disk fallback failed: %q %v", got, ok)
+	}
+	if hits := reg.CounterValue(obs.SvcStoreHits); hits != 1 {
+		t.Fatalf("store hits = %d, want 1", hits)
+	}
+	// Promoted: a second get is a pure memory hit.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("promotion after disk hit failed")
+	}
+	if hits := reg.CounterValue(obs.SvcStoreHits); hits != 1 {
+		t.Fatalf("store hits after promotion = %d, want still 1", hits)
 	}
 }
 

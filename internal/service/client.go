@@ -6,14 +6,84 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"time"
 )
 
-// Client talks to a ddserved daemon. The zero value is not usable; set
-// BaseURL (e.g. "http://127.0.0.1:8318").
+// Options is the client-side timeout/retry policy, shared by everything
+// that calls a ddserved node over HTTP: `ddrace -submit`, the ddgate
+// gateway's per-backend forwards, and the gateway's stats aggregation.
+// It lives here — next to the Client — so retry behavior has exactly one
+// implementation.
+//
+// The zero value means "one attempt, no per-attempt deadline", which is
+// the pre-Options behavior.
+type Options struct {
+	// Timeout bounds each individual attempt (0 = no per-attempt bound;
+	// the caller's context still applies).
+	Timeout time.Duration
+	// Retries is the number of extra attempts after the first when an
+	// attempt fails transiently (0 = fail fast).
+	Retries int
+	// Backoff is the delay before the first retry, doubling per retry
+	// with ±50% jitter (default 100ms when Retries > 0).
+	Backoff time.Duration
+}
+
+// BackoffFor returns the jittered delay before retry attempt (0-based):
+// base<<attempt, scaled by a random factor in [0.5, 1.5). Jitter is
+// wall-clock operational behavior, so math/rand is fine here — nothing in
+// the retry path feeds deterministic exports.
+func (o Options) BackoffFor(attempt int) time.Duration {
+	base := o.Backoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if attempt > 10 {
+		attempt = 10 // cap the doubling well short of overflow
+	}
+	d := base << uint(attempt)
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// Sleep waits out BackoffFor(attempt), honoring a floor (e.g. an upstream
+// Retry-After) and ctx cancellation.
+func (o Options) Sleep(ctx context.Context, attempt int, floor time.Duration) error {
+	d := o.BackoffFor(attempt)
+	if floor > d {
+		d = floor
+	}
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Retryable reports whether an attempt outcome warrants another try:
+// transport errors (when the caller's context is still live) and the
+// upstream-overload status codes. 429 is retryable from a client's point
+// of view — the queue will drain — which is why the returned APIError
+// carries Retry-After for Sleep's floor.
+func (o Options) Retryable(ctx context.Context, err error, status int) bool {
+	if err != nil {
+		return ctx.Err() == nil
+	}
+	switch status {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// Client talks to a ddserved daemon or a ddgate gateway — the API surface
+// is identical, so the same client works against either. The zero value
+// is not usable; set BaseURL (e.g. "http://127.0.0.1:8318").
 type Client struct {
 	// BaseURL is the daemon's root URL, without a trailing slash.
 	BaseURL string
@@ -21,6 +91,10 @@ type Client struct {
 	HTTPClient *http.Client
 	// PollInterval paces Wait's status polling (default 50ms).
 	PollInterval time.Duration
+	// Options is the timeout/retry policy for every call this client
+	// makes. Retrying a submission is safe: jobs are content-addressed
+	// and pure, so a duplicate submit is at worst a cache hit.
+	Options Options
 }
 
 // APIError is a non-2xx daemon response.
@@ -43,33 +117,92 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
-// do issues a request and decodes either a Status or an APIError.
-func (c *Client) do(req *http.Request) (Status, error) {
-	resp, err := c.http().Do(req)
-	if err != nil {
-		return Status{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		return Status{}, apiError(resp)
-	}
-	var st Status
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return Status{}, fmt.Errorf("service: decoding daemon response: %w", err)
-	}
-	return st, nil
+// reply is one fully-read HTTP response.
+type reply struct {
+	status int
+	header http.Header
+	body   []byte
 }
 
-func apiError(resp *http.Response) error {
+// err maps a non-2xx reply onto an *APIError.
+func (r reply) err() error {
 	var body struct {
 		Error string `json:"error"`
 	}
-	json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&body)
+	json.Unmarshal(r.body, &body)
 	if body.Error == "" {
-		body.Error = resp.Status
+		body.Error = http.StatusText(r.status)
 	}
-	retry, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
-	return &APIError{Code: resp.StatusCode, Message: body.Error, RetryAfter: retry}
+	retry, _ := strconv.Atoi(r.header.Get("Retry-After"))
+	return &APIError{Code: r.status, Message: body.Error, RetryAfter: retry}
+}
+
+// roundTrip issues build's request under the client's Options: each
+// attempt gets its own per-attempt deadline, transient failures back off
+// (honoring Retry-After) and retry, and the final response is returned
+// fully read. build is called once per attempt so request bodies replay.
+func (c *Client) roundTrip(ctx context.Context, build func(ctx context.Context) (*http.Request, error)) (reply, error) {
+	var (
+		last    reply
+		lastErr error
+	)
+	for attempt := 0; ; attempt++ {
+		last, lastErr = c.attempt(ctx, build)
+		if lastErr == nil && last.status < 300 {
+			return last, nil
+		}
+		if attempt >= c.Options.Retries || !c.Options.Retryable(ctx, lastErr, last.status) {
+			break
+		}
+		var floor time.Duration
+		if ra, err := strconv.Atoi(last.header.Get("Retry-After")); err == nil {
+			floor = time.Duration(ra) * time.Second
+		}
+		if err := c.Options.Sleep(ctx, attempt, floor); err != nil {
+			break
+		}
+	}
+	if lastErr != nil {
+		return reply{}, lastErr
+	}
+	return last, last.err()
+}
+
+// attempt performs one request/response cycle, reading the body in full.
+func (c *Client) attempt(ctx context.Context, build func(ctx context.Context) (*http.Request, error)) (reply, error) {
+	actx := ctx
+	cancel := func() {}
+	if c.Options.Timeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, c.Options.Timeout)
+	}
+	defer cancel()
+	req, err := build(actx)
+	if err != nil {
+		return reply{}, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return reply{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return reply{}, fmt.Errorf("service: reading daemon response: %w", err)
+	}
+	return reply{status: resp.StatusCode, header: resp.Header, body: body}, nil
+}
+
+// doStatus runs a request whose success body is a Status document.
+func (c *Client) doStatus(ctx context.Context, build func(ctx context.Context) (*http.Request, error)) (Status, error) {
+	r, err := c.roundTrip(ctx, build)
+	if err != nil {
+		return Status{}, err
+	}
+	var st Status
+	if err := json.Unmarshal(r.body, &st); err != nil {
+		return Status{}, fmt.Errorf("service: decoding daemon response: %w", err)
+	}
+	return st, nil
 }
 
 // Submit posts a kernel-analysis request.
@@ -78,17 +211,24 @@ func (c *Client) Submit(ctx context.Context, r Request) (Status, error) {
 	if err != nil {
 		return Status{}, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.BaseURL+"/v1/jobs", bytes.NewReader(body))
-	if err != nil {
-		return Status{}, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req)
+	return c.doStatus(ctx, func(ctx context.Context) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			c.BaseURL+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 }
 
-// SubmitTrace posts a binary trace for offline replay.
+// SubmitTrace posts a binary trace for offline replay. The trace is read
+// into memory up front so retries can replay the body.
 func (c *Client) SubmitTrace(ctx context.Context, tr io.Reader, opts TraceOptions) (Status, error) {
+	raw, err := io.ReadAll(tr)
+	if err != nil {
+		return Status{}, fmt.Errorf("service: reading trace: %w", err)
+	}
 	q := url.Values{}
 	if opts.FullVC {
 		q.Set("fullvc", "1")
@@ -103,40 +243,51 @@ func (c *Client) SubmitTrace(ctx context.Context, tr io.Reader, opts TraceOption
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, tr)
-	if err != nil {
-		return Status{}, err
+	return c.doStatus(ctx, func(ctx context.Context) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", TraceContentType)
+		return req, nil
+	})
+}
+
+// get builds a plain GET against path (already escaped).
+func (c *Client) get(path string) func(ctx context.Context) (*http.Request, error) {
+	return func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	}
-	req.Header.Set("Content-Type", TraceContentType)
-	return c.do(req)
 }
 
 // Status fetches a job's current state.
 func (c *Client) Status(ctx context.Context, id string) (Status, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.BaseURL+"/v1/jobs/"+url.PathEscape(id), nil)
-	if err != nil {
-		return Status{}, err
-	}
-	return c.do(req)
+	return c.doStatus(ctx, c.get("/v1/jobs/"+url.PathEscape(id)))
 }
 
 // Result fetches a done job's result JSON.
 func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.BaseURL+"/v1/results/"+url.PathEscape(id), nil)
+	r, err := c.roundTrip(ctx, c.get("/v1/results/"+url.PathEscape(id)))
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.http().Do(req)
+	if r.status != http.StatusOK {
+		return nil, r.err()
+	}
+	return r.body, nil
+}
+
+// Stats fetches the node's GET /v1/stats document.
+func (c *Client) Stats(ctx context.Context) (StatsSummary, error) {
+	r, err := c.roundTrip(ctx, c.get("/v1/stats"))
 	if err != nil {
-		return nil, err
+		return StatsSummary{}, err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, apiError(resp)
+	var sum StatsSummary
+	if err := json.Unmarshal(r.body, &sum); err != nil {
+		return StatsSummary{}, fmt.Errorf("service: decoding stats: %w", err)
 	}
-	return io.ReadAll(resp.Body)
+	return sum, nil
 }
 
 // Wait polls until the job reaches a terminal state or ctx expires.

@@ -16,6 +16,7 @@ import (
 	"demandrace/internal/parallel"
 	"demandrace/internal/runner"
 	"demandrace/internal/sched"
+	"demandrace/internal/store"
 	"demandrace/internal/trace"
 	"demandrace/internal/workloads"
 )
@@ -54,6 +55,15 @@ type Config struct {
 	// Log receives operational logs — request access lines, job lifecycle
 	// events, drain progress. Nil discards them.
 	Log *slog.Logger
+	// Store is an optional on-disk result store backing the LRU cache, so
+	// cache contents survive restarts (ddserved -store-dir). The server
+	// does not own it: the caller opens it before NewServer and closes it
+	// after Shutdown.
+	Store *store.Store
+	// Node names this process in GET /v1/stats, so gateway-aggregated
+	// stats stay distinguishable from single-node stats (default
+	// "ddserved").
+	Node string
 }
 
 func (c Config) normalized() Config {
@@ -95,6 +105,9 @@ func (c Config) normalized() Config {
 	}
 	if c.Log == nil {
 		c.Log = olog.Discard()
+	}
+	if c.Node == "" {
+		c.Node = "ddserved"
 	}
 	return c
 }
@@ -152,7 +165,7 @@ func NewServer(cfg Config) *Server {
 		eng:        parallel.New(cfg.Workers),
 		queue:      make(chan *Job, cfg.QueueDepth),
 		drained:    make(chan struct{}),
-		cache:      newResultCache(cfg.CacheEntries, cfg.Registry),
+		cache:      newResultCache(cfg.CacheEntries, cfg.Registry, cfg.Store),
 		jobs:       make(map[string]*Job),
 		baseCtx:    baseCtx,
 		baseCancel: cancel,
@@ -267,7 +280,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (Status, error) {
 		kind:    "kernel",
 		name:    n.Kernel,
 		policy:  n.Policy,
-		key:     n.cacheKey(),
+		key:     n.CacheKey(),
 		timeout: s.timeoutFor(n.TimeoutMS),
 		done:    make(chan struct{}),
 		run: func(ctx context.Context) ([]byte, error) {
@@ -300,7 +313,7 @@ func (s *Server) SubmitTrace(ctx context.Context, r io.Reader, opts TraceOptions
 	j := &Job{
 		kind:    "trace",
 		name:    tr.Program,
-		key:     traceCacheKey(raw, opts),
+		key:     TraceCacheKey(raw, opts),
 		timeout: s.timeoutFor(opts.TimeoutMS),
 		done:    make(chan struct{}),
 		run: func(ctx context.Context) ([]byte, error) {

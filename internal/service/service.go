@@ -176,9 +176,13 @@ func (r Request) Validate() error {
 	return nil
 }
 
-// cacheKey hashes the normalized request minus its deadline. JSON field
-// order is fixed by the struct, so the encoding is canonical.
-func (r Request) cacheKey() string {
+// CacheKey hashes the normalized request minus its deadline. JSON field
+// order is fixed by the struct, so the encoding is canonical. The key is
+// the job's identity everywhere results are addressed: the in-memory LRU,
+// the on-disk store, and ddgate's consistent-hash routing all use this
+// same hash, which is what makes "the node a job routes to" and "the node
+// whose caches can answer it" the same node.
+func (r Request) CacheKey() string {
 	n := r.normalized()
 	n.TimeoutMS = 0
 	b, _ := json.Marshal(n)
@@ -249,8 +253,10 @@ type ReplayResult struct {
 	Stats    detector.Stats    `json:"stats"`
 }
 
-// traceCacheKey hashes the raw trace bytes plus replay options.
-func traceCacheKey(raw []byte, opts TraceOptions) string {
+// TraceCacheKey hashes the raw trace bytes plus replay options. Like
+// Request.CacheKey, it doubles as the cluster routing key for uploaded
+// traces.
+func TraceCacheKey(raw []byte, opts TraceOptions) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "trace:fullvc=%v:reports=%d:", opts.FullVC, opts.MaxReports)
 	h.Write(raw)

@@ -55,11 +55,24 @@ type SLOStats struct {
 	Healthy     bool    `json:"healthy"`
 }
 
+// StoreStats describes the optional on-disk result store.
+type StoreStats struct {
+	Dir     string `json:"dir"`
+	Entries int    `json:"entries"`
+	Bytes   int64  `json:"bytes"`
+}
+
 // StatsSummary is the GET /v1/stats document: a self-contained operational
 // snapshot assembled from the wall-clock side of the registry. It is a
 // diagnostics surface — values here are intentionally non-deterministic,
 // unlike the simulation exports.
+//
+// Node names the process that produced the document. Queue pressure and
+// SLO numbers are inherently per-process, so when ddgate merges backend
+// stats into its aggregated view, the node field is what keeps each row
+// attributable to one backend rather than reading as cluster totals.
 type StatsSummary struct {
+	Node          string          `json:"node"`
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	Workers       int             `json:"workers"`
 	Health        string          `json:"health"`
@@ -69,6 +82,7 @@ type StatsSummary struct {
 	QueueWait     LatencySummary  `json:"queue_wait"`
 	JobDuration   LatencySummary  `json:"job_duration"`
 	SLO           SLOStats        `json:"slo"`
+	Store         *StoreStats     `json:"store,omitempty"`
 }
 
 // summarize reads one histogram into a LatencySummary.
@@ -87,6 +101,7 @@ func (s *Server) Stats() StatsSummary {
 	health, queued, _ := s.Health()
 
 	sum := StatsSummary{
+		Node:          s.cfg.Node,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       s.cfg.Workers,
 		Health:        health,
@@ -135,5 +150,12 @@ func (s *Server) Stats() StatsSummary {
 		slo.Healthy = slo.Compliance >= slo.Target
 	}
 	sum.SLO = slo
+	if s.cfg.Store != nil {
+		sum.Store = &StoreStats{
+			Dir:     s.cfg.Store.Dir(),
+			Entries: s.cfg.Store.Len(),
+			Bytes:   s.cfg.Store.Size(),
+		}
+	}
 	return sum
 }

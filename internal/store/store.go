@@ -1,0 +1,377 @@
+// Package store is a crash-safe on-disk result store: an append-only log
+// of (key, value) records split across size-bounded segment files, with an
+// in-memory index rebuilt by a recovery scan on every open.
+//
+// It backs ddserved's content-addressed result cache (-store-dir), so
+// cache contents survive restarts. The design leans on the same purity
+// property as the rest of the service layer: keys are content hashes and
+// values are immutable, so there are no overwrites, no tombstones, and no
+// compaction-time merging — a key is written at most once, and "compaction"
+// reduces to evicting whole segments oldest-first once the configured size
+// cap is exceeded.
+//
+// Crash safety is by construction rather than by fsync discipline: every
+// record carries a CRC32 over its header and payload, and Open scans each
+// segment sequentially, truncating at the first torn or corrupt record.
+// Only the damaged tail is lost; every record before it stays readable.
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Record layout, little-endian, packed back to back inside a segment:
+//
+//	uint32 keyLen | uint32 dataLen | key | data | uint32 crc
+//
+// crc is CRC32 (IEEE) over the 8 header bytes, the key, and the data, so
+// a torn length field is caught the same way a torn payload is.
+const (
+	recHeaderLen  = 8
+	recTrailerLen = 4
+	// maxKeyLen bounds keys during recovery: anything larger is treated as
+	// a corrupt length field, not a real record. Content-hash keys are 64
+	// bytes; 4 KiB leaves generous headroom.
+	maxKeyLen = 4096
+	// maxDataLen bounds a single value at 1 GiB for the same reason.
+	maxDataLen = 1 << 30
+)
+
+// Options shape a Store. Zero fields take defaults.
+type Options struct {
+	// SegmentBytes rolls the active segment once it reaches this size
+	// (default 4 MiB). Smaller segments mean finer-grained eviction.
+	SegmentBytes int64
+	// MaxBytes caps the store's total on-disk size (default 256 MiB).
+	// When an append pushes the total past the cap, whole segments are
+	// evicted oldest-first until the store fits again (the active segment
+	// is never evicted). Negative disables the cap.
+	MaxBytes int64
+	// Log receives recovery and eviction notices. Nil discards them.
+	Log *slog.Logger
+}
+
+func (o Options) normalized() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.MaxBytes == 0 {
+		o.MaxBytes = 256 << 20
+	}
+	if o.Log == nil {
+		o.Log = slog.New(discardHandler{})
+	}
+	return o
+}
+
+// entryRef locates one record's payload inside a segment.
+type entryRef struct {
+	seg     *segment
+	off     int64 // offset of the record start
+	keyLen  uint32
+	dataLen uint32
+}
+
+// segment is one append-only log file.
+type segment struct {
+	id   uint64
+	path string
+	f    *os.File
+	size int64
+	keys int // live records (for eviction logging)
+}
+
+// Store is the on-disk result store. All methods are safe for concurrent
+// use.
+type Store struct {
+	dir  string
+	opts Options
+	log  *slog.Logger
+
+	mu     sync.Mutex
+	segs   []*segment // ascending id; the last one is the active segment
+	index  map[string]entryRef
+	size   int64 // total bytes across all segments
+	closed bool
+}
+
+// Open opens (or creates) the store rooted at dir and runs the recovery
+// scan: every segment is read sequentially, records with valid CRCs are
+// indexed (later duplicates win, though duplicates never arise from this
+// package's own writes), and the first torn or corrupt record truncates
+// its segment — dropping only the damaged tail.
+func Open(dir string, opts Options) (*Store, error) {
+	opts = opts.normalized()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		log:   opts.Log,
+		index: make(map[string]entryRef),
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names) // zero-padded ids sort numerically
+	for _, path := range names {
+		seg, err := s.openSegment(path)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.segs = append(s.segs, seg)
+		s.size += seg.size
+	}
+	if len(s.segs) == 0 {
+		if err := s.rollLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// openSegment opens one existing segment and scans it into the index,
+// truncating at the first bad record.
+func (s *Store) openSegment(path string) (*segment, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening segment: %w", err)
+	}
+	var id uint64
+	fmt.Sscanf(filepath.Base(path), "seg-%d.log", &id)
+	seg := &segment{id: id, path: path, f: f}
+
+	var off int64
+	hdr := make([]byte, recHeaderLen)
+	for {
+		if _, err := io.ReadFull(io.NewSectionReader(f, off, recHeaderLen), hdr); err != nil {
+			break // clean EOF or torn header: everything from off on is dropped
+		}
+		keyLen := binary.LittleEndian.Uint32(hdr[0:4])
+		dataLen := binary.LittleEndian.Uint32(hdr[4:8])
+		if keyLen == 0 || keyLen > maxKeyLen || dataLen > maxDataLen {
+			break // corrupt lengths
+		}
+		recLen := int64(recHeaderLen) + int64(keyLen) + int64(dataLen) + recTrailerLen
+		buf := make([]byte, recLen-recHeaderLen)
+		if _, err := io.ReadFull(io.NewSectionReader(f, off+recHeaderLen, recLen-recHeaderLen), buf); err != nil {
+			break // torn payload
+		}
+		body, trailer := buf[:len(buf)-recTrailerLen], buf[len(buf)-recTrailerLen:]
+		crc := crc32.NewIEEE()
+		crc.Write(hdr)
+		crc.Write(body)
+		if crc.Sum32() != binary.LittleEndian.Uint32(trailer) {
+			break // corrupt record
+		}
+		key := string(body[:keyLen])
+		s.index[key] = entryRef{seg: seg, off: off, keyLen: keyLen, dataLen: dataLen}
+		seg.keys++
+		off += recLen
+	}
+	if st, err := f.Stat(); err == nil && st.Size() > off {
+		s.log.Warn("store: truncating torn segment tail",
+			"segment", filepath.Base(path), "good_bytes", off, "file_bytes", st.Size())
+		if err := f.Truncate(off); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("store: truncating %s: %w", path, err)
+		}
+	}
+	seg.size = off
+	return seg, nil
+}
+
+// rollLocked starts a fresh active segment. Caller holds s.mu (or is the
+// constructor).
+func (s *Store) rollLocked() error {
+	var id uint64 = 1
+	if n := len(s.segs); n > 0 {
+		id = s.segs[n-1].id + 1
+	}
+	path := filepath.Join(s.dir, fmt.Sprintf("seg-%08d.log", id))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating segment: %w", err)
+	}
+	s.segs = append(s.segs, &segment{id: id, path: path, f: f})
+	return nil
+}
+
+// Put appends one record. Keys are content hashes of immutable results,
+// so writing an already-present key is a no-op, not an update.
+func (s *Store) Put(key string, data []byte) error {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return fmt.Errorf("store: key length %d out of range", len(key))
+	}
+	if int64(len(data)) > maxDataLen {
+		return fmt.Errorf("store: value of %d bytes exceeds the %d-byte record cap", len(data), maxDataLen)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if _, ok := s.index[key]; ok {
+		return nil
+	}
+
+	rec := make([]byte, recHeaderLen+len(key)+len(data)+recTrailerLen)
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(key)))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(len(data)))
+	copy(rec[recHeaderLen:], key)
+	copy(rec[recHeaderLen+len(key):], data)
+	crc := crc32.ChecksumIEEE(rec[:recHeaderLen+len(key)+len(data)])
+	binary.LittleEndian.PutUint32(rec[len(rec)-recTrailerLen:], crc)
+
+	active := s.segs[len(s.segs)-1]
+	if active.size > 0 && active.size+int64(len(rec)) > s.opts.SegmentBytes {
+		if err := s.rollLocked(); err != nil {
+			return err
+		}
+		active = s.segs[len(s.segs)-1]
+	}
+	if _, err := active.f.WriteAt(rec, active.size); err != nil {
+		return fmt.Errorf("store: appending record: %w", err)
+	}
+	s.index[key] = entryRef{seg: active, off: active.size, keyLen: uint32(len(key)), dataLen: uint32(len(data))}
+	active.size += int64(len(rec))
+	active.keys++
+	s.size += int64(len(rec))
+	s.compactLocked()
+	return nil
+}
+
+// compactLocked enforces the size cap by evicting whole segments
+// oldest-first. The active segment is never evicted, so a store with a
+// single oversized segment stays intact until the next roll.
+func (s *Store) compactLocked() {
+	if s.opts.MaxBytes < 0 {
+		return
+	}
+	for s.size > s.opts.MaxBytes && len(s.segs) > 1 {
+		victim := s.segs[0]
+		s.segs = s.segs[1:]
+		for key, ref := range s.index {
+			if ref.seg == victim {
+				delete(s.index, key)
+			}
+		}
+		s.size -= victim.size
+		victim.f.Close()
+		if err := os.Remove(victim.path); err != nil {
+			s.log.Warn("store: removing compacted segment", "error", err.Error())
+		}
+		s.log.Info("store: evicted segment past size cap",
+			"segment", filepath.Base(victim.path), "records", victim.keys,
+			"bytes", victim.size, "cap", s.opts.MaxBytes)
+	}
+}
+
+// Get returns a copy of the value stored under key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false
+	}
+	ref, ok := s.index[key]
+	if !ok {
+		return nil, false
+	}
+	data := make([]byte, ref.dataLen)
+	if _, err := ref.seg.f.ReadAt(data, ref.off+recHeaderLen+int64(ref.keyLen)); err != nil {
+		s.log.Warn("store: reading record", "error", err.Error())
+		return nil, false
+	}
+	return data, true
+}
+
+// Each calls fn for every stored record in write order (oldest first), the
+// order that makes repopulating an LRU leave the newest entries most
+// recent. Iteration stops at the first error, which is returned.
+func (s *Store) Each(fn func(key string, data []byte) error) error {
+	s.mu.Lock()
+	refs := make([]struct {
+		key string
+		ref entryRef
+	}, 0, len(s.index))
+	for key, ref := range s.index {
+		refs = append(refs, struct {
+			key string
+			ref entryRef
+		}{key, ref})
+	}
+	s.mu.Unlock()
+	sort.Slice(refs, func(i, j int) bool {
+		a, b := refs[i].ref, refs[j].ref
+		if a.seg.id != b.seg.id {
+			return a.seg.id < b.seg.id
+		}
+		return a.off < b.off
+	})
+	for _, r := range refs {
+		data, ok := s.Get(r.key)
+		if !ok {
+			continue // evicted between snapshot and read
+		}
+		if err := fn(r.key, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of stored records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+// Size returns the store's total on-disk size in bytes.
+func (s *Store) Size() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close closes every segment file. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, seg := range s.segs {
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// discardHandler mirrors olog.Discard without importing it (the store
+// sits below the obs layer).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }

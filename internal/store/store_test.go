@@ -1,0 +1,225 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func open(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func key(i int) string { return fmt.Sprintf("%064d", i) }
+func val(i int) []byte { return bytes.Repeat([]byte{byte(i)}, 32+i%7) }
+func put(t *testing.T, s *Store, i int) {
+	t.Helper()
+	if err := s.Put(key(i), val(i)); err != nil {
+		t.Fatalf("Put(%d): %v", i, err)
+	}
+}
+
+func TestPutGetSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	const n = 20
+	for i := 0; i < n; i++ {
+		put(t, s, i)
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := open(t, dir, Options{})
+	if r.Len() != n {
+		t.Fatalf("after reopen Len = %d, want %d", r.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		got, ok := r.Get(key(i))
+		if !ok {
+			t.Fatalf("key %d missing after reopen", i)
+		}
+		if !bytes.Equal(got, val(i)) {
+			t.Fatalf("key %d: bytes differ after reopen", i)
+		}
+	}
+}
+
+func TestPutExistingKeyIsNoop(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	put(t, s, 1)
+	size := s.Size()
+	if err := s.Put(key(1), []byte("different")); err != nil {
+		t.Fatalf("re-Put: %v", err)
+	}
+	if s.Size() != size {
+		t.Fatalf("re-Put grew the store (%d -> %d bytes)", size, s.Size())
+	}
+	got, _ := s.Get(key(1))
+	if !bytes.Equal(got, val(1)) {
+		t.Fatal("re-Put changed the stored value")
+	}
+}
+
+// lastSegment returns the path of the newest segment file.
+func lastSegment(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no segments in %s (err %v)", dir, err)
+	}
+	sort.Strings(names)
+	return names[len(names)-1]
+}
+
+// TestRecoveryDropsOnlyTornTailRecord is the crash test from the issue:
+// write N results, tear the tail record mid-write, reopen, and the index
+// must drop only the torn record.
+func TestRecoveryDropsOnlyTornTailRecord(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	const n = 10
+	for i := 0; i < n; i++ {
+		put(t, s, i)
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: chop a few bytes off the last record.
+	path := lastSegment(t, dir)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, st.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, dir, Options{})
+	if r.Len() != n-1 {
+		t.Fatalf("after torn-tail recovery Len = %d, want %d", r.Len(), n-1)
+	}
+	if _, ok := r.Get(key(n - 1)); ok {
+		t.Fatal("torn record still resolvable")
+	}
+	for i := 0; i < n-1; i++ {
+		got, ok := r.Get(key(i))
+		if !ok || !bytes.Equal(got, val(i)) {
+			t.Fatalf("intact record %d lost or corrupted by recovery", i)
+		}
+	}
+	// The store must stay writable, and the torn key is re-insertable.
+	put(t, r, n-1)
+	if got, ok := r.Get(key(n - 1)); !ok || !bytes.Equal(got, val(n-1)) {
+		t.Fatal("re-insert after recovery failed")
+	}
+}
+
+// TestRecoveryDropsCorruptTail flips a payload byte in the final record;
+// the CRC must reject it while earlier records survive.
+func TestRecoveryDropsCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{})
+	for i := 0; i < 5; i++ {
+		put(t, s, i)
+	}
+	s.Close()
+
+	path := lastSegment(t, dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-10] ^= 0xff // inside the last record's payload
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open(t, dir, Options{})
+	if r.Len() != 4 {
+		t.Fatalf("after corrupt-tail recovery Len = %d, want 4", r.Len())
+	}
+	if _, ok := r.Get(key(4)); ok {
+		t.Fatal("corrupt record still resolvable")
+	}
+}
+
+// TestCompactionHoldsSizeCap writes far past the cap and asserts both the
+// store's accounting and the real on-disk footprint stay under it, with
+// the newest records retained and the oldest evicted.
+func TestCompactionHoldsSizeCap(t *testing.T) {
+	dir := t.TempDir()
+	const capBytes = 2048
+	s := open(t, dir, Options{SegmentBytes: 512, MaxBytes: capBytes})
+	const n = 200
+	for i := 0; i < n; i++ {
+		put(t, s, i)
+	}
+	if s.Size() > capBytes {
+		t.Fatalf("store size %d exceeds cap %d", s.Size(), capBytes)
+	}
+	var onDisk int64
+	names, _ := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	for _, p := range names {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onDisk += st.Size()
+	}
+	if onDisk > capBytes {
+		t.Fatalf("on-disk size %d exceeds cap %d", onDisk, capBytes)
+	}
+	if _, ok := s.Get(key(n - 1)); !ok {
+		t.Fatal("newest record was evicted")
+	}
+	if _, ok := s.Get(key(0)); ok {
+		t.Fatal("oldest record survived a cap 100x smaller than the write volume")
+	}
+	// The cap also holds across a reopen (recovery must not resurrect
+	// evicted segments).
+	s.Close()
+	r := open(t, dir, Options{SegmentBytes: 512, MaxBytes: capBytes})
+	if r.Size() > capBytes {
+		t.Fatalf("reopened store size %d exceeds cap %d", r.Size(), capBytes)
+	}
+	if _, ok := r.Get(key(n - 1)); !ok {
+		t.Fatal("newest record lost across reopen")
+	}
+}
+
+// TestEachVisitsInWriteOrder guards the LRU-repopulation contract.
+func TestEachVisitsInWriteOrder(t *testing.T) {
+	s := open(t, t.TempDir(), Options{SegmentBytes: 256})
+	const n = 20
+	for i := 0; i < n; i++ {
+		put(t, s, i)
+	}
+	var seen []string
+	err := s.Each(func(k string, data []byte) error {
+		seen = append(seen, k)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Each: %v", err)
+	}
+	if len(seen) != n {
+		t.Fatalf("Each visited %d records, want %d", len(seen), n)
+	}
+	for i, k := range seen {
+		if k != key(i) {
+			t.Fatalf("Each order[%d] = %q, want %q", i, k, key(i))
+		}
+	}
+}
