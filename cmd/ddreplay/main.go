@@ -106,5 +106,7 @@ func run(out io.Writer, lg *slog.Logger, path string, fullvc bool, reports int, 
 	st := det.Stats()
 	fmt.Fprintf(out, "detector work: %d reads, %d writes, %d sync ops, %d same-epoch fast paths\n",
 		st.Reads, st.Writes, st.SyncOps, st.SameEpochHits)
+	fmt.Fprintf(out, "detector paths: %d owned fast paths, %d epoch fallbacks, %d VC fallbacks, %d read inflations, %d read spills\n",
+		st.OwnedHits, st.EpochFallbacks, st.VCFallbacks, st.ReadInflations, st.ReadSpills)
 	return nil
 }

@@ -67,6 +67,7 @@ func run(args []string, out, diag io.Writer) error {
 		benchF   = fs.String("bench-json", "", "write per-experiment wall time and throughput to this JSON file")
 		checkF   = fs.String("bench-check", "", "compare throughput against this baseline bench JSON; exit nonzero when outside the tolerance band")
 		checkTol = fs.Float64("bench-tol", 0.30, "relative runs-per-second tolerance for -bench-check (0.30 = ±30%)")
+		diffF    = fs.String("bench-diff", "", "also write the -bench-check diff table to this file (for CI artifacts)")
 		repeat   = fs.Int("bench-repeat", 1, "repeat the suite N times and keep each experiment's best throughput (noise only slows runs down, so best-of-N filters machine contention)")
 		metrics  = fs.Bool("metrics", false, "print per-experiment engine counters to stderr as a Prometheus-style exposition")
 		verFlag  = fs.Bool("version", false, "print the version and exit")
@@ -195,7 +196,19 @@ func run(args []string, out, diag io.Writer) error {
 			lg.Info("bench snapshot written", "path", *benchF)
 		}
 		if *checkF != "" {
-			if err := checkBench(diag, *checkF, doc, *checkTol); err != nil {
+			// The diff table always lands on diag; -bench-diff tees it into a
+			// file so CI can upload it as an artifact even when the check
+			// fails (the file is written before the violation error returns).
+			checkOut := diag
+			if *diffF != "" {
+				f, err := os.Create(*diffF)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				checkOut = io.MultiWriter(diag, f)
+			}
+			if err := checkBench(checkOut, *checkF, doc, *checkTol); err != nil {
 				return err
 			}
 			lg.Info("bench check passed", "baseline", *checkF, "tolerance", *checkTol)

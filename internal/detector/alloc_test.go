@@ -1,0 +1,131 @@
+package detector_test
+
+import (
+	"testing"
+
+	"demandrace/internal/detector"
+	"demandrace/internal/mem"
+	"demandrace/internal/vclock"
+)
+
+// The allocation-regression tests pin the tentpole property of the flat
+// shadow layout: once a word's shadow state exists, analyzing accesses to it
+// allocates nothing — not on the same-epoch and ownership fast paths, not on
+// the epoch fallbacks, not on shared reads (inline or spilled), not on the
+// write that collapses a spilled read set (the clock goes back to the pool
+// and the next spill reuses it), and not on suppressed re-reports of a
+// known race. They run AllocsPerRun over warmed detectors; under -race the
+// instrumented runtime allocates internally, so they skip.
+
+func assertZeroAllocs(t *testing.T, label string, f func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation accounting is meaningless under -race")
+	}
+	f() // reach steady state before measuring
+	if allocs := testing.AllocsPerRun(100, f); allocs != 0 {
+		t.Errorf("%s: %.2f allocs per round, want 0", label, allocs)
+	}
+}
+
+func TestZeroAllocFastPaths(t *testing.T) {
+	d := detector.New(4, 4, 4, detector.Options{})
+	d.SetRegion(0, "hot")
+	w1, w2 := mem.Addr(0x1000), mem.Addr(0x2000)
+	d.OnWrite(0, w1)
+	d.OnRead(0, w2)
+	assertZeroAllocs(t, "same-epoch hits", func() {
+		d.OnWrite(0, w1) // same-epoch write
+		d.OnRead(0, w1)  // owned read of own write
+		d.OnRead(0, w2)  // same-epoch read
+	})
+}
+
+func TestZeroAllocOwnedAcrossEpochs(t *testing.T) {
+	d := detector.New(4, 4, 4, detector.Options{})
+	w := mem.Addr(0x3000)
+	d.OnWrite(0, w)
+	assertZeroAllocs(t, "owned accesses across epoch ticks", func() {
+		// Unlock ticks t0's epoch, so every access is a fresh epoch that
+		// still takes the ownership shortcut, never the HB comparisons.
+		d.OnLock(0, 0)
+		d.OnUnlock(0, 0)
+		d.OnWrite(0, w)
+		d.OnRead(0, w)
+	})
+}
+
+func TestZeroAllocSharedReaders(t *testing.T) {
+	d := detector.New(8, 4, 4, detector.Options{})
+	inline := mem.Addr(0x4000)
+	spilled := mem.Addr(0x5000)
+	// Two concurrent readers keep `inline` in the inline reader array; six
+	// spill `spilled` to a pooled vector clock.
+	d.OnRead(0, inline)
+	d.OnRead(1, inline)
+	for i := 0; i < 6; i++ {
+		d.OnRead(vclock.TID(i), spilled)
+	}
+	assertZeroAllocs(t, "shared reads, inline and spilled", func() {
+		d.OnLock(0, 0)
+		d.OnUnlock(0, 0) // fresh epoch so reads update, not same-epoch
+		d.OnRead(0, inline)
+		d.OnRead(0, spilled)
+		d.OnRead(1, inline)
+		d.OnRead(1, spilled)
+	})
+}
+
+func TestZeroAllocSpillCollapseCycle(t *testing.T) {
+	d := detector.New(8, 4, 4, detector.Options{})
+	w := mem.Addr(0x6000)
+	// One warm cycle parks a clock in the pool so the measured cycles reuse
+	// it: readers spill, a write collapses the set, repeat.
+	cycle := func() {
+		for i := 0; i < 6; i++ {
+			d.OnLock(vclock.TID(i), 0)
+			d.OnRead(vclock.TID(i), w)
+			d.OnUnlock(vclock.TID(i), 0)
+		}
+		d.OnLock(7, 0)
+		d.OnWrite(7, w)
+		d.OnUnlock(7, 0)
+	}
+	assertZeroAllocs(t, "inflate/spill/collapse cycle", cycle)
+}
+
+func TestZeroAllocSuppressedRaces(t *testing.T) {
+	d := detector.New(4, 4, 4, detector.Options{}) // cap: 1 report per word
+	d.SetRegion(0, "writer-a")
+	d.SetRegion(1, "writer-b")
+	w := mem.Addr(0x7000)
+	d.OnWrite(0, w)
+	d.OnWrite(1, w) // first report on w — the only one admitted
+	if got := len(d.Reports()); got != 1 {
+		t.Fatalf("expected 1 admitted report, got %d", got)
+	}
+	assertZeroAllocs(t, "suppressed re-reports", func() {
+		d.OnWrite(0, w)
+		d.OnWrite(1, w)
+	})
+	if d.Stats().Suppressed == 0 {
+		t.Error("scenario never exercised the suppression path")
+	}
+}
+
+func TestZeroAllocSyncOps(t *testing.T) {
+	d := detector.New(4, 4, 4, detector.Options{})
+	a := mem.Addr(0x8000)
+	d.OnAtomicStore(0, a)
+	d.OnAtomicLoad(1, a)
+	d.OnSignal(0, 0)
+	d.OnWait(1, 0)
+	assertZeroAllocs(t, "sync operations", func() {
+		d.OnLock(0, 1)
+		d.OnUnlock(0, 1)
+		d.OnAtomicStore(0, a)
+		d.OnAtomicLoad(1, a)
+		d.OnSignal(0, 0)
+		d.OnWait(1, 0)
+	})
+}

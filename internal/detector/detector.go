@@ -4,7 +4,21 @@
 // The default engine is FastTrack (Flanagan & Freund, PLDI 2009): per-thread
 // vector clocks, per-variable shadow state that stays in compact epoch form
 // until a variable becomes read-shared, and O(1) fast paths for the
-// overwhelmingly common same-epoch accesses. A full-vector-clock variant
+// overwhelmingly common cases. The hot path is layered, cheapest test
+// first, and each layer is counted in Stats so the mix is observable in
+// production:
+//
+//  1. same-epoch hit — the access repeats the last one exactly;
+//  2. owned hit — every prior access to the word was by this thread
+//     (SmartTrack-style ownership shortcut: a thread's own epochs are
+//     always ordered before its clock, so no happens-before check runs);
+//  3. epoch fallback — O(1) epoch-vs-clock comparisons;
+//  4. VC fallback — the word is read-shared and the full reader set
+//     (inline epochs, or a spilled vector clock) is consulted.
+//
+// Shadow state lives in flat value-type pages (internal/shadow) and region
+// labels are interned uint32 IDs (internal/intern), so the steady state of
+// an analyzed access allocates nothing. A full-vector-clock variant
 // (DJIT+-style) is selectable for the shadow-representation ablation; both
 // report the same races.
 //
@@ -17,6 +31,7 @@ package detector
 import (
 	"fmt"
 
+	"demandrace/internal/intern"
 	"demandrace/internal/mem"
 	"demandrace/internal/obs"
 	"demandrace/internal/program"
@@ -63,7 +78,9 @@ type Report struct {
 	// PrevTime is the earlier access's logical time at Prev.
 	PrevTime vclock.Time
 	// CurRegion and PrevRegion carry the program regions of the two
-	// accesses when the program annotates them (empty otherwise).
+	// accesses when the program annotates them (empty otherwise). They are
+	// materialized from the detector's region-ID table only when a race is
+	// reported; shadow memory never stores strings.
 	CurRegion  string
 	PrevRegion string
 }
@@ -94,13 +111,30 @@ type Options struct {
 	MaxReportsPerAddr int
 }
 
-// Stats counts detector work, used by the cost model and the fast-path
-// ablation.
+// Stats counts detector work, used by the cost model, the fast-path
+// ablation, and the service's observability surfaces. For the epoch engine
+// every read and write lands in exactly one of the four path counters:
+// Reads+Writes = SameEpochHits + OwnedHits + EpochFallbacks + VCFallbacks.
 type Stats struct {
-	Reads          uint64
-	Writes         uint64
-	SameEpochHits  uint64
+	Reads  uint64
+	Writes uint64
+	// SameEpochHits counts accesses repeating the word's last access
+	// exactly (layer 1: one compare).
+	SameEpochHits uint64
+	// OwnedHits counts accesses to words whose entire history belongs to
+	// the accessing thread (layer 2: ownership shortcut, no HB checks).
+	OwnedHits uint64
+	// EpochFallbacks counts accesses resolved with O(1) epoch-vs-clock
+	// comparisons (layer 3), including the reads that inflate a word.
+	EpochFallbacks uint64
+	// VCFallbacks counts accesses that consulted a read-shared word's full
+	// reader set (layer 4: inline epochs or a spilled vector clock).
+	VCFallbacks uint64
+	// ReadInflations counts epoch→read-shared transitions; ReadSpills
+	// counts the subset whose reader set outgrew the inline slots and
+	// moved to a pooled vector clock.
 	ReadInflations uint64
+	ReadSpills     uint64
 	SyncOps        uint64
 	Races          uint64
 	Suppressed     uint64 // races beyond the per-address report cap
@@ -111,7 +145,9 @@ type Stats struct {
 type Detector struct {
 	opt     Options
 	threads []*vclock.VC
-	regions []string
+	// regions holds each thread's current region as an ID into names.
+	regions []uint32
+	names   *intern.Table
 	sync    *syncmodel.Table
 	table   *shadow.Table
 	reports []Report
@@ -127,7 +163,8 @@ func New(numThreads, mutexes, semaphores int, opt Options) *Detector {
 	d := &Detector{
 		opt:     opt,
 		threads: make([]*vclock.VC, numThreads),
-		regions: make([]string, numThreads),
+		regions: make([]uint32, numThreads),
+		names:   intern.New(),
 		sync:    syncmodel.NewTable(mutexes, semaphores),
 		table:   shadow.NewTable(),
 		perAddr: make(map[mem.Addr]int),
@@ -161,33 +198,58 @@ func (d *Detector) SetTracer(t *obs.Tracer) { d.trace = t }
 func (d *Detector) ClockOf(t vclock.TID) *vclock.VC { return d.threads[t] }
 
 // SetRegion records thread t's current program region; subsequent accesses
-// by t are attributed to it in reports.
-func (d *Detector) SetRegion(t vclock.TID, name string) { d.regions[t] = name }
+// by t are attributed to it in reports. The label is interned once; repeat
+// labels cost a map probe.
+func (d *Detector) SetRegion(t vclock.TID, name string) {
+	d.regions[t] = d.names.ID(name)
+}
+
+// RegionTable exposes the detector's region-ID intern table so other run
+// artifacts (the cycle profiler's site buckets, report aggregation) can
+// share one ID namespace with shadow memory.
+func (d *Detector) RegionTable() *intern.Table { return d.names }
 
 func (d *Detector) epoch(t vclock.TID) vclock.Epoch {
 	return vclock.MakeEpoch(t, d.threads[t].Get(t))
 }
 
-func (d *Detector) report(r Report) {
+// report materializes and records one race. prevRegion is the interned
+// region ID carried by the conflicting shadow slot.
+func (d *Detector) report(addr mem.Addr, kind RaceKind, cur, prev vclock.TID,
+	ptime vclock.Time, prevRegion uint32) {
 	d.stats.Races++
 	limit := d.opt.MaxReportsPerAddr
 	if limit == 0 {
 		limit = 1
 	}
-	if limit > 0 && d.perAddr[r.Addr] >= limit {
+	if limit > 0 && d.perAddr[addr] >= limit {
 		d.stats.Suppressed++
 		return
 	}
-	d.perAddr[r.Addr]++
-	d.reports = append(d.reports, r)
-	d.trace.Emit(obs.KindRace, int(r.Cur), -1, uint64(r.Addr), int64(r.Prev), r.Kind.String())
+	d.perAddr[addr]++
+	d.reports = append(d.reports, Report{
+		Addr: addr, Kind: kind, Cur: cur, Prev: prev, PrevTime: ptime,
+		CurRegion:  d.names.Str(d.regions[cur]),
+		PrevRegion: d.names.Str(prevRegion),
+	})
+	d.trace.Emit(obs.KindRace, int(cur), -1, uint64(addr), int64(prev), kind.String())
+}
+
+// owned reports whether every recorded access to s belongs to thread t —
+// the SmartTrack-style ownership test. A thread's own epochs are always
+// ordered before its current clock (own components never decrease), so an
+// owned access can skip every happens-before comparison. The caller must
+// have excluded the read-shared case.
+func owned(s *shadow.State, t vclock.TID) bool {
+	return (s.W == vclock.None || s.W.TIDIs(t)) &&
+		(s.R == vclock.None || s.R.TIDIs(t))
 }
 
 // OnRead analyzes a read of addr by thread t.
 func (d *Detector) OnRead(t vclock.TID, addr mem.Addr) {
 	d.stats.Reads++
 	addr = mem.WordOf(addr)
-	s := d.table.GetOrCreate(addr)
+	s := d.table.Ref(addr)
 	ct := d.threads[t]
 	if d.opt.FullVC {
 		d.fullVCRead(t, addr, s, ct)
@@ -198,17 +260,27 @@ func (d *Detector) OnRead(t vclock.TID, addr mem.Addr) {
 		d.stats.SameEpochHits++
 		return
 	}
-	// Write-read race: the last write must happen-before this read.
-	if !s.W.LEQ(ct) {
-		d.report(Report{Addr: addr, Kind: WriteRead, Cur: t,
-			Prev: s.W.TIDOf(), PrevTime: s.W.TimeOf(),
-			CurRegion: d.regions[t], PrevRegion: s.WRegion})
-	}
-	if s.R == vclock.ReadShared {
-		s.RVC.Set(t, e.TimeOf())
+	if s.R != vclock.ReadShared && owned(s, t) {
+		// Ownership fast path: prior write and read (if any) are t's own,
+		// hence ordered; record the read epoch and return.
+		d.stats.OwnedHits++
+		s.R = e
 		s.RRegion = d.regions[t]
 		return
 	}
+	// Write-read race: the last write must happen-before this read.
+	if !s.W.LEQ(ct) {
+		d.report(addr, WriteRead, t, s.W.TIDOf(), s.W.TimeOf(), s.WRegion)
+	}
+	if s.R == vclock.ReadShared {
+		d.stats.VCFallbacks++
+		if s.SetReader(t, e.TimeOf(), &d.table.Pool) {
+			d.stats.ReadSpills++
+		}
+		s.RRegion = d.regions[t]
+		return
+	}
+	d.stats.EpochFallbacks++
 	if s.R == vclock.None || s.R.LEQ(ct) {
 		// Exclusive read: the previous read happens-before us, so the
 		// epoch alone still summarizes the read history.
@@ -216,10 +288,12 @@ func (d *Detector) OnRead(t vclock.TID, addr mem.Addr) {
 		s.RRegion = d.regions[t]
 		return
 	}
-	// Concurrent reader: inflate to a read vector clock.
+	// Concurrent reader: inflate to the shared read set.
 	d.stats.ReadInflations++
 	s.InflateRead()
-	s.RVC.Set(t, e.TimeOf())
+	if s.SetReader(t, e.TimeOf(), &d.table.Pool) {
+		d.stats.ReadSpills++
+	}
 	s.RRegion = d.regions[t]
 }
 
@@ -227,7 +301,7 @@ func (d *Detector) OnRead(t vclock.TID, addr mem.Addr) {
 func (d *Detector) OnWrite(t vclock.TID, addr mem.Addr) {
 	d.stats.Writes++
 	addr = mem.WordOf(addr)
-	s := d.table.GetOrCreate(addr)
+	s := d.table.Ref(addr)
 	ct := d.threads[t]
 	if d.opt.FullVC {
 		d.fullVCWrite(t, addr, s, ct)
@@ -238,43 +312,35 @@ func (d *Detector) OnWrite(t vclock.TID, addr mem.Addr) {
 		d.stats.SameEpochHits++
 		return
 	}
+	if s.R != vclock.ReadShared && owned(s, t) {
+		// Ownership fast path: no foreign access to order against.
+		d.stats.OwnedHits++
+		s.W = e
+		s.WRegion = d.regions[t]
+		return
+	}
 	// Write-write race.
 	if !s.W.LEQ(ct) {
-		d.report(Report{Addr: addr, Kind: WriteWrite, Cur: t,
-			Prev: s.W.TIDOf(), PrevTime: s.W.TimeOf(),
-			CurRegion: d.regions[t], PrevRegion: s.WRegion})
+		d.report(addr, WriteWrite, t, s.W.TIDOf(), s.W.TimeOf(), s.WRegion)
 	}
 	// Read-write race.
-	switch {
-	case s.R == vclock.ReadShared:
-		if !s.RVC.LEQ(ct) {
-			prev, ptime := firstConcurrent(s.RVC, ct)
-			d.report(Report{Addr: addr, Kind: ReadWrite, Cur: t,
-				Prev: prev, PrevTime: ptime,
-				CurRegion: d.regions[t], PrevRegion: s.RRegion})
+	if s.R == vclock.ReadShared {
+		d.stats.VCFallbacks++
+		if !s.ReadersLEQ(ct) {
+			prev, ptime := s.FirstConcurrentReader(ct)
+			d.report(addr, ReadWrite, t, prev, ptime, s.RRegion)
 		}
-		// The write overwrites the read history (FastTrack SharedWrite).
-		s.R = vclock.None
-		s.RVC = nil
-		s.RRegion = ""
-	case s.R != vclock.None && !s.R.LEQ(ct):
-		d.report(Report{Addr: addr, Kind: ReadWrite, Cur: t,
-			Prev: s.R.TIDOf(), PrevTime: s.R.TimeOf(),
-			CurRegion: d.regions[t], PrevRegion: s.RRegion})
+		// The write overwrites the read history (FastTrack SharedWrite);
+		// a spilled reader clock returns to the pool.
+		s.DropReaders(&d.table.Pool)
+	} else {
+		d.stats.EpochFallbacks++
+		if s.R != vclock.None && !s.R.LEQ(ct) {
+			d.report(addr, ReadWrite, t, s.R.TIDOf(), s.R.TimeOf(), s.RRegion)
+		}
 	}
 	s.W = e
 	s.WRegion = d.regions[t]
-}
-
-// firstConcurrent returns the lowest-TID component of rvc not ≤ ct.
-func firstConcurrent(rvc, ct *vclock.VC) (vclock.TID, vclock.Time) {
-	for i := 0; i < rvc.Len(); i++ {
-		t := vclock.TID(i)
-		if rvc.Get(t) > ct.Get(t) {
-			return t, rvc.Get(t)
-		}
-	}
-	return -1, 0
 }
 
 // fullVCRead is the DJIT+-style read rule: full per-thread write history.
@@ -283,9 +349,8 @@ func (d *Detector) fullVCRead(t vclock.TID, addr mem.Addr, s *shadow.State, ct *
 		s.WVC = vclock.New(0)
 	}
 	if !s.WVC.LEQ(ct) {
-		prev, ptime := firstConcurrent(s.WVC, ct)
-		d.report(Report{Addr: addr, Kind: WriteRead, Cur: t, Prev: prev, PrevTime: ptime,
-			CurRegion: d.regions[t], PrevRegion: s.WRegion})
+		prev, ptime := vclock.FirstConcurrent(s.WVC, ct)
+		d.report(addr, WriteRead, t, prev, ptime, s.WRegion)
 	}
 	if s.RVC == nil {
 		s.RVC = vclock.New(0)
@@ -301,14 +366,12 @@ func (d *Detector) fullVCWrite(t vclock.TID, addr mem.Addr, s *shadow.State, ct 
 		s.WVC = vclock.New(0)
 	}
 	if !s.WVC.LEQ(ct) {
-		prev, ptime := firstConcurrent(s.WVC, ct)
-		d.report(Report{Addr: addr, Kind: WriteWrite, Cur: t, Prev: prev, PrevTime: ptime,
-			CurRegion: d.regions[t], PrevRegion: s.WRegion})
+		prev, ptime := vclock.FirstConcurrent(s.WVC, ct)
+		d.report(addr, WriteWrite, t, prev, ptime, s.WRegion)
 	}
 	if s.RVC != nil && !s.RVC.LEQ(ct) {
-		prev, ptime := firstConcurrent(s.RVC, ct)
-		d.report(Report{Addr: addr, Kind: ReadWrite, Cur: t, Prev: prev, PrevTime: ptime,
-			CurRegion: d.regions[t], PrevRegion: s.RRegion})
+		prev, ptime := vclock.FirstConcurrent(s.RVC, ct)
+		d.report(addr, ReadWrite, t, prev, ptime, s.RRegion)
 	}
 	s.WVC.Set(t, ct.Get(t))
 	s.WRegion = d.regions[t]

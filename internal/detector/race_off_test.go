@@ -1,0 +1,6 @@
+//go:build !race
+
+package detector_test
+
+// raceEnabled reports whether the Go race detector instruments this build.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package detector_test
+
+// raceEnabled reports whether the Go race detector instruments this build.
+// The allocation-regression tests skip under -race: its runtime allocates
+// shadow bookkeeping on paths that are allocation-free in a plain build.
+const raceEnabled = true

@@ -1,0 +1,62 @@
+// Package intern provides a tiny string interner: dense uint32 IDs for a
+// growing set of strings, O(1) in both directions.
+//
+// The race detector's hot path is the reason this package exists. Shadow
+// memory records the program region of the last read and write of every
+// tracked word; stored as strings that is a 16-byte header per slot and a
+// pointer the garbage collector must trace across millions of words. Stored
+// as interned IDs it is 4 bytes, shadow pages become pointer-free where it
+// counts, and the region strings themselves are materialized only when a
+// race is actually reported. The same table is shared with the cycle
+// profiler (sample buckets keyed by site ID instead of string) and the
+// report renderer (aggregating races by region pair without re-hashing
+// strings).
+//
+// ID 0 is always the empty string, so zero-valued metadata reads naturally
+// as "no label". A Table is not safe for concurrent use; like the detector
+// it serves, it belongs to a single run.
+package intern
+
+// Table interns strings to dense uint32 IDs in first-seen order.
+type Table struct {
+	ids  map[string]uint32
+	strs []string
+}
+
+// New returns a table holding only the empty string at ID 0.
+func New() *Table {
+	return &Table{
+		ids:  map[string]uint32{"": 0},
+		strs: []string{""},
+	}
+}
+
+// ID returns the ID for s, interning it on first sight. Interning allocates
+// once per distinct string; repeat lookups are a single map probe.
+func (t *Table) ID(s string) uint32 {
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id := uint32(len(t.strs))
+	t.ids[s] = id
+	t.strs = append(t.strs, s)
+	return id
+}
+
+// Lookup returns the ID for s without interning, and whether it was present.
+func (t *Table) Lookup(s string) (uint32, bool) {
+	id, ok := t.ids[s]
+	return id, ok
+}
+
+// Str returns the string for id. Unknown IDs resolve to the empty string,
+// matching the "no label" meaning of ID 0.
+func (t *Table) Str(id uint32) string {
+	if int(id) >= len(t.strs) {
+		return ""
+	}
+	return t.strs[id]
+}
+
+// Len returns the number of interned strings, including the empty string.
+func (t *Table) Len() int { return len(t.strs) }

@@ -1,0 +1,70 @@
+package intern
+
+import "testing"
+
+func TestEmptyStringIsZero(t *testing.T) {
+	tb := New()
+	if tb.ID("") != 0 {
+		t.Errorf("ID(\"\") = %d, want 0", tb.ID(""))
+	}
+	if tb.Str(0) != "" {
+		t.Errorf("Str(0) = %q, want empty", tb.Str(0))
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tb.Len())
+	}
+}
+
+func TestRoundTripFirstSeenOrder(t *testing.T) {
+	tb := New()
+	a := tb.ID("alpha")
+	b := tb.ID("beta")
+	if a != 1 || b != 2 {
+		t.Errorf("IDs = %d, %d, want 1, 2", a, b)
+	}
+	if tb.ID("alpha") != a {
+		t.Error("re-interning changed the ID")
+	}
+	if tb.Str(a) != "alpha" || tb.Str(b) != "beta" {
+		t.Errorf("Str round trip: %q, %q", tb.Str(a), tb.Str(b))
+	}
+	if tb.Len() != 3 {
+		t.Errorf("Len = %d, want 3", tb.Len())
+	}
+}
+
+func TestLookupDoesNotIntern(t *testing.T) {
+	tb := New()
+	if _, ok := tb.Lookup("ghost"); ok {
+		t.Error("Lookup found an absent string")
+	}
+	if tb.Len() != 1 {
+		t.Error("Lookup interned its argument")
+	}
+	id := tb.ID("real")
+	got, ok := tb.Lookup("real")
+	if !ok || got != id {
+		t.Errorf("Lookup = %d, %v, want %d, true", got, ok, id)
+	}
+}
+
+func TestUnknownIDResolvesEmpty(t *testing.T) {
+	tb := New()
+	if tb.Str(99) != "" {
+		t.Errorf("Str(99) = %q, want empty", tb.Str(99))
+	}
+}
+
+func TestSteadyStateLookupsDoNotAllocate(t *testing.T) {
+	tb := New()
+	tb.ID("hot-site")
+	allocs := testing.AllocsPerRun(100, func() {
+		if tb.ID("hot-site") != 1 {
+			t.Fatal("wrong id")
+		}
+		_ = tb.Str(1)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state ID/Str allocated %.1f per op", allocs)
+	}
+}

@@ -25,6 +25,10 @@ const LineShift = 6
 // WordSize is the access granularity the detectors track, in bytes.
 const WordSize = 8
 
+// WordShift is log2(WordSize): the shift that turns a byte address into a
+// word index, which the shadow table uses to derive page coordinates.
+const WordShift = 3
+
 // Line identifies a cache line: the address with the low offset bits dropped.
 type Line uint64
 

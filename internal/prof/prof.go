@@ -16,8 +16,13 @@
 //
 // Exports are the two shapes profiling tools expect: folded stacks
 // (program;thread;mode;site count — feed to any flamegraph renderer) and a
-// top-N table aggregated by site and mode. The package depends only on
-// internal/obs (for the Clock type) and internal/stats (for tables).
+// top-N table aggregated by site and mode.
+//
+// Site labels are interned (internal/intern): the per-tick sample key holds
+// a uint32 site ID instead of a string, so the hot Tick path hashes three
+// integers rather than a string. The runner shares the race detector's
+// region-ID table with the profiler (ShareSites), giving profiles and race
+// reports one label namespace per run.
 package prof
 
 import (
@@ -25,6 +30,7 @@ import (
 	"io"
 	"sort"
 
+	"demandrace/internal/intern"
 	"demandrace/internal/obs"
 	"demandrace/internal/stats"
 )
@@ -38,11 +44,12 @@ const DefaultEvery = 1024
 // first OpMark annotation.
 const RootSite = "main"
 
-// sampleKey is one attribution bucket.
+// sampleKey is one attribution bucket. The site is an interned ID so map
+// probes on the sampling path compare integers, not strings.
 type sampleKey struct {
 	thread    int
 	analyzing bool
-	site      string
+	site      uint32
 }
 
 // Profiler collects cycle samples for one run. Like the tracer, a Profiler
@@ -53,7 +60,9 @@ type Profiler struct {
 	every  uint64
 	clock  obs.Clock
 	next   uint64
-	sites  []string
+	names  *intern.Table
+	root   uint32 // interned RootSite
+	sites  []uint32
 	counts map[sampleKey]uint64
 	total  uint64
 }
@@ -64,11 +73,32 @@ func New(every uint64) *Profiler {
 	if every == 0 {
 		every = DefaultEvery
 	}
-	return &Profiler{
+	p := &Profiler{
 		every:  every,
 		next:   every,
 		counts: make(map[sampleKey]uint64),
 	}
+	p.setNames(intern.New())
+	return p
+}
+
+func (p *Profiler) setNames(t *intern.Table) {
+	p.names = t
+	p.root = t.ID(RootSite)
+	for i := range p.sites {
+		p.sites[i] = p.root
+	}
+}
+
+// ShareSites makes the profiler intern its site labels into t — typically
+// the race detector's region-ID table — so one run's profile buckets and
+// race reports share a single label/ID namespace. Call before the run
+// starts (existing thread sites reset to the root site). Nil-safe.
+func (p *Profiler) ShareSites(t *intern.Table) {
+	if p == nil || t == nil {
+		return
+	}
+	p.setNames(t)
 }
 
 // Every returns the sampling period in cycles. Nil-safe.
@@ -99,7 +129,7 @@ func (p *Profiler) SetThreads(n int) {
 
 func (p *Profiler) growTo(n int) {
 	for len(p.sites) < n {
-		p.sites = append(p.sites, RootSite)
+		p.sites = append(p.sites, p.root)
 	}
 }
 
@@ -112,9 +142,10 @@ func (p *Profiler) Mark(t int, site string) {
 	}
 	p.growTo(t + 1)
 	if site == "" {
-		site = RootSite
+		p.sites[t] = p.root
+		return
 	}
-	p.sites[t] = site
+	p.sites[t] = p.names.ID(site)
 }
 
 // Tick is called after thread t's op has been charged to the cost model;
@@ -189,7 +220,7 @@ func (p *Profiler) Snapshot(program string) *Profile {
 	pr.Entries = make([]Entry, 0, len(p.counts))
 	for k, n := range p.counts {
 		pr.Entries = append(pr.Entries, Entry{
-			Thread: k.thread, Mode: modeString(k.analyzing), Site: k.site, Samples: n,
+			Thread: k.thread, Mode: modeString(k.analyzing), Site: p.names.Str(k.site), Samples: n,
 		})
 	}
 	sort.Slice(pr.Entries, func(i, j int) bool {

@@ -21,6 +21,8 @@ import (
 	"html/template"
 	"io"
 
+	"demandrace/internal/detector"
+	"demandrace/internal/intern"
 	"demandrace/internal/obs"
 	"demandrace/internal/runner"
 )
@@ -34,6 +36,40 @@ type Page struct {
 	// Timeline holds one row per thread of the mode timeline (built from
 	// Rep.Timeline; empty when the run carried no telemetry tracer).
 	Timeline []TimelineRow
+	// RegionPairs aggregates races by (current, previous) region label —
+	// the "which two code sites conflict" view. Empty when no race carries
+	// region annotations.
+	RegionPairs []RegionPairRow
+}
+
+// RegionPairRow is one (current region, previous region) conflict bucket.
+type RegionPairRow struct {
+	Cur, Prev string
+	Count     int
+}
+
+// regionPairs folds race reports into per-region-pair counts, in first-seen
+// order. Labels are keyed through an intern table so the fold compares
+// uint32 pairs, the same trick the detector's shadow state uses; report
+// order is deterministic, so so is the row order.
+func regionPairs(races []detector.Report) []RegionPairRow {
+	tab := intern.New()
+	idx := map[[2]uint32]int{}
+	var rows []RegionPairRow
+	for _, r := range races {
+		if r.CurRegion == "" && r.PrevRegion == "" {
+			continue
+		}
+		k := [2]uint32{tab.ID(r.CurRegion), tab.ID(r.PrevRegion)}
+		i, ok := idx[k]
+		if !ok {
+			i = len(rows)
+			idx[k] = i
+			rows = append(rows, RegionPairRow{Cur: r.CurRegion, Prev: r.PrevRegion})
+		}
+		rows[i].Count++
+	}
+	return rows
 }
 
 // TimelineSeg is one rendered span of a thread's mode timeline.
@@ -160,6 +196,18 @@ code { background: #f2f2f2; padding: .1rem .3rem; border-radius: 3px; }
 </table>
 {{end}}
 
+{{if .RegionPairs}}
+<h2>Races by region</h2>
+<table>
+<tr><th>current region</th><th>previous region</th><th>reports</th></tr>
+{{range .RegionPairs}}
+<tr><td>{{if .Cur}}<code>{{.Cur}}</code>{{else}}—{{end}}</td>
+<td>{{if .Prev}}<code>{{.Prev}}</code>{{else}}—{{end}}</td>
+<td>{{.Count}}</td></tr>
+{{end}}
+</table>
+{{end}}
+
 {{if .Rep.LocksetReports}}
 <h2>Lockset violations</h2>
 <table><tr><th>word</th><th>unprotected access</th></tr>
@@ -207,8 +255,9 @@ code { background: #f2f2f2; padding: .1rem .3rem; border-radius: 3px; }
 // a per-thread mode timeline built from rep.Timeline.
 func Write(w io.Writer, rep *runner.Report, extra ...*runner.Report) error {
 	return tmpl.Execute(w, Page{
-		Rep:      rep,
-		Extra:    extra,
-		Timeline: buildTimeline(rep.Timeline, rep.ToolCycles),
+		Rep:         rep,
+		Extra:       extra,
+		Timeline:    buildTimeline(rep.Timeline, rep.ToolCycles),
+		RegionPairs: regionPairs(rep.Races),
 	})
 }

@@ -147,3 +147,36 @@ func TestReportEscapesContent(t *testing.T) {
 		t.Error("unescaped content in HTML output")
 	}
 }
+
+func TestReportRegionPairTable(t *testing.T) {
+	r := runKernel(t, "racy_flag", demand.Continuous, func(c *runner.Config) {
+		c.Detector.MaxReportsPerAddr = -1
+	})
+	if len(r.Races) == 0 {
+		t.Fatal("racy_flag produced no races")
+	}
+	var buf bytes.Buffer
+	if err := report.Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Races by region") {
+		t.Fatal("region-pair section missing from annotated racy run")
+	}
+	// Duplicate (cur, prev) pairs must aggregate: the table has at most as
+	// many rows as distinct pairs, and each row carries a count cell.
+	if strings.Count(out, "Races by region") != 1 {
+		t.Error("region-pair section rendered more than once")
+	}
+
+	// A run whose races carry no region labels renders no section.
+	bare := *r
+	bare.Races = nil
+	buf.Reset()
+	if err := report.Write(&buf, &bare); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "Races by region") {
+		t.Error("region-pair section rendered without races")
+	}
+}

@@ -402,8 +402,11 @@ func RunContext(ctx context.Context, p *program.Program, cfg Config) (*Report, e
 	}
 	if cfg.Prof != nil {
 		// The profiler samples against the same tool clock the telemetry
-		// uses, so profiles inherit the determinism contract.
+		// uses, so profiles inherit the determinism contract. It also shares
+		// the detector's region-ID table: one label namespace per run, and
+		// OpMark interns each label once for both consumers.
 		cfg.Prof.SetClock(acc.ToolCycles)
+		cfg.Prof.ShareSites(det.RegionTable())
 		cfg.Prof.SetThreads(p.NumThreads())
 	}
 

@@ -1,6 +1,9 @@
 package runner
 
-import "demandrace/internal/obs"
+import (
+	"demandrace/internal/detector"
+	"demandrace/internal/obs"
+)
 
 // slowdownBuckets bands per-run slowdowns into the ranges the paper talks
 // about: near-native, sync-only territory, demand-driven territory, and
@@ -62,14 +65,30 @@ func publishMetrics(reg *obs.Registry, rep *Report) {
 	reg.Counter("ddrace_demand_sync_analyzed_total").Add(ds.SyncAnalyzed)
 
 	// Detector.
-	dt := rep.Detector
-	reg.Counter("ddrace_detector_reads_total").Add(dt.Reads)
-	reg.Counter("ddrace_detector_writes_total").Add(dt.Writes)
-	reg.Counter("ddrace_detector_same_epoch_hits_total").Add(dt.SameEpochHits)
-	reg.Counter("ddrace_detector_races_total").Add(dt.Races)
-	reg.Counter("ddrace_detector_suppressed_total").Add(dt.Suppressed)
+	PublishDetectorStats(reg, rep.Detector)
 	reg.Counter("ddrace_race_reports_total").Add(uint64(len(rep.Races)))
 
 	// Scheduler.
 	reg.Counter("ddrace_sched_steps_total").Add(rep.Steps)
+}
+
+// PublishDetectorStats adds one detector's work counters to reg under the
+// ddrace_detector_* names — the same names publishMetrics uses, so callers
+// that run a detector outside a full runner.Run (the service's trace-replay
+// jobs) land in the same exposition series. A nil registry is a no-op.
+func PublishDetectorStats(reg *obs.Registry, dt detector.Stats) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("ddrace_detector_reads_total").Add(dt.Reads)
+	reg.Counter("ddrace_detector_writes_total").Add(dt.Writes)
+	reg.Counter("ddrace_detector_same_epoch_hits_total").Add(dt.SameEpochHits)
+	reg.Counter("ddrace_detector_owned_hits_total").Add(dt.OwnedHits)
+	reg.Counter("ddrace_detector_epoch_fallbacks_total").Add(dt.EpochFallbacks)
+	reg.Counter("ddrace_detector_vc_fallbacks_total").Add(dt.VCFallbacks)
+	reg.Counter("ddrace_detector_read_inflations_total").Add(dt.ReadInflations)
+	reg.Counter("ddrace_detector_read_spills_total").Add(dt.ReadSpills)
+	reg.Counter("ddrace_detector_sync_ops_total").Add(dt.SyncOps)
+	reg.Counter("ddrace_detector_races_total").Add(dt.Races)
+	reg.Counter("ddrace_detector_suppressed_total").Add(dt.Suppressed)
 }

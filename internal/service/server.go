@@ -322,7 +322,7 @@ func (s *Server) SubmitTrace(ctx context.Context, r io.Reader, opts TraceOptions
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			return json.Marshal(replay(tr, opts))
+			return json.Marshal(replay(tr, opts, s.reg))
 		},
 	}
 	return s.admit(ctx, j)

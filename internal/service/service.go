@@ -263,13 +263,16 @@ func TraceCacheKey(raw []byte, opts TraceOptions) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// replay runs the trace-replay job body.
-func replay(tr *trace.Trace, opts TraceOptions) ReplayResult {
+// replay runs the trace-replay job body. Detector work counters are
+// published into reg (nil-safe) so replay jobs show up in the same
+// ddrace_detector_* exposition series as full simulation runs.
+func replay(tr *trace.Trace, opts TraceOptions, reg *obs.Registry) ReplayResult {
 	reports := opts.MaxReports
 	if reports == 0 {
 		reports = 1
 	}
 	det := trace.Replay(tr, detector.Options{FullVC: opts.FullVC, MaxReportsPerAddr: reports})
+	runner.PublishDetectorStats(reg, det.Stats())
 	s := trace.Summarize(tr)
 	return ReplayResult{
 		Program:  s.Program,

@@ -55,6 +55,26 @@ type SLOStats struct {
 	Healthy     bool    `json:"healthy"`
 }
 
+// DetectorStats aggregates race-detector work across every job this process
+// has run (simulation runs and trace replays alike), read back from the
+// ddrace_detector_* counters the runner publishes. The four hit/fallback
+// rows partition Reads+Writes in epoch mode: same-epoch and owned are the
+// O(1) fast paths, epoch fallbacks ran the constant-time HB comparisons,
+// and VC fallbacks walked a read vector clock.
+type DetectorStats struct {
+	Reads          uint64 `json:"reads"`
+	Writes         uint64 `json:"writes"`
+	SameEpochHits  uint64 `json:"same_epoch_hits"`
+	OwnedHits      uint64 `json:"owned_hits"`
+	EpochFallbacks uint64 `json:"epoch_fallbacks"`
+	VCFallbacks    uint64 `json:"vc_fallbacks"`
+	ReadInflations uint64 `json:"read_inflations"`
+	ReadSpills     uint64 `json:"read_spills"`
+	SyncOps        uint64 `json:"sync_ops"`
+	Races          uint64 `json:"races"`
+	Suppressed     uint64 `json:"suppressed"`
+}
+
 // StoreStats describes the optional on-disk result store.
 type StoreStats struct {
 	Dir     string `json:"dir"`
@@ -82,6 +102,7 @@ type StatsSummary struct {
 	QueueWait     LatencySummary  `json:"queue_wait"`
 	JobDuration   LatencySummary  `json:"job_duration"`
 	SLO           SLOStats        `json:"slo"`
+	Detector      DetectorStats   `json:"detector"`
 	Store         *StoreStats     `json:"store,omitempty"`
 }
 
@@ -150,6 +171,19 @@ func (s *Server) Stats() StatsSummary {
 		slo.Healthy = slo.Compliance >= slo.Target
 	}
 	sum.SLO = slo
+	sum.Detector = DetectorStats{
+		Reads:          s.reg.CounterValue("ddrace_detector_reads_total"),
+		Writes:         s.reg.CounterValue("ddrace_detector_writes_total"),
+		SameEpochHits:  s.reg.CounterValue("ddrace_detector_same_epoch_hits_total"),
+		OwnedHits:      s.reg.CounterValue("ddrace_detector_owned_hits_total"),
+		EpochFallbacks: s.reg.CounterValue("ddrace_detector_epoch_fallbacks_total"),
+		VCFallbacks:    s.reg.CounterValue("ddrace_detector_vc_fallbacks_total"),
+		ReadInflations: s.reg.CounterValue("ddrace_detector_read_inflations_total"),
+		ReadSpills:     s.reg.CounterValue("ddrace_detector_read_spills_total"),
+		SyncOps:        s.reg.CounterValue("ddrace_detector_sync_ops_total"),
+		Races:          s.reg.CounterValue("ddrace_detector_races_total"),
+		Suppressed:     s.reg.CounterValue("ddrace_detector_suppressed_total"),
+	}
 	if s.cfg.Store != nil {
 		sum.Store = &StoreStats{
 			Dir:     s.cfg.Store.Dir(),

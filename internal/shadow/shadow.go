@@ -4,90 +4,293 @@
 // Shadow state is tracked at word granularity (mem.WordSize): the detector's
 // notion of "the same variable". Each word owns a State holding FastTrack's
 // adaptive representation — a last-write epoch plus either a last-read epoch
-// (the common case) or an inflated read vector clock once the variable is
-// read-shared. The same State carries the optional full-VC (DJIT+-style)
-// write history used by the representation ablation.
+// (the common case), an inline array of per-thread read epochs once the word
+// is read-shared by a few threads, or a spilled vector clock when the reader
+// set outgrows the inline slots. The same State carries the optional full-VC
+// (DJIT+-style) write history used by the representation ablation.
+//
+// # Layout
+//
+// States live in flat shadow pages: fixed-size arrays of value-type State,
+// found through a two-level directory (page map on the high address bits,
+// direct array index on the low bits) fronted by a one-entry last-page
+// cache. The common access — the same thread walking nearby words — resolves
+// to a pointer increment plus one compare, with no map hashing and no
+// per-word heap object. States are pooled by construction: a page allocates
+// once and its 1<<PageShift slots are reused in place for the lifetime of
+// the table.
+//
+// Region labels (the "where" of the last read and write, which race reports
+// surface the way a binary-instrumentation tool would use debug info) are
+// stored as interned uint32 IDs against the detector's intern.Table, not as
+// strings: 4 bytes per slot instead of a 16-byte string header, and nothing
+// for the garbage collector to trace. Spilled read vector clocks come from
+// and return to a vclock.Pool, so the steady state of a hot word —
+// including inflation to read-shared and collapse on the next write —
+// allocates nothing.
 package shadow
 
 import (
+	"sort"
+
 	"demandrace/internal/mem"
 	"demandrace/internal/vclock"
 )
 
-// State is the per-word detector metadata.
+const (
+	// PageShift is log2 of the words per shadow page.
+	PageShift = 9
+	// PageWords is the number of word states in one page.
+	PageWords = 1 << PageShift
+	pageMask  = PageWords - 1
+	// InlineReaders is how many distinct concurrent readers a State tracks
+	// inline before spilling the read set to a pooled vector clock. Few
+	// read-shared words ever see more than a handful of readers, so the
+	// inline slots absorb almost all inflations allocation-free.
+	InlineReaders = 4
+)
+
+// State is the per-word detector metadata. It is a value type embedded in
+// shadow pages; pointers returned by Table.Ref stay valid for the table's
+// lifetime because pages never move.
 type State struct {
 	// W is the epoch of the last write (vclock.None if never written).
 	W vclock.Epoch
 	// R is the epoch of the last read, or vclock.ReadShared when the read
-	// history has inflated to RVC, or vclock.None if never read.
+	// history holds multiple concurrent readers, or vclock.None if never
+	// read.
 	R vclock.Epoch
-	// RVC is the read vector clock, allocated only after inflation.
+	// readers is the inline read set: one epoch per distinct reading thread
+	// while the word is read-shared, valid in [0, nread). A fifth distinct
+	// reader spills the set to RVC.
+	readers [InlineReaders]vclock.Epoch
+	// RVC is the spilled read vector clock. It is non-nil only after the
+	// inline slots overflow (or, in the full-VC variant, from first read).
 	RVC *vclock.VC
 	// WVC is the full write history (one component per thread), allocated
 	// only by the full-VC detector variant.
 	WVC *vclock.VC
-	// WRegion and RRegion record the program region of the last write and
-	// last read (representative reader once read-shared), giving race
-	// reports the "where" a binary-instrumentation tool would take from
-	// debug info.
-	WRegion string
-	RRegion string
+	// WRegion and RRegion are interned region IDs (detector intern.Table)
+	// of the last write and last read (representative reader once
+	// read-shared). 0 means unannotated.
+	WRegion uint32
+	RRegion uint32
+	// nread is the count of live inline reader slots.
+	nread uint8
 }
 
-// InflateRead converts an epoch-form read history into vector form,
-// seeding it with the previous read epoch (if any).
+// InflateRead converts an epoch-form read history into shared form, seeding
+// the inline reader set with the previous read epoch (if any). Idempotent
+// on already-shared state.
 func (s *State) InflateRead() {
-	if s.RVC == nil {
-		s.RVC = vclock.New(0)
-	}
 	if s.R != vclock.None && s.R != vclock.ReadShared {
-		s.RVC.Set(s.R.TIDOf(), s.R.TimeOf())
+		s.readers[0] = s.R
+		s.nread = 1
 	}
 	s.R = vclock.ReadShared
 }
 
-// Table maps words to their shadow state, creating states on demand.
+// SetReader records reader t at time c in the shared read set. The first
+// InlineReaders distinct threads stay inline; the next one spills the set
+// into a clock drawn from pool. It returns true exactly when this call
+// spilled, so the detector can count spills. Call only while R is
+// ReadShared.
+func (s *State) SetReader(t vclock.TID, c vclock.Time, pool *vclock.Pool) bool {
+	if s.RVC != nil {
+		s.RVC.Set(t, c)
+		return false
+	}
+	for i := 0; i < int(s.nread); i++ {
+		if s.readers[i].TIDIs(t) {
+			s.readers[i] = vclock.MakeEpoch(t, c)
+			return false
+		}
+	}
+	if int(s.nread) < InlineReaders {
+		s.readers[s.nread] = vclock.MakeEpoch(t, c)
+		s.nread++
+		return false
+	}
+	v := pool.Get()
+	for i := 0; i < int(s.nread); i++ {
+		v.Set(s.readers[i].TIDOf(), s.readers[i].TimeOf())
+	}
+	v.Set(t, c)
+	s.RVC = v
+	s.nread = 0
+	return true
+}
+
+// ReaderTime returns thread t's recorded read time in the shared read set
+// (0 if t has not read the word), regardless of inline or spilled form.
+func (s *State) ReaderTime(t vclock.TID) vclock.Time {
+	if s.RVC != nil {
+		return s.RVC.Get(t)
+	}
+	for i := 0; i < int(s.nread); i++ {
+		if s.readers[i].TIDIs(t) {
+			return s.readers[i].TimeOf()
+		}
+	}
+	return 0
+}
+
+// Spilled reports whether the read set has outgrown the inline slots.
+func (s *State) Spilled() bool { return s.RVC != nil }
+
+// ReadersLEQ reports whether every recorded read happens-before-or-equals
+// clock v — the "is this write ordered after all readers" check.
+func (s *State) ReadersLEQ(v *vclock.VC) bool {
+	if s.RVC != nil {
+		return s.RVC.LEQ(v)
+	}
+	for i := 0; i < int(s.nread); i++ {
+		e := s.readers[i]
+		if e.TimeOf() > v.Get(e.TIDOf()) {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstConcurrentReader returns the lowest-TID recorded reader not ordered
+// before v, mirroring vclock.FirstConcurrent's scan order so race reports
+// name the same representative regardless of inline or spilled form.
+func (s *State) FirstConcurrentReader(v *vclock.VC) (vclock.TID, vclock.Time) {
+	if s.RVC != nil {
+		return vclock.FirstConcurrent(s.RVC, v)
+	}
+	best, bt := vclock.TID(-1), vclock.Time(0)
+	for i := 0; i < int(s.nread); i++ {
+		e := s.readers[i]
+		if e.TimeOf() > v.Get(e.TIDOf()) && (best < 0 || e.TIDOf() < best) {
+			best, bt = e.TIDOf(), e.TimeOf()
+		}
+	}
+	return best, bt
+}
+
+// DropReaders clears the read history (FastTrack's SharedWrite rule),
+// returning any spilled clock to the pool so the next spill reuses it.
+func (s *State) DropReaders(pool *vclock.Pool) {
+	if s.RVC != nil {
+		pool.Put(s.RVC)
+		s.RVC = nil
+	}
+	s.nread = 0
+	s.R = vclock.None
+	s.RRegion = 0
+}
+
+// page is one flat run of PageWords states plus a touched bitmap, which is
+// what distinguishes "zero because never accessed" from "zero state" for
+// Len/Range/Get.
+type page struct {
+	touched [PageWords / 64]uint64
+	n       int
+	states  [PageWords]State
+}
+
+// Table maps words to their shadow state through flat pages: a directory
+// keyed by page number, a one-entry cache of the last page hit, and
+// value-type states inside each page. Ref on a cached page is a shift, a
+// compare, and an index — no hashing, no per-word allocation.
 type Table struct {
-	words map[mem.Addr]*State
+	dir     map[mem.Addr]*page
+	last    *page
+	lastNum mem.Addr
+	// Pool recycles spilled read-set clocks across words and resets; the
+	// detector passes it to State.SetReader/DropReaders.
+	Pool vclock.Pool
 }
 
 // NewTable returns an empty shadow table.
 func NewTable() *Table {
-	return &Table{words: make(map[mem.Addr]*State)}
+	return &Table{dir: make(map[mem.Addr]*page), lastNum: ^mem.Addr(0)}
+}
+
+// pageCoords splits an address into page number and in-page word index.
+func pageCoords(a mem.Addr) (num mem.Addr, idx uint) {
+	w := a >> mem.WordShift // word index in the address space
+	return w >> PageShift, uint(w) & pageMask
+}
+
+// Ref returns the state slot for the word containing addr, materializing
+// its page on first touch. This is the detector's per-access entry point:
+// when the word's page matches the last one used, it costs two shifts, a
+// compare, and a bitmap probe.
+func (t *Table) Ref(addr mem.Addr) *State {
+	num, idx := pageCoords(addr)
+	pg := t.last
+	if num != t.lastNum {
+		pg = t.dir[num]
+		if pg == nil {
+			pg = &page{}
+			t.dir[num] = pg
+		}
+		t.last, t.lastNum = pg, num
+	}
+	if w, bit := &pg.touched[idx>>6], uint64(1)<<(idx&63); *w&bit == 0 {
+		*w |= bit
+		pg.n++
+	}
+	return &pg.states[idx]
 }
 
 // Get returns the state for the word containing addr, or nil if the word
 // has never been touched.
 func (t *Table) Get(addr mem.Addr) *State {
-	return t.words[mem.WordOf(addr)]
-}
-
-// GetOrCreate returns the state for the word containing addr, allocating a
-// fresh zero state on first touch.
-func (t *Table) GetOrCreate(addr mem.Addr) *State {
-	w := mem.WordOf(addr)
-	s, ok := t.words[w]
-	if !ok {
-		s = &State{}
-		t.words[w] = s
+	num, idx := pageCoords(addr)
+	pg := t.last
+	if num != t.lastNum {
+		if pg = t.dir[num]; pg == nil {
+			return nil
+		}
 	}
-	return s
+	if pg.touched[idx>>6]&(uint64(1)<<(idx&63)) == 0 {
+		return nil
+	}
+	return &pg.states[idx]
 }
 
 // Len returns the number of tracked words.
-func (t *Table) Len() int { return len(t.words) }
+func (t *Table) Len() int {
+	n := 0
+	for _, pg := range t.dir {
+		n += pg.n
+	}
+	return n
+}
+
+// Pages returns the number of materialized shadow pages.
+func (t *Table) Pages() int { return len(t.dir) }
 
 // Range calls fn for every tracked word until fn returns false. Iteration
-// order is unspecified.
+// order is unspecified (currently ascending by address).
 func (t *Table) Range(fn func(word mem.Addr, s *State) bool) {
-	for w, s := range t.words {
-		if !fn(w, s) {
-			return
+	nums := make([]mem.Addr, 0, len(t.dir))
+	for num := range t.dir {
+		nums = append(nums, num)
+	}
+	sort.Slice(nums, func(i, j int) bool { return nums[i] < nums[j] })
+	for _, num := range nums {
+		pg := t.dir[num]
+		base := num << (PageShift + mem.WordShift)
+		for i := range pg.states {
+			if pg.touched[i>>6]&(uint64(1)<<(uint(i)&63)) == 0 {
+				continue
+			}
+			if !fn(base+mem.Addr(i)<<mem.WordShift, &pg.states[i]) {
+				return
+			}
 		}
 	}
 }
 
-// Reset drops all state (between experiment repetitions).
+// Reset drops all state (between experiment repetitions). The VC pool
+// survives, so repeated runs reuse the spill clocks of earlier ones.
 func (t *Table) Reset() {
-	t.words = make(map[mem.Addr]*State)
+	t.dir = make(map[mem.Addr]*page)
+	t.last = nil
+	t.lastNum = ^mem.Addr(0)
 }

@@ -7,14 +7,14 @@ import (
 	"demandrace/internal/vclock"
 )
 
-func TestGetOrCreateNormalizesToWord(t *testing.T) {
+func TestRefNormalizesToWord(t *testing.T) {
 	tb := NewTable()
-	a := tb.GetOrCreate(0x101)
-	b := tb.GetOrCreate(0x107)
+	a := tb.Ref(0x101)
+	b := tb.Ref(0x107)
 	if a != b {
 		t.Error("addresses in one word got distinct states")
 	}
-	c := tb.GetOrCreate(0x108)
+	c := tb.Ref(0x108)
 	if a == c {
 		t.Error("addresses in different words share a state")
 	}
@@ -23,14 +23,34 @@ func TestGetOrCreateNormalizesToWord(t *testing.T) {
 	}
 }
 
-func TestGetWithoutCreate(t *testing.T) {
+func TestGetWithoutRef(t *testing.T) {
 	tb := NewTable()
 	if tb.Get(0x100) != nil {
 		t.Error("Get on untouched word should be nil")
 	}
-	s := tb.GetOrCreate(0x100)
+	s := tb.Ref(0x100)
 	if tb.Get(0x103) != s {
 		t.Error("Get should find the created state via any byte of the word")
+	}
+	// A neighbor on the same (now cached) page is still untouched.
+	if tb.Get(0x100+mem.WordSize) != nil {
+		t.Error("untouched word on a touched page should be nil")
+	}
+}
+
+func TestRefStableAcrossPages(t *testing.T) {
+	tb := NewTable()
+	// Far-apart addresses land on distinct pages; revisiting the first page
+	// after touching the second must return the same slot.
+	a1 := tb.Ref(0x100)
+	a1.W = vclock.MakeEpoch(1, 7)
+	far := mem.Addr(64 * PageWords * mem.WordSize)
+	tb.Ref(far)
+	if got := tb.Ref(0x100); got != a1 || got.W != vclock.MakeEpoch(1, 7) {
+		t.Errorf("slot moved or lost state across page switches: %p vs %p", got, a1)
+	}
+	if tb.Pages() != 2 {
+		t.Errorf("Pages = %d, want 2", tb.Pages())
 	}
 }
 
@@ -40,33 +60,124 @@ func TestInflateReadSeedsPriorEpoch(t *testing.T) {
 	if s.R != vclock.ReadShared {
 		t.Errorf("R = %v, want SHARED", s.R)
 	}
-	if s.RVC.Get(2) != 7 {
-		t.Errorf("RVC[2] = %d, want 7", s.RVC.Get(2))
+	if s.ReaderTime(2) != 7 {
+		t.Errorf("ReaderTime(2) = %d, want 7", s.ReaderTime(2))
+	}
+	if s.Spilled() {
+		t.Error("single-reader inflation should stay inline")
 	}
 }
 
 func TestInflateReadFromNone(t *testing.T) {
 	s := &State{}
 	s.InflateRead()
-	if s.R != vclock.ReadShared || s.RVC == nil || s.RVC.Len() != 0 {
+	if s.R != vclock.ReadShared || s.nread != 0 || s.RVC != nil {
 		t.Errorf("state = %+v", s)
 	}
 }
 
 func TestInflateReadIdempotentOnShared(t *testing.T) {
+	var pool vclock.Pool
 	s := &State{}
 	s.InflateRead()
-	s.RVC.Set(1, 5)
+	s.SetReader(1, 5, &pool)
 	s.InflateRead()
-	if s.RVC.Get(1) != 5 {
+	if s.ReaderTime(1) != 5 {
 		t.Error("re-inflation lost read history")
+	}
+}
+
+func TestSetReaderUpdatesInPlace(t *testing.T) {
+	var pool vclock.Pool
+	s := &State{R: vclock.MakeEpoch(0, 1)}
+	s.InflateRead()
+	s.SetReader(1, 3, &pool)
+	s.SetReader(1, 9, &pool)
+	if s.ReaderTime(1) != 9 {
+		t.Errorf("ReaderTime(1) = %d, want 9", s.ReaderTime(1))
+	}
+	if s.nread != 2 {
+		t.Errorf("nread = %d, want 2 (same thread must not burn a slot)", s.nread)
+	}
+}
+
+func TestSetReaderSpillsPastInlineSlots(t *testing.T) {
+	var pool vclock.Pool
+	s := &State{}
+	s.InflateRead()
+	for i := 0; i <= InlineReaders; i++ {
+		s.SetReader(vclock.TID(i), vclock.Time(i+1), &pool)
+	}
+	if !s.Spilled() {
+		t.Fatalf("%d distinct readers should spill", InlineReaders+1)
+	}
+	for i := 0; i <= InlineReaders; i++ {
+		if got := s.ReaderTime(vclock.TID(i)); got != vclock.Time(i+1) {
+			t.Errorf("ReaderTime(%d) = %d, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestReadersLEQAndFirstConcurrent(t *testing.T) {
+	var pool vclock.Pool
+	run := func(name string, spill bool) {
+		s := &State{}
+		s.InflateRead()
+		s.SetReader(1, 4, &pool)
+		s.SetReader(3, 2, &pool)
+		if spill {
+			for i := 0; i <= InlineReaders; i++ {
+				s.SetReader(vclock.TID(10+i), 1, &pool)
+			}
+		}
+		ct := vclock.New(4)
+		ct.Set(1, 4)
+		ct.Set(3, 2)
+		for i := 0; i <= InlineReaders; i++ {
+			ct.Set(vclock.TID(10+i), 1)
+		}
+		if !s.ReadersLEQ(ct) {
+			t.Errorf("%s: covered read set not LEQ", name)
+		}
+		ct.Set(1, 3) // reader 1@4 now concurrent
+		if s.ReadersLEQ(ct) {
+			t.Errorf("%s: uncovered read set reported LEQ", name)
+		}
+		tid, tm := s.FirstConcurrentReader(ct)
+		if tid != 1 || tm != 4 {
+			t.Errorf("%s: FirstConcurrentReader = %d@%d, want 4@1", name, tm, tid)
+		}
+	}
+	run("inline", false)
+	run("spilled", true)
+}
+
+func TestDropReadersReturnsSpillToPool(t *testing.T) {
+	var pool vclock.Pool
+	s := &State{}
+	s.InflateRead()
+	for i := 0; i <= InlineReaders; i++ {
+		s.SetReader(vclock.TID(i), 1, &pool)
+	}
+	spilled := s.RVC
+	if spilled == nil {
+		t.Fatal("expected spill")
+	}
+	s.DropReaders(&pool)
+	if s.RVC != nil || s.nread != 0 || s.R != vclock.None || s.RRegion != 0 {
+		t.Errorf("DropReaders left state %+v", s)
+	}
+	if got := pool.Get(); got != spilled {
+		t.Error("spilled clock did not return to the pool")
+	} else if got.Len() != 0 {
+		t.Error("pooled clock not reset")
 	}
 }
 
 func TestRangeAndReset(t *testing.T) {
 	tb := NewTable()
-	tb.GetOrCreate(0x100)
-	tb.GetOrCreate(0x200)
+	tb.Ref(0x100)
+	tb.Ref(0x200)
 	n := 0
 	tb.Range(func(w mem.Addr, s *State) bool {
 		if w != mem.WordOf(w) {
@@ -87,5 +198,38 @@ func TestRangeAndReset(t *testing.T) {
 	tb.Reset()
 	if tb.Len() != 0 {
 		t.Error("Reset did not clear")
+	}
+	if tb.Get(0x100) != nil {
+		t.Error("Reset left a stale cached page visible")
+	}
+}
+
+func TestRangeReportsWordAddresses(t *testing.T) {
+	tb := NewTable()
+	far := mem.Addr(3*PageWords*mem.WordSize) + 0x48
+	tb.Ref(far)
+	tb.Ref(0x105)
+	var got []mem.Addr
+	tb.Range(func(w mem.Addr, _ *State) bool {
+		got = append(got, w)
+		return true
+	})
+	want := []mem.Addr{mem.WordOf(0x105), mem.WordOf(far)}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Range words = %v, want %v", got, want)
+	}
+}
+
+func TestSteadyStateRefDoesNotAllocate(t *testing.T) {
+	tb := NewTable()
+	tb.Ref(0x100)
+	tb.Ref(0x100 + PageWords*mem.WordSize) // two live pages
+	allocs := testing.AllocsPerRun(200, func() {
+		tb.Ref(0x100)
+		tb.Ref(0x100 + PageWords*mem.WordSize)
+		tb.Ref(0x108)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Ref allocated %.1f per round", allocs)
 	}
 }

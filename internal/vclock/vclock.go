@@ -7,6 +7,12 @@
 // and C1 ≠ C2. An Epoch c@t is the FastTrack compression of "the last access
 // was by thread t at its local time c"; most variables only ever need an
 // epoch, which is what makes FastTrack's common case O(1).
+//
+// Two pieces exist purely for the detector's allocation-free hot path:
+// Epoch.TIDIs answers "is this epoch mine?" with a single integer compare
+// (the SmartTrack-style ownership shortcut), and Pool recycles the full
+// clocks that shadow read sets spill into, so inflating and collapsing a
+// read-shared word costs no steady-state allocation.
 package vclock
 
 import (
@@ -84,6 +90,17 @@ func (v *VC) Copy() *VC {
 	return &VC{c: nc}
 }
 
+// Reset returns v to the zero clock while keeping its backing capacity, so
+// a pooled clock can be reused without reallocating. The stored components
+// are zeroed before truncation because grow assumes the region between the
+// length and the capacity is zero.
+func (v *VC) Reset() {
+	for i := range v.c {
+		v.c[i] = 0
+	}
+	v.c = v.c[:0]
+}
+
 // Assign overwrites v with the contents of other.
 func (v *VC) Assign(other *VC) {
 	v.grow(len(other.c))
@@ -116,6 +133,20 @@ func (v *VC) HappensBefore(other *VC) bool {
 // Concurrent reports that neither clock happens-before the other.
 func (v *VC) Concurrent(other *VC) bool {
 	return !v.LEQ(other) && !other.LEQ(v)
+}
+
+// FirstConcurrent returns the lowest-TID component of a not ≤ b, or (-1, 0)
+// when a ≤ b pointwise. Race reports use it to pick a deterministic
+// representative from an access history that conflicts with the current
+// thread's clock.
+func FirstConcurrent(a, b *VC) (TID, Time) {
+	for i := 0; i < a.Len(); i++ {
+		t := TID(i)
+		if a.Get(t) > b.Get(t) {
+			return t, a.Get(t)
+		}
+	}
+	return -1, 0
 }
 
 // Len returns the number of stored components (threads seen so far).
@@ -156,6 +187,12 @@ func MakeEpoch(t TID, c Time) Epoch {
 // TIDOf unpacks the thread component.
 func (e Epoch) TIDOf() TID { return TID(uint16(e) - 1) }
 
+// TIDIs reports whether e's thread component is t, without unpacking —
+// one compare on the detector's ownership fast path. None never matches
+// (its packed TID field is 0, and packed TIDs start at 1). The caller must
+// exclude ReadShared, whose TID field aliases thread 65534.
+func (e Epoch) TIDIs(t TID) bool { return uint16(e) == uint16(t)+1 }
+
 // TimeOf unpacks the time component.
 func (e Epoch) TimeOf() Time { return Time(e >> 16) }
 
@@ -177,4 +214,33 @@ func (e Epoch) String() string {
 	default:
 		return fmt.Sprintf("%d@%d", e.TimeOf(), e.TIDOf())
 	}
+}
+
+// Pool recycles vector clocks so the detector's steady state allocates
+// nothing: a read set that spills past the shadow state's inline slots
+// takes a clock from the pool, and the next write to that word returns it.
+// The zero Pool is ready to use. Not safe for concurrent use — a pool
+// belongs to one detector, which is itself single-threaded.
+type Pool struct {
+	free []*VC
+}
+
+// Get returns a zeroed clock, reusing a returned one when available.
+func (p *Pool) Get() *VC {
+	if n := len(p.free); n > 0 {
+		v := p.free[n-1]
+		p.free = p.free[:n-1]
+		return v
+	}
+	return New(0)
+}
+
+// Put resets v and makes it available to the next Get. Putting nil is a
+// no-op.
+func (p *Pool) Put(v *VC) {
+	if v == nil {
+		return
+	}
+	v.Reset()
+	p.free = append(p.free, v)
 }

@@ -273,3 +273,72 @@ func TestStringForms(t *testing.T) {
 		t.Error("sentinel strings wrong")
 	}
 }
+
+func TestTIDIs(t *testing.T) {
+	e := MakeEpoch(3, 9)
+	if !e.TIDIs(3) {
+		t.Error("epoch does not match its own thread")
+	}
+	if e.TIDIs(2) || e.TIDIs(4) {
+		t.Error("epoch matches a foreign thread")
+	}
+	// None matches no thread — including TID 0, whose encoded component
+	// is 1, not 0.
+	for tid := TID(0); tid < 4; tid++ {
+		if None.TIDIs(tid) {
+			t.Errorf("None.TIDIs(%d) = true", tid)
+		}
+	}
+}
+
+func TestResetKeepsZeroedCapacity(t *testing.T) {
+	v := New(4)
+	v.Set(2, 9)
+	v.Reset()
+	if v.Len() != 0 {
+		t.Errorf("Len after Reset = %d", v.Len())
+	}
+	// Regrowing must not resurrect the old component: the region between
+	// len and cap is assumed zero by grow.
+	v.Set(3, 1)
+	if got := v.Get(2); got != 0 {
+		t.Errorf("Get(2) after Reset+regrow = %d, want 0", got)
+	}
+}
+
+func TestFirstConcurrent(t *testing.T) {
+	a, b := New(4), New(4)
+	a.Set(1, 5)
+	a.Set(3, 7)
+	b.Set(1, 5)
+	b.Set(3, 7)
+	if tid, _ := FirstConcurrent(a, b); tid != -1 {
+		t.Errorf("covered clock reported concurrent component %d", tid)
+	}
+	b.Set(1, 4)
+	b.Set(3, 6) // both components now concurrent; lowest TID wins
+	if tid, tm := FirstConcurrent(a, b); tid != 1 || tm != 5 {
+		t.Errorf("FirstConcurrent = %d@%d, want 5@1", tm, tid)
+	}
+}
+
+func TestPoolRecycles(t *testing.T) {
+	var p Pool
+	v := p.Get()
+	if v == nil || v.Len() != 0 {
+		t.Fatal("empty pool must mint a fresh clock")
+	}
+	v.Set(1, 3)
+	p.Put(v)
+	got := p.Get()
+	if got != v {
+		t.Error("pool did not recycle the returned clock")
+	}
+	if got.Len() != 0 || got.Get(1) != 0 {
+		t.Error("recycled clock kept stale components")
+	}
+	p.Put(nil) // must be a no-op
+	if p.Get() == nil {
+		t.Error("Get after Put(nil) returned nil")
+	}
+}

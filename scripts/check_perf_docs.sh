@@ -1,0 +1,37 @@
+#!/bin/sh
+# check_perf_docs.sh — fail when PERFORMANCE.md references a CLI flag that
+# the binaries no longer advertise.
+#
+# The handbook names flags as `experiments -flag` or `ddrace -flag`. This
+# script extracts every such reference and verifies the flag appears in the
+# corresponding binary's -help output, so flag renames break CI instead of
+# silently rotting the docs. Run from the repository root.
+set -eu
+
+doc=PERFORMANCE.md
+[ -f "$doc" ] || { echo "check_perf_docs: $doc not found (run from repo root)" >&2; exit 2; }
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/experiments" ./cmd/experiments
+go build -o "$tmp/ddrace" ./cmd/ddrace
+
+# flag package binaries exit nonzero on -help; capture the usage text anyway.
+"$tmp/experiments" -help >"$tmp/experiments.help" 2>&1 || true
+"$tmp/ddrace" -help >"$tmp/ddrace.help" 2>&1 || true
+
+# Collect "tool -flag" references. Violations accumulate in a file rather
+# than a variable: the while loop runs in a pipeline subshell.
+grep -oE '(experiments|ddrace) -[a-z][a-z0-9-]*' "$doc" | sort -u |
+while read -r tool flag; do
+    if ! grep -qE "^  $flag( |$)" "$tmp/$tool.help"; then
+        echo "$doc references '$tool $flag' but $tool -help does not list $flag" >>"$tmp/violations"
+    fi
+done
+
+if [ -s "$tmp/violations" ]; then
+    cat "$tmp/violations" >&2
+    exit 1
+fi
+echo "check_perf_docs: all $(grep -cE '(experiments|ddrace) -[a-z][a-z0-9-]*' "$doc") flag references in $doc are live"
