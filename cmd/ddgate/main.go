@@ -11,12 +11,15 @@
 //
 // Endpoints:
 //
-//	POST /v1/jobs          submit; routed by content hash with failover
-//	GET  /v1/jobs/{id}     poll status (id is "<backend>:<remote id>")
-//	GET  /v1/results/{id}  fetch a report, byte-identical to the backend's
-//	GET  /v1/stats         gateway counters + per-backend aggregation
-//	GET  /healthz          ring capacity (503 only when no backend is routable)
-//	GET  /metrics          Prometheus text exposition
+//	POST /v1/jobs               submit; routed by content hash with failover
+//	GET  /v1/jobs/{id}          poll status (id is "<backend>:<remote id>")
+//	GET  /v1/jobs/{id}/trace    merged gateway+backend waterfall for one job
+//	GET  /v1/results/{id}       fetch a report, byte-identical to the backend's
+//	GET  /v1/timeseries         fleet-wide metric history (gateway + backends)
+//	GET  /v1/events             live SSE stream, tailed from every backend
+//	GET  /v1/stats              gateway counters + per-backend aggregation
+//	GET  /healthz               ring capacity (503 only when no backend is routable)
+//	GET  /metrics               Prometheus text exposition
 //
 // Usage:
 //
@@ -61,6 +64,9 @@ func main() {
 		failAfter     = flag.Int("fail-after", 2, "consecutive probe failures before ring eviction")
 		maxBody       = flag.Int64("max-body", 64<<20, "max request body buffered for replay, in bytes")
 		node          = flag.String("node", "ddgate", "node name reported in /v1/stats")
+		statsTimeout  = flag.Duration("stats-timeout", 0, "per-backend /v1/stats and /v1/timeseries fetch timeout (0 = 2s default)")
+		tsInterval    = flag.Duration("ts-interval", 0, "time-series sampling period for /v1/timeseries (0 = 5s default)")
+		tsRetention   = flag.Duration("ts-retention", 0, "time-series history kept per metric (0 = 1h default)")
 		versionFlag   = flag.Bool("version", false, "print the version and exit")
 	)
 	logFlags := olog.Register(flag.CommandLine, olog.FormatJSON)
@@ -94,6 +100,9 @@ func main() {
 			FailAfter:     *failAfter,
 			MaxBodyBytes:  *maxBody,
 			Node:          *node,
+			StatsTimeout:  *statsTimeout,
+			TSInterval:    *tsInterval,
+			TSRetention:   *tsRetention,
 			Registry:      obs.NewRegistry(),
 			Log:           lg,
 		},

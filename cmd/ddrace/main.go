@@ -24,6 +24,8 @@
 //	ddrace -batch all -policy continuous       # every bundled kernel
 //	ddrace -batch histogram,kmeans,x264        # explicit kernel list
 //	ddrace -kernel kmeans -profile out.folded  # deterministic cycle profile
+//	ddrace -kernel kmeans -submit http://localhost:8318 -save-trace wf.json
+//	ddrace -watch http://localhost:8418        # tail the live cluster event feed
 //
 // Wall-clock diagnostics (the batch timing table, structured progress
 // lines) go to stderr through a leveled logger; -log-level=error silences
@@ -39,7 +41,9 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -48,6 +52,8 @@ import (
 	"demandrace/internal/demand"
 	"demandrace/internal/obs"
 	olog "demandrace/internal/obs/log"
+	"demandrace/internal/obs/stream"
+	"demandrace/internal/obs/tracectx"
 	"demandrace/internal/parallel"
 	"demandrace/internal/prof"
 	"demandrace/internal/report"
@@ -110,6 +116,9 @@ func run(args []string, out, diag io.Writer) error {
 		asJSON    = fs.Bool("json", false, "emit the full report as JSON")
 		htmlOut   = fs.String("html", "", "write a self-contained HTML report to this file")
 		submitURL = fs.String("submit", "", "submit the run to a ddserved daemon at this base URL instead of running locally")
+		saveTrace = fs.String("save-trace", "", "with -submit: also fetch the job's server-side span waterfall and write the Chrome trace JSON to this file")
+		watchURL  = fs.String("watch", "", "tail the live event stream of a ddserved or ddgate at this base URL, printing one JSON event per line")
+		watchN    = fs.Int("watch-count", 0, "with -watch: exit after N events (0 = tail until interrupted)")
 		profOut   = fs.String("profile", "", "write a deterministic folded-stack cycle profile (flamegraph-ready) to this file and print the top sites")
 		profEvery = fs.Uint64("profile-every", 0, "cycle-profiler sampling period in simulated cycles (0 = default 1024)")
 		verFlag   = fs.Bool("version", false, "print the version and exit")
@@ -141,6 +150,12 @@ func run(args []string, out, diag io.Writer) error {
 		fmt.Fprint(out, tb)
 		return nil
 	}
+	if *watchURL != "" {
+		return watchEvents(out, *watchURL, *watchN)
+	}
+	if *saveTrace != "" && *submitURL == "" {
+		return fmt.Errorf("-save-trace needs -submit (local runs use -trace)")
+	}
 	if *submitURL != "" {
 		if *kernel == "" {
 			return fmt.Errorf("-submit needs -kernel (batch submission is not supported)")
@@ -155,7 +170,7 @@ func run(args []string, out, diag io.Writer) error {
 			Lockset: *lockset, Deadlock: *deadlockF, FullVC: *fullvc,
 			Profile: *profOut != "", ProfileEvery: *profEvery,
 		}
-		return submitRemote(out, *submitURL, req, *asJSON, *verbose, *profOut)
+		return submitRemote(out, lg, *submitURL, req, *asJSON, *verbose, *profOut, *saveTrace)
 	}
 
 	cfg := demandrace.DefaultConfig()
@@ -353,7 +368,11 @@ func writeProfile(out io.Writer, path string, pr *prof.Profile) error {
 // in the same file a local -profile run would write. Transient daemon
 // errors (429 backpressure, 5xx, connection drops) are retried with
 // exponential backoff before giving up.
-func submitRemote(out io.Writer, base string, req service.Request, asJSON, verbose bool, profOut string) error {
+//
+// Every submission mints a root trace context; the client propagates it
+// as a traceparent header on every hop, so the daemon's logs and the
+// saveTrace waterfall are joinable by the trace ID logged here.
+func submitRemote(out io.Writer, lg *slog.Logger, base string, req service.Request, asJSON, verbose bool, profOut, saveTrace string) error {
 	cl := &service.Client{
 		BaseURL: strings.TrimRight(base, "/"),
 		Options: service.Options{
@@ -364,13 +383,29 @@ func submitRemote(out io.Writer, base string, req service.Request, asJSON, verbo
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
+	tc := tracectx.New()
+	ctx = tracectx.Into(ctx, tc)
+	lg.Info("submitting job", "url", base, "kernel", req.Kernel, "trace_id", tc.TraceID())
 	data, st, err := cl.Run(ctx, req)
 	if err != nil {
 		return err
 	}
+	if saveTrace != "" {
+		// Fetch after the job is terminal, so the waterfall covers queue
+		// wait through render, not a snapshot of a half-run job.
+		td, terr := cl.JobTrace(ctx, st.ID)
+		if terr != nil {
+			return fmt.Errorf("fetching job trace: %w", terr)
+		}
+		if werr := os.WriteFile(saveTrace, td, 0o644); werr != nil {
+			return fmt.Errorf("writing -save-trace: %w", werr)
+		}
+	}
 	if asJSON && profOut == "" {
-		_, err := out.Write(data)
-		return err
+		if _, err := out.Write(data); err != nil {
+			return err
+		}
+		return nil
 	}
 	var rep demandrace.Report
 	if err := json.Unmarshal(data, &rep); err != nil {
@@ -384,8 +419,49 @@ func submitRemote(out io.Writer, base string, req service.Request, asJSON, verbo
 		fmt.Fprintf(out, "job:       %s on %s (cache hit: %v)\n", st.ID, base, st.CacheHit)
 		printReport(out, &rep, verbose)
 	}
+	if saveTrace != "" && !asJSON {
+		fmt.Fprintf(out, "job trace written to %s\n", saveTrace)
+	}
 	if profOut != "" {
 		return writeProfile(out, profOut, rep.Profile)
+	}
+	return nil
+}
+
+// watchEvents tails a server's GET /v1/events SSE feed and prints one
+// JSON object per event. This is an operator tail, inherently wall-clock:
+// nothing printed here is deterministic, which is why it is a standalone
+// mode that never mixes with report output. Ctrl-C (or reaching count)
+// ends the tail cleanly.
+func watchEvents(out io.Writer, base string, count int) error {
+	url := strings.TrimRight(base, "/") + "/v1/events"
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("-watch: %s answered %d", url, resp.StatusCode)
+	}
+	enc := json.NewEncoder(out)
+	dec := stream.NewDecoder(resp.Body)
+	for printed := 0; count <= 0 || printed < count; printed++ {
+		ev, err := dec.Next()
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil // interrupted: a clean end to a tail
+			}
+			return fmt.Errorf("-watch: reading event stream: %w", err)
+		}
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
 	}
 	return nil
 }

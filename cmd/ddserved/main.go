@@ -6,12 +6,15 @@
 //
 // Endpoints:
 //
-//	POST /v1/jobs          submit (JSON request or binary trace upload)
-//	GET  /v1/jobs/{id}     poll job status
-//	GET  /v1/results/{id}  fetch the report of a done job
-//	GET  /v1/stats         latency percentiles, SLO budget, pool state
-//	GET  /healthz          liveness, drain state, queue-pressure degradation
-//	GET  /metrics          Prometheus text exposition
+//	POST /v1/jobs               submit (JSON request or binary trace upload)
+//	GET  /v1/jobs/{id}          poll job status
+//	GET  /v1/jobs/{id}/trace    Chrome-trace waterfall of one job's lifecycle
+//	GET  /v1/results/{id}       fetch the report of a done job
+//	GET  /v1/timeseries         sampled metric history (-ts-interval/-ts-retention)
+//	GET  /v1/events             live SSE stream of job and cache events
+//	GET  /v1/stats              latency percentiles, SLO budget, pool state
+//	GET  /healthz               liveness, drain state, queue-pressure degradation
+//	GET  /metrics               Prometheus text exposition
 //
 // Usage:
 //
@@ -71,6 +74,8 @@ func main() {
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before jobs are hard-canceled")
 		sloLatency  = flag.Duration("slo-latency", 500*time.Millisecond, "request-latency SLO threshold reported by /v1/stats")
 		sloTarget   = flag.Float64("slo-target", 0.99, "fraction of requests that must meet -slo-latency")
+		tsInterval  = flag.Duration("ts-interval", 0, "time-series sampling period for /v1/timeseries (0 = 5s default)")
+		tsRetention = flag.Duration("ts-retention", 0, "time-series history kept per metric (0 = 1h default)")
 		versionFlag = flag.Bool("version", false, "print the version and exit")
 	)
 	logFlags := olog.Register(flag.CommandLine, olog.FormatJSON)
@@ -105,6 +110,8 @@ func main() {
 			MaxTraceEvents: *maxEvents,
 			SLOLatency:     *sloLatency,
 			SLOTarget:      *sloTarget,
+			TSInterval:     *tsInterval,
+			TSRetention:    *tsRetention,
 			Log:            lg,
 		},
 	}); err != nil {

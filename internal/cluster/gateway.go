@@ -12,6 +12,9 @@ import (
 
 	"demandrace/internal/obs"
 	olog "demandrace/internal/obs/log"
+	"demandrace/internal/obs/stream"
+	"demandrace/internal/obs/tracectx"
+	"demandrace/internal/obs/tsdb"
 	"demandrace/internal/service"
 )
 
@@ -42,6 +45,15 @@ type Config struct {
 	// MaxBodyBytes bounds request bodies buffered for replay (default
 	// 64 MiB, matching ddserved's trace cap).
 	MaxBodyBytes int64
+	// StatsTimeout bounds each per-backend fetch during /v1/stats and
+	// /v1/timeseries aggregation, so one hung backend cannot hold the
+	// fleet document hostage (default 2s). Unreachable backends are
+	// reported as partial results with a stats_errors count.
+	StatsTimeout time.Duration
+	// TSInterval and TSRetention shape the gateway's own metrics history
+	// behind GET /v1/timeseries (defaults 5s and 1h).
+	TSInterval  time.Duration
+	TSRetention time.Duration
 	// Node names this gateway in /v1/stats (default "ddgate").
 	Node string
 	// Registry receives gateway metrics. Nil builds a private one.
@@ -77,6 +89,9 @@ func (c Config) normalized() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.StatsTimeout <= 0 {
+		c.StatsTimeout = 2 * time.Second
+	}
 	if c.Node == "" {
 		c.Node = "ddgate"
 	}
@@ -106,10 +121,14 @@ type Gateway struct {
 	reg      *obs.Registry
 	log      *slog.Logger
 	start    time.Time
+	bus      *stream.Bus
+	ts       *tsdb.DB
+	traces   *traceStore
 
 	stopOnce sync.Once
 	stop     chan struct{}
 	stopped  chan struct{}
+	tailWG   sync.WaitGroup
 	started  bool
 
 	cRequests  *obs.Counter
@@ -138,6 +157,15 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		reg:        cfg.Registry,
 		log:        cfg.Log,
 		start:      time.Now(),
+		bus:        stream.NewBus(cfg.Node),
+		traces:     newTraceStore(defaultTraceStoreCap),
+		ts: tsdb.New(tsdb.Options{
+			Registry:  cfg.Registry,
+			Node:      cfg.Node,
+			Interval:  cfg.TSInterval,
+			Retention: cfg.TSRetention,
+			Runtime:   true,
+		}),
 		stop:       make(chan struct{}),
 		stopped:    make(chan struct{}),
 		cRequests:  cfg.Registry.Counter(obs.GateRequests),
@@ -176,20 +204,39 @@ func (g *Gateway) Ring() *Ring { return g.ring }
 // Config returns the normalized configuration.
 func (g *Gateway) Config() Config { return g.cfg }
 
-// Start launches the background health-probe loop. Idempotent.
+// Events returns the gateway's live event bus: its own routing events
+// plus every backend event the tailers re-publish (GET /v1/events).
+func (g *Gateway) Events() *stream.Bus { return g.bus }
+
+// TimeSeries returns the gateway's own metrics history; the HTTP layer
+// merges it with the backends' at GET /v1/timeseries.
+func (g *Gateway) TimeSeries() *tsdb.DB { return g.ts }
+
+// Start launches the background loops: the health prober, the time-series
+// sampler, and one event tailer per backend (each follows the backend's
+// /v1/events stream and re-publishes into the gateway bus, making the
+// gateway's stream a fleet-wide feed). Idempotent.
 func (g *Gateway) Start() {
 	if g.started {
 		return
 	}
 	g.started = true
+	g.ts.Start()
+	for _, b := range g.backends {
+		g.tailWG.Add(1)
+		go g.tailLoop(b)
+	}
 	go g.probeLoop()
 }
 
-// Stop halts the probe loop. Idempotent; safe if Start was never called.
+// Stop halts the probe loop, the sampler, and the tailers. Idempotent;
+// safe if Start was never called.
 func (g *Gateway) Stop() {
 	g.stopOnce.Do(func() { close(g.stop) })
+	g.ts.Stop()
 	if g.started {
 		<-g.stopped
+		g.tailWG.Wait()
 	}
 }
 
@@ -216,23 +263,37 @@ func retryableStatus(code int) bool {
 
 // attemptOne sends build's request to one backend and reads the answer.
 // The context is canceled as soon as the body is read — or by the caller,
-// which is how hedge losers die.
+// which is how hedge losers die. The caller's trace context propagates
+// downstream as a fresh child span per attempt, and when the context
+// carries a recording span (submissions do), each attempt lands in the
+// job's waterfall as a "forward" slice on the gateway track.
 func (g *Gateway) attemptOne(ctx context.Context, b *backend, build func(base string) (*http.Request, error)) (upstream, error) {
 	req, err := build(b.URL)
 	if err != nil {
 		return upstream{}, err
 	}
+	if tc, ok := tracectx.From(ctx); ok {
+		req.Header.Set(tracectx.Header, tc.Child().String())
+	}
+	_, span := obs.StartSpan(ctx, "forward")
+	span.SetAttr("backend", b.Name)
 	g.cForwards.Inc()
 	b.cForward.Inc()
 	resp, err := g.client.Do(req.WithContext(ctx))
 	if err != nil {
+		span.SetAttr("error", err.Error())
+		span.End()
 		return upstream{}, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
+		span.SetAttr("error", err.Error())
+		span.End()
 		return upstream{}, fmt.Errorf("cluster: reading %s response: %w", b.Name, err)
 	}
+	span.SetAttr("status", fmt.Sprint(resp.StatusCode))
+	span.End()
 	return upstream{status: resp.StatusCode, header: resp.Header, body: body, backend: b.Name}, nil
 }
 

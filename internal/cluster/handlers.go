@@ -8,31 +8,41 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"demandrace/internal/obs"
+	"demandrace/internal/obs/stream"
+	"demandrace/internal/obs/tracectx"
+	"demandrace/internal/obs/tsdb"
 	"demandrace/internal/service"
 )
 
 // route mirrors internal/service's route table: a mux pattern, the stable
-// key naming its latency histogram and stats row, and the quiet flag that
-// demotes infrastructure-poll access logs to debug.
+// key naming its latency histogram and stats row, the quiet flag that
+// demotes infrastructure-poll access logs to debug, and the stream flag
+// marking SSE routes that bypass latency accounting.
 type route struct {
 	pattern string
 	key     string
 	quiet   bool
+	stream  bool
 	handler http.HandlerFunc
 }
 
 func (g *Gateway) routes() []route {
 	return []route{
-		{"POST /v1/jobs", "post_jobs", false, g.handleSubmit},
-		{"GET /v1/jobs/{id}", "get_job", false, g.handleJob},
-		{"GET /v1/results/{id}", "get_result", false, g.handleResult},
-		{"GET /v1/stats", "get_stats", true, g.handleStats},
-		{"GET /healthz", "healthz", true, g.handleHealth},
-		{"GET /metrics", "metrics", true, g.handleMetrics},
+		{"POST /v1/jobs", "post_jobs", false, false, g.handleSubmit},
+		{"GET /v1/jobs/{id}", "get_job", false, false, g.handleJob},
+		{"GET /v1/jobs/{id}/trace", "get_job_trace", false, false, g.handleJobTrace},
+		{"GET /v1/results/{id}", "get_result", false, false, g.handleResult},
+		{"GET /v1/timeseries", "get_timeseries", true, false, g.handleTimeseries},
+		{"GET /v1/events", "get_events", true, true, g.handleEvents},
+		{"GET /v1/stats", "get_stats", true, false, g.handleStats},
+		{"GET /healthz", "healthz", true, false, g.handleHealth},
+		{"GET /metrics", "metrics", true, false, g.handleMetrics},
 	}
 }
 
@@ -80,7 +90,18 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 func (g *Gateway) instrument(rt route) http.Handler {
 	hist := g.reg.Histogram(obs.GateHTTPLatencyPrefix+rt.key, obs.LatencyBuckets)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ctx, span := obs.StartSpan(r.Context(), "gate:"+rt.key)
+		tc, _ := tracectx.FromHeader(r.Header.Get)
+		ctx := tracectx.Into(r.Context(), tc)
+		if rt.stream {
+			// SSE: raw writer (the recorder would hide http.Flusher), no
+			// latency histogram — a long tail is not a slow request.
+			g.log.Debug("event stream open", "path", r.URL.Path, "trace_id", tc.TraceID())
+			rt.handler(w, r.WithContext(ctx))
+			g.log.Debug("event stream closed", "path", r.URL.Path, "trace_id", tc.TraceID())
+			return
+		}
+		ctx, span := obs.StartSpan(ctx, "gate:"+rt.key)
+		span.SetAttr("trace_id", tc.TraceID())
 		span.ObserveInto(hist)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		rt.handler(rec, r.WithContext(ctx))
@@ -96,6 +117,7 @@ func (g *Gateway) instrument(rt route) http.Handler {
 			"status", rec.status,
 			"bytes", rec.bytes,
 			"dur_ms", float64(dur)/float64(time.Millisecond),
+			"trace_id", tc.TraceID(),
 		)
 	})
 }
@@ -105,6 +127,12 @@ func (g *Gateway) instrument(rt route) http.Handler {
 // computed with the same hashes the backends use for caching, and the
 // winning backend's job ID comes back namespaced as "<backend>:<id>".
 func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Record this request's gateway-side spans (the request envelope plus
+	// every forward/hedge attempt) so the job's trace waterfall can show
+	// the gateway hop above the backend's stages.
+	grec := obs.NewSpanRecorder(g.cfg.Node, 0)
+	obs.SpanFrom(r.Context()).RecordInto(grec)
+
 	body, err := io.ReadAll(io.LimitReader(r.Body, g.cfg.MaxBodyBytes+1))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading request: %v", err))
@@ -162,7 +190,13 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadGateway, fmt.Sprintf("cluster: all backends failed: %v", err))
 		return
 	}
-	g.log.Info("job routed", "key", key[:16], "backend", up.backend, "status", up.status)
+	tc, _ := tracectx.From(r.Context())
+	g.log.Info("job routed", "key", key[:16], "backend", up.backend, "status", up.status,
+		"trace_id", tc.TraceID())
+	var st service.Status
+	if json.Unmarshal(up.body, &st) == nil && st.ID != "" {
+		g.traces.put(joinJobID(up.backend, st.ID), grec)
+	}
 	g.relay(w, up, true)
 }
 
@@ -274,7 +308,126 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, g.Stats(r.Context()))
 }
 
+// handleJobTrace merges two waterfalls onto one timeline: the gateway's
+// recorded forwarding spans for the job (if still retained) and the
+// owning backend's stage spans, fetched live. Both documents carry their
+// absolute base time, so re-encoding the concatenated records lines the
+// gateway hop up above the backend stages exactly as they happened.
+func (g *Gateway) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	name, remoteID, ok := splitJobID(id)
+	b := g.byName[name]
+	if !ok || b == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("cluster: no such job %q (gateway ids look like backend:j-n)", id))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.Retry.Timeout)
+	defer cancel()
+	up, err := g.attemptOne(ctx, b, func(base string) (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, base+"/v1/jobs/"+remoteID+"/trace", nil)
+	})
+
+	extra := map[string]string{"job_id": id, "node": g.cfg.Node}
+	var backendRecs []obs.SpanRecord
+	if err == nil && up.status == http.StatusOK {
+		recs, other, derr := obs.DecodeSpanTrace(up.body)
+		if derr != nil {
+			writeError(w, http.StatusBadGateway,
+				fmt.Sprintf("cluster: backend %s returned an unreadable trace: %v", name, derr))
+			return
+		}
+		backendRecs = recs
+		for _, k := range []string{"trace_id", "state"} {
+			if v := other[k]; v != "" {
+				extra[k] = v
+			}
+		}
+	}
+	gwRecs := g.traces.records(id)
+	if len(backendRecs) == 0 && len(gwRecs) == 0 {
+		// Nothing to merge: pass the backend's answer (or failure) through.
+		if err != nil {
+			writeError(w, http.StatusBadGateway,
+				fmt.Sprintf("cluster: backend %s unreachable: %v", name, err))
+			return
+		}
+		g.relay(w, up, false)
+		return
+	}
+	data, eerr := obs.EncodeSpanTrace("job "+id, append(gwRecs, backendRecs...), extra)
+	if eerr != nil {
+		writeError(w, http.StatusInternalServerError, eerr.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// maxTSBodyBytes bounds a backend's /v1/timeseries response during
+// aggregation; 8 MiB is orders of magnitude above a full retention window.
+const maxTSBodyBytes = 8 << 20
+
+// handleTimeseries serves the fleet view: the gateway's own sampled
+// history plus every reachable backend's, concurrently fetched under the
+// stats timeout. Per-series Node fields keep the merged document
+// attributable; an unreachable backend just contributes nothing.
+func (g *Gateway) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	since, err := tsdb.ParseSince(r.URL.Query().Get("since"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	doc := g.ts.Doc(r.URL.Query().Get("metric"), since)
+
+	perBackend := make([][]tsdb.Series, len(g.backends))
+	var wg sync.WaitGroup
+	for i, b := range g.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(r.Context(), g.cfg.StatsTimeout)
+			defer cancel()
+			req, rerr := http.NewRequestWithContext(sctx, http.MethodGet,
+				b.URL+"/v1/timeseries?"+r.URL.RawQuery, nil)
+			if rerr != nil {
+				return
+			}
+			resp, derr := g.client.Do(req)
+			if derr != nil {
+				g.log.Debug("backend timeseries unavailable", "backend", b.Name, "error", derr.Error())
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			var bdoc tsdb.Doc
+			if json.NewDecoder(io.LimitReader(resp.Body, maxTSBodyBytes)).Decode(&bdoc) == nil {
+				perBackend[i] = bdoc.Series
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	for _, series := range perBackend {
+		doc.Series = append(doc.Series, series...)
+	}
+	sort.Slice(doc.Series, func(i, j int) bool {
+		if doc.Series[i].Node != doc.Series[j].Node {
+			return doc.Series[i].Node < doc.Series[j].Node
+		}
+		return doc.Series[i].Metric < doc.Series[j].Metric
+	})
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
+	stream.ServeSSE(w, r, g.bus)
+}
+
 func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	obs.UpdateProcessGauges(g.reg)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := g.reg.WriteProm(w); err != nil {
 		fmt.Fprintf(w, "# write error: %v\n", err)

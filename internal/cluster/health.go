@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"demandrace/internal/obs"
+	"demandrace/internal/obs/stream"
 )
 
 // Health is a backend's observed state.
@@ -176,15 +177,30 @@ func (g *Gateway) ProbeNow(ctx context.Context) {
 			g.ring.Evict(b.Name)
 			g.log.Warn("backend evicted from ring", "backend", b.Name, "url", b.URL,
 				"consecutive_failures", fails, "error", errString(err))
+			g.publishRingChange(b, "evicted", now)
 		case !evict && h != HealthDown && prev == HealthDown:
 			g.ring.Readmit(b.Name)
 			g.log.Info("backend readmitted to ring", "backend", b.Name, "url", b.URL,
 				"health", now.String())
+			g.publishRingChange(b, "readmitted", now)
 		case h == HealthDegraded && prev == HealthOK:
 			g.log.Warn("backend degraded", "backend", b.Name, "url", b.URL)
+			g.publishRingChange(b, "degraded", now)
 		}
 	}
 	g.gRing.Set(int64(g.ring.Size()))
+}
+
+// publishRingChange emits one membership transition onto the event bus.
+func (g *Gateway) publishRingChange(b *backend, change string, h Health) {
+	g.bus.Publish(stream.Event{
+		Type: stream.TypeRingChange,
+		Detail: map[string]string{
+			"backend": b.Name,
+			"change":  change,
+			"health":  h.String(),
+		},
+	})
 }
 
 // probeLoop drives ProbeNow on the configured interval until Stop.

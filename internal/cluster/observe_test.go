@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"demandrace/internal/obs"
+	"demandrace/internal/obs/stream"
+	"demandrace/internal/obs/tracectx"
+	"demandrace/internal/service"
+)
+
+// TestStatsErrorsCountsHungBackends: a backend that never answers
+// /v1/stats costs its own row within StatsTimeout, never the document —
+// and the partial view is flagged.
+func TestStatsErrorsCountsHungBackends(t *testing.T) {
+	_, good := startBackend(t)
+	hung := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // hold every request until the client gives up
+	}))
+	defer hung.Close()
+
+	g, _ := newGateway(t, Config{
+		Backends: []Backend{
+			{Name: "good", URL: good.URL},
+			{Name: "hung", URL: hung.URL},
+		},
+		StatsTimeout: 50 * time.Millisecond,
+	})
+
+	start := time.Now()
+	cs := g.Stats(context.Background())
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("Stats took %v; the hung backend blocked the document", took)
+	}
+	if cs.StatsErrors != 1 {
+		t.Fatalf("stats_errors = %d, want 1", cs.StatsErrors)
+	}
+	byName := map[string]BackendStats{}
+	for _, b := range cs.Backends {
+		byName[b.Name] = b
+	}
+	if byName["good"].Stats == nil {
+		t.Fatal("reachable backend's stats row is empty")
+	}
+	if byName["hung"].Stats != nil {
+		t.Fatal("hung backend produced a stats row")
+	}
+
+	// The flag also reaches the HTTP document.
+	var doc struct {
+		StatsErrors *int `json:"stats_errors"`
+	}
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET /v1/stats: %v", err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding stats: %v", err)
+	}
+	if doc.StatsErrors == nil || *doc.StatsErrors != 1 {
+		t.Fatalf("serialized stats_errors = %v, want 1", doc.StatsErrors)
+	}
+}
+
+// TestGatewayJobTraceMergesTiers: the waterfall served by the gateway
+// carries both the gateway's forward span and the backend's stage spans,
+// on one timeline, under the submitter's trace ID.
+func TestGatewayJobTraceMergesTiers(t *testing.T) {
+	_, backendTS := startBackend(t)
+	g, cl := newGateway(t, Config{Backends: []Backend{{Name: "b0", URL: backendTS.URL}}})
+	_ = g
+
+	tc := tracectx.New()
+	ctx := tracectx.Into(context.Background(), tc)
+	st, err := cl.Submit(ctx, service.Request{Kernel: "racy_flag"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := cl.Wait(ctx, st.ID); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	data, err := cl.JobTrace(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("JobTrace: %v", err)
+	}
+	recs, extra, err := obs.DecodeSpanTrace(data)
+	if err != nil {
+		t.Fatalf("gateway trace undecodable: %v", err)
+	}
+	if extra["job_id"] != st.ID {
+		t.Fatalf("trace job_id = %q, want %q", extra["job_id"], st.ID)
+	}
+	if extra["trace_id"] != tc.TraceID() {
+		t.Fatalf("trace_id = %q, want the submitter's %q", extra["trace_id"], tc.TraceID())
+	}
+	tracks := map[string]bool{}
+	names := map[string]bool{}
+	for _, r := range recs {
+		tracks[r.Track] = true
+		names[r.Name] = true
+	}
+	if !tracks["ddgate"] || !tracks["ddserved"] {
+		t.Fatalf("merged tracks = %v, want both tiers", tracks)
+	}
+	for _, want := range []string{"forward", "queue_wait", "analysis", "render"} {
+		if !names[want] {
+			t.Errorf("merged waterfall missing %q (have %v)", want, names)
+		}
+	}
+
+	if _, err := cl.JobTrace(ctx, "nosuch:j-1"); err == nil {
+		t.Fatal("JobTrace for an unknown backend did not error")
+	}
+}
+
+// TestGatewayTimeseriesAggregatesFleet: the gateway document contains its
+// own series plus every backend's, attributed per node.
+func TestGatewayTimeseriesAggregatesFleet(t *testing.T) {
+	svc := service.NewServer(service.Config{Workers: 1, Node: "b0", TSInterval: 10 * time.Millisecond})
+	svc.Start()
+	backendTS := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		backendTS.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		svc.Shutdown(ctx)
+	})
+
+	g, _ := newGateway(t, Config{
+		Backends:     []Backend{{Name: "b0", URL: backendTS.URL}},
+		TSInterval:   10 * time.Millisecond,
+		StatsTimeout: 2 * time.Second,
+	})
+	g.Start()
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var doc struct {
+			Node   string `json:"node"`
+			Series []struct {
+				Node string `json:"node"`
+			} `json:"series"`
+		}
+		resp, err := http.Get(ts.URL + "/v1/timeseries")
+		if err != nil {
+			t.Fatalf("GET /v1/timeseries: %v", err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatalf("decoding timeseries: %v", err)
+		}
+		resp.Body.Close()
+		if doc.Node != "ddgate" {
+			t.Fatalf("doc node = %q", doc.Node)
+		}
+		nodes := map[string]bool{}
+		for _, s := range doc.Series {
+			nodes[s.Node] = true
+		}
+		if nodes["ddgate"] && nodes["b0"] {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet document never aggregated both nodes: %v", nodes)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestGatewayEventStreamTailsBackends: a single subscription at the
+// gateway sees backend job events, re-namespaced into gateway job IDs.
+func TestGatewayEventStreamTailsBackends(t *testing.T) {
+	_, backendTS := startBackend(t)
+	g, cl := newGateway(t, Config{Backends: []Backend{{Name: "b0", URL: backendTS.URL}}})
+	g.Start()
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/events")
+	if err != nil {
+		t.Fatalf("GET /v1/events: %v", err)
+	}
+	defer resp.Body.Close()
+	dec := stream.NewDecoder(resp.Body)
+	hello, err := dec.Next()
+	if err != nil || hello.Type != stream.TypeHello {
+		t.Fatalf("hello = %+v, %v", hello, err)
+	}
+
+	// The tailer connects asynchronously; keep submitting fresh jobs until
+	// one's lifecycle reaches the gateway bus.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for seed := int64(1); ; seed++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			cl.Submit(ctx, service.Request{Kernel: "racy_flag", Seed: seed})
+			cancel()
+		}
+	}()
+
+	deadline := time.After(10 * time.Second)
+	got := make(chan stream.Event, 1)
+	go func() {
+		for {
+			ev, err := dec.Next()
+			if err != nil {
+				return
+			}
+			if ev.Type == stream.TypeJobQueued || ev.Type == stream.TypeJobDone {
+				select {
+				case got <- ev:
+				default:
+				}
+				return
+			}
+		}
+	}()
+	select {
+	case ev := <-got:
+		if name, _, ok := splitJobID(ev.Job); !ok || name != "b0" {
+			t.Fatalf("tailed event job = %q, want b0-namespaced ID", ev.Job)
+		}
+		if ev.Node != "ddserved" {
+			t.Fatalf("tailed event node = %q, want the backend's", ev.Node)
+		}
+	case <-deadline:
+		t.Fatal("no backend job event reached the gateway stream in 10s")
+	}
+}

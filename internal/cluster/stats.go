@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"demandrace/internal/obs"
@@ -40,22 +41,23 @@ type BackendStats struct {
 
 // ClusterStats is ddgate's GET /v1/stats document. Jobs sums the job
 // lifecycle counters across every reachable backend — a cluster total —
-// while Backends keeps the per-node breakdown.
+// while Backends keeps the per-node breakdown. StatsErrors counts the
+// backends whose /v1/stats fetch failed or timed out this aggregation:
+// non-zero means the document is a partial view, not a fleet total.
 type ClusterStats struct {
 	Node          string           `json:"node"`
 	UptimeSeconds float64          `json:"uptime_seconds"`
 	Ring          RingStats        `json:"ring"`
 	Gateway       GatewayCounters  `json:"gateway"`
 	Jobs          service.JobStats `json:"jobs"`
+	StatsErrors   int              `json:"stats_errors"`
 	Backends      []BackendStats   `json:"backends"`
 }
 
-// statsProbeTimeout bounds each backend stats fetch; a hung backend must
-// not hold the whole document hostage.
-const statsProbeTimeout = 2 * time.Second
-
 // Stats assembles the aggregated operational snapshot: gateway-local
-// counters plus a concurrent fan-out to every backend's /v1/stats.
+// counters plus a concurrent fan-out to every backend's /v1/stats, each
+// fetch bounded by Config.StatsTimeout so one hung backend costs its own
+// row, never the whole document.
 func (g *Gateway) Stats(ctx context.Context) ClusterStats {
 	cs := ClusterStats{
 		Node:          g.cfg.Node,
@@ -76,7 +78,10 @@ func (g *Gateway) Stats(ctx context.Context) ClusterStats {
 		Backends: make([]BackendStats, len(g.backends)),
 	}
 
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		errCount atomic.Int64
+	)
 	for i, b := range g.backends {
 		cs.Backends[i] = BackendStats{
 			Name:      b.Name,
@@ -87,11 +92,12 @@ func (g *Gateway) Stats(ctx context.Context) ClusterStats {
 		wg.Add(1)
 		go func(i int, b *backend) {
 			defer wg.Done()
-			sctx, cancel := context.WithTimeout(ctx, statsProbeTimeout)
+			sctx, cancel := context.WithTimeout(ctx, g.cfg.StatsTimeout)
 			defer cancel()
 			cl := &service.Client{BaseURL: b.URL, HTTPClient: g.client}
 			sum, err := cl.Stats(sctx)
 			if err != nil {
+				errCount.Add(1)
 				g.log.Debug("backend stats unavailable", "backend", b.Name, "error", err.Error())
 				return
 			}
@@ -99,6 +105,7 @@ func (g *Gateway) Stats(ctx context.Context) ClusterStats {
 		}(i, b)
 	}
 	wg.Wait()
+	cs.StatsErrors = int(errCount.Load())
 
 	for _, bs := range cs.Backends {
 		if bs.Stats == nil {

@@ -1,0 +1,83 @@
+package obs
+
+import "testing"
+
+// Quantile edge cases: the estimator must stay sane at the boundaries the
+// tsdb sampler hits every tick — empty histograms, a single observation,
+// and degenerate all-equal distributions.
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := NewRegistry().Histogram("empty", []float64{1, 2, 4})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.5) != 0 || nilH.Count() != 0 {
+		t.Error("nil histogram is not a no-op")
+	}
+}
+
+func TestQuantileSingleSample(t *testing.T) {
+	h := NewRegistry().Histogram("single", []float64{1, 2, 4})
+	h.Observe(1.5)
+	// One sample in (1, 2]: every quantile must interpolate inside that
+	// bucket, and the extremes must hit its edges.
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %v, want bucket floor 1", got)
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Errorf("Quantile(1) = %v, want bucket ceiling 2", got)
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		if got < 1 || got > 2 {
+			t.Errorf("Quantile(%v) = %v, escaped the sample's bucket (1, 2]", q, got)
+		}
+	}
+	// Out-of-range q clamps rather than extrapolating.
+	if h.Quantile(-3) != h.Quantile(0) || h.Quantile(7) != h.Quantile(1) {
+		t.Error("out-of-range quantiles did not clamp")
+	}
+}
+
+func TestQuantileAllEqualSamples(t *testing.T) {
+	h := NewRegistry().Histogram("equal", []float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(3)
+	}
+	// All mass in (2, 4]: the median interpolates to exactly the midpoint,
+	// and no quantile may leave the bucket.
+	if got := h.Quantile(0.5); got != 3 {
+		t.Errorf("Quantile(0.5) = %v, want 3", got)
+	}
+	prev := 0.0
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		if got < 2 || got > 4 {
+			t.Errorf("Quantile(%v) = %v, escaped bucket (2, 4]", q, got)
+		}
+		if got < prev {
+			t.Errorf("Quantile(%v) = %v, not monotonic (prev %v)", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestQuantileOverflowClampsToTopBound(t *testing.T) {
+	h := NewRegistry().Histogram("overflow", []float64{1, 2, 4})
+	h.Observe(1000) // +Inf bucket
+	if got := h.Quantile(0.99); got != 4 {
+		t.Errorf("Quantile in +Inf bucket = %v, want top finite bound 4", got)
+	}
+}
+
+func TestQuantileNoFiniteBoundsFallsBackToMean(t *testing.T) {
+	h := NewRegistry().Histogram("unbounded", nil)
+	h.Observe(2)
+	h.Observe(4)
+	if got := h.Quantile(0.5); got != 3 {
+		t.Errorf("bound-less Quantile = %v, want mean 3", got)
+	}
+}

@@ -270,6 +270,56 @@ func (r *Registry) Merge(o *Registry) {
 	}
 }
 
+// HistogramSnapshot condenses one histogram into the numbers a
+// time-series sampler keeps per tick: the running count/sum and the
+// bucket-interpolated quantiles an operator plots.
+type HistogramSnapshot struct {
+	Count         uint64
+	Sum           float64
+	P50, P90, P99 float64
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry, the
+// input one internal/obs/tsdb tick works from.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies the registry's current values. The copy is not an
+// atomic cut across metrics — counters keep moving while it is taken —
+// which is fine for its consumer: trend sampling, not invariant checking.
+// Nil-safe (returns empty maps).
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = HistogramSnapshot{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	return s
+}
+
 // CounterValue returns the named counter's value without creating it.
 // Nil-safe.
 func (r *Registry) CounterValue(name string) uint64 {

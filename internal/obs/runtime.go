@@ -1,0 +1,38 @@
+package obs
+
+import "runtime"
+
+// Process-level runtime gauge names, published by every server binary so
+// fleet dashboards can watch goroutine counts, heap pressure, and GC cost
+// next to the service metrics. The ddrace_ prefix (not ddserved_/ddgate_)
+// is deliberate: the numbers describe the process, not a service tier,
+// and every binary spells them the same way.
+const (
+	// ProcGoroutines is the current goroutine count.
+	ProcGoroutines = "ddrace_process_goroutines"
+	// ProcHeapBytes is the live heap (runtime.MemStats.HeapAlloc).
+	ProcHeapBytes = "ddrace_process_heap_bytes"
+	// ProcHeapObjects is the live object count.
+	ProcHeapObjects = "ddrace_process_heap_objects"
+	// ProcGCPauseTotalNS is the cumulative stop-the-world pause time.
+	ProcGCPauseTotalNS = "ddrace_process_gc_pause_ns_total"
+	// ProcGCCycles is the completed GC cycle count.
+	ProcGCCycles = "ddrace_process_gc_cycles_total"
+)
+
+// UpdateProcessGauges refreshes the process-level runtime gauges in reg.
+// Call it at observation points — a /metrics scrape, a time-series tick —
+// rather than on a dedicated timer: runtime.ReadMemStats is a brief
+// stop-the-world, so it should run when someone is looking. Nil-safe.
+func UpdateProcessGauges(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge(ProcGoroutines).Set(int64(runtime.NumGoroutine()))
+	reg.Gauge(ProcHeapBytes).Set(int64(ms.HeapAlloc))
+	reg.Gauge(ProcHeapObjects).Set(int64(ms.HeapObjects))
+	reg.Gauge(ProcGCPauseTotalNS).Set(int64(ms.PauseTotalNs))
+	reg.Gauge(ProcGCCycles).Set(int64(ms.NumGC))
+}

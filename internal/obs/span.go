@@ -30,6 +30,7 @@ type TimedSpan struct {
 	mu    sync.Mutex
 	attrs []SpanAttr
 	hists []*Histogram
+	rec   *SpanRecorder
 	ended bool
 	dur   time.Duration
 }
@@ -44,10 +45,38 @@ type spanKey struct{}
 
 // StartSpan begins a span named name, parented to the span in ctx (if any),
 // and returns a derived context carrying the new span. The clock starts
-// immediately.
+// immediately. The new span inherits its parent's recorder, so attaching a
+// recorder to a job's root span (RecordInto) captures the whole subtree
+// without any deeper layer knowing recording exists.
 func StartSpan(ctx context.Context, name string) (context.Context, *TimedSpan) {
-	s := &TimedSpan{name: name, parent: SpanFrom(ctx), start: time.Now()}
+	parent := SpanFrom(ctx)
+	s := &TimedSpan{name: name, parent: parent, start: time.Now()}
+	if parent != nil {
+		parent.mu.Lock()
+		s.rec = parent.rec
+		parent.mu.Unlock()
+	}
 	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// WithSpan returns a derived context carrying s as the active span, so a
+// span created in one request's scope (a job's root span, made at
+// admission) can parent the spans of work executed later on a worker
+// goroutine.
+func WithSpan(ctx context.Context, s *TimedSpan) context.Context {
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// RecordInto attaches a recorder: when this span (and any span started
+// under it after this call) ends, a SpanRecord lands in r. Nil-safe on
+// both sides.
+func (s *TimedSpan) RecordInto(r *SpanRecorder) {
+	if s == nil || r == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rec = r
 }
 
 // SpanFrom returns the span carried by ctx, or nil.
@@ -136,12 +165,18 @@ func (s *TimedSpan) End() time.Duration {
 	s.ended = true
 	s.dur = time.Since(s.start)
 	hists := s.hists
+	rec := s.rec
 	d := s.dur
+	var attrs []SpanAttr
+	if rec != nil {
+		attrs = append(attrs, s.attrs...)
+	}
 	s.mu.Unlock()
 	ms := float64(d) / float64(time.Millisecond)
 	for _, h := range hists {
 		h.Observe(ms)
 	}
+	rec.Add(SpanRecord{Name: s.name, Start: s.start, Dur: d, Attrs: attrs})
 	return d
 }
 

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one completed wall-clock span, as persisted by a
+// SpanRecorder: what ran, when it started, how long it took, and the
+// attributes it carried. Track names the process (or tier) the span ran
+// in — "ddserved", "ddgate" — so a merged cross-process waterfall keeps
+// each hop on its own row.
+type SpanRecord struct {
+	Track string
+	Name  string
+	Start time.Time
+	Dur   time.Duration
+	Attrs []SpanAttr
+}
+
+// SpanRecorder collects the completed spans of one unit of work (one job)
+// so the tree outlives the request that produced it and can be served
+// later as a trace waterfall. It is bounded: past cap, new records are
+// dropped and counted, so a pathological job cannot grow memory without
+// limit. A nil *SpanRecorder is a valid no-op receiver, matching the
+// package's conventions — recording is attached where wanted and free
+// everywhere else.
+type SpanRecorder struct {
+	track string
+	cap   int
+
+	mu      sync.Mutex
+	recs    []SpanRecord
+	dropped int
+}
+
+// DefaultSpanRecorderCap bounds a job's recorded spans. A job's tree is a
+// handful of stages; 256 leaves generous room for retries and per-stage
+// detail while keeping the worst case small.
+const DefaultSpanRecorderCap = 256
+
+// NewSpanRecorder builds a recorder whose records carry track as their
+// Track. capacity <= 0 takes DefaultSpanRecorderCap.
+func NewSpanRecorder(track string, capacity int) *SpanRecorder {
+	if capacity <= 0 {
+		capacity = DefaultSpanRecorderCap
+	}
+	return &SpanRecorder{track: track, cap: capacity}
+}
+
+// Track returns the recorder's track name. Nil-safe.
+func (r *SpanRecorder) Track() string {
+	if r == nil {
+		return ""
+	}
+	return r.track
+}
+
+// Add appends one completed span, stamping the recorder's track when the
+// record names none. Past capacity the record is dropped (and counted) —
+// early spans are the skeleton of the waterfall, so oldest-kept is the
+// right bound here. Nil-safe.
+func (r *SpanRecorder) Add(rec SpanRecord) {
+	if r == nil {
+		return
+	}
+	if rec.Track == "" {
+		rec.Track = r.track
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.recs) >= r.cap {
+		r.dropped++
+		return
+	}
+	r.recs = append(r.recs, rec)
+}
+
+// Records returns a copy of the recorded spans, in completion order.
+// Nil-safe.
+func (r *SpanRecorder) Records() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanRecord(nil), r.recs...)
+}
+
+// Dropped returns how many records the capacity bound discarded. Nil-safe.
+func (r *SpanRecorder) Dropped() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// baseUnixUSKey is the otherData key carrying the absolute wall-clock
+// instant (microseconds since the Unix epoch) that a span trace's ts=0
+// corresponds to. It is what lets a gateway merge its own spans with a
+// backend's: both documents re-base onto one shared timeline.
+const baseUnixUSKey = "base_unix_us"
+
+// EncodeSpanTrace renders wall-clock span records as a Chrome trace-event
+// JSON document (loadable in Perfetto or chrome://tracing). Every record
+// becomes a complete ("X") slice; tracks map onto viewer rows, labeled
+// via thread_name metadata, with rows ordered by each track's earliest
+// span so the document reads top-to-bottom in causal order (client edge
+// first, backend stages below). Timestamps are microseconds relative to
+// the earliest span; the absolute base lands in otherData so documents
+// from different processes can be merged onto one timeline (see
+// DecodeSpanTrace).
+//
+// Unlike WriteChromeTrace — which renders the simulator's deterministic
+// cycle-stamped telemetry — this export is wall-clock by design: it
+// describes service time, not simulated time, and its bytes are not
+// expected to be reproducible.
+func EncodeSpanTrace(label string, recs []SpanRecord, extra map[string]string) ([]byte, error) {
+	doc := chromeTrace{
+		OtherData: map[string]string{"label": label},
+	}
+	for k, v := range extra {
+		doc.OtherData[k] = v
+	}
+	if len(recs) == 0 {
+		doc.TraceEvents = []chromeEvent{}
+		return json.Marshal(doc)
+	}
+
+	base := recs[0].Start
+	trackFirst := make(map[string]time.Time)
+	for _, rec := range recs {
+		if rec.Start.Before(base) {
+			base = rec.Start
+		}
+		if first, ok := trackFirst[rec.Track]; !ok || rec.Start.Before(first) {
+			trackFirst[rec.Track] = rec.Start
+		}
+	}
+	doc.OtherData[baseUnixUSKey] = strconv.FormatInt(base.UnixMicro(), 10)
+
+	// Row order: earliest-starting track first, name as tiebreak.
+	tracks := make([]string, 0, len(trackFirst))
+	for tr := range trackFirst {
+		tracks = append(tracks, tr)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		ti, tj := trackFirst[tracks[i]], trackFirst[tracks[j]]
+		if !ti.Equal(tj) {
+			return ti.Before(tj)
+		}
+		return tracks[i] < tracks[j]
+	})
+	tid := make(map[string]int, len(tracks))
+	for i, tr := range tracks {
+		tid[tr] = i
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: i,
+			Args: map[string]string{"name": tr},
+		})
+	}
+	for _, rec := range recs {
+		ce := chromeEvent{
+			Name: rec.Name, Cat: "span", Phase: "X",
+			TS:  uint64(rec.Start.Sub(base) / time.Microsecond),
+			Dur: uint64(rec.Dur / time.Microsecond),
+			PID: 1, TID: tid[rec.Track],
+		}
+		if len(rec.Attrs) > 0 {
+			ce.Args = make(map[string]string, len(rec.Attrs))
+			for _, a := range rec.Attrs {
+				ce.Args[a.Key] = a.Value
+			}
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ce)
+	}
+	return json.Marshal(doc)
+}
+
+// DecodeSpanTrace parses a document produced by EncodeSpanTrace back into
+// absolute-time span records plus the document's otherData. Metadata
+// events reconstruct the track names; the base_unix_us key reconstructs
+// absolute time, so records decoded from two processes' documents can be
+// concatenated and re-encoded onto one shared timeline — which is exactly
+// how ddgate prepends its forwarding spans to a backend's job waterfall.
+func DecodeSpanTrace(data []byte) ([]SpanRecord, map[string]string, error) {
+	var doc chromeTrace
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, nil, fmt.Errorf("obs: decoding span trace: %w", err)
+	}
+	var baseUS int64
+	if v, ok := doc.OtherData[baseUnixUSKey]; ok {
+		var err error
+		if baseUS, err = strconv.ParseInt(v, 10, 64); err != nil {
+			return nil, nil, fmt.Errorf("obs: span trace %s %q: %w", baseUnixUSKey, v, err)
+		}
+	}
+	base := time.UnixMicro(baseUS)
+
+	trackName := make(map[int]string)
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "M" && ev.Name == "thread_name" {
+			trackName[ev.TID] = ev.Args["name"]
+		}
+	}
+	var recs []SpanRecord
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase != "X" {
+			continue
+		}
+		rec := SpanRecord{
+			Track: trackName[ev.TID],
+			Name:  ev.Name,
+			Start: base.Add(time.Duration(ev.TS) * time.Microsecond),
+			Dur:   time.Duration(ev.Dur) * time.Microsecond,
+		}
+		if rec.Track == "" {
+			rec.Track = "track-" + strconv.Itoa(ev.TID)
+		}
+		if len(ev.Args) > 0 {
+			keys := make([]string, 0, len(ev.Args))
+			for k := range ev.Args {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				rec.Attrs = append(rec.Attrs, SpanAttr{Key: k, Value: ev.Args[k]})
+			}
+		}
+		recs = append(recs, rec)
+	}
+	return recs, doc.OtherData, nil
+}
+
+// WriteSpanTrace is EncodeSpanTrace straight to a writer.
+func WriteSpanTrace(w io.Writer, label string, recs []SpanRecord, extra map[string]string) error {
+	data, err := EncodeSpanTrace(label, recs, extra)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}

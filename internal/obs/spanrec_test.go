@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanRecorderBoundsAndDrops(t *testing.T) {
+	r := NewSpanRecorder("node-a", 3)
+	for i := 0; i < 5; i++ {
+		r.Add(SpanRecord{Name: "s", Start: time.Unix(100+int64(i), 0)})
+	}
+	if got := len(r.Records()); got != 3 {
+		t.Fatalf("records = %d, want capacity 3", got)
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", r.Dropped())
+	}
+	// Oldest-kept: the skeleton spans survive, the overflow is what drops.
+	if first := r.Records()[0].Start; !first.Equal(time.Unix(100, 0)) {
+		t.Fatalf("first record start = %v, want the earliest add", first)
+	}
+	if tr := r.Records()[0].Track; tr != "node-a" {
+		t.Fatalf("record track = %q, want recorder default", tr)
+	}
+}
+
+func TestSpanRecorderNilSafe(t *testing.T) {
+	var r *SpanRecorder
+	r.Add(SpanRecord{Name: "x"})
+	if r.Records() != nil || r.Dropped() != 0 || r.Track() != "" {
+		t.Fatal("nil recorder is not a no-op")
+	}
+}
+
+func TestEncodeDecodeSpanTraceRoundtrip(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	in := []SpanRecord{
+		{Track: "ddgate", Name: "forward", Start: base, Dur: 40 * time.Millisecond,
+			Attrs: []SpanAttr{{Key: "backend", Value: "b0"}, {Key: "status", Value: "202"}}},
+		{Track: "node-0", Name: "queue_wait", Start: base.Add(5 * time.Millisecond), Dur: 2 * time.Millisecond},
+		{Track: "node-0", Name: "analysis", Start: base.Add(7 * time.Millisecond), Dur: 30 * time.Millisecond},
+	}
+	data, err := EncodeSpanTrace("job j-1", in, map[string]string{"job_id": "j-1"})
+	if err != nil {
+		t.Fatalf("EncodeSpanTrace: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"]; !ok {
+		t.Fatalf("document has no traceEvents key: %s", data)
+	}
+
+	out, extra, err := DecodeSpanTrace(data)
+	if err != nil {
+		t.Fatalf("DecodeSpanTrace: %v", err)
+	}
+	if extra["job_id"] != "j-1" || extra["label"] != "job j-1" {
+		t.Fatalf("otherData lost: %v", extra)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d records, want %d", len(out), len(in))
+	}
+	byName := make(map[string]SpanRecord, len(out))
+	for _, r := range out {
+		byName[r.Name] = r
+	}
+	fwd := byName["forward"]
+	if fwd.Track != "ddgate" || fwd.Dur != 40*time.Millisecond || !fwd.Start.Equal(base) {
+		t.Fatalf("forward record mangled: %+v", fwd)
+	}
+	if len(fwd.Attrs) != 2 || fwd.Attrs[0].Key != "backend" || fwd.Attrs[0].Value != "b0" {
+		t.Fatalf("forward attrs mangled: %+v", fwd.Attrs)
+	}
+	an := byName["analysis"]
+	if an.Track != "node-0" || !an.Start.Equal(base.Add(7*time.Millisecond)) {
+		t.Fatalf("analysis record mangled: %+v", an)
+	}
+}
+
+// TestSpanTraceMergeAcrossProcesses is the gateway scenario: decode a
+// backend's document, prepend local records, re-encode — everything must
+// land on one absolute timeline.
+func TestSpanTraceMergeAcrossProcesses(t *testing.T) {
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	backendDoc, err := EncodeSpanTrace("job j-1", []SpanRecord{
+		{Track: "node-0", Name: "analysis", Start: base.Add(10 * time.Millisecond), Dur: 20 * time.Millisecond},
+	}, nil)
+	if err != nil {
+		t.Fatalf("encode backend: %v", err)
+	}
+	backendRecs, _, err := DecodeSpanTrace(backendDoc)
+	if err != nil {
+		t.Fatalf("decode backend: %v", err)
+	}
+	gw := []SpanRecord{{Track: "ddgate", Name: "forward", Start: base, Dur: 35 * time.Millisecond}}
+	merged, err := EncodeSpanTrace("job b0:j-1", append(gw, backendRecs...), nil)
+	if err != nil {
+		t.Fatalf("encode merged: %v", err)
+	}
+	recs, _, err := DecodeSpanTrace(merged)
+	if err != nil {
+		t.Fatalf("decode merged: %v", err)
+	}
+	var fwd, an SpanRecord
+	for _, r := range recs {
+		switch r.Name {
+		case "forward":
+			fwd = r
+		case "analysis":
+			an = r
+		}
+	}
+	if got := an.Start.Sub(fwd.Start); got != 10*time.Millisecond {
+		t.Fatalf("merged timeline offset = %v, want 10ms", got)
+	}
+	if fwd.Track != "ddgate" || an.Track != "node-0" {
+		t.Fatalf("merged tracks = %q/%q", fwd.Track, an.Track)
+	}
+}
+
+func TestEncodeSpanTraceEmpty(t *testing.T) {
+	data, err := EncodeSpanTrace("empty", nil, nil)
+	if err != nil {
+		t.Fatalf("EncodeSpanTrace(empty): %v", err)
+	}
+	recs, _, err := DecodeSpanTrace(data)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty roundtrip: %v records, err %v", recs, err)
+	}
+}
+
+// TestSpanRecorderInheritance: attaching a recorder to a root span must
+// capture spans started under it later, including on other goroutines via
+// WithSpan — the exact shape of job admission + worker execution.
+func TestSpanRecorderInheritance(t *testing.T) {
+	rec := NewSpanRecorder("svc", 0)
+	ctx, root := StartSpan(context.Background(), "job")
+	root.RecordInto(rec)
+
+	_, child := StartSpan(ctx, "cache_lookup")
+	child.End()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wctx := WithSpan(context.Background(), root)
+		_, s := StartSpan(wctx, "analysis")
+		s.SetAttr("kernel", "racy_flag")
+		s.End()
+	}()
+	<-done
+	root.End()
+
+	recs := rec.Records()
+	if len(recs) != 3 {
+		t.Fatalf("recorded %d spans, want 3: %+v", len(recs), recs)
+	}
+	names := map[string]bool{}
+	for _, r := range recs {
+		names[r.Name] = true
+		if r.Track != "svc" {
+			t.Errorf("span %q track = %q, want svc", r.Name, r.Track)
+		}
+	}
+	for _, want := range []string{"job", "cache_lookup", "analysis"} {
+		if !names[want] {
+			t.Errorf("span %q not recorded", want)
+		}
+	}
+}
+
+// TestTimedSpanConcurrentAttrAndEnd hammers SetAttr/ObserveInto/End from
+// racing goroutines; the -race build is the assertion.
+func TestTimedSpanConcurrentAttrAndEnd(t *testing.T) {
+	rec := NewSpanRecorder("svc", 0)
+	for i := 0; i < 50; i++ {
+		ctx, s := StartSpan(context.Background(), "contended")
+		s.RecordInto(rec)
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				s.SetAttr("k", "v")
+				_, c := StartSpan(ctx, "child")
+				c.End()
+				s.End()
+				_ = s.Duration()
+				_ = s.Attrs()
+			}(w)
+		}
+		wg.Wait()
+		if d := s.End(); d != s.End() {
+			t.Fatal("End is not idempotent")
+		}
+	}
+}

@@ -1,0 +1,336 @@
+// Package stream is the live event layer: a small publish/subscribe bus
+// for operational events (job lifecycle, cache activity, ring membership)
+// served over Server-Sent Events at GET /v1/events.
+//
+// The design constraint that shapes everything here is that a slow
+// subscriber must never block the worker pool. Publish is non-blocking by
+// construction: each subscriber owns a bounded ring buffer; when a
+// subscriber falls behind, its oldest undelivered events are dropped and
+// counted, and the subscriber can see the gap in the event sequence
+// numbers. The bus never applies backpressure to publishers — operational
+// visibility rides along with the service, it does not steer it.
+package stream
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event types published by the service and cluster tiers.
+const (
+	// TypeJobQueued fires when a job is admitted to the queue.
+	TypeJobQueued = "job_queued"
+	// TypeJobStarted fires when a worker picks the job up.
+	TypeJobStarted = "job_started"
+	// TypeJobDone fires when a job completes (Detail carries the state).
+	TypeJobDone = "job_done"
+	// TypeCacheHit fires when a submit is served from the result cache.
+	TypeCacheHit = "cache_hit"
+	// TypeRingChange fires when a gateway marks a backend up or down.
+	TypeRingChange = "ring_change"
+	// TypeHello is the first event on every subscription, so a tail shows
+	// who it is connected to before any job activity happens.
+	TypeHello = "hello"
+)
+
+// Event is one operational occurrence, JSON-encoded on the wire.
+type Event struct {
+	// Seq is the bus-assigned sequence number, strictly increasing per
+	// publishing process. Gaps visible to a subscriber mean drops.
+	Seq uint64 `json:"seq"`
+	// UnixMS is the publish time in milliseconds.
+	UnixMS int64 `json:"t"`
+	// Type is one of the Type* constants.
+	Type string `json:"type"`
+	// Node names the publishing process.
+	Node string `json:"node,omitempty"`
+	// Job is the job ID the event concerns, if any.
+	Job string `json:"job,omitempty"`
+	// Trace is the trace ID of the request that caused the event, if any.
+	Trace string `json:"trace,omitempty"`
+	// Detail carries event-specific fields (state, backend, health, ...).
+	Detail map[string]string `json:"detail,omitempty"`
+}
+
+// DefaultSubBuffer bounds each subscriber's undelivered-event ring.
+const DefaultSubBuffer = 256
+
+// Sub is one subscription: a bounded drop-oldest ring the bus writes into
+// and the subscriber drains via Next.
+type Sub struct {
+	bus *Bus
+
+	mu      sync.Mutex
+	buf     []Event
+	head    int
+	n       int
+	dropped uint64
+	closed  bool
+
+	// wake has capacity 1: publish does a non-blocking send, Next drains.
+	wake chan struct{}
+}
+
+// push appends ev, evicting the oldest buffered event when full. Never
+// blocks.
+func (s *Sub) push(ev Event) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if s.n == len(s.buf) {
+		s.head = (s.head + 1) % len(s.buf)
+		s.n--
+		s.dropped++
+	}
+	s.buf[(s.head+s.n)%len(s.buf)] = ev
+	s.n++
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Next returns the oldest undelivered event, blocking until one arrives,
+// ctx is done, or the subscription is closed. The boolean is false when
+// no more events will come.
+func (s *Sub) Next(ctx context.Context) (Event, bool) {
+	for {
+		s.mu.Lock()
+		if s.n > 0 {
+			ev := s.buf[s.head]
+			s.head = (s.head + 1) % len(s.buf)
+			s.n--
+			s.mu.Unlock()
+			return ev, true
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return Event{}, false
+		}
+		select {
+		case <-s.wake:
+		case <-ctx.Done():
+			return Event{}, false
+		}
+	}
+}
+
+// Dropped returns how many events this subscriber lost to the buffer
+// bound.
+func (s *Sub) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Close detaches the subscription from the bus. Idempotent.
+func (s *Sub) Close() {
+	s.bus.unsubscribe(s)
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Bus fans events out to subscribers. A nil *Bus is a valid no-op
+// publisher, so event publication can be wired unconditionally.
+type Bus struct {
+	node string
+
+	mu   sync.Mutex
+	seq  uint64
+	subs map[*Sub]struct{}
+}
+
+// NewBus builds a bus whose events carry node as their origin.
+func NewBus(node string) *Bus {
+	return &Bus{node: node, subs: make(map[*Sub]struct{})}
+}
+
+// Publish stamps ev (sequence, time, node) and delivers it to every
+// subscriber without blocking. Nil-safe.
+func (b *Bus) Publish(ev Event) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.seq++
+	ev.Seq = b.seq
+	if ev.UnixMS == 0 {
+		ev.UnixMS = time.Now().UnixMilli()
+	}
+	if ev.Node == "" {
+		ev.Node = b.node
+	}
+	subs := make([]*Sub, 0, len(b.subs))
+	for s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.push(ev)
+	}
+}
+
+// Subscribe attaches a new subscriber with a ring of the given size
+// (<= 0 takes DefaultSubBuffer). Returns nil on a nil bus.
+func (b *Bus) Subscribe(buffer int) *Sub {
+	if b == nil {
+		return nil
+	}
+	if buffer <= 0 {
+		buffer = DefaultSubBuffer
+	}
+	s := &Sub{
+		bus:  b,
+		buf:  make([]Event, buffer),
+		wake: make(chan struct{}, 1),
+	}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+func (b *Bus) unsubscribe(s *Sub) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	delete(b.subs, s)
+	b.mu.Unlock()
+}
+
+// Subscribers returns the current subscriber count. Nil-safe.
+func (b *Bus) Subscribers() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// keepalive is how often the SSE handler emits a comment line when no
+// events flow, so idle connections are detected and proxies keep the
+// stream open.
+const keepalive = 15 * time.Second
+
+// ServeSSE streams the bus over w as Server-Sent Events until the request
+// context ends. The first event is a hello carrying the node name; after
+// that, every published event becomes an `event:`/`data:` block. Slow
+// readers lose oldest events (never service throughput).
+func ServeSSE(w http.ResponseWriter, r *http.Request, b *Bus) {
+	if b == nil {
+		http.Error(w, "event stream unavailable", http.StatusNotFound)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	sub := b.Subscribe(0)
+	defer sub.Close()
+
+	hello := Event{
+		UnixMS: time.Now().UnixMilli(),
+		Type:   TypeHello,
+		Node:   b.node,
+	}
+	if err := writeSSE(w, hello); err != nil {
+		return
+	}
+	fl.Flush()
+
+	ctx := r.Context()
+	for {
+		next, cancel := context.WithTimeout(ctx, keepalive)
+		ev, ok := sub.Next(next)
+		cancel()
+		if !ok {
+			if ctx.Err() != nil {
+				return
+			}
+			// Keepalive window elapsed with no events: emit a comment so
+			// the connection stays demonstrably alive.
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+			continue
+		}
+		if err := writeSSE(w, ev); err != nil {
+			return
+		}
+		fl.Flush()
+	}
+}
+
+// writeSSE renders one event as an SSE block.
+func writeSSE(w io.Writer, ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+	return err
+}
+
+// Decoder reads Server-Sent Events produced by ServeSSE back into Events —
+// the client half used by `ddrace -watch` and by a gateway tailing its
+// backends.
+type Decoder struct {
+	r *bufio.Reader
+}
+
+// NewDecoder wraps r for event decoding.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{r: bufio.NewReader(r)}
+}
+
+// Next returns the next event, skipping comments and blank lines. io.EOF
+// signals a cleanly closed stream.
+func (d *Decoder) Next() (Event, error) {
+	var data string
+	for {
+		line, err := d.r.ReadString('\n')
+		if err != nil {
+			return Event{}, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		case line == "" && data != "":
+			var ev Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				return Event{}, fmt.Errorf("stream: decoding event: %w", err)
+			}
+			return ev, nil
+		}
+	}
+}

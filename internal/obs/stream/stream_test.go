@@ -1,0 +1,149 @@
+package stream
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPublishSubscribe(t *testing.T) {
+	b := NewBus("n0")
+	sub := b.Subscribe(0)
+	defer sub.Close()
+
+	b.Publish(Event{Type: TypeJobQueued, Job: "j-1", Trace: "abc"})
+	b.Publish(Event{Type: TypeJobDone, Job: "j-1", Detail: map[string]string{"state": "done"}})
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	ev, ok := sub.Next(ctx)
+	if !ok || ev.Type != TypeJobQueued || ev.Job != "j-1" || ev.Trace != "abc" {
+		t.Fatalf("first event = %+v, %v", ev, ok)
+	}
+	if ev.Seq == 0 || ev.UnixMS == 0 || ev.Node != "n0" {
+		t.Fatalf("bus did not stamp the event: %+v", ev)
+	}
+	ev2, ok := sub.Next(ctx)
+	if !ok || ev2.Type != TypeJobDone || ev2.Detail["state"] != "done" {
+		t.Fatalf("second event = %+v, %v", ev2, ok)
+	}
+	if ev2.Seq != ev.Seq+1 {
+		t.Fatalf("sequence not contiguous: %d then %d", ev.Seq, ev2.Seq)
+	}
+}
+
+func TestSlowSubscriberDropsOldest(t *testing.T) {
+	b := NewBus("n0")
+	sub := b.Subscribe(4)
+	defer sub.Close()
+	for i := 0; i < 10; i++ {
+		b.Publish(Event{Type: TypeJobQueued})
+	}
+	if got := sub.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	ev, ok := sub.Next(ctx)
+	if !ok || ev.Seq != 7 {
+		// Oldest dropped: the first retained event is seq 7 of 10.
+		t.Fatalf("first retained seq = %d (%v), want 7", ev.Seq, ok)
+	}
+	for want := uint64(8); want <= 10; want++ {
+		ev, ok := sub.Next(ctx)
+		if !ok || ev.Seq != want {
+			t.Fatalf("retained seq = %d (%v), want %d", ev.Seq, ok, want)
+		}
+	}
+}
+
+func TestNextUnblocksOnCtxAndClose(t *testing.T) {
+	b := NewBus("n0")
+	sub := b.Subscribe(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, ok := sub.Next(ctx); ok {
+		t.Fatal("Next returned an event from an empty bus")
+	}
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := sub.Next(context.Background())
+		done <- ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	sub.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Next returned an event after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next did not unblock on Close")
+	}
+	if b.Subscribers() != 0 {
+		t.Fatalf("subscribers = %d after close", b.Subscribers())
+	}
+}
+
+func TestNilBusIsNoOp(t *testing.T) {
+	var b *Bus
+	b.Publish(Event{Type: TypeJobQueued})
+	if b.Subscribe(0) != nil || b.Subscribers() != 0 {
+		t.Fatal("nil bus is not a no-op")
+	}
+}
+
+func TestServeSSEAndDecoderRoundtrip(t *testing.T) {
+	b := NewBus("n0")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ServeSSE(w, r, b)
+	}))
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	dec := NewDecoder(resp.Body)
+	hello, err := dec.Next()
+	if err != nil || hello.Type != TypeHello || hello.Node != "n0" {
+		t.Fatalf("hello = %+v, %v", hello, err)
+	}
+
+	// The subscriber attaches inside ServeSSE; publish until the event
+	// comes through rather than racing the handler's subscribe.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+				b.Publish(Event{Type: TypeCacheHit, Job: "j-9"})
+			}
+		}
+	}()
+	ev, err := dec.Next()
+	if err != nil || ev.Type != TypeCacheHit || ev.Job != "j-9" {
+		t.Fatalf("streamed event = %+v, %v", ev, err)
+	}
+}
+
+func TestDecoderSkipsCommentsAndBlankLines(t *testing.T) {
+	in := ": keepalive\n\n" +
+		"event: job_done\ndata: {\"seq\":3,\"t\":1,\"type\":\"job_done\",\"job\":\"j-2\"}\n\n"
+	dec := NewDecoder(strings.NewReader(in))
+	ev, err := dec.Next()
+	if err != nil || ev.Type != TypeJobDone || ev.Job != "j-2" || ev.Seq != 3 {
+		t.Fatalf("decoded = %+v, %v", ev, err)
+	}
+}

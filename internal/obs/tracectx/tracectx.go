@@ -1,0 +1,201 @@
+// Package tracectx is the cross-process trace-context layer: a W3C
+// traceparent-style correlation ID that follows one job from the
+// submitting client, through the ddgate gateway's forwards, retries, and
+// hedges, into the ddserved backend that executes it.
+//
+// A Context is a 128-bit trace ID (the identity of the whole distributed
+// request) plus a 64-bit span ID (the identity of one hop). The trace ID
+// is minted once, by whoever first touches the request — `ddrace -submit`,
+// or the edge handler when a client sent none — and never changes;
+// every hop mints a fresh span ID with Child before forwarding, so the
+// receiving process can tell hops apart while still correlating them.
+//
+// The wire form is the W3C trace-context header:
+//
+//	traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//
+// (version 00, lowercase hex, sampled flag always 01 — this repository
+// traces everything it touches).
+//
+// Trace IDs are random wall-clock-side identifiers. They live strictly on
+// the operational plane: logs, span recorders, the /v1/jobs/{id}/trace
+// endpoint. Nothing here may feed a deterministic export, which is why
+// this package lives under internal/obs next to the other wall-clock
+// surfaces rather than in the simulation core.
+package tracectx
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"math/rand"
+	"strings"
+	"sync"
+)
+
+// Header is the HTTP header carrying a serialized Context, spelled the
+// way the W3C trace-context specification spells it.
+const Header = "traceparent"
+
+// Context identifies one hop of one distributed request.
+type Context struct {
+	// Trace is the 128-bit request identity, shared by every hop.
+	Trace [16]byte
+	// Span is the 64-bit hop identity, fresh per hop.
+	Span [8]byte
+}
+
+// rng is a process-local PRNG for span/trace IDs, seeded once from
+// crypto/rand so concurrent daemons do not mint colliding traces. IDs need
+// uniqueness, not unpredictability, so a locked PRNG (cheap) beats a
+// kernel round trip per span.
+var rng = struct {
+	sync.Mutex
+	*rand.Rand
+}{Rand: rand.New(rand.NewSource(cryptoSeed()))}
+
+func cryptoSeed() int64 {
+	var b [8]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable; a constant seed
+		// still yields valid (merely less unique) IDs.
+		return 0x6464726163657478 // "ddracetx"
+	}
+	return int64(binary.LittleEndian.Uint64(b[:]))
+}
+
+func randBytes(p []byte) {
+	rng.Lock()
+	defer rng.Unlock()
+	for len(p) >= 8 {
+		binary.LittleEndian.PutUint64(p, rng.Uint64())
+		p = p[8:]
+	}
+	if len(p) > 0 {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], rng.Uint64())
+		copy(p, b[:])
+	}
+}
+
+// New mints a root Context: fresh trace ID, fresh span ID. Roots are
+// minted by `ddrace -submit` and by edge handlers receiving a request with
+// no (or an invalid) traceparent header.
+func New() Context {
+	var c Context
+	for isZero(c.Trace[:]) {
+		randBytes(c.Trace[:])
+	}
+	for isZero(c.Span[:]) {
+		randBytes(c.Span[:])
+	}
+	return c
+}
+
+// Child returns a Context for the next hop: same trace, fresh span ID.
+func (c Context) Child() Context {
+	n := Context{Trace: c.Trace}
+	for isZero(n.Span[:]) {
+		randBytes(n.Span[:])
+	}
+	return n
+}
+
+// Valid reports whether the Context carries a usable identity. The W3C
+// spec reserves all-zero trace and span IDs as invalid.
+func (c Context) Valid() bool {
+	return !isZero(c.Trace[:]) && !isZero(c.Span[:])
+}
+
+func isZero(p []byte) bool {
+	for _, b := range p {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TraceID returns the 32-hex-digit trace identity — the value logs spell
+// as trace_id.
+func (c Context) TraceID() string { return hex.EncodeToString(c.Trace[:]) }
+
+// SpanID returns the 16-hex-digit hop identity.
+func (c Context) SpanID() string { return hex.EncodeToString(c.Span[:]) }
+
+// String serializes the Context in traceparent form:
+// "00-<trace>-<span>-01".
+func (c Context) String() string {
+	var b strings.Builder
+	b.Grow(55)
+	b.WriteString("00-")
+	b.WriteString(c.TraceID())
+	b.WriteByte('-')
+	b.WriteString(c.SpanID())
+	b.WriteString("-01")
+	return b.String()
+}
+
+// Parse decodes a traceparent header value. It accepts any version byte
+// (per the spec, unknown versions parse by the version-00 layout) and
+// rejects malformed or all-zero IDs.
+func Parse(s string) (Context, bool) {
+	parts := strings.Split(strings.TrimSpace(s), "-")
+	if len(parts) < 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 {
+		return Context{}, false
+	}
+	if _, err := hex.DecodeString(parts[0]); err != nil || parts[0] == "ff" {
+		return Context{}, false
+	}
+	var c Context
+	if _, err := hex.Decode(c.Trace[:], []byte(strings.ToLower(parts[1]))); err != nil {
+		return Context{}, false
+	}
+	if _, err := hex.Decode(c.Span[:], []byte(strings.ToLower(parts[2]))); err != nil {
+		return Context{}, false
+	}
+	if !c.Valid() {
+		return Context{}, false
+	}
+	return c, true
+}
+
+// ctxKey carries a Context through a context.Context.
+type ctxKey struct{}
+
+// Into returns a derived context carrying tc.
+func Into(ctx context.Context, tc Context) context.Context {
+	return context.WithValue(ctx, ctxKey{}, tc)
+}
+
+// From returns the Context carried by ctx, if any.
+func From(ctx context.Context) (Context, bool) {
+	if ctx == nil {
+		return Context{}, false
+	}
+	tc, ok := ctx.Value(ctxKey{}).(Context)
+	return tc, ok && tc.Valid()
+}
+
+// Ensure returns the Context carried by ctx, minting and attaching a root
+// when none is present. The boolean reports whether the context was
+// already carrying one (i.e. the caller joined an existing trace).
+func Ensure(ctx context.Context) (context.Context, Context, bool) {
+	if tc, ok := From(ctx); ok {
+		return ctx, tc, true
+	}
+	tc := New()
+	return Into(ctx, tc), tc, false
+}
+
+// FromHeader parses the traceparent header of an incoming request,
+// falling back to a fresh root when the header is absent or malformed.
+// The boolean reports whether the header carried a usable trace (the
+// request joined a distributed trace started upstream).
+func FromHeader(get func(string) string) (Context, bool) {
+	if tc, ok := Parse(get(Header)); ok {
+		return tc, true
+	}
+	return New(), false
+}

@@ -1,0 +1,328 @@
+// Package tsdb is the in-process time-series layer: a bounded in-memory
+// ring that snapshots an obs.Registry on a fixed interval, turning the
+// service's point-in-time metrics into short history an operator can
+// actually plot — queue depth over the last hour, p99 latency across a
+// deploy, cache hit rate while a backend drained.
+//
+// The sampling model, per tick:
+//
+//   - counters become rate samples: the delta since the previous tick
+//     (monotonic totals are what /metrics is for; trends want deltas);
+//   - gauges are sampled as-is;
+//   - histograms become three quantile series (<name>:p50/:p90/:p99) plus
+//     a count-delta series (<name>:rate), so latency trends and traffic
+//     trends come from one source.
+//
+// Everything is wall-clock-side by construction: the database holds
+// operational history, never deterministic exports, and a bounded ring
+// per series caps memory no matter how long the daemon runs. ddserved
+// serves its database at GET /v1/timeseries; ddgate aggregates every
+// backend's database into a fleet view under the same route.
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"demandrace/internal/obs"
+)
+
+// Kind classifies a series.
+const (
+	// KindCounter marks a per-tick delta of a monotonic counter.
+	KindCounter = "counter"
+	// KindGauge marks a sampled gauge value.
+	KindGauge = "gauge"
+	// KindHistogram marks a quantile or count-rate series derived from a
+	// histogram.
+	KindHistogram = "histogram"
+)
+
+// Sample is one (time, value) observation.
+type Sample struct {
+	// UnixMS is the sample's wall-clock timestamp in milliseconds.
+	UnixMS int64 `json:"t"`
+	// Value is the observed value (a delta for counter series).
+	Value float64 `json:"v"`
+}
+
+// Series is one metric's sampled history.
+type Series struct {
+	// Metric names the series. Histogram-derived series suffix the source
+	// metric with :p50/:p90/:p99/:rate.
+	Metric string `json:"metric"`
+	// Kind is KindCounter, KindGauge, or KindHistogram.
+	Kind string `json:"kind"`
+	// Node names the process the series was sampled in — the field that
+	// keeps fleet-aggregated documents attributable per backend.
+	Node string `json:"node,omitempty"`
+	// Samples are in ascending time order.
+	Samples []Sample `json:"samples"`
+}
+
+// Doc is the GET /v1/timeseries response document.
+type Doc struct {
+	// Node names the responding process; an aggregating gateway keeps its
+	// own name here while the per-series Node fields name the sources.
+	Node string `json:"node"`
+	// IntervalMS is the sampling period of the responding process.
+	IntervalMS int64 `json:"interval_ms"`
+	// Series holds every matching series, sorted by (node, metric).
+	Series []Series `json:"series"`
+}
+
+// Options shape a DB. Zero fields take defaults.
+type Options struct {
+	// Registry is the metrics source. Required (a nil registry yields an
+	// always-empty database).
+	Registry *obs.Registry
+	// Node names this process in served series.
+	Node string
+	// Interval is the sampling period (default 5s).
+	Interval time.Duration
+	// Retention bounds how much history each series keeps (default 1h).
+	// The per-series ring holds Retention/Interval samples.
+	Retention time.Duration
+	// Runtime, when set, refreshes the process runtime gauges
+	// (obs.UpdateProcessGauges) at every tick, so goroutine and heap
+	// trends ride along for free.
+	Runtime bool
+}
+
+func (o Options) normalized() Options {
+	if o.Interval <= 0 {
+		o.Interval = 5 * time.Second
+	}
+	if o.Retention <= 0 {
+		o.Retention = time.Hour
+	}
+	if o.Retention < o.Interval {
+		o.Retention = o.Interval
+	}
+	return o
+}
+
+// ring is one series' bounded sample history.
+type ring struct {
+	kind    string
+	samples []Sample // ring buffer
+	head    int      // index of oldest
+	n       int
+}
+
+func (r *ring) push(s Sample) {
+	if r.n < len(r.samples) {
+		r.samples[(r.head+r.n)%len(r.samples)] = s
+		r.n++
+		return
+	}
+	r.samples[r.head] = s
+	r.head = (r.head + 1) % len(r.samples)
+}
+
+// since copies samples at or after cutoff (UnixMS), oldest first.
+func (r *ring) since(cutoff int64) []Sample {
+	out := make([]Sample, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		s := r.samples[(r.head+i)%len(r.samples)]
+		if s.UnixMS >= cutoff {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// DB is the bounded in-memory time-series database. Build with New, feed
+// it with Start (a background ticker) or CollectNow (manual ticks —
+// tests, or a caller with its own scheduler), query with Query.
+type DB struct {
+	opts Options
+
+	mu           sync.Mutex
+	series       map[string]*ring
+	prevCounters map[string]uint64
+	prevHistN    map[string]uint64
+	ticks        int
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	stopped  chan struct{}
+	started  bool
+}
+
+// New builds a DB. No goroutine starts until Start.
+func New(opts Options) *DB {
+	return &DB{
+		opts:         opts.normalized(),
+		series:       make(map[string]*ring),
+		prevCounters: make(map[string]uint64),
+		prevHistN:    make(map[string]uint64),
+		stop:         make(chan struct{}),
+		stopped:      make(chan struct{}),
+	}
+}
+
+// Interval returns the sampling period.
+func (d *DB) Interval() time.Duration { return d.opts.Interval }
+
+// Node returns the configured node name.
+func (d *DB) Node() string { return d.opts.Node }
+
+// capacity is the per-series ring size.
+func (d *DB) capacity() int {
+	n := int(d.opts.Retention / d.opts.Interval)
+	if n < 2 {
+		n = 2
+	}
+	return n
+}
+
+// Start launches the sampling ticker. Idempotent.
+func (d *DB) Start() {
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	d.mu.Unlock()
+	go func() {
+		defer close(d.stopped)
+		t := time.NewTicker(d.opts.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				d.CollectNow()
+			case <-d.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the ticker. Idempotent; safe if Start was never called.
+func (d *DB) Stop() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.mu.Lock()
+	started := d.started
+	d.mu.Unlock()
+	if started {
+		<-d.stopped
+	}
+}
+
+// CollectNow takes one sample of every metric in the registry. The first
+// tick establishes counter baselines (a delta needs two observations), so
+// counter series appear from the second tick on.
+func (d *DB) CollectNow() {
+	if d.opts.Runtime {
+		obs.UpdateProcessGauges(d.opts.Registry)
+	}
+	snap := d.opts.Registry.Snapshot()
+	now := time.Now().UnixMilli()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	first := d.ticks == 0
+	d.ticks++
+
+	for name, v := range snap.Counters {
+		prev, seen := d.prevCounters[name]
+		d.prevCounters[name] = v
+		if !seen && first {
+			continue // no baseline yet
+		}
+		delta := float64(0)
+		if v >= prev {
+			delta = float64(v - prev)
+		}
+		d.pushLocked(name, KindCounter, Sample{UnixMS: now, Value: delta})
+	}
+	for name, v := range snap.Gauges {
+		d.pushLocked(name, KindGauge, Sample{UnixMS: now, Value: float64(v)})
+	}
+	for name, h := range snap.Histograms {
+		prev, seen := d.prevHistN[name]
+		d.prevHistN[name] = h.Count
+		d.pushLocked(name+":p50", KindHistogram, Sample{UnixMS: now, Value: h.P50})
+		d.pushLocked(name+":p90", KindHistogram, Sample{UnixMS: now, Value: h.P90})
+		d.pushLocked(name+":p99", KindHistogram, Sample{UnixMS: now, Value: h.P99})
+		if seen || !first {
+			delta := float64(0)
+			if h.Count >= prev {
+				delta = float64(h.Count - prev)
+			}
+			d.pushLocked(name+":rate", KindHistogram, Sample{UnixMS: now, Value: delta})
+		}
+	}
+}
+
+func (d *DB) pushLocked(name, kind string, s Sample) {
+	r, ok := d.series[name]
+	if !ok {
+		r = &ring{kind: kind, samples: make([]Sample, d.capacity())}
+		d.series[name] = r
+	}
+	r.push(s)
+}
+
+// Query returns every series whose metric name contains match (empty
+// matches all), restricted to samples at or after since (zero time means
+// everything retained). Series are sorted by metric name.
+func (d *DB) Query(match string, since time.Time) []Series {
+	var cutoff int64
+	if !since.IsZero() {
+		cutoff = since.UnixMilli()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]Series, 0, len(d.series))
+	for name, r := range d.series {
+		if match != "" && !strings.Contains(name, match) {
+			continue
+		}
+		samples := r.since(cutoff)
+		if len(samples) == 0 {
+			continue
+		}
+		out = append(out, Series{
+			Metric:  name,
+			Kind:    r.kind,
+			Node:    d.opts.Node,
+			Samples: samples,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Metric < out[j].Metric })
+	return out
+}
+
+// Doc assembles the GET /v1/timeseries response for a query.
+func (d *DB) Doc(match string, since time.Time) Doc {
+	return Doc{
+		Node:       d.opts.Node,
+		IntervalMS: d.opts.Interval.Milliseconds(),
+		Series:     d.Query(match, since),
+	}
+}
+
+// ParseSince interprets a ?since= query parameter, shared by every tier
+// serving /v1/timeseries: empty means all retained history, an integer is
+// absolute unix milliseconds, and a duration ("90s", "15m") reaches that
+// far back from now.
+func ParseSince(v string) (time.Time, error) {
+	if v == "" {
+		return time.Time{}, nil
+	}
+	if ms, err := strconv.ParseInt(v, 10, 64); err == nil {
+		return time.UnixMilli(ms), nil
+	}
+	if d, err := time.ParseDuration(v); err == nil {
+		return time.Now().Add(-d), nil
+	}
+	return time.Time{}, fmt.Errorf("tsdb: since must be unix milliseconds or a duration, got %q", v)
+}

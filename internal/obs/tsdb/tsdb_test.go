@@ -1,0 +1,187 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	"demandrace/internal/obs"
+)
+
+func findSeries(t *testing.T, all []Series, metric string) Series {
+	t.Helper()
+	for _, s := range all {
+		if s.Metric == metric {
+			return s
+		}
+	}
+	t.Fatalf("series %q not found in %d series", metric, len(all))
+	return Series{}
+}
+
+func hasSeries(all []Series, metric string) bool {
+	for _, s := range all {
+		if s.Metric == metric {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCollectCounterDeltas(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("jobs_total")
+	db := New(Options{Registry: reg, Node: "n0", Interval: time.Second})
+
+	c.Add(5)
+	db.CollectNow() // baseline tick: no counter sample yet
+	if got := db.Query("jobs_total", time.Time{}); hasSeries(got, "jobs_total") {
+		t.Fatalf("counter series exists after baseline tick: %+v", got)
+	}
+
+	c.Add(3)
+	db.CollectNow()
+	s := findSeries(t, db.Query("jobs_total", time.Time{}), "jobs_total")
+	if s.Kind != KindCounter || s.Node != "n0" {
+		t.Fatalf("series meta = %+v", s)
+	}
+	if len(s.Samples) != 1 || s.Samples[0].Value != 3 {
+		t.Fatalf("delta samples = %+v, want one sample of 3", s.Samples)
+	}
+
+	db.CollectNow() // no movement: delta 0
+	s = findSeries(t, db.Query("jobs_total", time.Time{}), "jobs_total")
+	if len(s.Samples) != 2 || s.Samples[1].Value != 0 {
+		t.Fatalf("idle delta = %+v, want trailing 0", s.Samples)
+	}
+}
+
+func TestCollectGaugesAndHistograms(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("queue_depth").Set(7)
+	h := reg.Histogram("latency_ms", []float64{1, 10, 100})
+	h.Observe(5)
+	h.Observe(5)
+	db := New(Options{Registry: reg, Node: "n0", Interval: time.Second})
+
+	db.CollectNow()
+	all := db.Query("", time.Time{})
+	g := findSeries(t, all, "queue_depth")
+	if g.Kind != KindGauge || g.Samples[0].Value != 7 {
+		t.Fatalf("gauge series = %+v", g)
+	}
+	// Quantile series exist from the first tick; the count-rate series
+	// needs a baseline like any counter.
+	for _, q := range []string{":p50", ":p90", ":p99"} {
+		s := findSeries(t, all, "latency_ms"+q)
+		if s.Kind != KindHistogram || len(s.Samples) != 1 {
+			t.Fatalf("quantile series %s = %+v", q, s)
+		}
+		if v := s.Samples[0].Value; v <= 1 || v > 10 {
+			t.Fatalf("quantile %s = %v, outside the observed bucket", q, v)
+		}
+	}
+	if hasSeries(all, "latency_ms:rate") {
+		t.Fatal("histogram rate series exists after baseline tick")
+	}
+
+	h.Observe(5)
+	db.CollectNow()
+	rate := findSeries(t, db.Query(":rate", time.Time{}), "latency_ms:rate")
+	if len(rate.Samples) != 1 || rate.Samples[0].Value != 1 {
+		t.Fatalf("rate samples = %+v, want one delta of 1", rate.Samples)
+	}
+}
+
+func TestRetentionBoundsRing(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("g").Set(1)
+	db := New(Options{Registry: reg, Interval: time.Second, Retention: 3 * time.Second})
+	for i := 0; i < 10; i++ {
+		db.CollectNow()
+	}
+	s := findSeries(t, db.Query("g", time.Time{}), "g")
+	if len(s.Samples) != 3 {
+		t.Fatalf("ring kept %d samples, want retention/interval = 3", len(s.Samples))
+	}
+}
+
+func TestQueryMatchAndSince(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("alpha").Set(1)
+	reg.Gauge("beta").Set(2)
+	db := New(Options{Registry: reg, Interval: time.Second})
+	db.CollectNow()
+
+	if got := db.Query("alp", time.Time{}); len(got) != 1 || got[0].Metric != "alpha" {
+		t.Fatalf("substring match = %+v", got)
+	}
+	if got := db.Query("", time.Now().Add(time.Hour)); len(got) != 0 {
+		t.Fatalf("future since returned %+v", got)
+	}
+	if got := db.Query("", time.Now().Add(-time.Hour)); len(got) != 2 {
+		t.Fatalf("past since returned %d series, want 2", len(got))
+	}
+}
+
+func TestDocShape(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("g").Set(1)
+	db := New(Options{Registry: reg, Node: "n0", Interval: 2 * time.Second})
+	db.CollectNow()
+	doc := db.Doc("", time.Time{})
+	if doc.Node != "n0" || doc.IntervalMS != 2000 || len(doc.Series) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+}
+
+func TestStartStopTicker(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("g").Set(1)
+	db := New(Options{Registry: reg, Interval: 5 * time.Millisecond})
+	db.Start()
+	deadline := time.After(2 * time.Second)
+	for {
+		if len(db.Query("g", time.Time{})) > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("ticker produced no samples in 2s")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	db.Stop()
+	db.Stop() // idempotent
+}
+
+func TestStopWithoutStart(t *testing.T) {
+	New(Options{Registry: obs.NewRegistry()}).Stop()
+}
+
+func TestNilRegistryIsEmpty(t *testing.T) {
+	db := New(Options{})
+	db.CollectNow()
+	if got := db.Query("", time.Time{}); len(got) != 0 {
+		t.Fatalf("nil-registry DB produced series: %+v", got)
+	}
+}
+
+func TestParseSince(t *testing.T) {
+	if ts, err := ParseSince(""); err != nil || !ts.IsZero() {
+		t.Fatalf("ParseSince(\"\") = %v, %v", ts, err)
+	}
+	if ts, err := ParseSince("1754560000000"); err != nil || ts.UnixMilli() != 1754560000000 {
+		t.Fatalf("ParseSince(ms) = %v, %v", ts, err)
+	}
+	before := time.Now().Add(-90 * time.Second)
+	ts, err := ParseSince("90s")
+	if err != nil {
+		t.Fatalf("ParseSince(90s): %v", err)
+	}
+	if ts.Before(before.Add(-5*time.Second)) || ts.After(time.Now()) {
+		t.Fatalf("ParseSince(90s) = %v, not ~90s ago", ts)
+	}
+	if _, err := ParseSince("bogus"); err == nil {
+		t.Fatal("ParseSince accepted garbage")
+	}
+}

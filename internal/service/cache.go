@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"sync"
+	"time"
 
 	"demandrace/internal/obs"
 	"demandrace/internal/store"
@@ -71,27 +72,36 @@ func newResultCache(capacity int, reg *obs.Registry, disk *store.Store) *resultC
 // get returns the cached result for key, refreshing its recency. An
 // in-memory miss consults the backing store and promotes a disk hit.
 func (c *resultCache) get(key string) ([]byte, bool) {
+	data, ok, _, _ := c.lookup(key)
+	return data, ok
+}
+
+// lookup is get plus provenance for the trace waterfall: source is
+// "memory" or "disk" on a hit ("" on a miss), and diskDur covers the
+// backing-store read when the disk tier answered.
+func (c *resultCache) lookup(key string) (data []byte, ok bool, source string, diskDur time.Duration) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
 		c.hits.Inc()
 		data := el.Value.(*cacheEntry).data
 		c.mu.Unlock()
-		return data, true
+		return data, true, "memory", 0
 	}
 	c.mu.Unlock()
 	if c.disk != nil {
+		readStart := time.Now()
 		if data, ok := c.disk.Get(key); ok {
 			c.mu.Lock()
 			c.insertLocked(key, data)
 			c.mu.Unlock()
 			c.diskHits.Inc()
 			c.hits.Inc()
-			return data, true
+			return data, true, "disk", time.Since(readStart)
 		}
 	}
 	c.misses.Inc()
-	return nil, false
+	return nil, false, "", 0
 }
 
 // put stores a result in memory and writes it through to the backing

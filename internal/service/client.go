@@ -11,6 +11,8 @@ import (
 	"net/url"
 	"strconv"
 	"time"
+
+	"demandrace/internal/obs/tracectx"
 )
 
 // Options is the client-side timeout/retry policy, shared by everything
@@ -133,8 +135,33 @@ func (r reply) err() error {
 	if body.Error == "" {
 		body.Error = http.StatusText(r.status)
 	}
-	retry, _ := strconv.Atoi(r.header.Get("Retry-After"))
-	return &APIError{Code: r.status, Message: body.Error, RetryAfter: retry}
+	return &APIError{Code: r.status, Message: body.Error, RetryAfter: retryAfterSeconds(r.header)}
+}
+
+// retryAfterSeconds parses a Retry-After header, which HTTP allows in two
+// forms: delta-seconds ("2") or an HTTP-date ("Mon, 02 Jan 2006 15:04:05
+// GMT"). Dates become the whole seconds remaining until that instant,
+// rounded up so a sub-second wait still registers; past dates and
+// unparseable values yield 0.
+func retryAfterSeconds(h http.Header) int {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if n, err := strconv.Atoi(v); err == nil {
+		if n < 0 {
+			return 0
+		}
+		return n
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := time.Until(t)
+		if d <= 0 {
+			return 0
+		}
+		return int((d + time.Second - 1) / time.Second)
+	}
+	return 0
 }
 
 // roundTrip issues build's request under the client's Options: each
@@ -154,10 +181,7 @@ func (c *Client) roundTrip(ctx context.Context, build func(ctx context.Context) 
 		if attempt >= c.Options.Retries || !c.Options.Retryable(ctx, lastErr, last.status) {
 			break
 		}
-		var floor time.Duration
-		if ra, err := strconv.Atoi(last.header.Get("Retry-After")); err == nil {
-			floor = time.Duration(ra) * time.Second
-		}
+		floor := time.Duration(retryAfterSeconds(last.header)) * time.Second
 		if err := c.Options.Sleep(ctx, attempt, floor); err != nil {
 			break
 		}
@@ -179,6 +203,11 @@ func (c *Client) attempt(ctx context.Context, build func(ctx context.Context) (*
 	req, err := build(actx)
 	if err != nil {
 		return reply{}, err
+	}
+	// Propagate the caller's trace context, one child span per attempt, so
+	// retries are distinguishable hops under the same trace ID.
+	if tc, ok := tracectx.From(ctx); ok {
+		req.Header.Set(tracectx.Header, tc.Child().String())
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
@@ -273,6 +302,17 @@ func (c *Client) Result(ctx context.Context, id string) ([]byte, error) {
 	}
 	if r.status != http.StatusOK {
 		return nil, r.err()
+	}
+	return r.body, nil
+}
+
+// JobTrace fetches a job's recorded waterfall — the Chrome trace-event
+// JSON served at GET /v1/jobs/{id}/trace — as raw bytes, ready to save
+// for chrome://tracing or Perfetto.
+func (c *Client) JobTrace(ctx context.Context, id string) ([]byte, error) {
+	r, err := c.roundTrip(ctx, c.get("/v1/jobs/"+url.PathEscape(id)+"/trace"))
+	if err != nil {
+		return nil, err
 	}
 	return r.body, nil
 }

@@ -10,6 +10,9 @@ import (
 	"time"
 
 	"demandrace/internal/obs"
+	"demandrace/internal/obs/stream"
+	"demandrace/internal/obs/tracectx"
+	"demandrace/internal/obs/tsdb"
 	"demandrace/internal/trace"
 )
 
@@ -20,10 +23,14 @@ const TraceContentType = "application/x-ddrace-trace"
 // route pairs a mux pattern with the stable key used for its latency
 // histogram (obs.SvcHTTPLatencyPrefix + key) and the /v1/stats row. quiet
 // routes are polled by infrastructure, so their access logs emit at debug.
+// stream routes hold their connection open indefinitely (SSE), so they
+// bypass the latency histogram and SLO accounting — an hour-long tail is
+// not an hour-long request.
 type route struct {
 	pattern string
 	key     string
 	quiet   bool
+	stream  bool
 	handler http.HandlerFunc
 }
 
@@ -31,12 +38,15 @@ type route struct {
 // /v1/stats reports endpoints in.
 func (s *Server) routes() []route {
 	return []route{
-		{"POST /v1/jobs", "post_jobs", false, s.handleSubmit},
-		{"GET /v1/jobs/{id}", "get_job", false, s.handleStatus},
-		{"GET /v1/results/{id}", "get_result", false, s.handleResult},
-		{"GET /v1/stats", "get_stats", true, s.handleStats},
-		{"GET /healthz", "healthz", true, s.handleHealth},
-		{"GET /metrics", "metrics", true, s.handleMetrics},
+		{"POST /v1/jobs", "post_jobs", false, false, s.handleSubmit},
+		{"GET /v1/jobs/{id}", "get_job", false, false, s.handleStatus},
+		{"GET /v1/jobs/{id}/trace", "get_job_trace", false, false, s.handleJobTrace},
+		{"GET /v1/results/{id}", "get_result", false, false, s.handleResult},
+		{"GET /v1/timeseries", "get_timeseries", true, false, s.handleTimeseries},
+		{"GET /v1/events", "get_events", true, true, s.handleEvents},
+		{"GET /v1/stats", "get_stats", true, false, s.handleStats},
+		{"GET /healthz", "healthz", true, false, s.handleHealth},
+		{"GET /metrics", "metrics", true, false, s.handleMetrics},
 	}
 }
 
@@ -89,12 +99,26 @@ func (sr *statusRecorder) Write(b []byte) (int, error) {
 }
 
 // instrument wraps one route with the request-scoped observability stack.
+// Incoming traceparent headers are parsed (or a fresh root trace minted)
+// before anything else, so the span, the access log, and whatever the
+// handler admits all share one trace ID.
 func (s *Server) instrument(rt route) http.Handler {
 	hist := s.reg.Histogram(obs.SvcHTTPLatencyPrefix+rt.key, obs.LatencyBuckets)
 	sloReq := s.reg.Counter(obs.SvcSLORequests)
 	sloBreach := s.reg.Counter(obs.SvcSLOBreaches)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		ctx, span := obs.StartSpan(r.Context(), "http:"+rt.key)
+		tc, _ := tracectx.FromHeader(r.Header.Get)
+		ctx := tracectx.Into(r.Context(), tc)
+		if rt.stream {
+			// SSE: hand the raw writer through (the recorder would hide
+			// http.Flusher) and log open/close instead of a latency line.
+			s.log.Debug("event stream open", "path", r.URL.Path, "trace_id", tc.TraceID())
+			rt.handler(w, r.WithContext(ctx))
+			s.log.Debug("event stream closed", "path", r.URL.Path, "trace_id", tc.TraceID())
+			return
+		}
+		ctx, span := obs.StartSpan(ctx, "http:"+rt.key)
+		span.SetAttr("trace_id", tc.TraceID())
 		span.ObserveInto(hist)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		rt.handler(rec, r.WithContext(ctx))
@@ -115,6 +139,7 @@ func (s *Server) instrument(rt route) http.Handler {
 			"status", rec.status,
 			"bytes", rec.bytes,
 			"dur_ms", float64(dur)/float64(time.Millisecond),
+			"trace_id", tc.TraceID(),
 		)
 	})
 }
@@ -247,7 +272,34 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	data, err := s.JobTrace(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	since, err := tsdb.ParseSince(r.URL.Query().Get("since"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ts.Doc(r.URL.Query().Get("metric"), since))
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	stream.ServeSSE(w, r, s.bus)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	// Scrape time is an observation point: refresh the process-level
+	// runtime gauges so goroutine/heap/GC numbers are current.
+	obs.UpdateProcessGauges(s.reg)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.reg.WriteProm(w); err != nil {
 		// Headers are gone; nothing useful left to do but note it.

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"demandrace/internal/obs"
+	"demandrace/internal/obs/stream"
+	"demandrace/internal/obs/tracectx"
+)
+
+func TestRetryAfterSeconds(t *testing.T) {
+	mk := func(v string) http.Header {
+		h := http.Header{}
+		if v != "" {
+			h.Set("Retry-After", v)
+		}
+		return h
+	}
+	cases := []struct {
+		value string
+		want  int
+	}{
+		{"", 0},
+		{"2", 2},
+		{"0", 0},
+		{"-3", 0},
+		{"garbage", 0},
+		// Past HTTP-dates mean "retry now", not a negative wait.
+		{time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat), 0},
+	}
+	for _, c := range cases {
+		if got := retryAfterSeconds(mk(c.value)); got != c.want {
+			t.Errorf("retryAfterSeconds(%q) = %d, want %d", c.value, got, c.want)
+		}
+	}
+	// A future HTTP-date becomes the whole seconds remaining, rounded up.
+	future := time.Now().Add(2500 * time.Millisecond).UTC().Format(http.TimeFormat)
+	got := retryAfterSeconds(mk(future))
+	if got < 1 || got > 4 {
+		t.Errorf("retryAfterSeconds(future date) = %d, want a small positive ceil", got)
+	}
+}
+
+// TestJobTraceEndpoint drives a traced submission end to end and asserts
+// the served waterfall has the advertised stages on one timeline.
+func TestJobTraceEndpoint(t *testing.T) {
+	_, _, cl := newTestServer(t, Config{Workers: 1, Node: "n0"})
+	tc := tracectx.New()
+	ctx := tracectx.Into(context.Background(), tc)
+
+	st, err := cl.Submit(ctx, Request{Kernel: "racy_flag"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := cl.Wait(ctx, st.ID); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	data, err := cl.JobTrace(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("JobTrace: %v", err)
+	}
+	recs, extra, err := obs.DecodeSpanTrace(data)
+	if err != nil {
+		t.Fatalf("trace endpoint served undecodable JSON: %v", err)
+	}
+	if extra["job_id"] != st.ID || extra["node"] != "n0" || extra["state"] != string(StateDone) {
+		t.Fatalf("trace otherData = %v", extra)
+	}
+	if extra["trace_id"] != tc.TraceID() {
+		t.Fatalf("trace_id = %q, want the submitted trace %q", extra["trace_id"], tc.TraceID())
+	}
+	got := map[string]bool{}
+	for _, r := range recs {
+		got[r.Name] = true
+		if r.Track != "n0" {
+			t.Errorf("span %q track = %q, want n0", r.Name, r.Track)
+		}
+	}
+	for _, want := range []string{"cache_lookup", "queue_wait", "analysis", "render", "job"} {
+		if !got[want] {
+			t.Errorf("waterfall missing stage %q (have %v)", want, got)
+		}
+	}
+
+	if _, err := cl.JobTrace(ctx, "nope"); err == nil {
+		t.Fatal("JobTrace for an unknown job did not error")
+	}
+}
+
+func TestTimeseriesEndpoint(t *testing.T) {
+	_, ts, cl := newTestServer(t, Config{Workers: 1, Node: "n0", TSInterval: 10 * time.Millisecond})
+	ctx := context.Background()
+	if _, err := cl.Submit(ctx, Request{Kernel: "racy_flag"}); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	var doc struct {
+		Node       string `json:"node"`
+		IntervalMS int64  `json:"interval_ms"`
+		Series     []struct {
+			Metric  string `json:"metric"`
+			Samples []struct {
+				T int64   `json:"t"`
+				V float64 `json:"v"`
+			} `json:"samples"`
+		} `json:"series"`
+	}
+	for {
+		getJSON(t, ts.URL+"/v1/timeseries", &doc)
+		ok := false
+		for _, s := range doc.Series {
+			if len(s.Samples) >= 2 {
+				ok = true
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no series reached 2 samples: %+v", doc)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if doc.Node != "n0" || doc.IntervalMS != 10 {
+		t.Fatalf("doc meta = %q/%d", doc.Node, doc.IntervalMS)
+	}
+
+	// metric= filters by substring; since=bad is a 400.
+	var filtered struct {
+		Series []struct {
+			Metric string `json:"metric"`
+		} `json:"series"`
+	}
+	getJSON(t, ts.URL+"/v1/timeseries?metric=ddrace_process_goroutines", &filtered)
+	for _, s := range filtered.Series {
+		if s.Metric != obs.ProcGoroutines {
+			t.Fatalf("filter leaked series %q", s.Metric)
+		}
+	}
+	if len(filtered.Series) == 0 {
+		t.Fatal("runtime gauge series missing from timeseries")
+	}
+	resp, err := http.Get(ts.URL + "/v1/timeseries?since=bogus")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("since=bogus status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestEventsEndpoint tails /v1/events while a job runs and asserts the
+// lifecycle events stream out in order.
+func TestEventsEndpoint(t *testing.T) {
+	_, ts, cl := newTestServer(t, Config{Workers: 1, Node: "n0"})
+
+	resp, err := http.Get(ts.URL + "/v1/events")
+	if err != nil {
+		t.Fatalf("GET /v1/events: %v", err)
+	}
+	defer resp.Body.Close()
+	dec := stream.NewDecoder(resp.Body)
+	hello, err := dec.Next()
+	if err != nil || hello.Type != stream.TypeHello || hello.Node != "n0" {
+		t.Fatalf("hello = %+v, %v", hello, err)
+	}
+
+	ctx := context.Background()
+	st, err := cl.Submit(ctx, Request{Kernel: "racy_flag"})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	want := []string{stream.TypeJobQueued, stream.TypeJobStarted, stream.TypeJobDone}
+	for _, wantType := range want {
+		ev, err := dec.Next()
+		if err != nil {
+			t.Fatalf("reading %s: %v", wantType, err)
+		}
+		if ev.Type != wantType || ev.Job != st.ID {
+			t.Fatalf("event = %+v, want type %s for job %s", ev, wantType, st.ID)
+		}
+	}
+
+	// A second identical submit is a cache hit and must say so on the bus.
+	if _, err := cl.Submit(ctx, Request{Kernel: "racy_flag"}); err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	ev, err := dec.Next()
+	if err != nil || ev.Type != stream.TypeCacheHit {
+		t.Fatalf("cache event = %+v, %v", ev, err)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: decoding: %v", url, err)
+	}
+}

@@ -13,6 +13,9 @@ import (
 
 	"demandrace/internal/obs"
 	olog "demandrace/internal/obs/log"
+	"demandrace/internal/obs/stream"
+	"demandrace/internal/obs/tracectx"
+	"demandrace/internal/obs/tsdb"
 	"demandrace/internal/parallel"
 	"demandrace/internal/runner"
 	"demandrace/internal/sched"
@@ -64,6 +67,12 @@ type Config struct {
 	// stats stay distinguishable from single-node stats (default
 	// "ddserved").
 	Node string
+	// TSInterval and TSRetention shape the in-memory metrics history
+	// behind GET /v1/timeseries: one sample of every registry metric per
+	// interval, retained for the window (defaults 5s and 1h; see
+	// internal/obs/tsdb).
+	TSInterval  time.Duration
+	TSRetention time.Duration
 }
 
 func (c Config) normalized() Config {
@@ -127,6 +136,8 @@ type Server struct {
 	queue   chan *Job
 	drained chan struct{}
 	cache   *resultCache
+	bus     *stream.Bus
+	ts      *tsdb.DB
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -166,6 +177,14 @@ func NewServer(cfg Config) *Server {
 		queue:      make(chan *Job, cfg.QueueDepth),
 		drained:    make(chan struct{}),
 		cache:      newResultCache(cfg.CacheEntries, cfg.Registry, cfg.Store),
+		bus:        stream.NewBus(cfg.Node),
+		ts: tsdb.New(tsdb.Options{
+			Registry:  cfg.Registry,
+			Node:      cfg.Node,
+			Interval:  cfg.TSInterval,
+			Retention: cfg.TSRetention,
+			Runtime:   true,
+		}),
 		jobs:       make(map[string]*Job),
 		baseCtx:    baseCtx,
 		baseCancel: cancel,
@@ -187,6 +206,12 @@ func NewServer(cfg Config) *Server {
 // Registry returns the server's metrics registry (served at /metrics).
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
+// Events returns the server's live event bus (served at GET /v1/events).
+func (s *Server) Events() *stream.Bus { return s.bus }
+
+// TimeSeries returns the server's metrics history (GET /v1/timeseries).
+func (s *Server) TimeSeries() *tsdb.DB { return s.ts }
+
 // Config returns the server's normalized configuration.
 func (s *Server) Config() Config { return s.cfg }
 
@@ -202,6 +227,7 @@ func (s *Server) Start() {
 	}
 	s.started = true
 	s.mu.Unlock()
+	s.ts.Start()
 	go func() {
 		defer close(s.drained)
 		_ = parallel.ForEach(context.Background(), s.eng, s.cfg.Workers,
@@ -219,6 +245,7 @@ func (s *Server) Start() {
 // the pool exits. If ctx expires first, in-flight jobs are hard-canceled
 // through their contexts and the ctx error is returned.
 func (s *Server) Shutdown(ctx context.Context) error {
+	defer s.ts.Stop()
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
@@ -284,11 +311,16 @@ func (s *Server) Submit(ctx context.Context, req Request) (Status, error) {
 		timeout: s.timeoutFor(n.TimeoutMS),
 		done:    make(chan struct{}),
 		run: func(ctx context.Context) ([]byte, error) {
-			rep, err := runner.RunContext(ctx, kernel.Build(kc), rcfg)
+			actx, span := obs.StartSpan(ctx, "analysis")
+			rep, err := runner.RunContext(actx, kernel.Build(kc), rcfg)
+			span.End()
 			if err != nil {
 				return nil, err
 			}
-			return json.Marshal(rep)
+			_, rspan := obs.StartSpan(ctx, "render")
+			data, err := json.Marshal(rep)
+			rspan.End()
+			return data, err
 		},
 	}
 	return s.admit(ctx, j)
@@ -299,6 +331,8 @@ func (s *Server) Submit(ctx context.Context, req Request) (Status, error) {
 // anything is queued; a *trace.LimitError is returned as-is so the HTTP
 // layer can answer 413.
 func (s *Server) SubmitTrace(ctx context.Context, r io.Reader, opts TraceOptions) (Status, error) {
+	rec := obs.NewSpanRecorder(s.cfg.Node, 0)
+	decStart := time.Now()
 	raw, err := readAllLimited(r, s.cfg.MaxTraceBytes)
 	if err != nil {
 		return Status{}, err
@@ -310,19 +344,30 @@ func (s *Server) SubmitTrace(ctx context.Context, r io.Reader, opts TraceOptions
 	if err != nil {
 		return Status{}, fmt.Errorf("service: decoding uploaded trace: %w", err)
 	}
+	rec.Add(obs.SpanRecord{
+		Name: "trace_decode", Start: decStart, Dur: time.Since(decStart),
+		Attrs: []obs.SpanAttr{{Key: "events", Value: fmt.Sprint(len(tr.Events))}},
+	})
 	j := &Job{
 		kind:    "trace",
 		name:    tr.Program,
 		key:     TraceCacheKey(raw, opts),
 		timeout: s.timeoutFor(opts.TimeoutMS),
 		done:    make(chan struct{}),
+		rec:     rec,
 		run: func(ctx context.Context) ([]byte, error) {
 			// Replay cost is bounded by the decode limits; honor the
 			// deadline between construction and the (fast) replay.
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			return json.Marshal(replay(tr, opts, s.reg))
+			_, span := obs.StartSpan(ctx, "analysis")
+			res := replay(tr, opts, s.reg)
+			span.End()
+			_, rspan := obs.StartSpan(ctx, "render")
+			data, err := json.Marshal(res)
+			rspan.End()
+			return data, err
 		},
 	}
 	return s.admit(ctx, j)
@@ -344,8 +389,15 @@ func readAllLimited(r io.Reader, max int64) ([]byte, error) {
 // admit registers j and either completes it from the cache or enqueues it.
 // The job's span is parented to the span in ctx (the submitting HTTP
 // request), so execution-side logs and metrics trace back to the request
-// that caused them.
+// that caused them; the trace context in ctx (if any) becomes the job's
+// trace ID, correlating client, gateway, and server views of one request.
 func (s *Server) admit(ctx context.Context, j *Job) (Status, error) {
+	if tc, ok := tracectx.From(ctx); ok {
+		j.trace = tc.TraceID()
+	}
+	if j.rec == nil {
+		j.rec = obs.NewSpanRecorder(s.cfg.Node, 0)
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -353,7 +405,19 @@ func (s *Server) admit(ctx context.Context, j *Job) (Status, error) {
 		s.log.Warn("job rejected", "reason", "draining", "kind", j.kind, "name", j.name)
 		return Status{}, ErrDraining
 	}
-	if data, ok := s.cache.get(j.key); ok {
+	lookupStart := time.Now()
+	data, hit, source, diskDur := s.cache.lookup(j.key)
+	attrs := []obs.SpanAttr{{Key: "hit", Value: fmt.Sprint(hit)}}
+	if source != "" {
+		attrs = append(attrs, obs.SpanAttr{Key: "source", Value: source})
+	}
+	j.rec.Add(obs.SpanRecord{
+		Name: "cache_lookup", Start: lookupStart, Dur: time.Since(lookupStart), Attrs: attrs,
+	})
+	if source == "disk" {
+		j.rec.Add(obs.SpanRecord{Name: "store_read", Start: lookupStart, Dur: diskDur})
+	}
+	if hit {
 		s.seq++
 		j.id = fmt.Sprintf("j-%d", s.seq)
 		j.state = StateDone
@@ -364,8 +428,11 @@ func (s *Server) admit(ctx context.Context, j *Job) (Status, error) {
 		st := s.statusLocked(j)
 		s.mu.Unlock()
 		s.cSubmit.Inc()
-		s.log.Info("job done", "job_id", j.id, "kind", j.kind, "name", j.name,
-			"state", string(StateDone), "cache_hit", true)
+		s.log.Info("job done", j.logAttrs("state", string(StateDone), "cache_hit", true)...)
+		s.bus.Publish(stream.Event{
+			Type: stream.TypeCacheHit, Job: j.id, Trace: j.trace,
+			Detail: map[string]string{"kind": j.kind, "name": j.name, "source": source},
+		})
 		return st, nil
 	}
 	if len(s.queue) == cap(s.queue) {
@@ -379,7 +446,19 @@ func (s *Server) admit(ctx context.Context, j *Job) (Status, error) {
 	j.state = StateQueued
 	j.enqueued = time.Now()
 	_, j.span = obs.StartSpan(ctx, "job")
+	j.span.RecordInto(j.rec)
 	j.span.SetAttr("job_id", j.id)
+	if j.trace != "" {
+		j.span.SetAttr("trace_id", j.trace)
+	}
+	// The queued event goes out before the job is visible to a worker, so
+	// subscribers always see queued → started → done in causal order.
+	// Publish never blocks (per-subscriber drop-oldest rings), so holding
+	// s.mu across it is safe.
+	s.bus.Publish(stream.Event{
+		Type: stream.TypeJobQueued, Job: j.id, Trace: j.trace,
+		Detail: map[string]string{"kind": j.kind, "name": j.name},
+	})
 	// The job must be fully initialized before it becomes visible to a
 	// worker. The send cannot block: every send happens under s.mu and we
 	// just saw spare capacity (receives only ever free it up).
@@ -389,9 +468,18 @@ func (s *Server) admit(ctx context.Context, j *Job) (Status, error) {
 	st := s.statusLocked(j)
 	s.mu.Unlock()
 	s.cSubmit.Inc()
-	s.log.Info("job queued", "job_id", j.id, "kind", j.kind, "name", j.name,
-		"policy", j.policy, "timeout_ms", j.timeout.Milliseconds())
+	s.log.Info("job queued", j.logAttrs("policy", j.policy, "timeout_ms", j.timeout.Milliseconds())...)
 	return st, nil
+}
+
+// logAttrs builds the common structured-log fields for a job, including
+// the trace ID when the submission carried one.
+func (j *Job) logAttrs(extra ...any) []any {
+	attrs := []any{"job_id", j.id, "kind", j.kind, "name", j.name}
+	if j.trace != "" {
+		attrs = append(attrs, "trace_id", j.trace)
+	}
+	return append(attrs, extra...)
 }
 
 // execute runs one dequeued job to a terminal state. Panics in the job
@@ -399,6 +487,7 @@ func (s *Server) admit(ctx context.Context, j *Job) (Status, error) {
 func (s *Server) execute(j *Job) {
 	wait := time.Since(j.enqueued)
 	s.hWait.Observe(float64(wait) / float64(time.Millisecond))
+	j.rec.Add(obs.SpanRecord{Name: "queue_wait", Start: j.enqueued, Dur: wait})
 
 	s.mu.Lock()
 	j.state = StateRunning
@@ -408,13 +497,23 @@ func (s *Server) execute(j *Job) {
 	s.gQueue.Set(int64(len(s.queue)))
 	s.mu.Unlock()
 
-	s.log.Info("job start", "job_id", j.id, "kind", j.kind, "name", j.name,
-		"queue_wait_ms", float64(wait)/float64(time.Millisecond))
+	s.log.Info("job start", j.logAttrs("queue_wait_ms", float64(wait)/float64(time.Millisecond))...)
+	s.bus.Publish(stream.Event{
+		Type: stream.TypeJobStarted, Job: j.id, Trace: j.trace,
+		Detail: map[string]string{"kind": j.kind, "name": j.name},
+	})
 
+	jobLog := s.log.With("job_id", j.id)
+	if j.trace != "" {
+		jobLog = jobLog.With("trace_id", j.trace)
+	}
 	runStart := time.Now()
 	ctx, cancel := context.WithTimeout(s.baseCtx, j.timeout)
+	// Re-attach the job's span so stage spans started inside the body
+	// (analysis, render) parent under it and land in the job's recorder.
+	ctx = obs.WithSpan(ctx, j.span)
 	ctx = olog.WithJobID(ctx, j.id)
-	ctx = olog.Into(ctx, s.log.With("job_id", j.id))
+	ctx = olog.Into(ctx, jobLog)
 	data, err := func() (data []byte, err error) {
 		defer func() {
 			if p := recover(); p != nil {
@@ -454,8 +553,8 @@ func (s *Server) execute(j *Job) {
 	s.mu.Unlock()
 	close(j.done)
 
-	attrs := []any{"job_id", j.id, "kind", j.kind, "name", j.name,
-		"state", string(state), "dur_ms", float64(runDur) / float64(time.Millisecond)}
+	attrs := j.logAttrs("state", string(state),
+		"dur_ms", float64(runDur)/float64(time.Millisecond))
 	var interrupted *sched.InterruptedError
 	if errors.As(err, &interrupted) {
 		attrs = append(attrs, "steps_at_interrupt", interrupted.Steps)
@@ -466,6 +565,10 @@ func (s *Server) execute(j *Job) {
 	default:
 		s.log.Warn("job done", append(attrs, "error", j.errMsg)...)
 	}
+	s.bus.Publish(stream.Event{
+		Type: stream.TypeJobDone, Job: j.id, Trace: j.trace,
+		Detail: map[string]string{"kind": j.kind, "name": j.name, "state": string(state)},
+	})
 }
 
 // Status returns the snapshot of a job.
@@ -489,6 +592,31 @@ func (s *Server) Result(id string) ([]byte, Status, error) {
 		return nil, Status{}, ErrNotFound
 	}
 	return j.result, s.statusLocked(j), nil
+}
+
+// JobTrace renders a job's recorded stage spans as a Chrome trace-event
+// waterfall (the GET /v1/jobs/{id}/trace body). The document is complete
+// once the job is terminal; fetched earlier it shows the stages finished
+// so far.
+func (s *Server) JobTrace(id string) ([]byte, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, ErrNotFound
+	}
+	state := j.state
+	traceID := j.trace
+	s.mu.Unlock()
+	extra := map[string]string{
+		"job_id": id,
+		"node":   s.cfg.Node,
+		"state":  string(state),
+	}
+	if traceID != "" {
+		extra["trace_id"] = traceID
+	}
+	return obs.EncodeSpanTrace("job "+id, j.rec.Records(), extra)
 }
 
 // Wait blocks until the job reaches a terminal state or ctx expires.

@@ -308,6 +308,14 @@ type Job struct {
 	// span is the job's wall-clock span, parented to the submitting
 	// request's span so execution logs trace back to their submission.
 	span *obs.TimedSpan
+	// rec collects the job's completed stage spans (queue wait, cache
+	// lookup, analysis, render) so the waterfall outlives execution and
+	// can be served at GET /v1/jobs/{id}/trace.
+	rec *obs.SpanRecorder
+	// trace is the hex trace ID the submitting request carried — the
+	// correlation handle tying client, gateway, and server log lines to
+	// this job.
+	trace string
 }
 
 // Status is the externally visible snapshot of a job, served as JSON by

@@ -4,11 +4,61 @@
 //
 //	go build -ldflags "-X demandrace/internal/version.Version=v1.2.3" ./cmd/...
 //
-// Every command exposes it through a -version flag.
+// Every command exposes it through a -version flag. The banner also
+// appends whatever the toolchain embedded on its own — the Go runtime
+// version and, for builds made inside a git checkout, the VCS revision —
+// so a bug report's one-line banner identifies the exact build without
+// anyone having to remember -ldflags.
 package version
+
+import (
+	"runtime/debug"
+	"strings"
+)
 
 // Version is the build version, overridden via -ldflags.
 var Version = "dev"
 
-// String renders the canonical one-line version banner for a binary.
-func String(binary string) string { return binary + " version " + Version }
+// String renders the canonical one-line version banner for a binary:
+//
+//	ddserved version dev (go1.24.0, rev 9c9a3cb0d1e2+dirty)
+//
+// The parenthetical comes from debug.ReadBuildInfo and is omitted
+// entirely when the runtime provides none (e.g. a stripped binary).
+func String(binary string) string {
+	bi, ok := debug.ReadBuildInfo()
+	return binary + " version " + Version + buildSuffix(bi, ok)
+}
+
+// buildSuffix renders the "(go…, rev …)" tail from embedded build info.
+// Split out so tests can feed synthetic BuildInfo values.
+func buildSuffix(bi *debug.BuildInfo, ok bool) string {
+	if !ok || bi == nil {
+		return ""
+	}
+	var parts []string
+	if v := strings.TrimSpace(bi.GoVersion); v != "" {
+		parts = append(parts, v)
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		parts = append(parts, "rev "+rev+dirty)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " (" + strings.Join(parts, ", ") + ")"
+}

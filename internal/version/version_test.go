@@ -1,0 +1,50 @@
+package version
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestStringKeepsCanonicalPrefixAndSingleLine(t *testing.T) {
+	got := String("ddrace")
+	if !strings.HasPrefix(got, "ddrace version "+Version) {
+		t.Fatalf("banner %q lost the canonical prefix", got)
+	}
+	if strings.ContainsRune(got, '\n') {
+		t.Fatalf("banner %q spans lines", got)
+	}
+}
+
+func TestBuildSuffix(t *testing.T) {
+	if got := buildSuffix(nil, false); got != "" {
+		t.Fatalf("no build info produced suffix %q", got)
+	}
+	if got := buildSuffix(&debug.BuildInfo{}, true); got != "" {
+		t.Fatalf("empty build info produced suffix %q", got)
+	}
+
+	bi := &debug.BuildInfo{
+		GoVersion: "go1.24.0",
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "9c9a3cb0d1e2f3a4b5c6d7e8f9a0b1c2d3e4f5a6"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}
+	got := buildSuffix(bi, true)
+	want := " (go1.24.0, rev 9c9a3cb0d1e2+dirty)"
+	if got != want {
+		t.Fatalf("buildSuffix = %q, want %q", got, want)
+	}
+
+	// Clean checkout: no +dirty marker.
+	bi.Settings[1].Value = "false"
+	if got := buildSuffix(bi, true); strings.Contains(got, "dirty") {
+		t.Fatalf("clean build marked dirty: %q", got)
+	}
+
+	// Go version alone still renders.
+	if got := buildSuffix(&debug.BuildInfo{GoVersion: "go1.24.0"}, true); got != " (go1.24.0)" {
+		t.Fatalf("go-only suffix = %q", got)
+	}
+}
