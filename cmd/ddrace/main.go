@@ -25,6 +25,7 @@
 //	ddrace -batch histogram,kmeans,x264        # explicit kernel list
 //	ddrace -kernel kmeans -profile out.folded  # deterministic cycle profile
 //	ddrace -kernel kmeans -submit http://localhost:8318 -save-trace wf.json
+//	ddrace -stream out.drt -submit http://localhost:8318   # chunked resumable upload
 //	ddrace -watch http://localhost:8418        # tail the live cluster event feed
 //
 // Wall-clock diagnostics (the batch timing table, structured progress
@@ -116,6 +117,9 @@ func run(args []string, out, diag io.Writer) error {
 		asJSON    = fs.Bool("json", false, "emit the full report as JSON")
 		htmlOut   = fs.String("html", "", "write a self-contained HTML report to this file")
 		submitURL = fs.String("submit", "", "submit the run to a ddserved daemon at this base URL instead of running locally")
+		streamIn  = fs.String("stream", "", "with -submit: stream this recorded .drt trace to the daemon as a chunked resumable upload, printing race_found NDJSON lines as the server analyzes mid-stream")
+		chunkSize = fs.Int("chunk-bytes", 1<<20, "with -stream: chunk split size in bytes (clamped to the server's advertised max)")
+		streamFlt = fs.Int("stream-fault", 0, "with -stream: inject one simulated connection drop after N chunks to exercise the resume protocol")
 		saveTrace = fs.String("save-trace", "", "with -submit: also fetch the job's server-side span waterfall and write the Chrome trace JSON to this file")
 		watchURL  = fs.String("watch", "", "tail the live event stream of a ddserved or ddgate at this base URL, printing one JSON event per line")
 		watchN    = fs.Int("watch-count", 0, "with -watch: exit after N events (0 = tail until interrupted)")
@@ -156,7 +160,17 @@ func run(args []string, out, diag io.Writer) error {
 	if *saveTrace != "" && *submitURL == "" {
 		return fmt.Errorf("-save-trace needs -submit (local runs use -trace)")
 	}
+	if *streamIn != "" && *submitURL == "" {
+		return fmt.Errorf("-stream needs -submit (local traces replay with ddreplay)")
+	}
 	if *submitURL != "" {
+		if *streamIn != "" {
+			opts := service.TraceOptions{FullVC: *fullvc, MaxReports: -1}
+			return streamRemote(out, lg, *submitURL, *streamIn, opts, service.StreamOptions{
+				ChunkBytes: *chunkSize,
+				FaultAfter: *streamFlt,
+			}, *asJSON, *verbose)
+		}
 		if *kernel == "" {
 			return fmt.Errorf("-submit needs -kernel (batch submission is not supported)")
 		}
@@ -426,6 +440,83 @@ func submitRemote(out io.Writer, lg *slog.Logger, base string, req service.Reque
 		return writeProfile(out, profOut, rep.Profile)
 	}
 	return nil
+}
+
+// streamRemote pushes a recorded binary trace to a ddserved daemon (or a
+// ddgate front) as a chunked resumable upload. The server analyzes each
+// chunk as it lands, so races surface mid-upload: every new race prints
+// immediately as one race_found NDJSON line, and the sealed report — byte
+// identical to a batch upload of the same file — prints at the end.
+// Transport drops (including the -stream-fault injected one) resume from
+// the server's high-water mark instead of restarting the upload.
+func streamRemote(out io.Writer, lg *slog.Logger, base, path string, opts service.TraceOptions, sopts service.StreamOptions, asJSON, verbose bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-stream: %w", err)
+	}
+	cl := &service.Client{
+		BaseURL: strings.TrimRight(base, "/"),
+		Options: service.Options{
+			Timeout: 30 * time.Second,
+			Retries: 3,
+			Backoff: 250 * time.Millisecond,
+		},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	tc := tracectx.New()
+	ctx = tracectx.Into(ctx, tc)
+	lg.Info("streaming trace", "url", base, "file", path,
+		"bytes", len(raw), "chunk_bytes", sopts.ChunkBytes, "trace_id", tc.TraceID())
+
+	// Mid-stream races print as they are found; the partial document is
+	// cumulative, so only the unseen tail prints each time.
+	enc := json.NewEncoder(out)
+	seen := 0
+	sopts.OnPartial = func(p service.PartialReport) {
+		for _, r := range p.Races[seen:] {
+			enc.Encode(map[string]any{
+				"type": "race_found", "session": p.Session,
+				"events": p.Events, "race": r,
+			})
+		}
+		seen = len(p.Races)
+	}
+	st, err := cl.StreamTrace(ctx, raw, opts, sopts)
+	if err != nil {
+		return err
+	}
+	data, err := cl.Result(ctx, st.ID)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		_, err := out.Write(data)
+		return err
+	}
+	var rr service.ReplayResult
+	if err := json.Unmarshal(data, &rr); err != nil {
+		return fmt.Errorf("decoding daemon replay result: %w", err)
+	}
+	fmt.Fprintf(out, "job:       %s on %s (streamed %d bytes, cache hit: %v)\n",
+		st.ID, base, len(raw), st.CacheHit)
+	printReplayResult(out, &rr, verbose)
+	return nil
+}
+
+// printReplayResult renders a trace-replay result the way printReport
+// renders a simulation report.
+func printReplayResult(out io.Writer, rr *service.ReplayResult, verbose bool) {
+	fmt.Fprintf(out, "program:   %s (%d events, %d threads)\n", rr.Program, rr.Events, rr.Threads)
+	fmt.Fprintf(out, "sharing:   %d HITM events, %d analyzed when recorded\n", rr.HITM, rr.Analyzed)
+	fmt.Fprintf(out, "races:     %d report(s)\n", len(rr.Races))
+	if verbose {
+		for _, r := range rr.Races {
+			fmt.Fprintf(out, "  %v\n", r)
+		}
+	}
+	fmt.Fprintf(out, "detector:  %d reads, %d writes, %d sync ops, %d same-epoch fast paths\n",
+		rr.Stats.Reads, rr.Stats.Writes, rr.Stats.SyncOps, rr.Stats.SameEpochHits)
 }
 
 // watchEvents tails a server's GET /v1/events SSE feed and prints one

@@ -7,6 +7,11 @@
 // Endpoints:
 //
 //	POST /v1/jobs               submit (JSON request or binary trace upload)
+//	POST /v1/traces             open a chunked resumable trace-upload session
+//	PUT  /v1/traces/{id}/chunks/{seq}  append one CRC-checked chunk (analyzed on arrival)
+//	GET  /v1/traces/{id}        session snapshot (resume handle: next expected chunk)
+//	POST /v1/traces/{id}/commit seal the session into a done job
+//	GET  /v1/jobs/{id}/partial  races found so far, mid-stream or after commit
 //	GET  /v1/jobs/{id}          poll job status
 //	GET  /v1/jobs/{id}/trace    Chrome-trace waterfall of one job's lifecycle
 //	GET  /v1/results/{id}       fetch the report of a done job
@@ -71,6 +76,9 @@ func main() {
 		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
 		maxBytes    = flag.Int64("max-trace-bytes", 64<<20, "max accepted trace upload size in bytes")
 		maxEvents   = flag.Uint64("max-trace-events", 1<<22, "max events an uploaded trace may declare")
+		ingSessions = flag.Int("ingest-sessions", 0, "concurrent streaming-upload sessions admitted (0 = 64); excess opens answer 429")
+		ingChunk    = flag.Int64("ingest-chunk-bytes", 0, "max size of one streamed chunk in bytes (0 = 4 MiB)")
+		ingIdle     = flag.Duration("ingest-idle", 0, "idle streaming sessions are garbage-collected after this long (0 = 2m)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget before jobs are hard-canceled")
 		sloLatency  = flag.Duration("slo-latency", 500*time.Millisecond, "request-latency SLO threshold reported by /v1/stats")
 		sloTarget   = flag.Float64("slo-target", 0.99, "fraction of requests that must meet -slo-latency")
@@ -99,20 +107,23 @@ func main() {
 		storeDir:  *storeDir,
 		storeMax:  *storeMax,
 		cfg: service.Config{
-			Node:           *node,
-			Workers:        *workers,
-			QueueDepth:     *queueDepth,
-			QueueHighWater: *highWater,
-			CacheEntries:   *cacheSize,
-			DefaultTimeout: *timeout,
-			MaxTimeout:     *maxTimeout,
-			MaxTraceBytes:  *maxBytes,
-			MaxTraceEvents: *maxEvents,
-			SLOLatency:     *sloLatency,
-			SLOTarget:      *sloTarget,
-			TSInterval:     *tsInterval,
-			TSRetention:    *tsRetention,
-			Log:            lg,
+			Node:             *node,
+			Workers:          *workers,
+			QueueDepth:       *queueDepth,
+			QueueHighWater:   *highWater,
+			CacheEntries:     *cacheSize,
+			DefaultTimeout:   *timeout,
+			MaxTimeout:       *maxTimeout,
+			MaxTraceBytes:    *maxBytes,
+			MaxTraceEvents:   *maxEvents,
+			IngestSessions:   *ingSessions,
+			IngestChunkBytes: *ingChunk,
+			IngestIdle:       *ingIdle,
+			SLOLatency:       *sloLatency,
+			SLOTarget:        *sloTarget,
+			TSInterval:       *tsInterval,
+			TSRetention:      *tsRetention,
+			Log:              lg,
 		},
 	}); err != nil {
 		lg.Error("ddserved exiting", "error", err.Error())

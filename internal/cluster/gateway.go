@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"demandrace/internal/obs"
@@ -131,6 +132,10 @@ type Gateway struct {
 	tailWG   sync.WaitGroup
 	started  bool
 
+	// sessionSeq rotates streaming-upload session placement over the ring
+	// (see handleTraceOpen).
+	sessionSeq atomic.Uint64
+
 	cRequests  *obs.Counter
 	cForwards  *obs.Counter
 	cRetries   *obs.Counter
@@ -150,15 +155,15 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		return nil, fmt.Errorf("cluster: gateway needs at least one backend")
 	}
 	g := &Gateway{
-		cfg:        cfg,
-		ring:       NewRing(cfg.VNodes),
-		byName:     make(map[string]*backend, len(cfg.Backends)),
-		client:     cfg.HTTPClient,
-		reg:        cfg.Registry,
-		log:        cfg.Log,
-		start:      time.Now(),
-		bus:        stream.NewBus(cfg.Node),
-		traces:     newTraceStore(defaultTraceStoreCap),
+		cfg:    cfg,
+		ring:   NewRing(cfg.VNodes),
+		byName: make(map[string]*backend, len(cfg.Backends)),
+		client: cfg.HTTPClient,
+		reg:    cfg.Registry,
+		log:    cfg.Log,
+		start:  time.Now(),
+		bus:    stream.NewBus(cfg.Node),
+		traces: newTraceStore(defaultTraceStoreCap),
 		ts: tsdb.New(tsdb.Options{
 			Registry:  cfg.Registry,
 			Node:      cfg.Node,

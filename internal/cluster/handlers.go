@@ -35,8 +35,13 @@ type route struct {
 func (g *Gateway) routes() []route {
 	return []route{
 		{"POST /v1/jobs", "post_jobs", false, false, g.handleSubmit},
+		{"POST /v1/traces", "post_traces", false, false, g.handleTraceOpen},
+		{"PUT /v1/traces/{id}/chunks/{seq}", "put_trace_chunk", false, false, g.handleTraceChunk},
+		{"GET /v1/traces/{id}", "get_trace_session", false, false, g.handleTraceSession},
+		{"POST /v1/traces/{id}/commit", "post_trace_commit", false, false, g.handleTraceCommit},
 		{"GET /v1/jobs/{id}", "get_job", false, false, g.handleJob},
 		{"GET /v1/jobs/{id}/trace", "get_job_trace", false, false, g.handleJobTrace},
+		{"GET /v1/jobs/{id}/partial", "get_job_partial", false, false, g.handlePartial},
 		{"GET /v1/results/{id}", "get_result", false, false, g.handleResult},
 		{"GET /v1/timeseries", "get_timeseries", true, false, g.handleTimeseries},
 		{"GET /v1/events", "get_events", true, true, g.handleEvents},

@@ -1,0 +1,38 @@
+package obs
+
+// Canonical metric names for the streaming-ingest subsystem
+// (internal/ingest): resumable upload sessions with analyze-while-receiving.
+// Same conventions as the service names in this package: `ddserved_`
+// prefix (sessions live inside the ddserved process), `_total` on
+// counters, bare names for gauges.
+const (
+	// IngestSessionsOpen gauges currently open (receiving or retained)
+	// upload sessions.
+	IngestSessionsOpen = "ddserved_ingest_sessions_open"
+	// IngestSessionsOpened / Committed / Expired / Failed count session
+	// lifecycle outcomes. Expired means the idle GC reclaimed it;
+	// Failed means a chunk failed decode or the commit found the stream
+	// incomplete.
+	IngestSessionsOpened    = "ddserved_ingest_sessions_opened_total"
+	IngestSessionsCommitted = "ddserved_ingest_sessions_committed_total"
+	IngestSessionsExpired   = "ddserved_ingest_sessions_expired_total"
+	IngestSessionsFailed    = "ddserved_ingest_sessions_failed_total"
+
+	// IngestChunks counts applied chunks; IngestChunkDupes counts
+	// idempotent replays of already-applied sequence numbers (client
+	// retries after a lost ack); IngestChunkBytes totals applied payload
+	// bytes.
+	IngestChunks     = "ddserved_ingest_chunks_total"
+	IngestChunkDupes = "ddserved_ingest_chunk_dupes_total"
+	IngestChunkBytes = "ddserved_ingest_chunk_bytes_total"
+
+	// IngestEvents counts events decoded out of the chunk stream;
+	// IngestRaces counts races surfaced mid-stream (before commit).
+	IngestEvents = "ddserved_ingest_events_total"
+	IngestRaces  = "ddserved_ingest_partial_races_total"
+
+	// IngestRejected counts refused chunk/open operations: session quota,
+	// inflight backpressure, CRC mismatches, sequence gaps, over-limit
+	// payloads.
+	IngestRejected = "ddserved_ingest_rejected_total"
+)

@@ -38,6 +38,13 @@ const (
 	// TypeHello is the first event on every subscription, so a tail shows
 	// who it is connected to before any job activity happens.
 	TypeHello = "hello"
+	// TypeTraceChunk fires when a streaming-ingest session applies a chunk
+	// (Job carries the session ID; Detail carries seq/bytes/events/races).
+	TypeTraceChunk = "trace_chunk"
+	// TypeRaceFound fires the moment an in-flight upload's live analysis
+	// surfaces a new race, before the session commits (Detail carries
+	// addr/kind/cur/prev).
+	TypeRaceFound = "race_found"
 )
 
 // Event is one operational occurrence, JSON-encoded on the wire.

@@ -147,3 +147,49 @@ func TestDecoderSkipsCommentsAndBlankLines(t *testing.T) {
 		t.Fatalf("decoded = %+v, %v", ev, err)
 	}
 }
+
+// TestIngestEventTypesRoundtrip wire-round-trips the streaming-ingest
+// event types (trace_chunk, race_found) through the SSE encoder and
+// Decoder, including the Detail payloads the ingest manager publishes.
+func TestIngestEventTypesRoundtrip(t *testing.T) {
+	events := []Event{
+		{Type: TypeTraceChunk, Job: "s-1", Detail: map[string]string{
+			"seq": "3", "bytes": "4096", "events": "120", "races": "0",
+		}},
+		{Type: TypeRaceFound, Job: "s-1", Detail: map[string]string{
+			"addr": "0x40", "kind": "write-write", "cur": "2", "prev": "0",
+		}},
+	}
+	var buf strings.Builder
+	for _, ev := range events {
+		ev.Seq, ev.UnixMS = 1, 1
+		if err := writeSSE(&buf, ev); err != nil {
+			t.Fatalf("writeSSE(%s): %v", ev.Type, err)
+		}
+	}
+	// The event: field names the type so SSE-native consumers can filter
+	// without parsing the JSON.
+	for _, typ := range []string{TypeTraceChunk, TypeRaceFound} {
+		if !strings.Contains(buf.String(), "event: "+typ+"\n") {
+			t.Fatalf("encoded stream lacks event field for %s:\n%s", typ, buf.String())
+		}
+	}
+	dec := NewDecoder(strings.NewReader(buf.String()))
+	for _, want := range events {
+		got, err := dec.Next()
+		if err != nil {
+			t.Fatalf("decoding %s: %v", want.Type, err)
+		}
+		if got.Type != want.Type || got.Job != want.Job {
+			t.Fatalf("decoded %+v, want type %s job %s", got, want.Type, want.Job)
+		}
+		for k, v := range want.Detail {
+			if got.Detail[k] != v {
+				t.Fatalf("%s detail[%s] = %q, want %q", want.Type, k, got.Detail[k], v)
+			}
+		}
+	}
+	if _, err := dec.Next(); err == nil {
+		t.Fatal("decoder produced an event past the end of the stream")
+	}
+}

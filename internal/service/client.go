@@ -109,6 +109,13 @@ type APIError struct {
 }
 
 func (e *APIError) Error() string {
+	// Surface the server's pacing hint in the message itself: when a 413
+	// or 429 bubbles all the way to a user, "retry after Ns" is the
+	// actionable part.
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("service: daemon returned %d: %s (retry after %ds)",
+			e.Code, e.Message, e.RetryAfter)
+	}
 	return fmt.Sprintf("service: daemon returned %d: %s", e.Code, e.Message)
 }
 
@@ -258,19 +265,9 @@ func (c *Client) SubmitTrace(ctx context.Context, tr io.Reader, opts TraceOption
 	if err != nil {
 		return Status{}, fmt.Errorf("service: reading trace: %w", err)
 	}
-	q := url.Values{}
-	if opts.FullVC {
-		q.Set("fullvc", "1")
-	}
-	if opts.MaxReports != 0 {
-		q.Set("max_reports", strconv.Itoa(opts.MaxReports))
-	}
-	if opts.TimeoutMS != 0 {
-		q.Set("timeout_ms", strconv.FormatInt(opts.TimeoutMS, 10))
-	}
 	u := c.BaseURL + "/v1/jobs"
-	if len(q) > 0 {
-		u += "?" + q.Encode()
+	if q := traceOptionsQuery(opts); q != "" {
+		u += "?" + q
 	}
 	return c.doStatus(ctx, func(ctx context.Context) (*http.Request, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(raw))

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"mime"
 	"net/http"
-	"strconv"
 	"time"
 
 	"demandrace/internal/obs"
@@ -39,8 +38,13 @@ type route struct {
 func (s *Server) routes() []route {
 	return []route{
 		{"POST /v1/jobs", "post_jobs", false, false, s.handleSubmit},
+		{"POST /v1/traces", "post_traces", false, false, s.handleTraceOpen},
+		{"PUT /v1/traces/{id}/chunks/{seq}", "put_trace_chunk", false, false, s.handleTraceChunk},
+		{"GET /v1/traces/{id}", "get_trace_session", false, false, s.handleTraceSession},
+		{"POST /v1/traces/{id}/commit", "post_trace_commit", false, false, s.handleTraceCommit},
 		{"GET /v1/jobs/{id}", "get_job", false, false, s.handleStatus},
 		{"GET /v1/jobs/{id}/trace", "get_job_trace", false, false, s.handleJobTrace},
+		{"GET /v1/jobs/{id}/partial", "get_job_partial", false, false, s.handlePartial},
 		{"GET /v1/results/{id}", "get_result", false, false, s.handleResult},
 		{"GET /v1/timeseries", "get_timeseries", true, false, s.handleTimeseries},
 		{"GET /v1/events", "get_events", true, true, s.handleEvents},
@@ -152,15 +156,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	)
 	switch ct {
 	case TraceContentType, "application/octet-stream":
-		q := r.URL.Query()
-		opts := TraceOptions{FullVC: q.Get("fullvc") == "1" || q.Get("fullvc") == "true"}
-		if v := q.Get("max_reports"); v != "" {
-			opts.MaxReports, _ = strconv.Atoi(v)
-		}
-		if v := q.Get("timeout_ms"); v != "" {
-			opts.TimeoutMS, _ = strconv.ParseInt(v, 10, 64)
-		}
-		st, err = s.SubmitTrace(r.Context(), r.Body, opts)
+		st, err = s.SubmitTrace(r.Context(), r.Body, parseTraceOptions(r.URL.Query()))
 	default:
 		var req Request
 		if derr := json.NewDecoder(r.Body).Decode(&req); derr != nil {

@@ -77,8 +77,10 @@ func TestStatsPopulatedAfterJob(t *testing.T) {
 	}
 	// Endpoint rows come back in registration order, so dashboards can rely
 	// on stable positions.
-	wantRoutes := []string{"post_jobs", "get_job", "get_job_trace", "get_result",
-		"get_timeseries", "get_events", "get_stats", "healthz", "metrics"}
+	wantRoutes := []string{"post_jobs", "post_traces", "put_trace_chunk",
+		"get_trace_session", "post_trace_commit", "get_job", "get_job_trace",
+		"get_job_partial", "get_result", "get_timeseries", "get_events",
+		"get_stats", "healthz", "metrics"}
 	if len(sum.Endpoints) != len(wantRoutes) {
 		t.Fatalf("endpoints = %d rows, want %d", len(sum.Endpoints), len(wantRoutes))
 	}

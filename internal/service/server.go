@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"demandrace/internal/ingest"
 	"demandrace/internal/obs"
 	olog "demandrace/internal/obs/log"
 	"demandrace/internal/obs/stream"
@@ -39,9 +40,17 @@ type Config struct {
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
 	// MaxTraceBytes / MaxTraceEvents bound uploaded traces (defaults
-	// 64 MiB / 4 Mi events).
+	// 64 MiB / 4 Mi events). Both the one-shot POST /v1/jobs upload and a
+	// whole streamed session are held to the same limits.
 	MaxTraceBytes  int64
 	MaxTraceEvents uint64
+	// IngestSessions bounds concurrently open streaming-upload sessions;
+	// IngestChunkBytes bounds one chunk's payload; IngestIdle is how long
+	// a session may sit idle before the GC reclaims it. Zero values take
+	// the internal/ingest defaults (64 sessions, 4 MiB, 2m).
+	IngestSessions   int
+	IngestChunkBytes int64
+	IngestIdle       time.Duration
 	// Registry receives service metrics, and — because runner counters
 	// commute — the aggregated ddrace_* counters of every executed job.
 	// Nil builds a private one.
@@ -138,6 +147,7 @@ type Server struct {
 	cache   *resultCache
 	bus     *stream.Bus
 	ts      *tsdb.DB
+	ing     *ingest.Manager
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -170,14 +180,14 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	cfg = cfg.normalized()
 	baseCtx, cancel := context.WithCancel(context.Background())
-	return &Server{
-		cfg:        cfg,
-		reg:        cfg.Registry,
-		eng:        parallel.New(cfg.Workers),
-		queue:      make(chan *Job, cfg.QueueDepth),
-		drained:    make(chan struct{}),
-		cache:      newResultCache(cfg.CacheEntries, cfg.Registry, cfg.Store),
-		bus:        stream.NewBus(cfg.Node),
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		eng:     parallel.New(cfg.Workers),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		drained: make(chan struct{}),
+		cache:   newResultCache(cfg.CacheEntries, cfg.Registry, cfg.Store),
+		bus:     stream.NewBus(cfg.Node),
 		ts: tsdb.New(tsdb.Options{
 			Registry:  cfg.Registry,
 			Node:      cfg.Node,
@@ -201,6 +211,23 @@ func NewServer(cfg Config) *Server {
 		hWait:      cfg.Registry.Histogram(obs.SvcQueueWait, obs.LatencyBuckets),
 		hJobDur:    cfg.Registry.Histogram(obs.SvcJobDuration, obs.LatencyBuckets),
 	}
+	// The ingest manager shares the server's bus, registry, and trace
+	// limits, so streamed sessions surface through the same event stream,
+	// metrics exposition, and 413 thresholds as batch uploads.
+	s.ing = ingest.NewManager(ingest.Config{
+		MaxSessions:   cfg.IngestSessions,
+		MaxChunkBytes: cfg.IngestChunkBytes,
+		IdleTimeout:   cfg.IngestIdle,
+		Limits: trace.DecodeLimits{
+			MaxEvents: cfg.MaxTraceEvents,
+			MaxBytes:  cfg.MaxTraceBytes,
+		},
+		Node:     cfg.Node,
+		Registry: cfg.Registry,
+		Log:      cfg.Log,
+		Bus:      s.bus,
+	})
+	return s
 }
 
 // Registry returns the server's metrics registry (served at /metrics).
@@ -211,6 +238,9 @@ func (s *Server) Events() *stream.Bus { return s.bus }
 
 // TimeSeries returns the server's metrics history (GET /v1/timeseries).
 func (s *Server) TimeSeries() *tsdb.DB { return s.ts }
+
+// Ingest returns the server's streaming-upload session manager.
+func (s *Server) Ingest() *ingest.Manager { return s.ing }
 
 // Config returns the server's normalized configuration.
 func (s *Server) Config() Config { return s.cfg }
@@ -228,6 +258,7 @@ func (s *Server) Start() {
 	s.started = true
 	s.mu.Unlock()
 	s.ts.Start()
+	s.ing.Start()
 	go func() {
 		defer close(s.drained)
 		_ = parallel.ForEach(context.Background(), s.eng, s.cfg.Workers,
@@ -246,6 +277,7 @@ func (s *Server) Start() {
 // through their contexts and the ctx error is returned.
 func (s *Server) Shutdown(ctx context.Context) error {
 	defer s.ts.Stop()
+	defer s.ing.Stop()
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true

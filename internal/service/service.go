@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash"
 	"time"
 
 	"demandrace/internal/cache"
@@ -253,26 +254,43 @@ type ReplayResult struct {
 	Stats    detector.Stats    `json:"stats"`
 }
 
+// traceKeyHasher returns a hasher pre-seeded with the options prefix of
+// the trace cache key. The streaming-ingest path seeds a session's hasher
+// with this and feeds chunks as they arrive, so a streamed upload lands on
+// the same content address as a batch upload of the same bytes — without
+// ever holding the reassembled raw bytes.
+func traceKeyHasher(opts TraceOptions) hash.Hash {
+	h := sha256.New()
+	fmt.Fprintf(h, "trace:fullvc=%v:reports=%d:", opts.FullVC, opts.MaxReports)
+	return h
+}
+
 // TraceCacheKey hashes the raw trace bytes plus replay options. Like
 // Request.CacheKey, it doubles as the cluster routing key for uploaded
 // traces.
 func TraceCacheKey(raw []byte, opts TraceOptions) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "trace:fullvc=%v:reports=%d:", opts.FullVC, opts.MaxReports)
+	h := traceKeyHasher(opts)
 	h.Write(raw)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// replay runs the trace-replay job body. Detector work counters are
-// published into reg (nil-safe) so replay jobs show up in the same
-// ddrace_detector_* exposition series as full simulation runs.
-func replay(tr *trace.Trace, opts TraceOptions, reg *obs.Registry) ReplayResult {
+// detectorOptions normalizes replay options into detector options (the
+// 0-means-1 report-cap default). Both the batch and streaming paths go
+// through this, which is one of the two legs of the byte-identical-results
+// guarantee (the other is replayResultFrom).
+func detectorOptions(opts TraceOptions) detector.Options {
 	reports := opts.MaxReports
 	if reports == 0 {
 		reports = 1
 	}
-	det := trace.Replay(tr, detector.Options{FullVC: opts.FullVC, MaxReportsPerAddr: reports})
-	runner.PublishDetectorStats(reg, det.Stats())
+	return detector.Options{FullVC: opts.FullVC, MaxReportsPerAddr: reports}
+}
+
+// replayResultFrom renders the result document for a replayed trace. The
+// batch path and the streaming commit path both produce their JSON through
+// this one function, so a streamed upload's sealed result is byte-identical
+// to the batch result for the same bytes.
+func replayResultFrom(tr *trace.Trace, det *detector.Detector) ReplayResult {
 	s := trace.Summarize(tr)
 	return ReplayResult{
 		Program:  s.Program,
@@ -283,6 +301,15 @@ func replay(tr *trace.Trace, opts TraceOptions, reg *obs.Registry) ReplayResult 
 		Races:    det.Reports(),
 		Stats:    det.Stats(),
 	}
+}
+
+// replay runs the trace-replay job body. Detector work counters are
+// published into reg (nil-safe) so replay jobs show up in the same
+// ddrace_detector_* exposition series as full simulation runs.
+func replay(tr *trace.Trace, opts TraceOptions, reg *obs.Registry) ReplayResult {
+	det := trace.Replay(tr, detectorOptions(opts))
+	runner.PublishDetectorStats(reg, det.Stats())
+	return replayResultFrom(tr, det)
 }
 
 // Job is the service's unit of work. Fields are mutated only under the

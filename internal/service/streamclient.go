@@ -1,0 +1,211 @@
+package service
+
+// Client-side streaming upload: the chunked counterpart to SubmitTrace.
+// StreamTrace splits a trace into CRC-tagged chunks, pushes them through a
+// resumable session, watches partial race reports as the server analyzes
+// mid-stream, and commits. Every wire call goes through roundTrip, so the
+// client's Options (per-attempt timeouts, retries, Retry-After floors)
+// govern chunk pushes exactly as they govern submissions.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"demandrace/internal/ingest"
+)
+
+// Streaming wire documents, shared with the server by construction: the
+// service layer serves the ingest types verbatim, and the client decodes
+// into the same types, so the two cannot drift.
+type (
+	// TraceSession is the session snapshot from open/status calls.
+	TraceSession = ingest.SessionStatus
+	// ChunkAck acknowledges one chunk write.
+	ChunkAck = ingest.Ack
+	// PartialReport is the mid-stream race report.
+	PartialReport = ingest.Partial
+)
+
+// StreamOptions shape a StreamTrace call.
+type StreamOptions struct {
+	// ChunkBytes is the split size (default 1 MiB, clamped to the server's
+	// advertised max_chunk_bytes).
+	ChunkBytes int
+	// OnPartial, when set, is called with a fresh partial report each time
+	// a chunk ack shows new races — the client-side face of
+	// analyze-while-receiving.
+	OnPartial func(PartialReport)
+	// FaultAfter, when positive, injects one simulated connection drop
+	// after that many chunks have been acked: idle connections are torn
+	// down and the upload resumes from the server's high-water mark,
+	// re-sending one chunk to exercise the duplicate-ack path. This is the
+	// resume machinery made testable end-to-end (ddrace -stream-fault, the
+	// cluster smoke test); production uploads leave it zero.
+	FaultAfter int
+}
+
+// OpenTrace opens a streaming upload session (POST /v1/traces).
+func (c *Client) OpenTrace(ctx context.Context, opts TraceOptions) (TraceSession, error) {
+	u := c.BaseURL + "/v1/traces"
+	if q := traceOptionsQuery(opts); q != "" {
+		u += "?" + q
+	}
+	var ts TraceSession
+	err := c.doJSON(ctx, &ts, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	})
+	return ts, err
+}
+
+// PutChunk uploads one chunk (PUT /v1/traces/{id}/chunks/{seq}) with its
+// CRC-32C declared in the request header. Retries replay the body under
+// the client's Options; duplicate acks from a retried send are normal.
+func (c *Client) PutChunk(ctx context.Context, session string, seq uint64, data []byte) (ChunkAck, error) {
+	u := fmt.Sprintf("%s/v1/traces/%s/chunks/%d", c.BaseURL, url.PathEscape(session), seq)
+	crc := strconv.FormatUint(uint64(ingest.Checksum(data)), 10)
+	var ack ChunkAck
+	err := c.doJSON(ctx, &ack, func(ctx context.Context) (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, u, bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		req.Header.Set(ChunkCRCHeader, crc)
+		return req, nil
+	})
+	return ack, err
+}
+
+// TraceSessionStatus fetches a session snapshot (GET /v1/traces/{id}) —
+// the resume handle: high_water is the next chunk the server expects.
+func (c *Client) TraceSessionStatus(ctx context.Context, session string) (TraceSession, error) {
+	var ts TraceSession
+	err := c.doJSON(ctx, &ts, c.get("/v1/traces/"+url.PathEscape(session)))
+	return ts, err
+}
+
+// CommitTrace seals a session (POST /v1/traces/{id}/commit) and returns
+// the born-done job's status.
+func (c *Client) CommitTrace(ctx context.Context, session string) (Status, error) {
+	return c.doStatus(ctx, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodPost,
+			c.BaseURL+"/v1/traces/"+url.PathEscape(session)+"/commit", nil)
+	})
+}
+
+// Partial fetches the races found so far (GET /v1/jobs/{id}/partial); id
+// is a session ID mid-stream or a job ID after commit.
+func (c *Client) Partial(ctx context.Context, id string) (PartialReport, error) {
+	var p PartialReport
+	err := c.doJSON(ctx, &p, c.get("/v1/jobs/"+url.PathEscape(id)+"/partial"))
+	return p, err
+}
+
+// StreamTrace uploads raw as a chunked resumable session and commits it,
+// returning the sealed job's status. Transport failures mid-stream resync
+// from the server's high-water mark (re-sending at most one chunk, which
+// the server acks as a duplicate), so a dropped connection costs one
+// chunk of progress, not the upload.
+func (c *Client) StreamTrace(ctx context.Context, raw []byte, opts TraceOptions, sopts StreamOptions) (Status, error) {
+	ts, err := c.OpenTrace(ctx, opts)
+	if err != nil {
+		return Status{}, err
+	}
+	chunkBytes := sopts.ChunkBytes
+	if chunkBytes <= 0 {
+		chunkBytes = 1 << 20
+	}
+	if ts.MaxChunkBytes > 0 && int64(chunkBytes) > ts.MaxChunkBytes {
+		chunkBytes = int(ts.MaxChunkBytes)
+	}
+	var chunks [][]byte
+	for off := 0; off < len(raw); off += chunkBytes {
+		end := off + chunkBytes
+		if end > len(raw) {
+			end = len(raw)
+		}
+		chunks = append(chunks, raw[off:end])
+	}
+
+	var (
+		seenRaces int
+		faulted   bool
+		resyncs   int
+	)
+	for seq := 0; seq < len(chunks); {
+		ack, err := c.PutChunk(ctx, ts.Session, uint64(seq), chunks[seq])
+		if err != nil {
+			if _, isAPI := err.(*APIError); isAPI || ctx.Err() != nil {
+				return Status{}, err
+			}
+			// Transport failure: the chunk may or may not have landed.
+			// Resync from the server's view and continue from there.
+			resyncs++
+			if resyncs > c.Options.Retries+2 {
+				return Status{}, fmt.Errorf("service: streaming upload: %w", err)
+			}
+			cur, serr := c.TraceSessionStatus(ctx, ts.Session)
+			if serr != nil {
+				return Status{}, fmt.Errorf("service: resyncing after %v: %w", err, serr)
+			}
+			seq = int(cur.HighWater)
+			continue
+		}
+		seq = int(ack.HighWater)
+		if sopts.OnPartial != nil && ack.Races > seenRaces {
+			if p, perr := c.Partial(ctx, ts.Session); perr == nil {
+				seenRaces = len(p.Races)
+				sopts.OnPartial(p)
+			}
+		}
+		if !faulted && sopts.FaultAfter > 0 && seq >= sopts.FaultAfter && seq < len(chunks) {
+			// Injected drop: tear down connections, forget local progress,
+			// and recover purely through the resume protocol.
+			faulted = true
+			c.http().CloseIdleConnections()
+			cur, serr := c.TraceSessionStatus(ctx, ts.Session)
+			if serr != nil {
+				return Status{}, fmt.Errorf("service: resuming after injected fault: %w", serr)
+			}
+			if cur.HighWater > 0 {
+				seq = int(cur.HighWater) - 1 // re-send one → duplicate ack
+			} else {
+				seq = 0
+			}
+		}
+	}
+	return c.CommitTrace(ctx, ts.Session)
+}
+
+// doJSON runs a request through roundTrip and decodes the success body.
+func (c *Client) doJSON(ctx context.Context, out any, build func(ctx context.Context) (*http.Request, error)) error {
+	r, err := c.roundTrip(ctx, build)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(r.body, out); err != nil {
+		return fmt.Errorf("service: decoding daemon response: %w", err)
+	}
+	return nil
+}
+
+// traceOptionsQuery renders the options as the query string both upload
+// paths accept.
+func traceOptionsQuery(opts TraceOptions) string {
+	q := url.Values{}
+	if opts.FullVC {
+		q.Set("fullvc", "1")
+	}
+	if opts.MaxReports != 0 {
+		q.Set("max_reports", strconv.Itoa(opts.MaxReports))
+	}
+	if opts.TimeoutMS != 0 {
+		q.Set("timeout_ms", strconv.FormatInt(opts.TimeoutMS, 10))
+	}
+	return q.Encode()
+}

@@ -1,0 +1,217 @@
+package trace_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"demandrace/internal/demand"
+	"demandrace/internal/detector"
+	"demandrace/internal/program"
+	"demandrace/internal/trace"
+	"demandrace/internal/vclock"
+)
+
+// encodeTrace renders tr to its binary form.
+func encodeTrace(t *testing.T, tr *trace.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.EncodeBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// feedAll pushes raw through a StreamDecoder in chunks of the given size
+// and returns the reassembled trace.
+func feedAll(t *testing.T, raw []byte, chunk int, lim trace.DecodeLimits) *trace.Trace {
+	t.Helper()
+	dec := trace.NewStreamDecoder(lim)
+	var events []trace.Event
+	for off := 0; off < len(raw); off += chunk {
+		end := off + chunk
+		if end > len(raw) {
+			end = len(raw)
+		}
+		evs, err := dec.Feed(raw[off:end])
+		if err != nil {
+			t.Fatalf("Feed at offset %d: %v", off, err)
+		}
+		events = append(events, evs...)
+	}
+	if err := dec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return &trace.Trace{Program: dec.Program(), Events: events}
+}
+
+func TestStreamDecoderMatchesBatch(t *testing.T) {
+	tr := recordedTrace(t, "racy_counter", demand.Continuous)
+	raw := encodeTrace(t, tr)
+	want, err := trace.DecodeBinary(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chunk sizes crossing every boundary class: single bytes (every event
+	// split mid-field), primes, and one-shot.
+	for _, chunk := range []int{1, 3, 7, 64, 1 << 20} {
+		got := feedAll(t, raw, chunk, trace.DecodeLimits{})
+		if got.Program != want.Program {
+			t.Fatalf("chunk %d: program %q, want %q", chunk, got.Program, want.Program)
+		}
+		if !reflect.DeepEqual(got.Events, want.Events) {
+			t.Fatalf("chunk %d: events differ from batch decode", chunk)
+		}
+	}
+}
+
+func TestStreamDecoderBarrierAndMarks(t *testing.T) {
+	// Hand-built trace exercising parties and labels, which have their own
+	// variable-length encodings.
+	rec := trace.NewRecorder("synthetic")
+	rec.RecordMark(0, 0, "init")
+	rec.RecordOp(1, 1, program.Op{Kind: program.OpStore, Addr: 64}, true, true)
+	rec.RecordBarrier(0, []vclock.TID{0, 1, 2}, true)
+	rec.RecordMark(2, 0, "teardown phase with a longer label")
+	raw := encodeTrace(t, rec.Trace())
+	want, err := trace.DecodeBinary(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := feedAll(t, raw, 1, trace.DecodeLimits{})
+	if !reflect.DeepEqual(got.Events, want.Events) {
+		t.Fatalf("1-byte stream decode differs from batch:\n got %+v\nwant %+v", got.Events, want.Events)
+	}
+}
+
+func TestStreamDecoderLimits(t *testing.T) {
+	tr := recordedTrace(t, "racy_flag", demand.Continuous)
+	raw := encodeTrace(t, tr)
+
+	t.Run("bytes", func(t *testing.T) {
+		cap := int64(len(raw) - 1)
+		dec := trace.NewStreamDecoder(trace.DecodeLimits{MaxBytes: cap})
+		var lastErr error
+		for off := 0; off < len(raw) && lastErr == nil; off += 100 {
+			end := off + 100
+			if end > len(raw) {
+				end = len(raw)
+			}
+			_, lastErr = dec.Feed(raw[off:end])
+		}
+		var lim *trace.LimitError
+		if !errors.As(lastErr, &lim) || lim.What != "bytes" {
+			t.Fatalf("want bytes LimitError, got %v", lastErr)
+		}
+		if lim.Limit != uint64(cap) || lim.Got != uint64(cap) {
+			t.Fatalf("limit error fields %+v want Limit=Got=%d (batch parity)", lim, cap)
+		}
+		// Sticky: a later feed repeats the error.
+		if _, err := dec.Feed([]byte{0}); !errors.As(err, &lim) {
+			t.Fatalf("error not sticky: %v", err)
+		}
+	})
+
+	t.Run("events", func(t *testing.T) {
+		dec := trace.NewStreamDecoder(trace.DecodeLimits{MaxEvents: 1})
+		_, err := dec.Feed(raw)
+		var lim *trace.LimitError
+		if !errors.As(err, &lim) || lim.What != "events" {
+			t.Fatalf("want events LimitError, got %v", err)
+		}
+	})
+
+	t.Run("badmagic", func(t *testing.T) {
+		dec := trace.NewStreamDecoder(trace.DecodeLimits{})
+		if _, err := dec.Feed([]byte("NOPE....")); err == nil {
+			t.Fatal("bad magic accepted")
+		}
+	})
+
+	t.Run("truncated", func(t *testing.T) {
+		dec := trace.NewStreamDecoder(trace.DecodeLimits{})
+		if _, err := dec.Feed(raw[:len(raw)/2]); err != nil {
+			t.Fatalf("prefix feed failed: %v", err)
+		}
+		if err := dec.Finish(); err == nil {
+			t.Fatal("Finish accepted a truncated stream")
+		}
+	})
+
+	t.Run("trailing", func(t *testing.T) {
+		dec := trace.NewStreamDecoder(trace.DecodeLimits{})
+		if _, err := dec.Feed(raw); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.Feed([]byte{0xFF}); err == nil {
+			t.Fatal("trailing bytes accepted")
+		}
+	})
+}
+
+func TestLiveReplayMatchesBatch(t *testing.T) {
+	for _, kernel := range []string{"racy_counter", "racy_flag", "histogram", "micro_false_sharing"} {
+		for _, opt := range []detector.Options{
+			{MaxReportsPerAddr: 1},
+			{MaxReportsPerAddr: -1, FullVC: true},
+		} {
+			tr := recordedTrace(t, kernel, demand.Continuous)
+			want := trace.Replay(tr, opt)
+
+			live := trace.NewLiveReplay(opt)
+			for _, e := range tr.Events {
+				live.Apply(e)
+			}
+			got := live.Detector()
+			if !reflect.DeepEqual(got.Reports(), want.Reports()) {
+				t.Fatalf("%s %+v: live reports differ from batch", kernel, opt)
+			}
+			if got.Stats() != want.Stats() {
+				t.Fatalf("%s %+v: live stats %+v, want %+v", kernel, opt, got.Stats(), want.Stats())
+			}
+		}
+	}
+}
+
+func TestLiveReplayRebuildsOnLateDims(t *testing.T) {
+	// Threads and sync objects appear in increasing order, forcing a
+	// rebuild per growth step; the result must still match batch replay.
+	rec := trace.NewRecorder("late-dims")
+	rec.RecordOp(0, 0, program.Op{Kind: program.OpStore, Addr: 64}, true, true)  // store t0
+	rec.RecordOp(1, 1, program.Op{Kind: program.OpLoad, Addr: 64}, true, true)   // load t1 → race
+	rec.RecordOp(2, 0, program.Op{Kind: program.OpStore, Addr: 128}, true, true) // t2 appears
+	rec.RecordBarrier(0, []vclock.TID{0, 1, 2, 3}, true)                         // t3 via parties
+	rec.RecordOp(3, 1, program.Op{Kind: program.OpLoad, Addr: 128}, false, true) // post-barrier
+	tr := rec.Trace()
+
+	opt := detector.Options{MaxReportsPerAddr: -1}
+	want := trace.Replay(tr, opt)
+	live := trace.NewLiveReplay(opt)
+	for _, e := range tr.Events {
+		live.Apply(e)
+	}
+	if live.Rebuilds() < 2 {
+		t.Fatalf("expected multiple rebuilds, got %d", live.Rebuilds())
+	}
+	if !reflect.DeepEqual(live.Detector().Reports(), want.Reports()) {
+		t.Fatalf("reports differ:\n live %+v\nbatch %+v", live.Detector().Reports(), want.Reports())
+	}
+	if live.Detector().Stats() != want.Stats() {
+		t.Fatalf("stats differ: live %+v batch %+v", live.Detector().Stats(), want.Stats())
+	}
+	threads, _, _ := live.Dims()
+	if wt, _, _ := tr.Dims(); threads != wt {
+		t.Fatalf("live threads %d, trace dims %d", threads, wt)
+	}
+}
+
+func TestLiveReplayEmptyDetector(t *testing.T) {
+	live := trace.NewLiveReplay(detector.Options{})
+	if live.Races() != nil {
+		t.Fatal("empty replay has races")
+	}
+	if live.Detector() == nil {
+		t.Fatal("empty replay returned nil detector")
+	}
+}

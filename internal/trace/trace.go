@@ -107,35 +107,44 @@ func Replay(tr *Trace, opt detector.Options) *detector.Detector {
 	threads, mutexes, sems := tr.Dims()
 	det := detector.New(threads, mutexes, sems, opt)
 	for _, e := range tr.Events {
-		if e.Kind == program.OpMark {
-			det.SetRegion(e.TID, e.Str)
-			continue
-		}
-		if !e.Analyzed {
-			continue
-		}
-		switch e.Kind {
-		case program.OpLoad:
-			det.OnRead(e.TID, e.Addr)
-		case program.OpStore:
-			det.OnWrite(e.TID, e.Addr)
-		case program.OpAtomicLoad:
-			det.OnAtomicLoad(e.TID, e.Addr)
-		case program.OpAtomicStore:
-			det.OnAtomicStore(e.TID, e.Addr)
-		case program.OpLock:
-			det.OnLock(e.TID, e.Sync)
-		case program.OpUnlock:
-			det.OnUnlock(e.TID, e.Sync)
-		case program.OpSignal:
-			det.OnSignal(e.TID, e.Sync)
-		case program.OpWait:
-			det.OnWait(e.TID, e.Sync)
-		case program.OpBarrier:
-			det.OnBarrierRelease(e.Parties)
-		}
+		ApplyEvent(det, e)
 	}
 	return det
+}
+
+// ApplyEvent feeds one event into det: mark events always set the region,
+// everything else is gated on the event having been analyzed. This is the
+// single event→detector mapping — batch Replay and the streaming
+// LiveReplay both go through it, which is what makes their final detector
+// states identical on the same event sequence.
+func ApplyEvent(det *detector.Detector, e Event) {
+	if e.Kind == program.OpMark {
+		det.SetRegion(e.TID, e.Str)
+		return
+	}
+	if !e.Analyzed {
+		return
+	}
+	switch e.Kind {
+	case program.OpLoad:
+		det.OnRead(e.TID, e.Addr)
+	case program.OpStore:
+		det.OnWrite(e.TID, e.Addr)
+	case program.OpAtomicLoad:
+		det.OnAtomicLoad(e.TID, e.Addr)
+	case program.OpAtomicStore:
+		det.OnAtomicStore(e.TID, e.Addr)
+	case program.OpLock:
+		det.OnLock(e.TID, e.Sync)
+	case program.OpUnlock:
+		det.OnUnlock(e.TID, e.Sync)
+	case program.OpSignal:
+		det.OnSignal(e.TID, e.Sync)
+	case program.OpWait:
+		det.OnWait(e.TID, e.Sync)
+	case program.OpBarrier:
+		det.OnBarrierRelease(e.Parties)
+	}
 }
 
 // Summary aggregates a trace's event population.
