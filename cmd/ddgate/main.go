@@ -17,6 +17,9 @@
 //	GET  /v1/results/{id}       fetch a report, byte-identical to the backend's
 //	GET  /v1/timeseries         fleet-wide metric history (gateway + backends)
 //	GET  /v1/events             live SSE stream, tailed from every backend
+//	                            (resumable: send Last-Event-ID to replay)
+//	GET  /v1/alerts             fleet alerts: ring-level rules + every backend's
+//	GET  /v1/dashboard          self-contained HTML ops console
 //	GET  /v1/stats              gateway counters + per-backend aggregation
 //	GET  /healthz               ring capacity (503 only when no backend is routable)
 //	GET  /metrics               Prometheus text exposition
@@ -44,6 +47,7 @@ import (
 
 	"demandrace/internal/cluster"
 	"demandrace/internal/obs"
+	"demandrace/internal/obs/alert"
 	olog "demandrace/internal/obs/log"
 	"demandrace/internal/service"
 	"demandrace/internal/version"
@@ -67,6 +71,7 @@ func main() {
 		statsTimeout  = flag.Duration("stats-timeout", 0, "per-backend /v1/stats and /v1/timeseries fetch timeout (0 = 2s default)")
 		tsInterval    = flag.Duration("ts-interval", 0, "time-series sampling period for /v1/timeseries (0 = 5s default)")
 		tsRetention   = flag.Duration("ts-retention", 0, "time-series history kept per metric (0 = 1h default)")
+		alertRules    = flag.String("alert-rules", "", "JSON file of alert rules evaluated each ts-interval tick (empty = compiled-in ring rules)")
 		versionFlag   = flag.Bool("version", false, "print the version and exit")
 	)
 	logFlags := olog.Register(flag.CommandLine, olog.FormatJSON)
@@ -84,6 +89,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddgate: -backends:", err)
 		os.Exit(2)
+	}
+	var rules []alert.Rule
+	if *alertRules != "" {
+		rules, err = alert.LoadRulesFile(*alertRules)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddgate:", err)
+			os.Exit(2)
+		}
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -103,6 +116,7 @@ func main() {
 			StatsTimeout:  *statsTimeout,
 			TSInterval:    *tsInterval,
 			TSRetention:   *tsRetention,
+			AlertRules:    rules,
 			Registry:      obs.NewRegistry(),
 			Log:           lg,
 		},

@@ -27,6 +27,11 @@
 //	ddrace -kernel kmeans -submit http://localhost:8318 -save-trace wf.json
 //	ddrace -stream out.drt -submit http://localhost:8318   # chunked resumable upload
 //	ddrace -watch http://localhost:8418        # tail the live cluster event feed
+//	ddrace -alerts http://localhost:8418       # tail only alert transitions as NDJSON
+//
+// The -watch and -alerts tails survive dropped connections: they reconnect
+// with backoff and send Last-Event-ID so the server replays missed events
+// from its retained ring.
 //
 // Wall-clock diagnostics (the batch timing table, structured progress
 // lines) go to stderr through a leveled logger; -log-level=error silences
@@ -38,6 +43,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -122,7 +128,8 @@ func run(args []string, out, diag io.Writer) error {
 		streamFlt = fs.Int("stream-fault", 0, "with -stream: inject one simulated connection drop after N chunks to exercise the resume protocol")
 		saveTrace = fs.String("save-trace", "", "with -submit: also fetch the job's server-side span waterfall and write the Chrome trace JSON to this file")
 		watchURL  = fs.String("watch", "", "tail the live event stream of a ddserved or ddgate at this base URL, printing one JSON event per line")
-		watchN    = fs.Int("watch-count", 0, "with -watch: exit after N events (0 = tail until interrupted)")
+		alertsURL = fs.String("alerts", "", "like -watch, but print only alert_firing/alert_resolved events")
+		watchN    = fs.Int("watch-count", 0, "with -watch/-alerts: exit after N events (0 = tail until interrupted)")
 		profOut   = fs.String("profile", "", "write a deterministic folded-stack cycle profile (flamegraph-ready) to this file and print the top sites")
 		profEvery = fs.Uint64("profile-every", 0, "cycle-profiler sampling period in simulated cycles (0 = default 1024)")
 		verFlag   = fs.Bool("version", false, "print the version and exit")
@@ -154,8 +161,16 @@ func run(args []string, out, diag io.Writer) error {
 		fmt.Fprint(out, tb)
 		return nil
 	}
+	if *watchURL != "" && *alertsURL != "" {
+		return fmt.Errorf("-watch and -alerts are exclusive modes")
+	}
 	if *watchURL != "" {
-		return watchEvents(out, *watchURL, *watchN)
+		return watchEvents(out, *watchURL, *watchN, nil)
+	}
+	if *alertsURL != "" {
+		return watchEvents(out, *alertsURL, *watchN, func(ev stream.Event) bool {
+			return ev.Type == stream.TypeAlertFiring || ev.Type == stream.TypeAlertResolved
+		})
 	}
 	if *saveTrace != "" && *submitURL == "" {
 		return fmt.Errorf("-save-trace needs -submit (local runs use -trace)")
@@ -520,41 +535,112 @@ func printReplayResult(out io.Writer, rr *service.ReplayResult, verbose bool) {
 }
 
 // watchEvents tails a server's GET /v1/events SSE feed and prints one
-// JSON object per event. This is an operator tail, inherently wall-clock:
-// nothing printed here is deterministic, which is why it is a standalone
-// mode that never mixes with report output. Ctrl-C (or reaching count)
-// ends the tail cleanly.
-func watchEvents(out io.Writer, base string, count int) error {
+// JSON object per event, skipping any that keep (when non-nil) rejects.
+// This is an operator tail, inherently wall-clock: nothing printed here is
+// deterministic, which is why it is a standalone mode that never mixes
+// with report output. Ctrl-C (or reaching count) ends the tail cleanly.
+//
+// A dropped connection is not fatal: the tail reconnects with exponential
+// backoff (500ms doubling to 5s, reset once events flow again), sending
+// Last-Event-ID so the server replays what the outage missed from its
+// retained ring. Only an HTTP error status — a server that is up but says
+// no — ends the tail with an error.
+func watchEvents(out io.Writer, base string, count int, keep func(stream.Event) bool) error {
 	url := strings.TrimRight(base, "/") + "/v1/events"
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("-watch: %s answered %d", url, resp.StatusCode)
-	}
-	enc := json.NewEncoder(out)
-	dec := stream.NewDecoder(resp.Body)
-	for printed := 0; count <= 0 || printed < count; printed++ {
-		ev, err := dec.Next()
-		if err != nil {
-			if ctx.Err() != nil {
-				return nil // interrupted: a clean end to a tail
+
+	const (
+		backoffMin = 500 * time.Millisecond
+		backoffMax = 5 * time.Second
+	)
+	var (
+		enc     = json.NewEncoder(out)
+		printed = 0
+		lastSeq uint64 // highest stamped Seq seen, for resume
+		resumed = false
+		backoff = backoffMin
+		conns   = 0
+	)
+	for {
+		conns++
+		err := func() error {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+			if err != nil {
+				return err
 			}
-			return fmt.Errorf("-watch: reading event stream: %w", err)
+			if resumed {
+				req.Header.Set("Last-Event-ID", fmt.Sprint(lastSeq))
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return &watchHTTPError{url: url, status: resp.StatusCode}
+			}
+			dec := stream.NewDecoder(resp.Body)
+			for {
+				ev, err := dec.Next()
+				if err != nil {
+					return err
+				}
+				backoff = backoffMin // events flow: the link is healthy
+				if ev.Type == stream.TypeHello && conns > 1 {
+					continue // one greeting per tail, not per reconnect
+				}
+				if ev.Seq > 0 {
+					// A replayed event can arrive twice across a
+					// reconnect race; the Seq watermark dedups it.
+					if resumed && ev.Seq <= lastSeq {
+						continue
+					}
+					lastSeq, resumed = ev.Seq, true
+				}
+				if keep != nil && !keep(ev) {
+					continue
+				}
+				if err := enc.Encode(ev); err != nil {
+					return err
+				}
+				if printed++; count > 0 && printed >= count {
+					return errWatchDone
+				}
+			}
+		}()
+		switch {
+		case ctx.Err() != nil:
+			return nil // interrupted: a clean end to a tail
+		case err == errWatchDone:
+			return nil
+		case errors.As(err, new(*watchHTTPError)):
+			return err // the server answered and refused; retrying won't help
 		}
-		if err := enc.Encode(ev); err != nil {
-			return err
+		// Transport-level drop (dial failure, reset, EOF): wait and retry.
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > backoffMax {
+			backoff = backoffMax
 		}
 	}
-	return nil
+}
+
+// errWatchDone ends the tail loop when -watch-count is satisfied.
+var errWatchDone = errors.New("watch count reached")
+
+// watchHTTPError is a server-side refusal (non-200), which unlike a
+// transport drop is not worth retrying.
+type watchHTTPError struct {
+	url    string
+	status int
+}
+
+func (e *watchHTTPError) Error() string {
+	return fmt.Sprintf("event tail: %s answered %d", e.url, e.status)
 }
 
 func printReport(out io.Writer, rep *demandrace.Report, verbose bool) {

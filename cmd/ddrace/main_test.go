@@ -5,10 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func runCLI(t *testing.T, args ...string) string {
@@ -445,5 +449,120 @@ func TestLogLevelErrorSilencesBatchTiming(t *testing.T) {
 	}
 	if loud.Len() == 0 {
 		t.Error("default level suppressed batch timing diagnostics")
+	}
+}
+
+// sseHandler serves a canned SSE conversation: each connection writes its
+// script (indexed by connection number) and returns, closing the stream.
+func sseHandler(t *testing.T, scripts []string, lastIDs *[]string) http.HandlerFunc {
+	t.Helper()
+	var conn atomic.Int32
+	return func(w http.ResponseWriter, r *http.Request) {
+		n := int(conn.Add(1)) - 1
+		*lastIDs = append(*lastIDs, r.Header.Get("Last-Event-ID"))
+		if n >= len(scripts) {
+			// Out of script: hold the connection briefly so the tail does
+			// not spin, then drop it.
+			time.Sleep(50 * time.Millisecond)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		io.WriteString(w, scripts[n])
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+	}
+}
+
+func sseEvent(seq int, typ string) string {
+	return fmt.Sprintf("id: %d\nevent: %s\ndata: {\"seq\":%d,\"t\":1,\"type\":%q}\n\n", seq, typ, seq, typ)
+}
+
+// TestWatchReconnectsAndResumes: a dropped connection is retried with
+// Last-Event-ID, replayed duplicates are suppressed, and the second hello
+// is not reprinted.
+func TestWatchReconnectsAndResumes(t *testing.T) {
+	hello := "event: hello\ndata: {\"t\":1,\"type\":\"hello\",\"node\":\"n0\"}\n\n"
+	var lastIDs []string
+	srv := httptest.NewServer(sseHandler(t, []string{
+		hello + sseEvent(1, "job_queued"),                                          // conn 1, then drop
+		hello + sseEvent(1, "job_queued") + sseEvent(2, "job_started") + sseEvent(3, "job_done"), // conn 2 replays 1
+	}, &lastIDs))
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	// hello + seq 1..3 = 4 printed events; seq 1's replay must not count twice.
+	if err := run([]string{"-watch", srv.URL, "-watch-count", "4"}, &buf, io.Discard); err != nil {
+		t.Fatalf("-watch: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("printed %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	var types []string
+	for _, ln := range lines {
+		var ev struct {
+			Type string `json:"type"`
+			Seq  uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("line %q: %v", ln, err)
+		}
+		types = append(types, ev.Type)
+	}
+	want := []string{"hello", "job_queued", "job_started", "job_done"}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("printed types = %v, want %v", types, want)
+		}
+	}
+	if len(lastIDs) < 2 || lastIDs[0] != "" || lastIDs[1] != "1" {
+		t.Fatalf("Last-Event-ID per connection = %v, want [\"\" \"1\" ...]", lastIDs)
+	}
+}
+
+// TestAlertsFlagFiltersEvents: -alerts prints only alert transitions.
+func TestAlertsFlagFiltersEvents(t *testing.T) {
+	hello := "event: hello\ndata: {\"t\":1,\"type\":\"hello\"}\n\n"
+	var lastIDs []string
+	srv := httptest.NewServer(sseHandler(t, []string{
+		hello + sseEvent(1, "job_queued") + sseEvent(2, "alert_firing") +
+			sseEvent(3, "cache_hit") + sseEvent(4, "alert_resolved"),
+	}, &lastIDs))
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	if err := run([]string{"-alerts", srv.URL, "-watch-count", "2"}, &buf, io.Discard); err != nil {
+		t.Fatalf("-alerts: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("printed %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	for i, want := range []string{"alert_firing", "alert_resolved"} {
+		if !strings.Contains(lines[i], want) {
+			t.Fatalf("line %d = %q, want %s", i, lines[i], want)
+		}
+	}
+}
+
+// TestWatchHTTPErrorIsFatal: a server that answers an error status ends
+// the tail instead of retrying forever.
+func TestWatchHTTPErrorIsFatal(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	var buf bytes.Buffer
+	err := run([]string{"-watch", srv.URL}, &buf, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("error = %v, want a fatal 503", err)
+	}
+}
+
+func TestWatchAlertsExclusive(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-watch", "http://x", "-alerts", "http://y"}, &buf, io.Discard); err == nil {
+		t.Fatal("-watch with -alerts accepted")
 	}
 }

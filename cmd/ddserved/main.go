@@ -16,9 +16,12 @@
 //	GET  /v1/jobs/{id}/trace    Chrome-trace waterfall of one job's lifecycle
 //	GET  /v1/results/{id}       fetch the report of a done job
 //	GET  /v1/timeseries         sampled metric history (-ts-interval/-ts-retention)
-//	GET  /v1/events             live SSE stream of job and cache events
+//	GET  /v1/events             live SSE stream of job, cache, and alert events
+//	                            (resumable: send Last-Event-ID to replay)
+//	GET  /v1/alerts             active + recently resolved alerts (-alert-rules)
+//	GET  /v1/dashboard          self-contained HTML ops console
 //	GET  /v1/stats              latency percentiles, SLO budget, pool state
-//	GET  /healthz               liveness, drain state, queue-pressure degradation
+//	GET  /healthz               liveness, drain state, per-subsystem detail
 //	GET  /metrics               Prometheus text exposition
 //
 // Usage:
@@ -54,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"demandrace/internal/obs/alert"
 	olog "demandrace/internal/obs/log"
 	"demandrace/internal/service"
 	"demandrace/internal/store"
@@ -84,6 +88,7 @@ func main() {
 		sloTarget   = flag.Float64("slo-target", 0.99, "fraction of requests that must meet -slo-latency")
 		tsInterval  = flag.Duration("ts-interval", 0, "time-series sampling period for /v1/timeseries (0 = 5s default)")
 		tsRetention = flag.Duration("ts-retention", 0, "time-series history kept per metric (0 = 1h default)")
+		alertRules  = flag.String("alert-rules", "", "JSON file of alert rules evaluated each ts-interval tick (empty = compiled-in defaults)")
 		versionFlag = flag.Bool("version", false, "print the version and exit")
 	)
 	logFlags := olog.Register(flag.CommandLine, olog.FormatJSON)
@@ -96,6 +101,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddserved:", err)
 		os.Exit(2)
+	}
+	var rules []alert.Rule
+	if *alertRules != "" {
+		rules, err = alert.LoadRulesFile(*alertRules)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddserved:", err)
+			os.Exit(2)
+		}
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -123,6 +136,7 @@ func main() {
 			SLOTarget:        *sloTarget,
 			TSInterval:       *tsInterval,
 			TSRetention:      *tsRetention,
+			AlertRules:       rules,
 			Log:              lg,
 		},
 	}); err != nil {

@@ -1,0 +1,133 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+
+	"demandrace/internal/obs/alert"
+)
+
+// maxAlertBodyBytes bounds a backend's /v1/alerts response during
+// aggregation.
+const maxAlertBodyBytes = 1 << 20
+
+// BackendAlertStats is one backend's row in the fleet alert document.
+type BackendAlertStats struct {
+	Name string `json:"name"`
+	// Error is set when the backend's alert document could not be fetched
+	// (its own alerts are then missing from the merged view).
+	Error string `json:"error,omitempty"`
+	// Active and Firing count the backend's current alerts.
+	Active int `json:"active"`
+	Firing int `json:"firing"`
+}
+
+// FleetAlerts is the gateway's GET /v1/alerts document: its own
+// ring-level alerts merged with every reachable backend's, each entry
+// attributable through its node field.
+type FleetAlerts struct {
+	Node string `json:"node"`
+	// Active holds gateway + backend pending/firing alerts, most urgent
+	// first; History the merged resolved alerts, newest first.
+	Active  []alert.Alert `json:"active"`
+	History []alert.Alert `json:"history"`
+	// Rules is the gateway's own rule set (backends serve their own).
+	Rules []alert.Rule `json:"rules"`
+	// AlertErrors counts backends whose alert fetch failed — nonzero
+	// means this is a partial fleet view.
+	AlertErrors int `json:"alert_errors"`
+	// Backends summarizes per-backend alert state in configured order.
+	Backends []BackendAlertStats `json:"backends"`
+}
+
+// FleetAlerts fans out to every backend's /v1/alerts under the stats
+// timeout and merges the answers with the gateway's own engine state.
+func (g *Gateway) FleetAlerts(ctx context.Context) FleetAlerts {
+	doc := FleetAlerts{
+		Node:    g.cfg.Node,
+		Active:  g.alerts.Active(),
+		History: g.alerts.History(),
+		Rules:   g.alerts.Rules(),
+	}
+
+	type answer struct {
+		doc alert.Doc
+		err error
+	}
+	answers := make([]answer, len(g.backends))
+	var wg sync.WaitGroup
+	for i, b := range g.backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			sctx, cancel := context.WithTimeout(ctx, g.cfg.StatsTimeout)
+			defer cancel()
+			doc, err := fetchAlerts(sctx, g.client, b.URL)
+			answers[i] = answer{doc, err}
+		}(i, b)
+	}
+	wg.Wait()
+
+	for i, b := range g.backends {
+		row := BackendAlertStats{Name: b.Name}
+		if err := answers[i].err; err != nil {
+			row.Error = err.Error()
+			doc.AlertErrors++
+			g.log.Debug("backend alerts unavailable", "backend", b.Name, "error", err.Error())
+		} else {
+			for _, a := range answers[i].doc.Active {
+				row.Active++
+				if a.State == alert.StateFiring {
+					row.Firing++
+				}
+			}
+			doc.Active = append(doc.Active, answers[i].doc.Active...)
+			doc.History = append(doc.History, answers[i].doc.History...)
+		}
+		doc.Backends = append(doc.Backends, row)
+	}
+
+	sort.SliceStable(doc.Active, func(i, j int) bool {
+		a, b := doc.Active[i], doc.Active[j]
+		if (a.State == alert.StateFiring) != (b.State == alert.StateFiring) {
+			return a.State == alert.StateFiring
+		}
+		return a.SinceMS < b.SinceMS
+	})
+	sort.SliceStable(doc.History, func(i, j int) bool {
+		return doc.History[i].ResolvedMS > doc.History[j].ResolvedMS
+	})
+	return doc
+}
+
+// fetchAlerts reads one backend's alert document.
+func fetchAlerts(ctx context.Context, client *http.Client, base string) (alert.Doc, error) {
+	var doc alert.Doc
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/alerts", nil)
+	if err != nil {
+		return doc, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return doc, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return doc, fmt.Errorf("cluster: backend alerts answered HTTP %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(io.LimitReader(resp.Body, maxAlertBodyBytes)).Decode(&doc)
+	return doc, err
+}
+
+func (g *Gateway) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.FleetAlerts(r.Context()))
+}
+
+func (g *Gateway) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	alert.ServeConsole(w, g.cfg.Node)
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"demandrace/internal/obs"
+	"demandrace/internal/obs/alert"
 	olog "demandrace/internal/obs/log"
 	"demandrace/internal/obs/stream"
 	"demandrace/internal/obs/tracectx"
@@ -55,6 +56,13 @@ type Config struct {
 	// behind GET /v1/timeseries (defaults 5s and 1h).
 	TSInterval  time.Duration
 	TSRetention time.Duration
+	// AlertRules overrides the gateway's compiled-in ring-level alert
+	// rules (ddgate -alert-rules). Nil takes alert.GatewayDefaults over
+	// the configured backends. Invalid rule sets fail NewGateway.
+	AlertRules []alert.Rule
+	// AlertHistory bounds the resolved-alert history served by
+	// GET /v1/alerts (default alert.DefaultHistory).
+	AlertHistory int
 	// Node names this gateway in /v1/stats (default "ddgate").
 	Node string
 	// Registry receives gateway metrics. Nil builds a private one.
@@ -125,6 +133,7 @@ type Gateway struct {
 	bus      *stream.Bus
 	ts       *tsdb.DB
 	traces   *traceStore
+	alerts   *alert.Engine
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -200,6 +209,30 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		g.ring.Add(b.Name)
 	}
 	g.gRing.Set(int64(g.ring.Size()))
+	// The gateway's alert engine watches its own registry's history: ring
+	// membership, per-backend probe health, partial fleet-stats views.
+	rules := cfg.AlertRules
+	if rules == nil {
+		names := make([]string, 0, len(cfg.Backends))
+		for _, b := range cfg.Backends {
+			names = append(names, b.Name)
+		}
+		rules = alert.GatewayDefaults(len(cfg.Backends), names)
+	}
+	eng, err := alert.New(alert.Config{
+		Node:     cfg.Node,
+		Rules:    rules,
+		Source:   g.ts,
+		Bus:      g.bus,
+		Registry: cfg.Registry,
+		Log:      cfg.Log,
+		History:  cfg.AlertHistory,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.alerts = eng
+	g.ts.SetOnTick(eng.EvalNow)
 	return g, nil
 }
 
@@ -216,6 +249,10 @@ func (g *Gateway) Events() *stream.Bus { return g.bus }
 // TimeSeries returns the gateway's own metrics history; the HTTP layer
 // merges it with the backends' at GET /v1/timeseries.
 func (g *Gateway) TimeSeries() *tsdb.DB { return g.ts }
+
+// Alerts returns the gateway's own alert engine (ring-level rules); the
+// HTTP layer merges it with the backends' at GET /v1/alerts.
+func (g *Gateway) Alerts() *alert.Engine { return g.alerts }
 
 // Start launches the background loops: the health prober, the time-series
 // sampler, and one event tailer per backend (each follows the backend's

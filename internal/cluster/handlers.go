@@ -45,6 +45,8 @@ func (g *Gateway) routes() []route {
 		{"GET /v1/results/{id}", "get_result", false, false, g.handleResult},
 		{"GET /v1/timeseries", "get_timeseries", true, false, g.handleTimeseries},
 		{"GET /v1/events", "get_events", true, true, g.handleEvents},
+		{"GET /v1/alerts", "get_alerts", true, false, g.handleAlerts},
+		{"GET /v1/dashboard", "get_dashboard", true, false, g.handleDashboard},
 		{"GET /v1/stats", "get_stats", true, false, g.handleStats},
 		{"GET /healthz", "healthz", true, false, g.handleHealth},
 		{"GET /metrics", "metrics", true, false, g.handleMetrics},

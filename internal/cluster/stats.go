@@ -106,6 +106,10 @@ func (g *Gateway) Stats(ctx context.Context) ClusterStats {
 	}
 	wg.Wait()
 	cs.StatsErrors = int(errCount.Load())
+	// Record the partial-view count as a gauge so the fleet-stats-partial
+	// alert rule (and the tsdb) can see it; it reflects the most recent
+	// fan-out, refreshed on every stats poll.
+	g.reg.Gauge(obs.GateStatsErrors).Set(errCount.Load())
 
 	for _, bs := range cs.Backends {
 		if bs.Stats == nil {

@@ -1,0 +1,441 @@
+package alert
+
+import (
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"demandrace/internal/obs"
+	olog "demandrace/internal/obs/log"
+	"demandrace/internal/obs/stream"
+	"demandrace/internal/obs/tsdb"
+)
+
+// Engine metric names, registered alongside the metrics the rules watch
+// so alerting health is itself observable.
+const (
+	// MetricActive gauges currently pending + firing alerts.
+	MetricActive = "ddalert_active"
+	// MetricFiring gauges currently firing alerts.
+	MetricFiring = "ddalert_firing"
+	// MetricFired counts pending→firing transitions.
+	MetricFired = "ddalert_fired_total"
+	// MetricResolved counts firing→resolved transitions.
+	MetricResolved = "ddalert_resolved_total"
+)
+
+// Alert states.
+const (
+	StatePending  = "pending"
+	StateFiring   = "firing"
+	StateResolved = "resolved"
+)
+
+// Source is where the engine reads samples — satisfied by *tsdb.DB, and
+// by fakes in tests.
+type Source interface {
+	// Samples returns a series' kind and retained samples at or after
+	// since, oldest first; ok is false for a never-sampled metric.
+	Samples(metric string, since time.Time) (kind string, samples []tsdb.Sample, ok bool)
+}
+
+// Alert is one rule episode, as served by GET /v1/alerts.
+type Alert struct {
+	// Rule names the rule that produced this alert.
+	Rule string `json:"rule"`
+	// Severity is the rule's severity.
+	Severity string `json:"severity"`
+	// State is pending, firing, or resolved.
+	State string `json:"state"`
+	// Node names the process whose engine evaluated the rule.
+	Node string `json:"node,omitempty"`
+	// Value is the last evaluated observation; Threshold the rule's bound.
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	// Summary is the rule's operator explanation.
+	Summary string `json:"summary,omitempty"`
+	// SinceMS is when the condition first held (unix milliseconds);
+	// FiringSinceMS when the alert fired; ResolvedMS when it cleared.
+	SinceMS       int64 `json:"since_ms"`
+	FiringSinceMS int64 `json:"firing_since_ms,omitempty"`
+	ResolvedMS    int64 `json:"resolved_ms,omitempty"`
+}
+
+// Doc is the GET /v1/alerts response for a single engine.
+type Doc struct {
+	// Node names the responding process.
+	Node string `json:"node"`
+	// Active holds pending and firing alerts, most urgent first.
+	Active []Alert `json:"active"`
+	// History holds recently resolved alerts, newest first, bounded.
+	History []Alert `json:"history"`
+	// Rules is the evaluated rule set (normalized).
+	Rules []Rule `json:"rules"`
+}
+
+// DefaultHistory bounds the resolved-alert history ring.
+const DefaultHistory = 64
+
+// Config shapes an Engine.
+type Config struct {
+	// Node names this process on alerts and events.
+	Node string
+	// Rules is the validated rule set (see ParseRules / the *Defaults
+	// constructors).
+	Rules []Rule
+	// Source is the sample store rules evaluate against. Required.
+	Source Source
+	// Bus, when set, receives alert_firing / alert_resolved events.
+	Bus *stream.Bus
+	// Registry, when set, receives the Metric* engine metrics.
+	Registry *obs.Registry
+	// Log, when set, records transitions.
+	Log *slog.Logger
+	// History bounds the resolved-alert ring (default DefaultHistory).
+	History int
+	// Now overrides the clock (tests). Default time.Now.
+	Now func() time.Time
+}
+
+// episode is one rule's live lifecycle state.
+type episode struct {
+	state       string // "" (inactive), StatePending, or StateFiring
+	since       time.Time
+	firingSince time.Time
+	value       float64
+}
+
+// Engine evaluates rules against a Source once per EvalNow and owns the
+// alert lifecycle state.
+type Engine struct {
+	cfg   Config
+	rules []Rule
+
+	mu       sync.Mutex
+	episodes map[string]*episode
+	history  []Alert // newest last; served newest first
+}
+
+// New validates the rule set and builds an engine. No goroutine is
+// started: hang EvalNow on a tsdb tick via (*tsdb.DB).SetOnTick.
+func New(cfg Config) (*Engine, error) {
+	rules := make([]Rule, 0, len(cfg.Rules))
+	seen := make(map[string]bool, len(cfg.Rules))
+	for _, r := range cfg.Rules {
+		nr, err := r.normalized()
+		if err != nil {
+			return nil, err
+		}
+		if seen[nr.Name] {
+			return nil, &duplicateRuleError{nr.Name}
+		}
+		seen[nr.Name] = true
+		rules = append(rules, nr)
+	}
+	if cfg.History <= 0 {
+		cfg.History = DefaultHistory
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Log == nil {
+		cfg.Log = olog.Discard()
+	}
+	return &Engine{
+		cfg:      cfg,
+		rules:    rules,
+		episodes: make(map[string]*episode, len(rules)),
+	}, nil
+}
+
+type duplicateRuleError struct{ name string }
+
+func (e *duplicateRuleError) Error() string { return "alert: duplicate rule name " + e.name }
+
+// Rules returns the normalized rule set.
+func (e *Engine) Rules() []Rule {
+	out := make([]Rule, len(e.rules))
+	copy(out, e.rules)
+	return out
+}
+
+// EvalNow evaluates every rule once against the source's current samples
+// and advances the lifecycle state machine. Transition events publish to
+// the bus exactly once per edge.
+func (e *Engine) EvalNow() {
+	now := e.cfg.Now()
+	type edge struct {
+		typ   string
+		alert Alert
+	}
+	var edges []edge
+
+	e.mu.Lock()
+	for i := range e.rules {
+		r := &e.rules[i]
+		value, condTrue := e.evalRule(r, now)
+		ep := e.episodes[r.Name]
+		if ep == nil {
+			ep = &episode{}
+			e.episodes[r.Name] = ep
+		}
+		ep.value = value
+		switch {
+		case condTrue && ep.state == "":
+			ep.since = now
+			if r.For <= 0 {
+				ep.state = StateFiring
+				ep.firingSince = now
+				edges = append(edges, edge{stream.TypeAlertFiring, e.alertLocked(r, ep, StateFiring)})
+			} else {
+				ep.state = StatePending
+			}
+		case condTrue && ep.state == StatePending:
+			if now.Sub(ep.since) >= time.Duration(r.For) {
+				ep.state = StateFiring
+				ep.firingSince = now
+				edges = append(edges, edge{stream.TypeAlertFiring, e.alertLocked(r, ep, StateFiring)})
+			}
+		case !condTrue && ep.state == StatePending:
+			// Never fired: quietly reset, no event.
+			*ep = episode{}
+		case !condTrue && ep.state == StateFiring:
+			resolved := e.alertLocked(r, ep, StateResolved)
+			resolved.ResolvedMS = now.UnixMilli()
+			e.history = append(e.history, resolved)
+			if excess := len(e.history) - e.cfg.History; excess > 0 {
+				e.history = append(e.history[:0], e.history[excess:]...)
+			}
+			edges = append(edges, edge{stream.TypeAlertResolved, resolved})
+			*ep = episode{}
+		}
+	}
+	var pending, firing int
+	for _, ep := range e.episodes {
+		switch ep.state {
+		case StatePending:
+			pending++
+		case StateFiring:
+			firing++
+		}
+	}
+	e.mu.Unlock()
+
+	if reg := e.cfg.Registry; reg != nil {
+		reg.Gauge(MetricActive).Set(int64(pending + firing))
+		reg.Gauge(MetricFiring).Set(int64(firing))
+	}
+	for _, ed := range edges {
+		if reg := e.cfg.Registry; reg != nil {
+			switch ed.typ {
+			case stream.TypeAlertFiring:
+				reg.Counter(MetricFired).Add(1)
+			case stream.TypeAlertResolved:
+				reg.Counter(MetricResolved).Add(1)
+			}
+		}
+		e.cfg.Log.Warn("alert transition",
+			"rule", ed.alert.Rule,
+			"state", ed.alert.State,
+			"severity", ed.alert.Severity,
+			"value", ed.alert.Value,
+			"threshold", ed.alert.Threshold)
+		e.cfg.Bus.Publish(stream.Event{
+			Type: ed.typ,
+			Detail: map[string]string{
+				"rule":      ed.alert.Rule,
+				"severity":  ed.alert.Severity,
+				"state":     ed.alert.State,
+				"value":     fmtFloat(ed.alert.Value),
+				"threshold": fmtFloat(ed.alert.Threshold),
+				"summary":   ed.alert.Summary,
+			},
+		})
+	}
+}
+
+// alertLocked snapshots an episode as an Alert. Caller holds e.mu.
+func (e *Engine) alertLocked(r *Rule, ep *episode, state string) Alert {
+	a := Alert{
+		Rule:      r.Name,
+		Severity:  r.Severity,
+		State:     state,
+		Node:      e.cfg.Node,
+		Value:     ep.value,
+		Threshold: r.Value,
+		Summary:   r.Summary,
+		SinceMS:   ep.since.UnixMilli(),
+	}
+	if !ep.firingSince.IsZero() {
+		a.FiringSinceMS = ep.firingSince.UnixMilli()
+	}
+	return a
+}
+
+// evalRule computes one rule's current observation and whether the
+// condition holds. Missing data reads as "condition not met". Caller
+// holds e.mu (the source has its own lock; no lock ordering cycle — the
+// source never calls back into the engine).
+func (e *Engine) evalRule(r *Rule, now time.Time) (float64, bool) {
+	src := e.cfg.Source
+	if r.When != nil {
+		_, gs, ok := src.Samples(r.When.Metric, time.Time{})
+		if !ok || len(gs) == 0 || !compare(r.When.Op, gs[len(gs)-1].Value, r.When.Value) {
+			return 0, false
+		}
+	}
+	switch r.Kind {
+	case KindThreshold:
+		_, ss, ok := src.Samples(r.Metric, time.Time{})
+		if !ok || len(ss) == 0 {
+			return 0, false
+		}
+		v := ss[len(ss)-1].Value
+		return v, compare(r.Op, v, r.Value)
+	case KindRate:
+		since := now.Add(-time.Duration(r.Window))
+		kind, ss, ok := src.Samples(r.Metric, since)
+		if !ok {
+			return 0, false
+		}
+		var v float64
+		if kind == tsdb.KindCounter {
+			// Counter series are per-tick deltas: the windowed increase is
+			// their sum; an empty window is a legitimate zero.
+			for _, s := range ss {
+				v += s.Value
+			}
+		} else {
+			if len(ss) < 2 {
+				return 0, false
+			}
+			v = ss[len(ss)-1].Value - ss[0].Value
+		}
+		return v, compare(r.Op, v, r.Value)
+	case KindRatio:
+		since := now.Add(-time.Duration(r.Window))
+		num, numOK := sumSince(src, r.Metric, since)
+		den := 0.0
+		for _, m := range r.Denominator {
+			s, _ := sumSince(src, m, since)
+			den += s
+		}
+		if !numOK || den < r.MinCount {
+			return 0, false
+		}
+		v := num / den
+		return v, compare(r.Op, v, r.Value)
+	case KindBurnRate:
+		budget := 1 - r.Target
+		longSince := now.Add(-time.Duration(r.Window))
+		shortSince := now.Add(-time.Duration(r.ShortWindow))
+		burn := func(since time.Time) (float64, float64) {
+			bad, _ := sumSince(src, r.Metric, since)
+			total := 0.0
+			for _, m := range r.Denominator {
+				s, _ := sumSince(src, m, since)
+				total += s
+			}
+			return bad, total
+		}
+		badL, totalL := burn(longSince)
+		badS, totalS := burn(shortSince)
+		if totalL < r.MinCount || totalS <= 0 {
+			return 0, false
+		}
+		burnL := (badL / totalL) / budget
+		burnS := (badS / totalS) / budget
+		// Both windows must burn too fast: the long window proves it is
+		// sustained, the short window proves it is still happening.
+		return burnL, burnL > r.Value && burnS > r.Value
+	}
+	return 0, false
+}
+
+// sumSince totals a series' samples in the window; ok is false for a
+// never-sampled metric.
+func sumSince(src Source, metric string, since time.Time) (float64, bool) {
+	_, ss, ok := src.Samples(metric, since)
+	if !ok {
+		return 0, false
+	}
+	var v float64
+	for _, s := range ss {
+		v += s.Value
+	}
+	return v, true
+}
+
+// Active returns pending and firing alerts, firing first, then by
+// severity (critical first), then by rule name.
+func (e *Engine) Active() []Alert {
+	e.mu.Lock()
+	out := make([]Alert, 0, len(e.episodes))
+	for i := range e.rules {
+		r := &e.rules[i]
+		ep := e.episodes[r.Name]
+		if ep == nil || ep.state == "" {
+			continue
+		}
+		out = append(out, e.alertLocked(r, ep, ep.state))
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].State != out[j].State {
+			return out[i].State == StateFiring
+		}
+		if a, b := sevRank(out[i].Severity), sevRank(out[j].Severity); a != b {
+			return a > b
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+func sevRank(s string) int {
+	switch s {
+	case SevCritical:
+		return 2
+	case SevWarning:
+		return 1
+	}
+	return 0
+}
+
+// History returns resolved alerts, newest first.
+func (e *Engine) History() []Alert {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Alert, 0, len(e.history))
+	for i := len(e.history) - 1; i >= 0; i-- {
+		out = append(out, e.history[i])
+	}
+	return out
+}
+
+// Counts returns the current pending and firing alert counts — the
+// /healthz subsystem summary.
+func (e *Engine) Counts() (pending, firing int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, ep := range e.episodes {
+		switch ep.state {
+		case StatePending:
+			pending++
+		case StateFiring:
+			firing++
+		}
+	}
+	return pending, firing
+}
+
+// Doc assembles the GET /v1/alerts response.
+func (e *Engine) Doc() Doc {
+	return Doc{
+		Node:    e.cfg.Node,
+		Active:  e.Active(),
+		History: e.History(),
+		Rules:   e.Rules(),
+	}
+}

@@ -1,0 +1,270 @@
+// Package alert is the fleet's watchdog layer: a declarative rule engine
+// evaluated on the tsdb sampling tick that turns recorded history —
+// counter deltas, gauges, the SLO error budget — into a pending → firing
+// → resolved alert lifecycle an operator can act on.
+//
+// Rules are data, not code: a JSON file loaded at startup (or compiled-in
+// defaults derived from the service configuration) declares what to
+// watch, and the engine walks every rule once per sample tick. Alert
+// state transitions are deduplicated by construction — each rule emits
+// exactly one alert_firing and one alert_resolved event per episode, no
+// matter how many ticks the condition holds — so the SSE bus carries
+// actionable edges, not level noise.
+package alert
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+)
+
+// Rule kinds.
+const (
+	// KindThreshold compares the latest sample of a metric against value.
+	KindThreshold = "threshold"
+	// KindRate compares the windowed increase of a metric against value:
+	// counter series sum their per-tick deltas over the window, gauges use
+	// last-minus-first.
+	KindRate = "rate"
+	// KindRatio compares sum(metric)/sum(denominator...) over the window
+	// against value, gated on min_count total denominator traffic.
+	KindRatio = "ratio"
+	// KindBurnRate is the multi-window SLO burn-rate check: the breach
+	// fraction over both the long window and the short window, each
+	// divided by the error budget (1 - target), must exceed value. The
+	// short window keeps a long-expired breach spike from alerting; the
+	// long window keeps a momentary blip from alerting.
+	KindBurnRate = "burn_rate"
+)
+
+// Severities, in increasing order of operator urgency.
+const (
+	SevInfo     = "info"
+	SevWarning  = "warning"
+	SevCritical = "critical"
+)
+
+// Duration is a time.Duration that unmarshals from JSON duration strings
+// ("30s", "5m") or bare numbers of seconds, and marshals back to the
+// string form.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as a string ("1m30s").
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "5m"-style strings or numeric seconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("alert: bad duration %q: %w", s, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var secs float64
+	if err := json.Unmarshal(b, &secs); err != nil {
+		return fmt.Errorf("alert: duration must be a string or seconds, got %s", b)
+	}
+	*d = Duration(time.Duration(secs * float64(time.Second)))
+	return nil
+}
+
+// Gate is an optional precondition on another metric's latest sample: the
+// owning rule only evaluates while the gate holds. It is what lets
+// "ingest chunk rate is zero" mean "stalled" only when sessions are
+// actually open.
+type Gate struct {
+	Metric string  `json:"metric"`
+	Op     string  `json:"op"`
+	Value  float64 `json:"value"`
+}
+
+// Rule is one declarative alert condition.
+type Rule struct {
+	// Name identifies the rule; it is the deduplication key for the alert
+	// lifecycle and must be unique within an engine.
+	Name string `json:"name"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Metric is the series the rule watches (the numerator for ratio and
+	// burn_rate kinds).
+	Metric string `json:"metric"`
+	// Denominator lists the series summed into the denominator for ratio
+	// and burn_rate kinds.
+	Denominator []string `json:"denominator,omitempty"`
+	// Op is the comparison operator: > >= < <= == != (default ">").
+	// burn_rate always uses > against Value.
+	Op string `json:"op,omitempty"`
+	// Value is the threshold the rule compares against (the burn-rate
+	// multiple for burn_rate kinds, e.g. 14 = burning the budget 14x
+	// faster than sustainable).
+	Value float64 `json:"value"`
+	// Target is the SLO compliance target in (0,1) for burn_rate kinds;
+	// the error budget is 1 - Target.
+	Target float64 `json:"target,omitempty"`
+	// Window bounds how far back windowed kinds look (default 5m). For
+	// burn_rate this is the long window.
+	Window Duration `json:"window,omitempty"`
+	// ShortWindow is the burn_rate short window (default Window/5).
+	ShortWindow Duration `json:"short_window,omitempty"`
+	// For is how long the condition must hold before the alert fires;
+	// zero fires on the first true evaluation.
+	For Duration `json:"for,omitempty"`
+	// MinCount gates ratio and burn_rate rules on minimum denominator
+	// traffic in the window, so an idle service never divides by nearly
+	// zero into a false alarm (default 1).
+	MinCount float64 `json:"min_count,omitempty"`
+	// Severity is info, warning, or critical (default warning).
+	Severity string `json:"severity,omitempty"`
+	// Summary is the one-line operator explanation carried on the alert.
+	Summary string `json:"summary,omitempty"`
+	// When, if set, suspends evaluation while the gate condition is false
+	// (a false gate reads as "condition not met", resolving any episode).
+	When *Gate `json:"when,omitempty"`
+}
+
+var validOps = map[string]bool{">": true, ">=": true, "<": true, "<=": true, "==": true, "!=": true}
+
+func compare(op string, a, b float64) bool {
+	switch op {
+	case ">":
+		return a > b
+	case ">=":
+		return a >= b
+	case "<":
+		return a < b
+	case "<=":
+		return a <= b
+	case "==":
+		return a == b
+	case "!=":
+		return a != b
+	}
+	return false
+}
+
+// normalized fills defaults and validates, returning the runnable rule.
+func (r Rule) normalized() (Rule, error) {
+	if r.Name == "" {
+		return r, fmt.Errorf("alert: rule missing name")
+	}
+	if r.Metric == "" {
+		return r, fmt.Errorf("alert: rule %q missing metric", r.Name)
+	}
+	switch r.Kind {
+	case KindThreshold, KindRate:
+	case KindRatio:
+		if len(r.Denominator) == 0 {
+			return r, fmt.Errorf("alert: ratio rule %q needs a denominator", r.Name)
+		}
+	case KindBurnRate:
+		if len(r.Denominator) == 0 {
+			return r, fmt.Errorf("alert: burn_rate rule %q needs a denominator", r.Name)
+		}
+		if r.Target <= 0 || r.Target >= 1 {
+			return r, fmt.Errorf("alert: burn_rate rule %q needs target in (0,1), got %v", r.Name, r.Target)
+		}
+		if r.Value <= 0 {
+			return r, fmt.Errorf("alert: burn_rate rule %q needs a positive burn multiple, got %v", r.Name, r.Value)
+		}
+	default:
+		return r, fmt.Errorf("alert: rule %q has unknown kind %q", r.Name, r.Kind)
+	}
+	if r.Op == "" {
+		r.Op = ">"
+	}
+	if !validOps[r.Op] {
+		return r, fmt.Errorf("alert: rule %q has unknown op %q", r.Name, r.Op)
+	}
+	if r.Window <= 0 {
+		r.Window = Duration(5 * time.Minute)
+	}
+	if r.ShortWindow <= 0 {
+		r.ShortWindow = r.Window / 5
+	}
+	if r.ShortWindow > r.Window {
+		return r, fmt.Errorf("alert: rule %q short_window exceeds window", r.Name)
+	}
+	if r.For < 0 {
+		return r, fmt.Errorf("alert: rule %q has negative for", r.Name)
+	}
+	if r.MinCount <= 0 {
+		r.MinCount = 1
+	}
+	switch r.Severity {
+	case "":
+		r.Severity = SevWarning
+	case SevInfo, SevWarning, SevCritical:
+	default:
+		return r, fmt.Errorf("alert: rule %q has unknown severity %q", r.Name, r.Severity)
+	}
+	if r.When != nil {
+		if r.When.Metric == "" {
+			return r, fmt.Errorf("alert: rule %q `when` gate missing metric", r.Name)
+		}
+		if r.When.Op == "" {
+			r.When.Op = ">"
+		}
+		if !validOps[r.When.Op] {
+			return r, fmt.Errorf("alert: rule %q `when` gate has unknown op %q", r.Name, r.When.Op)
+		}
+	}
+	return r, nil
+}
+
+// ParseRules decodes and validates a JSON rule list (`{"rules": [...]}` or
+// a bare array).
+func ParseRules(data []byte) ([]Rule, error) {
+	var doc struct {
+		Rules []Rule `json:"rules"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		var bare []Rule
+		if err2 := json.Unmarshal(data, &bare); err2 != nil {
+			return nil, fmt.Errorf("alert: parsing rules: %w", err)
+		}
+		doc.Rules = bare
+	}
+	if len(doc.Rules) == 0 {
+		return nil, fmt.Errorf("alert: rule file declares no rules")
+	}
+	seen := make(map[string]bool, len(doc.Rules))
+	out := make([]Rule, 0, len(doc.Rules))
+	for _, r := range doc.Rules {
+		nr, err := r.normalized()
+		if err != nil {
+			return nil, err
+		}
+		if seen[nr.Name] {
+			return nil, fmt.Errorf("alert: duplicate rule name %q", nr.Name)
+		}
+		seen[nr.Name] = true
+		out = append(out, nr)
+	}
+	return out, nil
+}
+
+// LoadRulesFile reads and validates a -alert-rules JSON file.
+func LoadRulesFile(path string) ([]Rule, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("alert: reading rules file: %w", err)
+	}
+	rules, err := ParseRules(data)
+	if err != nil {
+		return nil, fmt.Errorf("alert: %s: %w", path, err)
+	}
+	return rules, nil
+}
+
+// fmtFloat renders a threshold or observed value compactly for event
+// detail maps and summaries.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}

@@ -1,0 +1,158 @@
+package alert
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestParseRulesWrappedAndBare(t *testing.T) {
+	wrapped := []byte(`{"rules": [{"name": "r", "kind": "threshold", "metric": "g", "value": 3}]}`)
+	bare := []byte(`[{"name": "r", "kind": "threshold", "metric": "g", "value": 3}]`)
+	for _, in := range [][]byte{wrapped, bare} {
+		rules, err := ParseRules(in)
+		if err != nil {
+			t.Fatalf("ParseRules(%s): %v", in, err)
+		}
+		if len(rules) != 1 || rules[0].Name != "r" || rules[0].Value != 3 {
+			t.Fatalf("rules = %+v", rules)
+		}
+		// Defaults are filled by normalization.
+		r := rules[0]
+		if r.Op != ">" || r.Severity != SevWarning || r.Window != Duration(5*time.Minute) || r.MinCount != 1 {
+			t.Fatalf("defaults not applied: %+v", r)
+		}
+	}
+}
+
+func TestParseRulesDurations(t *testing.T) {
+	in := []byte(`[{"name": "r", "kind": "rate", "metric": "c", "value": 1,
+		"window": "90s", "for": 30}]`)
+	rules, err := ParseRules(in)
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	r := rules[0]
+	if r.Window != Duration(90*time.Second) {
+		t.Fatalf("window = %v, want 90s", time.Duration(r.Window))
+	}
+	if r.For != Duration(30*time.Second) {
+		t.Fatalf("numeric for = %v, want 30s", time.Duration(r.For))
+	}
+	// Durations marshal back as strings.
+	out, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var round Rule
+	if err := json.Unmarshal(out, &round); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if round.Window != r.Window || round.For != r.For {
+		t.Fatalf("round trip changed durations: %+v vs %+v", round, r)
+	}
+}
+
+func TestParseRulesRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"garbage", `{{{`},
+		{"empty list", `[]`},
+		{"no rules key", `{"rules": []}`},
+		{"missing name", `[{"kind": "threshold", "metric": "g", "value": 1}]`},
+		{"missing metric", `[{"name": "r", "kind": "threshold", "value": 1}]`},
+		{"unknown kind", `[{"name": "r", "kind": "sorcery", "metric": "g", "value": 1}]`},
+		{"unknown op", `[{"name": "r", "kind": "threshold", "metric": "g", "op": "~", "value": 1}]`},
+		{"unknown severity", `[{"name": "r", "kind": "threshold", "metric": "g", "value": 1, "severity": "mild"}]`},
+		{"bad duration", `[{"name": "r", "kind": "threshold", "metric": "g", "value": 1, "for": "soon"}]`},
+		{"negative for", `[{"name": "r", "kind": "threshold", "metric": "g", "value": 1, "for": "-5s"}]`},
+		{"ratio no denominator", `[{"name": "r", "kind": "ratio", "metric": "g", "value": 1}]`},
+		{"burn no denominator", `[{"name": "r", "kind": "burn_rate", "metric": "g", "value": 14, "target": 0.99}]`},
+		{"burn bad target", `[{"name": "r", "kind": "burn_rate", "metric": "g", "denominator": ["d"], "value": 14, "target": 1.5}]`},
+		{"burn zero multiple", `[{"name": "r", "kind": "burn_rate", "metric": "g", "denominator": ["d"], "value": 0, "target": 0.99}]`},
+		{"short window too long", `[{"name": "r", "kind": "burn_rate", "metric": "g", "denominator": ["d"], "value": 14, "target": 0.99, "window": "1m", "short_window": "5m"}]`},
+		{"gate missing metric", `[{"name": "r", "kind": "threshold", "metric": "g", "value": 1, "when": {"op": ">", "value": 0}}]`},
+		{"gate bad op", `[{"name": "r", "kind": "threshold", "metric": "g", "value": 1, "when": {"metric": "m", "op": "~", "value": 0}}]`},
+		{"duplicate names", `[{"name": "r", "kind": "threshold", "metric": "a", "value": 1},
+			{"name": "r", "kind": "threshold", "metric": "b", "value": 1}]`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseRules([]byte(tc.in)); err == nil {
+			t.Errorf("%s: accepted %s", tc.name, tc.in)
+		}
+	}
+}
+
+func TestLoadRulesFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "rules.json")
+	if err := os.WriteFile(good, []byte(`{"rules": [
+		{"name": "burn", "kind": "burn_rate", "metric": "slo_breaches_total",
+		 "denominator": ["slo_requests_total"], "value": 14, "target": 0.999,
+		 "window": "5m", "short_window": "1m", "for": "15s", "severity": "critical"}
+	]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rules, err := LoadRulesFile(good)
+	if err != nil {
+		t.Fatalf("LoadRulesFile: %v", err)
+	}
+	if len(rules) != 1 || rules[0].Kind != KindBurnRate || rules[0].Target != 0.999 {
+		t.Fatalf("rules = %+v", rules)
+	}
+
+	if _, err := LoadRulesFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("LoadRulesFile accepted a missing file")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`[{"kind": "threshold"}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRulesFile(bad); err == nil {
+		t.Fatal("LoadRulesFile accepted invalid rules")
+	}
+}
+
+func TestCompareOps(t *testing.T) {
+	cases := []struct {
+		op   string
+		a, b float64
+		want bool
+	}{
+		{">", 2, 1, true}, {">", 1, 1, false},
+		{">=", 1, 1, true}, {">=", 0, 1, false},
+		{"<", 1, 2, true}, {"<", 2, 2, false},
+		{"<=", 2, 2, true}, {"<=", 3, 2, false},
+		{"==", 5, 5, true}, {"==", 5, 4, false},
+		{"!=", 5, 4, true}, {"!=", 5, 5, false},
+		{"~", 1, 1, false}, // unknown op never matches
+	}
+	for _, tc := range cases {
+		if got := compare(tc.op, tc.a, tc.b); got != tc.want {
+			t.Errorf("compare(%q, %v, %v) = %v, want %v", tc.op, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestDefaultRuleSetsAreValid(t *testing.T) {
+	// The constructors panic on an invalid compiled-in rule; walking the
+	// parameter space is the regression net for that.
+	for _, target := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		for _, hw := range []int{-3, 0, 1, 48} {
+			rules := ServiceDefaults(target, hw)
+			if len(rules) != 5 {
+				t.Fatalf("ServiceDefaults(%v, %d) = %d rules, want 5", target, hw, len(rules))
+			}
+		}
+	}
+	for _, names := range [][]string{nil, {"a"}, {"a", "b", "c"}} {
+		rules := GatewayDefaults(len(names), names)
+		if len(rules) != 2+len(names) {
+			t.Fatalf("GatewayDefaults(%v) = %d rules", names, len(rules))
+		}
+	}
+}

@@ -40,6 +40,10 @@ const (
 	// GateHTTPLatencyPrefix prefixes the gateway's per-endpoint wall-clock
 	// latency histograms (milliseconds), mirroring SvcHTTPLatencyPrefix.
 	GateHTTPLatencyPrefix = "ddgate_http_latency_ms_"
+
+	// GateStatsErrors gauges how many backends failed to answer the last
+	// fleet stats fan-out — nonzero means /v1/stats served a partial view.
+	GateStatsErrors = "ddgate_stats_errors"
 )
 
 // MetricName sanitizes s into a legal Prometheus metric-name suffix:

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -45,6 +46,12 @@ const (
 	// surfaces a new race, before the session commits (Detail carries
 	// addr/kind/cur/prev).
 	TypeRaceFound = "race_found"
+	// TypeAlertFiring fires exactly once when an alert rule transitions to
+	// firing (Detail carries rule/severity/value/threshold/summary).
+	TypeAlertFiring = "alert_firing"
+	// TypeAlertResolved fires exactly once when a firing alert's condition
+	// clears.
+	TypeAlertResolved = "alert_resolved"
 )
 
 // Event is one operational occurrence, JSON-encoded on the wire.
@@ -64,6 +71,10 @@ type Event struct {
 	Trace string `json:"trace,omitempty"`
 	// Detail carries event-specific fields (state, backend, health, ...).
 	Detail map[string]string `json:"detail,omitempty"`
+	// Gap, set only on the hello of a resumed subscription, counts events
+	// that fell out of the bus's retained ring before the client's
+	// Last-Event-ID — history the resume could not replay.
+	Gap uint64 `json:"gap,omitempty"`
 }
 
 // DefaultSubBuffer bounds each subscriber's undelivered-event ring.
@@ -157,6 +168,10 @@ func (s *Sub) Close() {
 	}
 }
 
+// DefaultRetained bounds the bus's replay ring, from which resumed
+// subscriptions (Last-Event-ID) are backfilled.
+const DefaultRetained = 1024
+
 // Bus fans events out to subscribers. A nil *Bus is a valid no-op
 // publisher, so event publication can be wired unconditionally.
 type Bus struct {
@@ -165,11 +180,22 @@ type Bus struct {
 	mu   sync.Mutex
 	seq  uint64
 	subs map[*Sub]struct{}
+
+	// retained is a bounded ring of recently published events, kept so a
+	// reconnecting SSE client can resume from its Last-Event-ID instead of
+	// losing everything between connections.
+	retained []Event
+	rHead    int
+	rN       int
 }
 
 // NewBus builds a bus whose events carry node as their origin.
 func NewBus(node string) *Bus {
-	return &Bus{node: node, subs: make(map[*Sub]struct{})}
+	return &Bus{
+		node:     node,
+		subs:     make(map[*Sub]struct{}),
+		retained: make([]Event, DefaultRetained),
+	}
 }
 
 // Publish stamps ev (sequence, time, node) and delivers it to every
@@ -187,6 +213,13 @@ func (b *Bus) Publish(ev Event) {
 	if ev.Node == "" {
 		ev.Node = b.node
 	}
+	if b.rN < len(b.retained) {
+		b.retained[(b.rHead+b.rN)%len(b.retained)] = ev
+		b.rN++
+	} else {
+		b.retained[b.rHead] = ev
+		b.rHead = (b.rHead + 1) % len(b.retained)
+	}
 	subs := make([]*Sub, 0, len(b.subs))
 	for s := range b.subs {
 		subs = append(subs, s)
@@ -195,6 +228,36 @@ func (b *Bus) Publish(ev Event) {
 	for _, s := range subs {
 		s.push(ev)
 	}
+}
+
+// Replay returns the retained events with Seq > after, oldest first, plus
+// the number of events that were published after `after` but have already
+// fallen out of the retained ring (the unresumable gap). A client that
+// reconnects with a Last-Event-ID from a restarted bus (after beyond the
+// current sequence) gets nothing and no gap; the live stream takes over.
+// Nil-safe.
+func (b *Bus) Replay(after uint64) ([]Event, uint64) {
+	if b == nil {
+		return nil, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if after >= b.seq || b.rN == 0 {
+		return nil, 0
+	}
+	oldest := b.retained[b.rHead].Seq
+	var gap uint64
+	if oldest > after+1 {
+		gap = oldest - after - 1
+	}
+	out := make([]Event, 0, b.rN)
+	for i := 0; i < b.rN; i++ {
+		ev := b.retained[(b.rHead+i)%len(b.retained)]
+		if ev.Seq > after {
+			out = append(out, ev)
+		}
+	}
+	return out, gap
 }
 
 // Subscribe attaches a new subscriber with a ring of the given size
@@ -243,8 +306,12 @@ const keepalive = 15 * time.Second
 
 // ServeSSE streams the bus over w as Server-Sent Events until the request
 // context ends. The first event is a hello carrying the node name; after
-// that, every published event becomes an `event:`/`data:` block. Slow
-// readers lose oldest events (never service throughput).
+// that, every published event becomes an `id:`/`event:`/`data:` block. A
+// client that reconnects with a Last-Event-ID header (or ?last_event_id=
+// query parameter) first gets the retained events after that sequence
+// number replayed; history already evicted from the retained ring is
+// reported as the hello's gap field. Slow readers lose oldest events
+// (never service throughput).
 func ServeSSE(w http.ResponseWriter, r *http.Request, b *Bus) {
 	if b == nil {
 		http.Error(w, "event stream unavailable", http.StatusNotFound)
@@ -260,16 +327,44 @@ func ServeSSE(w http.ResponseWriter, r *http.Request, b *Bus) {
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
 
+	lastID := r.Header.Get("Last-Event-ID")
+	if lastID == "" {
+		lastID = r.URL.Query().Get("last_event_id")
+	}
+	var after uint64
+	resumed := false
+	if lastID != "" {
+		if v, err := strconv.ParseUint(lastID, 10, 64); err == nil {
+			after, resumed = v, true
+		}
+	}
+
+	// Subscribe before replaying so nothing published in between is lost;
+	// the overlap is deduplicated below by sequence number.
 	sub := b.Subscribe(0)
 	defer sub.Close()
+
+	var replayed []Event
+	var gap uint64
+	if resumed {
+		replayed, gap = b.Replay(after)
+	}
 
 	hello := Event{
 		UnixMS: time.Now().UnixMilli(),
 		Type:   TypeHello,
 		Node:   b.node,
+		Gap:    gap,
 	}
 	if err := writeSSE(w, hello); err != nil {
 		return
+	}
+	var maxSeq uint64
+	for _, ev := range replayed {
+		if err := writeSSE(w, ev); err != nil {
+			return
+		}
+		maxSeq = ev.Seq
 	}
 	fl.Flush()
 
@@ -290,6 +385,9 @@ func ServeSSE(w http.ResponseWriter, r *http.Request, b *Bus) {
 			fl.Flush()
 			continue
 		}
+		if ev.Seq <= maxSeq {
+			continue // already replayed
+		}
 		if err := writeSSE(w, ev); err != nil {
 			return
 		}
@@ -297,10 +395,16 @@ func ServeSSE(w http.ResponseWriter, r *http.Request, b *Bus) {
 	}
 }
 
-// writeSSE renders one event as an SSE block.
+// writeSSE renders one event as an SSE block. Stamped events carry an id:
+// line so clients can resume via Last-Event-ID; the unstamped hello does
+// not.
 func writeSSE(w io.Writer, ev Event) error {
 	data, err := json.Marshal(ev)
 	if err != nil {
+		return err
+	}
+	if ev.Seq > 0 {
+		_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
 		return err
 	}
 	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)

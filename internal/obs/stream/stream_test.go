@@ -193,3 +193,157 @@ func TestIngestEventTypesRoundtrip(t *testing.T) {
 		t.Fatal("decoder produced an event past the end of the stream")
 	}
 }
+
+func TestReplayAndGap(t *testing.T) {
+	b := NewBus("n0")
+	for i := 0; i < 5; i++ {
+		b.Publish(Event{Type: TypeJobQueued})
+	}
+
+	evs, gap := b.Replay(2)
+	if gap != 0 || len(evs) != 3 || evs[0].Seq != 3 || evs[2].Seq != 5 {
+		t.Fatalf("Replay(2) = %d events (gap %d): %+v", len(evs), gap, evs)
+	}
+	if evs, gap := b.Replay(0); gap != 0 || len(evs) != 5 {
+		t.Fatalf("Replay(0) = %d events, gap %d", len(evs), gap)
+	}
+	// Caught up, or claiming a future sequence (restarted bus): nothing to
+	// replay and no gap — the live stream takes over.
+	if evs, gap := b.Replay(5); evs != nil || gap != 0 {
+		t.Fatalf("Replay(5) = %+v, gap %d", evs, gap)
+	}
+	if evs, gap := b.Replay(99); evs != nil || gap != 0 {
+		t.Fatalf("Replay(99) = %+v, gap %d", evs, gap)
+	}
+	var nilBus *Bus
+	if evs, gap := nilBus.Replay(0); evs != nil || gap != 0 {
+		t.Fatal("nil bus Replay not a no-op")
+	}
+}
+
+func TestReplayReportsEvictedGap(t *testing.T) {
+	b := NewBus("n0")
+	// Overflow the retained ring so the oldest events are unresumable.
+	for i := 0; i < DefaultRetained+10; i++ {
+		b.Publish(Event{Type: TypeJobQueued})
+	}
+	evs, gap := b.Replay(0)
+	if len(evs) != DefaultRetained {
+		t.Fatalf("replayed %d events, want the full ring %d", len(evs), DefaultRetained)
+	}
+	if gap != 10 {
+		t.Fatalf("gap = %d, want the 10 evicted events", gap)
+	}
+	if evs[0].Seq != 11 {
+		t.Fatalf("oldest replayed seq = %d, want 11", evs[0].Seq)
+	}
+}
+
+func TestServeSSEResume(t *testing.T) {
+	b := NewBus("n0")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ServeSSE(w, r, b)
+	}))
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		b.Publish(Event{Type: TypeJobQueued, Job: "j-1"})
+	}
+
+	// Reconnect claiming we saw seq 1: events 2 and 3 replay after the
+	// hello, then the stream goes live.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL, nil)
+	req.Header.Set("Last-Event-ID", "1")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	dec := NewDecoder(resp.Body)
+	hello, err := dec.Next()
+	if err != nil || hello.Type != TypeHello || hello.Gap != 0 {
+		t.Fatalf("hello = %+v, %v", hello, err)
+	}
+	for _, want := range []uint64{2, 3} {
+		ev, err := dec.Next()
+		if err != nil || ev.Seq != want {
+			t.Fatalf("replayed seq = %d (%v), want %d", ev.Seq, err, want)
+		}
+	}
+	// Live events continue past the replay.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond):
+				b.Publish(Event{Type: TypeJobDone, Job: "j-1"})
+			}
+		}
+	}()
+	ev, err := dec.Next()
+	if err != nil || ev.Type != TypeJobDone || ev.Seq <= 3 {
+		t.Fatalf("live event after replay = %+v, %v", ev, err)
+	}
+}
+
+func TestServeSSEResumeQueryParam(t *testing.T) {
+	b := NewBus("n0")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ServeSSE(w, r, b)
+	}))
+	defer ts.Close()
+	b.Publish(Event{Type: TypeJobQueued})
+	b.Publish(Event{Type: TypeJobDone})
+
+	resp, err := ts.Client().Get(ts.URL + "?last_event_id=0")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	dec := NewDecoder(resp.Body)
+	if hello, err := dec.Next(); err != nil || hello.Type != TypeHello {
+		t.Fatalf("hello = %+v, %v", hello, err)
+	}
+	for _, want := range []uint64{1, 2} {
+		ev, err := dec.Next()
+		if err != nil || ev.Seq != want {
+			t.Fatalf("replayed seq = %d (%v), want %d", ev.Seq, err, want)
+		}
+	}
+}
+
+func TestWriteSSEIDLines(t *testing.T) {
+	var buf strings.Builder
+	if err := writeSSE(&buf, Event{Seq: 7, Type: TypeJobDone, UnixMS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "id: 7\n") {
+		t.Fatalf("stamped event lacks id line:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := writeSSE(&buf, Event{Type: TypeHello, UnixMS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "id:") {
+		t.Fatalf("unstamped hello carries an id line:\n%s", buf.String())
+	}
+}
+
+func TestAlertEventTypesRoundtrip(t *testing.T) {
+	b := NewBus("n0")
+	sub := b.Subscribe(0)
+	defer sub.Close()
+	b.Publish(Event{Type: TypeAlertFiring, Detail: map[string]string{"rule": "r", "state": "firing"}})
+	b.Publish(Event{Type: TypeAlertResolved, Detail: map[string]string{"rule": "r", "state": "resolved"}})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	for _, want := range []string{TypeAlertFiring, TypeAlertResolved} {
+		ev, ok := sub.Next(ctx)
+		if !ok || ev.Type != want || ev.Detail["rule"] != "r" {
+			t.Fatalf("event = %+v (%v), want type %s", ev, ok, want)
+		}
+	}
+}

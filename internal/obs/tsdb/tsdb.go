@@ -147,6 +147,7 @@ type DB struct {
 	prevCounters map[string]uint64
 	prevHistN    map[string]uint64
 	ticks        int
+	onTick       func()
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -168,6 +169,15 @@ func New(opts Options) *DB {
 
 // Interval returns the sampling period.
 func (d *DB) Interval() time.Duration { return d.opts.Interval }
+
+// SetOnTick registers fn to run after every completed sample tick (ticker
+// or CollectNow), outside the database lock — the hook the alert engine
+// hangs its evaluation on, so rules see each tick's samples exactly once.
+func (d *DB) SetOnTick(fn func()) {
+	d.mu.Lock()
+	d.onTick = fn
+	d.mu.Unlock()
+}
 
 // Node returns the configured node name.
 func (d *DB) Node() string { return d.opts.Node }
@@ -227,7 +237,6 @@ func (d *DB) CollectNow() {
 	now := time.Now().UnixMilli()
 
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	first := d.ticks == 0
 	d.ticks++
 
@@ -259,6 +268,11 @@ func (d *DB) CollectNow() {
 			}
 			d.pushLocked(name+":rate", KindHistogram, Sample{UnixMS: now, Value: delta})
 		}
+	}
+	hook := d.onTick
+	d.mu.Unlock()
+	if hook != nil {
+		hook()
 	}
 }
 
@@ -299,6 +313,24 @@ func (d *DB) Query(match string, since time.Time) []Series {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Metric < out[j].Metric })
 	return out
+}
+
+// Samples returns one series' kind and its retained samples at or after
+// since (zero time means all), oldest first — the exact-name lookup the
+// alert engine evaluates rules against. ok is false when the metric has
+// never been sampled.
+func (d *DB) Samples(metric string, since time.Time) (kind string, samples []Sample, ok bool) {
+	var cutoff int64
+	if !since.IsZero() {
+		cutoff = since.UnixMilli()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r, found := d.series[metric]
+	if !found {
+		return "", nil, false
+	}
+	return r.kind, r.since(cutoff), true
 }
 
 // Doc assembles the GET /v1/timeseries response for a query.

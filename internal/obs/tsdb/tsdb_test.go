@@ -1,6 +1,7 @@
 package tsdb
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -183,5 +184,123 @@ func TestParseSince(t *testing.T) {
 	}
 	if _, err := ParseSince("bogus"); err == nil {
 		t.Fatal("ParseSince accepted garbage")
+	}
+}
+
+func TestSamplesExactName(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("queue_depth").Set(4)
+	reg.Gauge("queue_depth_max").Set(9)
+	db := New(Options{Registry: reg, Interval: time.Second})
+	db.CollectNow()
+
+	// Samples is an exact-name lookup, unlike Query's substring match.
+	kind, ss, ok := db.Samples("queue_depth", time.Time{})
+	if !ok || kind != KindGauge || len(ss) != 1 || ss[0].Value != 4 {
+		t.Fatalf("Samples = %q, %+v, %v", kind, ss, ok)
+	}
+	if _, _, ok := db.Samples("queue", time.Time{}); ok {
+		t.Fatal("Samples matched a prefix, want exact names only")
+	}
+	if _, _, ok := db.Samples("never_sampled", time.Time{}); ok {
+		t.Fatal("Samples reported an unknown metric as known")
+	}
+	// A future cutoff returns an empty (but known) series — the engine's
+	// "known metric, quiet window" case.
+	kind, ss, ok = db.Samples("queue_depth", time.Now().Add(time.Hour))
+	if !ok || kind != KindGauge || len(ss) != 0 {
+		t.Fatalf("future-cutoff Samples = %q, %+v, %v", kind, ss, ok)
+	}
+}
+
+func TestSingleSampleCounterRate(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("c")
+	c.Add(10)
+	db := New(Options{Registry: reg, Interval: time.Second})
+	db.CollectNow() // baseline only
+	c.Add(7)
+	db.CollectNow() // first real delta
+	_, ss, ok := db.Samples("c", time.Time{})
+	if !ok || len(ss) != 1 || ss[0].Value != 7 {
+		t.Fatalf("single-delta series = %+v, %v", ss, ok)
+	}
+}
+
+func TestSetOnTickRunsAfterSamplesLand(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("g").Set(42)
+	db := New(Options{Registry: reg, Interval: time.Second})
+	var seen []float64
+	// The hook runs outside the lock, after the tick's samples land, so it
+	// may call back into the DB without deadlocking.
+	db.SetOnTick(func() {
+		_, ss, ok := db.Samples("g", time.Time{})
+		if !ok {
+			t.Error("hook ran before the tick's samples were visible")
+			return
+		}
+		seen = append(seen, ss[len(ss)-1].Value)
+	})
+	db.CollectNow()
+	reg.Gauge("g").Set(43)
+	db.CollectNow()
+	if len(seen) != 2 || seen[0] != 42 || seen[1] != 43 {
+		t.Fatalf("hook observations = %v, want [42 43]", seen)
+	}
+	db.SetOnTick(nil)
+	db.CollectNow() // must not panic with the hook cleared
+}
+
+// TestRetentionEvictionRacesReader hammers a tiny ring from a sampling
+// writer while readers query and read concurrently; the -race build is
+// the assertion.
+func TestRetentionEvictionRacesReader(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("g").Set(1)
+	c := reg.Counter("c")
+	db := New(Options{Registry: reg, Interval: time.Second, Retention: 2 * time.Second})
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // writer: every tick evicts on the 2-slot ring
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			c.Add(1)
+			db.CollectNow()
+		}
+		close(done)
+	}()
+	go func() { // reader: substring queries
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				for _, s := range db.Query("", time.Time{}) {
+					_ = s.Samples
+				}
+			}
+		}
+	}()
+	go func() { // reader: exact-name lookups, as the alert engine does
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				db.Samples("g", time.Time{})
+				db.Samples("c", time.Now().Add(-time.Second))
+			}
+		}
+	}()
+	wg.Wait()
+
+	_, ss, ok := db.Samples("g", time.Time{})
+	if !ok || len(ss) != 2 {
+		t.Fatalf("ring after churn = %+v, %v; want retention bound 2", ss, ok)
 	}
 }

@@ -1,0 +1,218 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"demandrace/internal/obs"
+	"demandrace/internal/obs/alert"
+	"demandrace/internal/obs/stream"
+)
+
+// scaledBurnRule is the slo-fast-burn default shrunk to test-sized
+// windows, so a lifecycle completes in milliseconds instead of minutes.
+func scaledBurnRule() alert.Rule {
+	return alert.Rule{
+		Name:        "slo-fast-burn",
+		Kind:        alert.KindBurnRate,
+		Metric:      obs.SvcSLOBreaches,
+		Denominator: []string{obs.SvcSLORequests},
+		Value:       2,
+		Target:      0.9,
+		Window:      alert.Duration(time.Second),
+		ShortWindow: alert.Duration(250 * time.Millisecond),
+		For:         alert.Duration(50 * time.Millisecond),
+		Severity:    alert.SevCritical,
+		Summary:     "latency SLO burning its error budget too fast",
+	}
+}
+
+// TestAlertLifecycleEndToEnd proves the whole loop: synthetic SLO-breach
+// load drives a burn-rate rule from pending through firing to resolved,
+// visible at GET /v1/alerts and as exactly one alert_firing plus one
+// alert_resolved on the SSE bus.
+func TestAlertLifecycleEndToEnd(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{
+		Workers:    1,
+		Node:       "n0",
+		SLOLatency: time.Nanosecond, // every request breaches
+		TSInterval: 10 * time.Millisecond,
+		AlertRules: []alert.Rule{scaledBurnRule()},
+	})
+
+	// Tail the SSE feed before anything happens, so the alert edges are
+	// observed on the wire, not reconstructed.
+	resp, err := http.Get(ts.URL + "/v1/events")
+	if err != nil {
+		t.Fatalf("GET /v1/events: %v", err)
+	}
+	defer resp.Body.Close()
+	dec := stream.NewDecoder(resp.Body)
+	if hello, err := dec.Next(); err != nil || hello.Type != stream.TypeHello {
+		t.Fatalf("hello = %+v, %v", hello, err)
+	}
+
+	// Breach load: every request blows the 1ns SLO; the poll loop below is
+	// itself the load. Wait for the rule to fire in GET /v1/alerts.
+	deadline := time.Now().Add(10 * time.Second)
+	var doc alert.Doc
+	for {
+		getJSON(t, ts.URL+"/v1/alerts", &doc)
+		if len(doc.Active) == 1 && doc.Active[0].State == alert.StateFiring {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rule never fired; /v1/alerts = %+v", doc)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	a := doc.Active[0]
+	if a.Rule != "slo-fast-burn" || a.Severity != alert.SevCritical || a.Node != "n0" {
+		t.Fatalf("firing alert = %+v", a)
+	}
+	if a.Value <= 2 {
+		t.Fatalf("burn value = %v, want above the 2x threshold", a.Value)
+	}
+	if doc.Node != "n0" || len(doc.Rules) != 1 {
+		t.Fatalf("alert doc meta = %+v", doc)
+	}
+
+	// Stop the HTTP load entirely (in-process reads only): the breach
+	// window slides empty and the alert must resolve.
+	for {
+		if active := s.Alerts().Active(); len(active) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("alert never resolved; active = %+v", s.Alerts().Active())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	hist := s.Alerts().History()
+	if len(hist) != 1 || hist[0].State != alert.StateResolved || hist[0].Rule != "slo-fast-burn" {
+		t.Fatalf("history = %+v, want exactly one resolved slo-fast-burn", hist)
+	}
+
+	// The wire saw exactly one firing edge, then one resolved edge.
+	var alertEvents []stream.Event
+	for len(alertEvents) < 2 {
+		ev, err := dec.Next()
+		if err != nil {
+			t.Fatalf("reading alert events: %v (have %+v)", err, alertEvents)
+		}
+		if ev.Type == stream.TypeAlertFiring || ev.Type == stream.TypeAlertResolved {
+			alertEvents = append(alertEvents, ev)
+		}
+	}
+	if alertEvents[0].Type != stream.TypeAlertFiring || alertEvents[1].Type != stream.TypeAlertResolved {
+		t.Fatalf("alert events = %s, %s", alertEvents[0].Type, alertEvents[1].Type)
+	}
+	for _, ev := range alertEvents {
+		if ev.Detail["rule"] != "slo-fast-burn" || ev.Node != "n0" {
+			t.Fatalf("alert event = %+v", ev)
+		}
+	}
+}
+
+// TestInvalidAlertRulesFallBackToDefaults: NewServer cannot return an
+// error, so a programmatically invalid rule set logs and falls back to
+// the compiled-in defaults rather than running blind.
+func TestInvalidAlertRulesFallBackToDefaults(t *testing.T) {
+	s, _, _ := newTestServer(t, Config{
+		Workers:    1,
+		AlertRules: []alert.Rule{{Name: "broken", Kind: "sorcery", Metric: "g"}},
+	})
+	rules := s.Alerts().Rules()
+	if len(rules) != len(alert.ServiceDefaults(0.99, 1)) {
+		t.Fatalf("fallback rules = %+v", rules)
+	}
+	for _, r := range rules {
+		if r.Name == "broken" {
+			t.Fatal("invalid rule survived the fallback")
+		}
+	}
+}
+
+func TestHealthzSubsystems(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{Workers: 2, QueueDepth: 8})
+	var doc struct {
+		Status     string `json:"status"`
+		Subsystems struct {
+			Queue struct {
+				Depth     int  `json:"depth"`
+				Capacity  int  `json:"capacity"`
+				HighWater int  `json:"high_water"`
+				Degraded  bool `json:"degraded"`
+			} `json:"queue"`
+			Workers struct {
+				Width    int `json:"width"`
+				Inflight int `json:"inflight"`
+			} `json:"workers"`
+			Ingest struct {
+				OpenSessions int `json:"open_sessions"`
+				MaxSessions  int `json:"max_sessions"`
+			} `json:"ingest"`
+			Alerts struct {
+				Pending int `json:"pending"`
+				Firing  int `json:"firing"`
+			} `json:"alerts"`
+		} `json:"subsystems"`
+	}
+	getJSON(t, ts.URL+"/healthz", &doc)
+	if doc.Status != "ok" {
+		t.Fatalf("status = %q", doc.Status)
+	}
+	sub := doc.Subsystems
+	if sub.Queue.Capacity != 8 || sub.Queue.HighWater != 6 || sub.Queue.Degraded {
+		t.Fatalf("queue subsystem = %+v", sub.Queue)
+	}
+	if sub.Workers.Width != 2 {
+		t.Fatalf("workers subsystem = %+v", sub.Workers)
+	}
+	if sub.Ingest.MaxSessions <= 0 {
+		t.Fatalf("ingest subsystem = %+v", sub.Ingest)
+	}
+	if sub.Alerts.Pending != 0 || sub.Alerts.Firing != 0 {
+		t.Fatalf("alerts subsystem = %+v", sub.Alerts)
+	}
+}
+
+// TestDashboardServesConsole asserts /v1/dashboard is a self-contained
+// HTML document wired to the live JSON endpoints.
+func TestDashboardServesConsole(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{Workers: 1, Node: "n0"})
+	resp, err := http.Get(ts.URL + "/v1/dashboard")
+	if err != nil {
+		t.Fatalf("GET /v1/dashboard: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	html := string(body)
+	if !strings.Contains(html, "<html") || !strings.Contains(html, "n0") {
+		t.Fatalf("console HTML lacks shell or node name (%d bytes)", len(body))
+	}
+	// Self-contained: it polls the live endpoints and loads nothing from
+	// anywhere else.
+	for _, ref := range []string{"/v1/alerts", "/v1/stats", "/v1/timeseries"} {
+		if !strings.Contains(html, ref) {
+			t.Fatalf("console does not reference %s", ref)
+		}
+	}
+	for _, external := range []string{"http://", "https://", "src=\"//"} {
+		if strings.Contains(html, external) {
+			t.Fatalf("console references an external asset (%q)", external)
+		}
+	}
+}

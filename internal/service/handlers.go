@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"demandrace/internal/obs"
+	"demandrace/internal/obs/alert"
 	"demandrace/internal/obs/stream"
 	"demandrace/internal/obs/tracectx"
 	"demandrace/internal/obs/tsdb"
@@ -48,6 +49,8 @@ func (s *Server) routes() []route {
 		{"GET /v1/results/{id}", "get_result", false, false, s.handleResult},
 		{"GET /v1/timeseries", "get_timeseries", true, false, s.handleTimeseries},
 		{"GET /v1/events", "get_events", true, true, s.handleEvents},
+		{"GET /v1/alerts", "get_alerts", true, false, s.handleAlerts},
+		{"GET /v1/dashboard", "get_dashboard", true, false, s.handleDashboard},
 		{"GET /v1/stats", "get_stats", true, false, s.handleStats},
 		{"GET /healthz", "healthz", true, false, s.handleHealth},
 		{"GET /metrics", "metrics", true, false, s.handleMetrics},
@@ -251,17 +254,57 @@ func (s *Server) Health() (state string, queued, inflight int) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	state, queued, inflight := s.Health()
+	pending, firing := s.alerts.Counts()
+	// Per-subsystem detail makes the degraded→503 transition explainable
+	// from the response alone: which gauge crossed which bound.
+	subsystems := map[string]any{
+		"queue": map[string]any{
+			"depth":      queued,
+			"capacity":   s.cfg.QueueDepth,
+			"high_water": s.cfg.QueueHighWater,
+			"degraded":   queued > s.cfg.QueueHighWater,
+		},
+		"workers": map[string]any{
+			"width":           s.cfg.Workers,
+			"inflight":        inflight,
+			"utilization_pct": s.gUtil.Value(),
+		},
+		"ingest": map[string]any{
+			"open_sessions": s.ing.Len(),
+			"max_sessions":  s.ing.Config().MaxSessions,
+		},
+		"alerts": map[string]any{
+			"pending": pending,
+			"firing":  firing,
+		},
+	}
+	if s.cfg.Store != nil {
+		subsystems["store"] = map[string]any{
+			"dir":     s.cfg.Store.Dir(),
+			"entries": s.cfg.Store.Len(),
+			"bytes":   s.cfg.Store.Size(),
+		}
+	}
 	body := map[string]any{
 		"status":     state,
 		"queued":     queued,
 		"inflight":   inflight,
 		"high_water": s.cfg.QueueHighWater,
+		"subsystems": subsystems,
 	}
 	code := http.StatusOK
 	if state != HealthOK {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, body)
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.alerts.Doc())
+}
+
+func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	alert.ServeConsole(w, s.cfg.Node)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

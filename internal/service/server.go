@@ -13,6 +13,7 @@ import (
 
 	"demandrace/internal/ingest"
 	"demandrace/internal/obs"
+	"demandrace/internal/obs/alert"
 	olog "demandrace/internal/obs/log"
 	"demandrace/internal/obs/stream"
 	"demandrace/internal/obs/tracectx"
@@ -82,6 +83,15 @@ type Config struct {
 	// internal/obs/tsdb).
 	TSInterval  time.Duration
 	TSRetention time.Duration
+	// AlertRules overrides the compiled-in alert rule set evaluated on
+	// every timeseries tick (ddserved -alert-rules). Nil takes
+	// alert.ServiceDefaults derived from this Config; rules that fail
+	// validation are logged and replaced by the defaults — loading from a
+	// file should validate first via alert.LoadRulesFile.
+	AlertRules []alert.Rule
+	// AlertHistory bounds the resolved-alert history served by
+	// GET /v1/alerts (default alert.DefaultHistory).
+	AlertHistory int
 }
 
 func (c Config) normalized() Config {
@@ -148,6 +158,7 @@ type Server struct {
 	bus     *stream.Bus
 	ts      *tsdb.DB
 	ing     *ingest.Manager
+	alerts  *alert.Engine
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -227,6 +238,32 @@ func NewServer(cfg Config) *Server {
 		Log:      cfg.Log,
 		Bus:      s.bus,
 	})
+	// The alert engine watches the same tsdb the operator reads, hanging
+	// its evaluation on the sampling tick so every rule sees each tick's
+	// samples exactly once. Invalid programmatic rule sets fall back to
+	// the defaults rather than leaving the service unwatched (file-loaded
+	// rules were already validated by alert.LoadRulesFile in main).
+	rules := cfg.AlertRules
+	if rules == nil {
+		rules = alert.ServiceDefaults(cfg.SLOTarget, cfg.QueueHighWater)
+	}
+	acfg := alert.Config{
+		Node:     cfg.Node,
+		Rules:    rules,
+		Source:   s.ts,
+		Bus:      s.bus,
+		Registry: cfg.Registry,
+		Log:      cfg.Log,
+		History:  cfg.AlertHistory,
+	}
+	eng, err := alert.New(acfg)
+	if err != nil {
+		cfg.Log.Error("invalid alert rules, using defaults", "error", err)
+		acfg.Rules = alert.ServiceDefaults(cfg.SLOTarget, cfg.QueueHighWater)
+		eng, _ = alert.New(acfg)
+	}
+	s.alerts = eng
+	s.ts.SetOnTick(eng.EvalNow)
 	return s
 }
 
@@ -241,6 +278,9 @@ func (s *Server) TimeSeries() *tsdb.DB { return s.ts }
 
 // Ingest returns the server's streaming-upload session manager.
 func (s *Server) Ingest() *ingest.Manager { return s.ing }
+
+// Alerts returns the server's alert engine (served at GET /v1/alerts).
+func (s *Server) Alerts() *alert.Engine { return s.alerts }
 
 // Config returns the server's normalized configuration.
 func (s *Server) Config() Config { return s.cfg }
