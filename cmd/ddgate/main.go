@@ -50,6 +50,7 @@ import (
 	"demandrace/internal/obs/alert"
 	olog "demandrace/internal/obs/log"
 	"demandrace/internal/service"
+	"demandrace/internal/tenant"
 	"demandrace/internal/version"
 )
 
@@ -59,6 +60,8 @@ func main() {
 		addrFile      = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts using port 0)")
 		backendsSpec  = flag.String("backends", "", "comma-separated backend list: url or name=url (required)")
 		vnodes        = flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per backend on the hash ring")
+		replicas      = flag.Int("replicas", 1, "copies of each sealed result kept on the ring (1 = replication off)")
+		tenantsFile   = flag.String("tenants", "", "JSON file of tenant configs; enables API-key admission control at the edge")
 		retries       = flag.Int("retries", 2, "extra replicas a failed submission tries")
 		retryBackoff  = flag.Duration("retry-backoff", 100*time.Millisecond, "base failover backoff (exponential with jitter)")
 		attemptTO     = flag.Duration("attempt-timeout", 2*time.Minute, "per-backend attempt timeout")
@@ -98,6 +101,14 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	var tenants []tenant.Config
+	if *tenantsFile != "" {
+		tenants, err = tenant.LoadFile(*tenantsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddgate: -tenants:", err)
+			os.Exit(2)
+		}
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, options{
@@ -106,6 +117,8 @@ func main() {
 		cfg: cluster.Config{
 			Backends:      backends,
 			VNodes:        *vnodes,
+			Replicas:      *replicas,
+			Tenants:       tenants,
 			Retry:         service.Options{Timeout: *attemptTO, Retries: *retries, Backoff: *retryBackoff},
 			HedgeAfter:    *hedgeAfter,
 			ProbeInterval: *probeInterval,

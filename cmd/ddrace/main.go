@@ -123,6 +123,7 @@ func run(args []string, out, diag io.Writer) error {
 		asJSON    = fs.Bool("json", false, "emit the full report as JSON")
 		htmlOut   = fs.String("html", "", "write a self-contained HTML report to this file")
 		submitURL = fs.String("submit", "", "submit the run to a ddserved daemon at this base URL instead of running locally")
+		apiKey    = fs.String("api-key", "", "with -submit/-stream: API key sent as X-API-Key (required against daemons running -tenants)")
 		streamIn  = fs.String("stream", "", "with -submit: stream this recorded .drt trace to the daemon as a chunked resumable upload, printing race_found NDJSON lines as the server analyzes mid-stream")
 		chunkSize = fs.Int("chunk-bytes", 1<<20, "with -stream: chunk split size in bytes (clamped to the server's advertised max)")
 		streamFlt = fs.Int("stream-fault", 0, "with -stream: inject one simulated connection drop after N chunks to exercise the resume protocol")
@@ -181,7 +182,7 @@ func run(args []string, out, diag io.Writer) error {
 	if *submitURL != "" {
 		if *streamIn != "" {
 			opts := service.TraceOptions{FullVC: *fullvc, MaxReports: -1}
-			return streamRemote(out, lg, *submitURL, *streamIn, opts, service.StreamOptions{
+			return streamRemote(out, lg, *submitURL, *apiKey, *streamIn, opts, service.StreamOptions{
 				ChunkBytes: *chunkSize,
 				FaultAfter: *streamFlt,
 			}, *asJSON, *verbose)
@@ -199,7 +200,7 @@ func run(args []string, out, diag io.Writer) error {
 			Lockset: *lockset, Deadlock: *deadlockF, FullVC: *fullvc,
 			Profile: *profOut != "", ProfileEvery: *profEvery,
 		}
-		return submitRemote(out, lg, *submitURL, req, *asJSON, *verbose, *profOut, *saveTrace)
+		return submitRemote(out, lg, *submitURL, *apiKey, req, *asJSON, *verbose, *profOut, *saveTrace)
 	}
 
 	cfg := demandrace.DefaultConfig()
@@ -401,9 +402,10 @@ func writeProfile(out io.Writer, path string, pr *prof.Profile) error {
 // Every submission mints a root trace context; the client propagates it
 // as a traceparent header on every hop, so the daemon's logs and the
 // saveTrace waterfall are joinable by the trace ID logged here.
-func submitRemote(out io.Writer, lg *slog.Logger, base string, req service.Request, asJSON, verbose bool, profOut, saveTrace string) error {
+func submitRemote(out io.Writer, lg *slog.Logger, base, apiKey string, req service.Request, asJSON, verbose bool, profOut, saveTrace string) error {
 	cl := &service.Client{
 		BaseURL: strings.TrimRight(base, "/"),
+		APIKey:  apiKey,
 		Options: service.Options{
 			Timeout: 30 * time.Second,
 			Retries: 3,
@@ -464,13 +466,14 @@ func submitRemote(out io.Writer, lg *slog.Logger, base string, req service.Reque
 // identical to a batch upload of the same file — prints at the end.
 // Transport drops (including the -stream-fault injected one) resume from
 // the server's high-water mark instead of restarting the upload.
-func streamRemote(out io.Writer, lg *slog.Logger, base, path string, opts service.TraceOptions, sopts service.StreamOptions, asJSON, verbose bool) error {
+func streamRemote(out io.Writer, lg *slog.Logger, base, apiKey, path string, opts service.TraceOptions, sopts service.StreamOptions, asJSON, verbose bool) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("-stream: %w", err)
 	}
 	cl := &service.Client{
 		BaseURL: strings.TrimRight(base, "/"),
+		APIKey:  apiKey,
 		Options: service.Options{
 			Timeout: 30 * time.Second,
 			Retries: 3,

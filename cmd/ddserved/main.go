@@ -61,6 +61,7 @@ import (
 	olog "demandrace/internal/obs/log"
 	"demandrace/internal/service"
 	"demandrace/internal/store"
+	"demandrace/internal/tenant"
 	"demandrace/internal/version"
 )
 
@@ -89,6 +90,7 @@ func main() {
 		tsInterval  = flag.Duration("ts-interval", 0, "time-series sampling period for /v1/timeseries (0 = 5s default)")
 		tsRetention = flag.Duration("ts-retention", 0, "time-series history kept per metric (0 = 1h default)")
 		alertRules  = flag.String("alert-rules", "", "JSON file of alert rules evaluated each ts-interval tick (empty = compiled-in defaults)")
+		tenantsFile = flag.String("tenants", "", "JSON file of tenant configs; enables API-key admission control")
 		versionFlag = flag.Bool("version", false, "print the version and exit")
 	)
 	logFlags := olog.Register(flag.CommandLine, olog.FormatJSON)
@@ -107,6 +109,14 @@ func main() {
 		rules, err = alert.LoadRulesFile(*alertRules)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ddserved:", err)
+			os.Exit(2)
+		}
+	}
+	var tenants []tenant.Config
+	if *tenantsFile != "" {
+		tenants, err = tenant.LoadFile(*tenantsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddserved: -tenants:", err)
 			os.Exit(2)
 		}
 	}
@@ -137,6 +147,7 @@ func main() {
 			TSInterval:       *tsInterval,
 			TSRetention:      *tsRetention,
 			AlertRules:       rules,
+			Tenants:          tenants,
 			Log:              lg,
 		},
 	}); err != nil {

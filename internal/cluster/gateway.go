@@ -17,7 +17,9 @@ import (
 	"demandrace/internal/obs/stream"
 	"demandrace/internal/obs/tracectx"
 	"demandrace/internal/obs/tsdb"
+	"demandrace/internal/replica"
 	"demandrace/internal/service"
+	"demandrace/internal/tenant"
 )
 
 // Config shapes a Gateway. Zero fields take defaults.
@@ -63,6 +65,15 @@ type Config struct {
 	// AlertHistory bounds the resolved-alert history served by
 	// GET /v1/alerts (default alert.DefaultHistory).
 	AlertHistory int
+	// Replicas is the replication factor R (ddgate -replicas): each sealed
+	// result is kept on its ring owner plus R−1 successors, copied
+	// asynchronously over the backends' /v1/cache endpoints. Values <= 1
+	// disable replication.
+	Replicas int
+	// Tenants, when non-empty, turns on edge admission (ddgate -tenants):
+	// every submission must carry a known X-API-Key and is held to its
+	// tenant's token bucket before any backend round trip.
+	Tenants []tenant.Config
 	// Node names this gateway in /v1/stats (default "ddgate").
 	Node string
 	// Registry receives gateway metrics. Nil builds a private one.
@@ -134,6 +145,9 @@ type Gateway struct {
 	ts       *tsdb.DB
 	traces   *traceStore
 	alerts   *alert.Engine
+	replica  *replica.Replicator // nil when replication is off
+	tenants  *tenant.Registry    // nil when tenancy is off
+	jobKeys  *keyIndex
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -209,6 +223,25 @@ func NewGateway(cfg Config) (*Gateway, error) {
 		g.ring.Add(b.Name)
 	}
 	g.gRing.Set(int64(g.ring.Size()))
+	// Replication plans against the live ring and copies bytes through the
+	// same HTTP client the forwarders use; tenancy publishes throttle edges
+	// onto the same bus the alert console tails. Both are nil-safe no-ops
+	// when unconfigured.
+	g.jobKeys = newKeyIndex(defaultKeyIndexCap)
+	g.replica = replica.New(replica.Config{
+		Factor:   cfg.Replicas,
+		Ring:     g.ring,
+		Peer:     g.peerFor,
+		Registry: cfg.Registry,
+		Bus:      g.bus,
+		Log:      cfg.Log,
+	})
+	g.tenants = tenant.NewRegistry(cfg.Tenants, tenant.Options{
+		Prefix:   "ddgate_",
+		Capacity: 0, // no gateway queue: token buckets only at the edge
+		Registry: cfg.Registry,
+		Bus:      g.bus,
+	})
 	// The gateway's alert engine watches its own registry's history: ring
 	// membership, per-backend probe health, partial fleet-stats views.
 	rules := cfg.AlertRules
@@ -254,6 +287,12 @@ func (g *Gateway) TimeSeries() *tsdb.DB { return g.ts }
 // HTTP layer merges it with the backends' at GET /v1/alerts.
 func (g *Gateway) Alerts() *alert.Engine { return g.alerts }
 
+// Replication returns the gateway's replicator (nil when -replicas <= 1).
+func (g *Gateway) Replication() *replica.Replicator { return g.replica }
+
+// Tenants returns the gateway's tenant registry (nil when tenancy is off).
+func (g *Gateway) Tenants() *tenant.Registry { return g.tenants }
+
 // Start launches the background loops: the health prober, the time-series
 // sampler, and one event tailer per backend (each follows the backend's
 // /v1/events stream and re-publishes into the gateway bus, making the
@@ -269,6 +308,10 @@ func (g *Gateway) Start() {
 		go g.tailLoop(b)
 	}
 	go g.probeLoop()
+	if g.replica != nil {
+		g.replica.Start()
+		go g.seedReplicas()
+	}
 }
 
 // Stop halts the probe loop, the sampler, and the tailers. Idempotent;
@@ -276,6 +319,7 @@ func (g *Gateway) Start() {
 func (g *Gateway) Stop() {
 	g.stopOnce.Do(func() { close(g.stop) })
 	g.ts.Stop()
+	g.replica.Stop()
 	if g.started {
 		<-g.stopped
 		g.tailWG.Wait()

@@ -140,6 +140,13 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	grec := obs.NewSpanRecorder(g.cfg.Node, 0)
 	obs.SpanFrom(r.Context()).RecordInto(grec)
 
+	// Edge admission first: a throttled tenant is answered before its body
+	// is even read, let alone forwarded.
+	tn, admitted := g.admitTenant(w, r)
+	if !admitted {
+		return
+	}
+
 	body, err := io.ReadAll(io.LimitReader(r.Body, g.cfg.MaxBodyBytes+1))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("reading request: %v", err))
@@ -189,6 +196,7 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+		forwardAPIKey(req, r)
 		return req, nil
 	})
 	if err != nil {
@@ -200,9 +208,18 @@ func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	tc, _ := tracectx.From(r.Context())
 	g.log.Info("job routed", "key", key[:16], "backend", up.backend, "status", up.status,
 		"trace_id", tc.TraceID())
+	g.tenants.Account(tn, int64(len(body)), up.status == http.StatusOK)
 	var st service.Status
 	if json.Unmarshal(up.body, &st) == nil && st.ID != "" {
-		g.traces.put(joinJobID(up.backend, st.ID), grec)
+		gid := joinJobID(up.backend, st.ID)
+		g.traces.put(gid, grec)
+		// Remember which key this job answers for (read-repair joins on it),
+		// and start replication right away for born-done cache hits — queued
+		// jobs are tracked when their job_done event is tailed.
+		g.jobKeys.put(gid, key)
+		if st.State == service.StateDone {
+			g.replica.Track(key, up.backend)
+		}
 	}
 	g.relay(w, up, true)
 }
@@ -216,9 +233,38 @@ func (g *Gateway) handleJob(w http.ResponseWriter, r *http.Request) {
 
 // handleResult forwards a result fetch to the owning backend. The 200
 // body is relayed byte-for-byte: result bytes through the gateway are
-// identical to result bytes fetched directly.
+// identical to result bytes fetched directly. When the owner is
+// unreachable (or restarted without the result), the fetch falls through
+// to the key's replica chain: read-repair serves the identical sealed
+// bytes from a successor and queues the owner for back-fill.
 func (g *Gateway) handleResult(w http.ResponseWriter, r *http.Request) {
-	g.forwardToOwner(w, r, "/v1/results/", false)
+	id := r.PathValue("id")
+	name, remoteID, ok := splitJobID(id)
+	b := g.byName[name]
+	if !ok || b == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("cluster: no such job %q (gateway ids look like backend:j-n)", id))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), g.cfg.Retry.Timeout)
+	defer cancel()
+	up, err := g.attemptOne(ctx, b, func(base string) (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, base+"/v1/results/"+remoteID, nil)
+	})
+	if err == nil && up.status != http.StatusNotFound {
+		g.relay(w, up, false)
+		return
+	}
+	// Owner gone (or a restarted owner that no longer knows the job): the
+	// result may still be alive on a replica.
+	if g.serveRepaired(w, r, id, name) {
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Sprintf("cluster: backend %s unreachable: %v", name, err))
+		return
+	}
+	g.relay(w, up, false)
 }
 
 // forwardToOwner routes a per-job GET to the backend that owns the job.
@@ -249,7 +295,7 @@ func (g *Gateway) forwardToOwner(w http.ResponseWriter, r *http.Request, path st
 // gateway's "<backend>:<id>" form; everything else passes through
 // untouched (headers worth keeping included).
 func (g *Gateway) relay(w http.ResponseWriter, up upstream, rewriteID bool) {
-	for _, h := range []string{"Content-Type", "Retry-After"} {
+	for _, h := range []string{"Content-Type", "Retry-After", "X-DD-Tenant"} {
 		if v := up.header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}
@@ -297,18 +343,33 @@ func (g *Gateway) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	}
 	status := service.HealthOK
 	code := http.StatusOK
+	rs := g.replica.StatsSnapshot()
 	switch {
 	case ok+degraded == 0:
 		status = "down"
 		code = http.StatusServiceUnavailable
 	case ok < len(g.backends):
 		status = service.HealthDegraded
+	case rs.Degraded:
+		// Handoff missed its deadline: every backend answers, but some
+		// sealed results are still below their replication factor.
+		status = service.HealthDegraded
 	}
-	writeJSON(w, code, map[string]any{
+	body := map[string]any{
 		"status":    status,
 		"ring_size": g.ring.Size(),
 		"backends":  perBackend,
-	})
+	}
+	if rs.Factor > 1 {
+		body["replication"] = map[string]any{
+			"factor":           rs.Factor,
+			"tracked":          rs.Tracked,
+			"under_replicated": rs.UnderReplicated,
+			"queue":            rs.Queue,
+			"degraded":         rs.Degraded,
+		}
+	}
+	writeJSON(w, code, body)
 }
 
 func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {

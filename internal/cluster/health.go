@@ -175,11 +175,13 @@ func (g *Gateway) ProbeNow(ctx context.Context) {
 		switch {
 		case evict && prev != HealthDown:
 			g.ring.Evict(b.Name)
+			g.replica.OnEvict(b.Name)
 			g.log.Warn("backend evicted from ring", "backend", b.Name, "url", b.URL,
 				"consecutive_failures", fails, "error", errString(err))
 			g.publishRingChange(b, "evicted", now)
 		case !evict && h != HealthDown && prev == HealthDown:
 			g.ring.Readmit(b.Name)
+			g.replica.OnReadmit(b.Name)
 			g.log.Info("backend readmitted to ring", "backend", b.Name, "url", b.URL,
 				"health", now.String())
 			g.publishRingChange(b, "readmitted", now)

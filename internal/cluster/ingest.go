@@ -26,6 +26,11 @@ import (
 // key spreads concurrent uploads; failover is safe here because no state
 // exists until some backend answers 201.
 func (g *Gateway) handleTraceOpen(w http.ResponseWriter, r *http.Request) {
+	// A session spends one edge admission token up front, same as a batch
+	// POST; chunks then stream inside the already-admitted session.
+	if _, ok := g.admitTenant(w, r); !ok {
+		return
+	}
 	key := fmt.Sprintf("ingest-session-%d", g.sessionSeq.Add(1))
 	candidates := g.candidates(key)
 	if len(candidates) == 0 {
@@ -39,7 +44,12 @@ func (g *Gateway) handleTraceOpen(w http.ResponseWriter, r *http.Request) {
 		if r.URL.RawQuery != "" {
 			u += "?" + r.URL.RawQuery
 		}
-		return http.NewRequest(http.MethodPost, u, nil)
+		req, err := http.NewRequest(http.MethodPost, u, nil)
+		if err != nil {
+			return nil, err
+		}
+		forwardAPIKey(req, r)
+		return req, nil
 	})
 	if err != nil {
 		g.cErrors.Inc()
@@ -155,7 +165,7 @@ type rewriteFunc func(body []byte, backendName string) ([]byte, bool)
 
 // relayWith is relay with a document-specific ID rewriter.
 func (g *Gateway) relayWith(w http.ResponseWriter, up upstream, rewrite rewriteFunc) {
-	for _, h := range []string{"Content-Type", "Retry-After"} {
+	for _, h := range []string{"Content-Type", "Retry-After", "X-DD-Tenant"} {
 		if v := up.header.Get(h); v != "" {
 			w.Header().Set(h, v)
 		}

@@ -125,6 +125,14 @@ func (g *Gateway) tailOnce(b *backend) error {
 		if ev.Job != "" {
 			ev.Job = joinJobID(b.Name, ev.Job)
 		}
+		if ev.Type == stream.TypeJobDone && ev.Detail["state"] == "done" {
+			// A sealed result just landed on this backend: enroll its key
+			// for replication. Submissions the gateway routed are already
+			// tracked; this catches jobs that finished asynchronously.
+			if key, ok := g.jobKeys.get(ev.Job); ok {
+				g.replica.Track(key, b.Name)
+			}
+		}
 		g.bus.Publish(ev)
 	}
 }

@@ -1,0 +1,184 @@
+package cluster
+
+// Gateway-side replication: the cluster tier's face of internal/replica.
+// The gateway is the only process that sees both the ring and every
+// backend, so it runs the replicator: it learns keys from the submissions
+// it routes (and the job_done events it tails), copies sealed results
+// across each key's replica chain over the backends' /v1/cache endpoints,
+// and serves read-repair when a result's owner cannot answer.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"demandrace/internal/replica"
+)
+
+// defaultKeyIndexCap bounds the job-ID → cache-key index backing
+// read-repair. FIFO eviction, like the trace store: results are polled
+// shortly after submission, and replication itself converges through
+// Track/Resync regardless of this index.
+const defaultKeyIndexCap = 4096
+
+// keyIndex maps gateway job IDs ("backend:j-n") to the content-addressed
+// cache key the submission routed on. Read-repair needs the key, but a
+// result poll only carries the job ID — this is the join between them.
+type keyIndex struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]string
+	order []string // insertion order, oldest first
+}
+
+func newKeyIndex(capacity int) *keyIndex {
+	if capacity <= 0 {
+		capacity = defaultKeyIndexCap
+	}
+	return &keyIndex{cap: capacity, m: make(map[string]string)}
+}
+
+func (k *keyIndex) put(id, key string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, ok := k.m[id]; !ok {
+		k.order = append(k.order, id)
+	}
+	k.m[id] = key
+	for len(k.order) > k.cap {
+		delete(k.m, k.order[0])
+		k.order = k.order[1:]
+	}
+}
+
+func (k *keyIndex) get(id string) (string, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	key, ok := k.m[id]
+	return key, ok
+}
+
+// seedTimeout bounds the startup shard import from each backend.
+const seedTimeout = 30 * time.Second
+
+// peerFor resolves a ring member name to its replication surface.
+func (g *Gateway) peerFor(name string) replica.Peer {
+	b := g.byName[name]
+	if b == nil {
+		return nil
+	}
+	return &httpPeer{g: g, b: b}
+}
+
+// httpPeer implements replica.Peer over a backend's key-addressed result
+// endpoints.
+type httpPeer struct {
+	g *Gateway
+	b *backend
+}
+
+func (p *httpPeer) Get(ctx context.Context, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.b.URL+"/v1/cache/"+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s answered %d for replica key", p.b.Name, resp.StatusCode)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, p.g.cfg.MaxBodyBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > p.g.cfg.MaxBodyBytes {
+		return nil, fmt.Errorf("cluster: replica body from %s exceeds %d bytes", p.b.Name, p.g.cfg.MaxBodyBytes)
+	}
+	return data, nil
+}
+
+func (p *httpPeer) Put(ctx context.Context, key string, data []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		p.b.URL+"/v1/cache/"+key, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.g.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("cluster: %s answered %d to replica write", p.b.Name, resp.StatusCode)
+	}
+	return nil
+}
+
+func (p *httpPeer) Keys(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.b.URL+"/v1/cache", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.g.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s answered %d to key listing", p.b.Name, resp.StatusCode)
+	}
+	var doc struct {
+		Keys []string `json:"keys"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, p.g.cfg.MaxBodyBytes)).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return doc.Keys, nil
+}
+
+// seedReplicas imports every backend's existing shard into tracking at
+// startup, so results that predate this gateway process (ddserved
+// -store-dir survivors) reach their replication factor too.
+func (g *Gateway) seedReplicas() {
+	ctx, cancel := context.WithTimeout(context.Background(), seedTimeout)
+	defer cancel()
+	for _, b := range g.backends {
+		if err := g.replica.Seed(ctx, b.Name); err != nil {
+			g.log.Debug("replica seed failed", "backend", b.Name, "error", err.Error())
+		}
+	}
+}
+
+// serveRepaired answers a result fetch from the replica chain after the
+// owner failed: it maps the gateway job ID back to its cache key, pulls
+// the sealed bytes off any holder except the failed owner, and back-fills
+// the chain. Returns false when the key is unknown or no replica held the
+// bytes (the caller falls back to its error path). Replicated results are
+// sealed result documents, so the bytes served here are identical to what
+// the owner would have answered.
+func (g *Gateway) serveRepaired(w http.ResponseWriter, r *http.Request, gatewayJobID, owner string) bool {
+	key, ok := g.jobKeys.get(gatewayJobID)
+	if !ok {
+		return false
+	}
+	data, source, ok := g.replica.Repair(r.Context(), key, owner)
+	if !ok {
+		return false
+	}
+	g.log.Info("result served from replica", "job_id", gatewayJobID,
+		"owner", owner, "source", source)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+	return true
+}

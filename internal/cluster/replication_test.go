@@ -1,0 +1,214 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"demandrace/internal/obs"
+	"demandrace/internal/service"
+	"demandrace/internal/tenant"
+)
+
+// waitReplicated polls the replicator until every tracked key reached its
+// factor (or the deadline passes).
+func waitReplicated(t *testing.T, g *Gateway, wantTracked int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		rs := g.Replication().StatsSnapshot()
+		if rs.Tracked >= wantTracked && rs.UnderReplicated == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("replication never converged: %+v", g.Replication().StatsSnapshot())
+}
+
+// TestClusterReadRepairSurvivesOwnerDeath: with -replicas 2, a sealed
+// result outlives its owner. Submit through the gateway, let write-through
+// copy the result to the key's successor, kill the owning backend, and the
+// same result poll still answers 200 with byte-identical content — served
+// off the replica chain, counted as a read repair.
+func TestClusterReadRepairSurvivesOwnerDeath(t *testing.T) {
+	ctx := context.Background()
+	backends := make([]Backend, 3)
+	servers := make(map[string]*httptest.Server, 3)
+	for i := range backends {
+		_, ts := startBackend(t)
+		name := fmt.Sprintf("b%d", i+1)
+		backends[i] = Backend{Name: name, URL: ts.URL}
+		servers[name] = ts
+	}
+	g, cl := newGateway(t, Config{Backends: backends, Replicas: 2})
+	g.Replication().Start() // newGateway skips Start(); run just the replicator
+
+	req := service.Request{Kernel: "racy_flag", Seed: 11}
+	owner := g.Ring().Owner(req.CacheKey())
+
+	st, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if _, err := cl.Wait(ctx, st.ID); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	want, err := cl.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("Result before failure: %v", err)
+	}
+	// The event tailers are not running in this harness, so enroll the key
+	// the way a live gateway also would: an identical resubmission comes
+	// back born-done from the owner's cache and is tracked at the handler.
+	again, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if !again.CacheHit {
+		t.Fatal("resubmission missed the owner's cache")
+	}
+	waitReplicated(t, g, 1)
+	if got := g.reg.CounterValue(obs.ReplicaWrites); got < 1 {
+		t.Fatalf("replica_writes_total = %d, want >= 1", got)
+	}
+	holders := g.Replication().Holders(req.CacheKey())
+	if len(holders) < 2 {
+		t.Fatalf("holders = %v, want the owner plus a successor", holders)
+	}
+
+	// Kill the owner. No probe runs, so the ring still routes to it — the
+	// fetch must fail over to the replica chain, not to re-routing.
+	servers[owner].Close()
+
+	got, err := cl.Result(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("Result after owner death: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("repaired result differs: %d bytes vs %d", len(got), len(want))
+	}
+	if n := g.reg.CounterValue(obs.ReplicaReadRepairs); n < 1 {
+		t.Fatalf("replica_read_repair_total = %d, want >= 1", n)
+	}
+}
+
+// TestClusterHealthzReplicationSubsystem: /healthz carries a replication
+// block when a factor is configured, and goes degraded once keys sit
+// under-replicated past the handoff deadline.
+func TestClusterHealthzReplicationSubsystem(t *testing.T) {
+	backends := make([]Backend, 2)
+	for i := range backends {
+		_, ts := startBackend(t)
+		backends[i] = Backend{Name: fmt.Sprintf("b%d", i+1), URL: ts.URL}
+	}
+	g, _ := newGateway(t, Config{Backends: backends, Replicas: 2})
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("GET healthz: %v", err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status      string `json:"status"`
+		Replication *struct {
+			Factor   int  `json:"factor"`
+			Degraded bool `json:"degraded"`
+		} `json:"replication"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decoding healthz: %v", err)
+	}
+	if body.Replication == nil || body.Replication.Factor != 2 {
+		t.Fatalf("healthz replication block = %+v, want factor 2", body.Replication)
+	}
+	if body.Replication.Degraded {
+		t.Fatal("fresh replicator reports degraded")
+	}
+}
+
+// TestClusterEdgeTenancy: the gateway enforces per-tenant admission before
+// any backend round trip. A tenant past its budget gets 429 + its own
+// Retry-After horizon + the X-DD-Tenant header; other tenants are
+// unaffected; unknown keys are 401 while tenancy is on.
+func TestClusterEdgeTenancy(t *testing.T) {
+	_, bts := startBackend(t)
+	g, _ := newGateway(t, Config{
+		Backends: []Backend{{Name: "b1", URL: bts.URL}},
+		Tenants: []tenant.Config{
+			{Key: "heavy-key", Name: "heavy", Weight: 1, Rate: 0.01, Burst: 1},
+			{Key: "light-key", Name: "light", Weight: 3, Rate: 100, Burst: 5},
+		},
+	})
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	submit := func(key string, seed int) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs",
+			strings.NewReader(fmt.Sprintf(`{"kernel":"racy_flag","seed":%d}`, seed)))
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set(tenant.HeaderAPIKey, key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("POST /v1/jobs: %v", err)
+		}
+		return resp
+	}
+
+	// heavy's single burst token admits one job…
+	resp := submit("heavy-key", 1)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first heavy submit: status %d, want 202", resp.StatusCode)
+	}
+	// …and the next is throttled at the edge with heavy's own horizon.
+	resp = submit("heavy-key", 2)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second heavy submit: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get(tenant.HeaderTenant); got != "heavy" {
+		t.Errorf("X-DD-Tenant = %q, want %q", got, "heavy")
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After = %q, want a positive horizon", ra)
+	}
+	// light is untouched by heavy's exhaustion.
+	for seed := 10; seed < 13; seed++ {
+		lr := submit("light-key", seed)
+		lr.Body.Close()
+		if lr.StatusCode != http.StatusAccepted {
+			t.Fatalf("light submit seed %d: status %d, want 202", seed, lr.StatusCode)
+		}
+	}
+	// Unknown and missing keys are rejected while tenancy is on.
+	for _, key := range []string{"no-such-key", ""} {
+		ur := submit(key, 99)
+		ur.Body.Close()
+		if ur.StatusCode != http.StatusUnauthorized {
+			t.Fatalf("submit with key %q: status %d, want 401", key, ur.StatusCode)
+		}
+	}
+	// The stats document carries the per-tenant ledger.
+	stats := g.Stats(context.Background())
+	byName := map[string]tenant.Stats{}
+	for _, s := range stats.Tenants {
+		byName[s.Name] = s
+	}
+	if byName["heavy"].Throttled < 1 {
+		t.Errorf("heavy throttled = %d, want >= 1", byName["heavy"].Throttled)
+	}
+	if byName["light"].Jobs < 3 {
+		t.Errorf("light jobs = %d, want >= 3", byName["light"].Jobs)
+	}
+}

@@ -137,6 +137,21 @@ func (r *Ring) Lookup(key string, n int) []string {
 	return out
 }
 
+// Successors returns up to n distinct active members that follow key's
+// owner in ring order — the replica set for a replication factor of n+1.
+// The owner itself is excluded. Because vnode positions depend only on
+// member names (and ties break on member name), a key's successor set is
+// stable under unrelated membership changes: adding or removing member X
+// never reorders the surviving members relative to each other, it only
+// inserts or removes X itself from the walk.
+func (r *Ring) Successors(key string, n int) []string {
+	m := r.Lookup(key, n+1)
+	if len(m) <= 1 {
+		return nil
+	}
+	return m[1:]
+}
+
 // Owner returns the single member owning key, or "" on an empty ring.
 func (r *Ring) Owner(key string) string {
 	if m := r.Lookup(key, 1); len(m) == 1 {

@@ -102,6 +102,107 @@ func TestRingEvictionStability(t *testing.T) {
 	}
 }
 
+// TestRingSuccessorsDistribution: with replication factor 2 (one
+// successor), the successor role must spread across members like
+// ownership does — no member may be starved of replica duty, and a key's
+// successor is never its owner.
+func TestRingSuccessorsDistribution(t *testing.T) {
+	r := NewRing(DefaultVNodes)
+	members := []string{"n1", "n2", "n3", "n4"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		succ := r.Successors(key, 1)
+		if len(succ) != 1 {
+			t.Fatalf("key %q: want 1 successor, got %v", key, succ)
+		}
+		if succ[0] == r.Owner(key) {
+			t.Fatalf("key %q: successor %s is the owner", key, succ[0])
+		}
+		counts[succ[0]]++
+	}
+	for _, m := range members {
+		if share := float64(counts[m]) / keys; share < 0.10 {
+			t.Fatalf("member %s is successor for %.1f%% of keys, want > 10%% (counts %v)", m, share*100, counts)
+		}
+	}
+	// n larger than the remaining membership caps at everyone-but-the-owner.
+	if succ := r.Successors("key-0", 10); len(succ) != len(members)-1 {
+		t.Fatalf("over-asking successors = %v, want %d members", succ, len(members)-1)
+	}
+}
+
+// TestRingSuccessorsEvictionStability mirrors the eviction-stability test
+// for replica sets: evicting an unrelated member must not reorder the
+// surviving members of any key's successor set — only the evicted member
+// drops out (back-filled from further along the ring), and readmission
+// restores every set exactly.
+func TestRingSuccessorsEvictionStability(t *testing.T) {
+	r := NewRing(DefaultVNodes)
+	members := []string{"n1", "n2", "n3", "n4"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	const keys = 1000
+	before := make([][]string, keys)
+	for i := range before {
+		before[i] = r.Successors(fmt.Sprintf("key-%d", i), 2)
+	}
+
+	chains := make([][]string, keys)
+	for i := range chains {
+		chains[i] = r.Lookup(fmt.Sprintf("key-%d", i), 3) // owner + the 2 successors
+	}
+
+	r.Evict("n4")
+	touched := 0
+	for i := range chains {
+		key := fmt.Sprintf("key-%d", i)
+		after := r.Lookup(key, 3)
+		for _, m := range after {
+			if m == "n4" {
+				t.Fatalf("key-%d: evicted member in chain %v", i, after)
+			}
+		}
+		// Eviction removes n4 from the replica chain without swapping any
+		// two survivors: the old chain minus n4 must be a prefix of the new
+		// chain. (If n4 owned the key, its first successor is promoted to
+		// owner — the chain shifts left, order preserved.)
+		survivors := make([]string, 0, 3)
+		for _, m := range chains[i] {
+			if m != "n4" {
+				survivors = append(survivors, m)
+			}
+		}
+		if len(survivors) < len(chains[i]) {
+			touched++
+		}
+		for j, m := range survivors {
+			if j >= len(after) || after[j] != m {
+				t.Fatalf("key-%d: chain %v became %v; survivors reordered", i, chains[i], after)
+			}
+		}
+		// Successors stays consistent with the chain view.
+		if succ := r.Successors(key, 2); !reflect.DeepEqual(succ, after[1:]) {
+			t.Fatalf("key-%d: Successors %v disagrees with Lookup chain %v", i, succ, after)
+		}
+	}
+	if touched == 0 {
+		t.Fatal("test is vacuous: n4 was in no replica chain")
+	}
+
+	r.Readmit("n4")
+	for i := range before {
+		if after := r.Successors(fmt.Sprintf("key-%d", i), 2); !reflect.DeepEqual(after, before[i]) {
+			t.Fatalf("key-%d after readmission: %v, want %v", i, after, before[i])
+		}
+	}
+}
+
 // TestRingLookupSkipsEvicted: failover candidate lists never include an
 // evicted member, and shrink when membership does.
 func TestRingLookupSkipsEvicted(t *testing.T) {

@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"demandrace/internal/obs"
+	"demandrace/internal/replica"
 	"demandrace/internal/service"
+	"demandrace/internal/tenant"
 )
 
 // RingStats describes the routing layer.
@@ -51,6 +53,8 @@ type ClusterStats struct {
 	Gateway       GatewayCounters  `json:"gateway"`
 	Jobs          service.JobStats `json:"jobs"`
 	StatsErrors   int              `json:"stats_errors"`
+	Replication   *replica.Stats   `json:"replication,omitempty"`
+	Tenants       []tenant.Stats   `json:"tenants,omitempty"`
 	Backends      []BackendStats   `json:"backends"`
 }
 
@@ -77,6 +81,10 @@ func (g *Gateway) Stats(ctx context.Context) ClusterStats {
 		},
 		Backends: make([]BackendStats, len(g.backends)),
 	}
+	if rs := g.replica.StatsSnapshot(); rs.Factor > 1 {
+		cs.Replication = &rs
+	}
+	cs.Tenants = g.tenants.StatsSnapshot()
 
 	var (
 		wg       sync.WaitGroup

@@ -1,0 +1,49 @@
+package cluster
+
+// Gateway-side tenancy: the same admission Registry ddserved runs at its
+// queue, enforced here at the fleet edge (prefix "ddgate_"). The gateway
+// has no job queue of its own, so its registry runs with Capacity 0 —
+// only the per-tenant token buckets apply — and a throttled submission is
+// answered 429 before it costs a backend round trip. The API key is
+// forwarded upstream untouched, so a backend running its own -tenants
+// file enforces its queue-share bound on top.
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"demandrace/internal/tenant"
+)
+
+// admitTenant runs the edge tenant gate for one submission: resolve the
+// API key (401 on an unknown key while tenancy is on), stamp the tenant
+// name into the response header, and spend a token (429 + the tenant's
+// own Retry-After horizon on exhaustion). ok=false means the response
+// has been written. With tenancy off it admits with a nil tenant.
+func (g *Gateway) admitTenant(w http.ResponseWriter, r *http.Request) (*tenant.Tenant, bool) {
+	tn, err := g.tenants.Resolve(r.Header.Get(tenant.HeaderAPIKey))
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, err.Error())
+		return nil, false
+	}
+	if tn != nil {
+		w.Header().Set(tenant.HeaderTenant, tn.Name())
+	}
+	if ra, ok := g.tenants.Admit(tn); !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(ra))
+		g.log.Warn("submission throttled at edge", "tenant", tn.Name(), "retry_after_s", ra)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %q: admission budget exhausted, retry in %ds", tn.Name(), ra))
+		return nil, false
+	}
+	return tn, true
+}
+
+// forwardAPIKey copies the client's API key onto an upstream request so
+// backend-side tenancy keeps working through the gateway.
+func forwardAPIKey(dst *http.Request, src *http.Request) {
+	if v := src.Header.Get(tenant.HeaderAPIKey); v != "" {
+		dst.Header.Set(tenant.HeaderAPIKey, v)
+	}
+}

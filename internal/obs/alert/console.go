@@ -92,6 +92,8 @@ const consoleHTML = `<!DOCTYPE html>
   <section id="ringSec" hidden><h2>Ring membership</h2><div id="ring"></div></section>
   <section id="queueSec" hidden><h2>Job queue</h2><div id="queue"></div></section>
   <section id="sloSec" hidden><h2>SLO budget</h2><div id="slo"></div></section>
+  <section id="replSec" hidden><h2>Replication</h2><div id="repl"></div></section>
+  <section id="tenantSec" hidden><h2>Tenants</h2><div id="tenants"></div></section>
   <section class="wide"><h2>Timeseries (last 15m)</h2><div id="sparks" class="sparks empty">loading&hellip;</div></section>
 </main>
 <footer>self-contained console &mdash; polls /v1/stats, /v1/alerts, /v1/timeseries on this node; tail transitions with <code>ddrace -alerts</code></footer>
@@ -180,12 +182,36 @@ function renderStats(s) {
       "<div style='margin-top:6px'>budget used " + (s.slo.budget_used * 100).toFixed(1) + "% &middot; " +
       s.slo.breaches + "/" + s.slo.requests + " breaches</div>";
   }
+  if (s.replication) {
+    $("replSec").hidden = false;
+    const r = s.replication;
+    $("repl").innerHTML =
+      "factor " + r.factor + " &middot; " + r.tracked + " keys tracked" +
+      bar(r.tracked ? 1 - r.under_replicated / r.tracked : 1, 2, 2) +
+      "<div style='margin-top:6px'>under-replicated " + r.under_replicated +
+      " &middot; queue " + r.queue +
+      (r.degraded ? " &middot; <span class='badge crit'>degraded</span>" : "") + "</div>";
+  }
+  if (s.tenants && s.tenants.length) {
+    $("tenantSec").hidden = false;
+    let h = "<table><tr><th>tenant</th><th class=num>weight</th><th class=num>tokens</th>" +
+      "<th class=num>active</th><th class=num>jobs</th><th class=num>cache hits</th><th class=num>throttled</th></tr>";
+    for (const t of s.tenants) {
+      h += "<tr><td>" + esc(t.name) + "</td><td class=num>" + fmt(t.weight) + "</td>" +
+        "<td class=num>" + fmt(t.tokens) + "/" + fmt(t.burst) + "</td>" +
+        "<td class=num>" + (t.active || 0) + "</td><td class=num>" + (t.jobs || 0) + "</td>" +
+        "<td class=num>" + (t.cache_hits || 0) + "</td>" +
+        "<td class=num>" + (t.throttled ? "<span class='badge warn'>" + t.throttled + "</span>" : 0) + "</td></tr>";
+    }
+    $("tenants").innerHTML = h + "</table>";
+  }
 }
 
 // Preferred sparkline metrics, by substring, in display order; anything
 // else fills remaining slots alphabetically.
 const preferred = ["queue_depth", "worker_utilization", "slo_breaches", "slo_requests",
   "jobs_inflight", "cache_hits", "ring_members", "forwards_total", "ingest_chunks",
+  "replica_under_replicated", "replica_read_repair", "tenant_throttled",
   "http_latency_ms_post_jobs:p99", "ddalert_active"];
 const MAX_SPARKS = 18;
 

@@ -68,6 +68,20 @@ func ServiceDefaults(sloTarget float64, queueHighWater int) []Rule {
 			Summary:     "result-cache hit ratio collapsed below 10% under real lookup traffic",
 		},
 		{
+			// The throttle counter only exists once -tenants is configured
+			// and a budget is exceeded; a missing series reads as condition
+			// not met, so the rule is inert on untenanted nodes.
+			Name:     "tenant-budget-exhausted",
+			Kind:     KindRate,
+			Metric:   obs.TenantThrottledMetric("ddserved_"),
+			Op:       ">",
+			Value:    0,
+			Window:   Duration(1 * time.Minute),
+			For:      Duration(10 * time.Second),
+			Severity: SevWarning,
+			Summary:  "a tenant's admission budget is exhausted; its submissions are answering 429",
+		},
+		{
 			Name:     "ingest-session-stall",
 			Kind:     KindRate,
 			Metric:   obs.IngestChunks,
@@ -108,6 +122,19 @@ func GatewayDefaults(members int, backendNames []string) []Rule {
 			Value:    0,
 			Severity: SevWarning,
 			Summary:  "last fleet stats fan-out was partial: one or more backends failed to answer",
+		},
+		{
+			// Mirrors the ddserved rule: inert until the gateway's own
+			// admission edge throttles a tenant.
+			Name:     "tenant-budget-exhausted",
+			Kind:     KindRate,
+			Metric:   obs.TenantThrottledMetric("ddgate_"),
+			Op:       ">",
+			Value:    0,
+			Window:   Duration(1 * time.Minute),
+			For:      Duration(10 * time.Second),
+			Severity: SevWarning,
+			Summary:  "a tenant's admission budget is exhausted at the gateway; its submissions are answering 429",
 		},
 	}
 	for _, name := range backendNames {

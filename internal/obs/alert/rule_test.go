@@ -144,14 +144,14 @@ func TestDefaultRuleSetsAreValid(t *testing.T) {
 	for _, target := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
 		for _, hw := range []int{-3, 0, 1, 48} {
 			rules := ServiceDefaults(target, hw)
-			if len(rules) != 5 {
-				t.Fatalf("ServiceDefaults(%v, %d) = %d rules, want 5", target, hw, len(rules))
+			if len(rules) != 6 {
+				t.Fatalf("ServiceDefaults(%v, %d) = %d rules, want 6", target, hw, len(rules))
 			}
 		}
 	}
 	for _, names := range [][]string{nil, {"a"}, {"a", "b", "c"}} {
 		rules := GatewayDefaults(len(names), names)
-		if len(rules) != 2+len(names) {
+		if len(rules) != 3+len(names) {
 			t.Fatalf("GatewayDefaults(%v) = %d rules", names, len(rules))
 		}
 	}

@@ -44,6 +44,29 @@ const (
 	// GateStatsErrors gauges how many backends failed to answer the last
 	// fleet stats fan-out — nonzero means /v1/stats served a partial view.
 	GateStatsErrors = "ddgate_stats_errors"
+
+	// ReplicaWrites counts replica copy attempts the gateway issued
+	// (write-through of sealed results to ring successors plus handoff
+	// re-replication); ReplicaWriteErrors counts the subset that failed
+	// after delivery was attempted.
+	ReplicaWrites      = "ddgate_replica_writes_total"
+	ReplicaWriteErrors = "ddgate_replica_write_errors_total"
+	// ReplicaReadRepairs counts result reads that missed the owner and
+	// were served from a successor replica (the owner is then queued for
+	// back-fill). cluster-smoke's kill-the-owner assertion reads this.
+	ReplicaReadRepairs = "ddgate_replica_read_repair_total"
+	// ReplicaQueueDepth gauges the pending replication task queue;
+	// ReplicaQueueDrops counts tasks discarded because the bounded queue
+	// was full (replication is best-effort, reads fall back to repair).
+	ReplicaQueueDepth = "ddgate_replica_queue_depth"
+	ReplicaQueueDrops = "ddgate_replica_queue_drops_total"
+	// ReplicaTracked gauges how many sealed result keys the gateway is
+	// responsible for keeping at the configured replication factor.
+	ReplicaTracked = "ddgate_replica_tracked_keys"
+	// ReplicaUnderReplicated gauges tracked keys currently below the
+	// replication factor (nonzero past the handoff deadline degrades the
+	// /healthz replication subsystem).
+	ReplicaUnderReplicated = "ddgate_replica_under_replicated_keys"
 )
 
 // MetricName sanitizes s into a legal Prometheus metric-name suffix:

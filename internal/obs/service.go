@@ -69,3 +69,56 @@ const (
 	SvcStoreEntries = "ddserved_store_entries"
 	SvcStoreBytes   = "ddserved_store_bytes"
 )
+
+// Tenant metric names are shared by both daemons — ddserved and ddgate
+// each enforce admission at their own edge — so the constants here carry
+// no daemon prefix; callers pass their prefix ("ddserved_" / "ddgate_")
+// to the Tenant* helpers below. Per-tenant series encode the tenant name
+// in the metric name via MetricName, like the per-backend gateway series.
+const (
+	// TenantThrottledSuffix counts admissions rejected because a tenant's
+	// token budget or weighted queue share was exhausted (HTTP 429). The
+	// aggregate (un-suffixed-by-tenant) series feeds the
+	// tenant-budget-exhausted default alert rule.
+	TenantThrottledSuffix = "tenant_throttled_total"
+	// TenantJobsSuffix / TenantBytesSuffix / TenantCacheHitsSuffix are the
+	// per-tenant usage accounting series (jobs admitted, payload bytes
+	// accepted, submissions served from cache).
+	TenantJobsSuffix      = "tenant_jobs_total_"
+	TenantBytesSuffix     = "tenant_bytes_total_"
+	TenantCacheHitsSuffix = "tenant_cache_hits_total_"
+	// TenantThrottledPerSuffix prefixes the per-tenant throttle counters.
+	TenantThrottledPerSuffix = "tenant_throttled_total_"
+	// TenantActiveSuffix prefixes the per-tenant active-job gauges
+	// (queued + running), the quantity weighted admission bounds.
+	TenantActiveSuffix = "tenant_active_jobs_"
+)
+
+// TenantThrottledMetric names the aggregate throttle counter for a daemon
+// prefix ("ddserved_" or "ddgate_").
+func TenantThrottledMetric(prefix string) string { return prefix + TenantThrottledSuffix }
+
+// TenantJobsMetric names the per-tenant admitted-jobs counter.
+func TenantJobsMetric(prefix, tenant string) string {
+	return prefix + TenantJobsSuffix + MetricName(tenant)
+}
+
+// TenantBytesMetric names the per-tenant accepted-bytes counter.
+func TenantBytesMetric(prefix, tenant string) string {
+	return prefix + TenantBytesSuffix + MetricName(tenant)
+}
+
+// TenantCacheHitsMetric names the per-tenant cache-hit counter.
+func TenantCacheHitsMetric(prefix, tenant string) string {
+	return prefix + TenantCacheHitsSuffix + MetricName(tenant)
+}
+
+// TenantThrottledPerMetric names the per-tenant throttle counter.
+func TenantThrottledPerMetric(prefix, tenant string) string {
+	return prefix + TenantThrottledPerSuffix + MetricName(tenant)
+}
+
+// TenantActiveMetric names the per-tenant active-jobs gauge.
+func TenantActiveMetric(prefix, tenant string) string {
+	return prefix + TenantActiveSuffix + MetricName(tenant)
+}

@@ -52,6 +52,14 @@ const (
 	// TypeAlertResolved fires exactly once when a firing alert's condition
 	// clears.
 	TypeAlertResolved = "alert_resolved"
+	// TypeReplicaRepair fires when a read miss on the owning backend was
+	// answered from a replica and the owner was queued for back-fill
+	// (Detail carries key/owner/source).
+	TypeReplicaRepair = "replica_repair"
+	// TypeTenantThrottled fires on the admitted→throttled edge of a
+	// tenant's budget — once per exhaustion episode, not per rejected
+	// request (Detail carries tenant/retry_after_s).
+	TypeTenantThrottled = "tenant_throttled"
 )
 
 // Event is one operational occurrence, JSON-encoded on the wire.

@@ -144,6 +144,47 @@ func (c *resultCache) publishDiskGauges() {
 	c.gDiskSize.Set(c.disk.Size())
 }
 
+// export returns the bytes stored under key without touching the
+// hit/miss accounting: replication reads are fleet-internal traffic, not
+// client lookups, and must not perturb the cache-collapse alert ratio.
+func (c *resultCache) export(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		data := el.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		return data, true
+	}
+	c.mu.Unlock()
+	if c.disk != nil {
+		if data, ok := c.disk.Get(key); ok {
+			return data, true
+		}
+	}
+	return nil, false
+}
+
+// keys returns every key this node can answer for: memory-resident
+// entries (most recent first) followed by disk-only keys in write order.
+func (c *resultCache) keys() []string {
+	seen := make(map[string]bool)
+	var out []string
+	c.mu.Lock()
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		k := el.Value.(*cacheEntry).key
+		seen[k] = true
+		out = append(out, k)
+	}
+	c.mu.Unlock()
+	if c.disk != nil {
+		for _, k := range c.disk.Keys() {
+			if !seen[k] {
+				out = append(out, k)
+			}
+		}
+	}
+	return out
+}
+
 // len returns the current entry count.
 func (c *resultCache) len() int {
 	c.mu.Lock()

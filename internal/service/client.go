@@ -97,6 +97,9 @@ type Client struct {
 	// makes. Retrying a submission is safe: jobs are content-addressed
 	// and pure, so a duplicate submit is at worst a cache hit.
 	Options Options
+	// APIKey, when set, is sent as X-API-Key on every request. Required
+	// against daemons running with -tenants; ignored otherwise.
+	APIKey string
 }
 
 // APIError is a non-2xx daemon response.
@@ -106,12 +109,19 @@ type APIError struct {
 	// RetryAfter echoes the Retry-After header on 429/503 (seconds, 0 if
 	// absent), so callers can implement backoff.
 	RetryAfter int
+	// Tenant echoes the X-DD-Tenant header a multi-tenant daemon stamps
+	// on its answers — on a 429 it names whose admission budget ran out.
+	Tenant string
 }
 
 func (e *APIError) Error() string {
 	// Surface the server's pacing hint in the message itself: when a 413
 	// or 429 bubbles all the way to a user, "retry after Ns" is the
-	// actionable part.
+	// actionable part — and under -tenants, whose budget it was.
+	if e.Code == http.StatusTooManyRequests && e.Tenant != "" {
+		return fmt.Sprintf("service: daemon returned %d for tenant %q: %s (retry after %ds)",
+			e.Code, e.Tenant, e.Message, e.RetryAfter)
+	}
 	if e.RetryAfter > 0 {
 		return fmt.Sprintf("service: daemon returned %d: %s (retry after %ds)",
 			e.Code, e.Message, e.RetryAfter)
@@ -142,7 +152,12 @@ func (r reply) err() error {
 	if body.Error == "" {
 		body.Error = http.StatusText(r.status)
 	}
-	return &APIError{Code: r.status, Message: body.Error, RetryAfter: retryAfterSeconds(r.header)}
+	return &APIError{
+		Code:       r.status,
+		Message:    body.Error,
+		RetryAfter: retryAfterSeconds(r.header),
+		Tenant:     r.header.Get("X-DD-Tenant"),
+	}
 }
 
 // retryAfterSeconds parses a Retry-After header, which HTTP allows in two
@@ -210,6 +225,9 @@ func (c *Client) attempt(ctx context.Context, build func(ctx context.Context) (*
 	req, err := build(actx)
 	if err != nil {
 		return reply{}, err
+	}
+	if c.APIKey != "" {
+		req.Header.Set("X-API-Key", c.APIKey)
 	}
 	// Propagate the caller's trace context, one child span per attempt, so
 	// retries are distinguishable hops under the same trace ID.

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"mime"
 	"net/http"
+	"strconv"
 	"time"
 
 	"demandrace/internal/obs"
@@ -13,6 +15,7 @@ import (
 	"demandrace/internal/obs/stream"
 	"demandrace/internal/obs/tracectx"
 	"demandrace/internal/obs/tsdb"
+	"demandrace/internal/tenant"
 	"demandrace/internal/trace"
 )
 
@@ -47,6 +50,9 @@ func (s *Server) routes() []route {
 		{"GET /v1/jobs/{id}/trace", "get_job_trace", false, false, s.handleJobTrace},
 		{"GET /v1/jobs/{id}/partial", "get_job_partial", false, false, s.handlePartial},
 		{"GET /v1/results/{id}", "get_result", false, false, s.handleResult},
+		{"GET /v1/cache", "get_cache_keys", true, false, s.handleCacheKeys},
+		{"GET /v1/cache/{key}", "get_cache_entry", true, false, s.handleCacheGet},
+		{"PUT /v1/cache/{key}", "put_cache_entry", true, false, s.handleCachePut},
 		{"GET /v1/timeseries", "get_timeseries", true, false, s.handleTimeseries},
 		{"GET /v1/events", "get_events", true, true, s.handleEvents},
 		{"GET /v1/alerts", "get_alerts", true, false, s.handleAlerts},
@@ -151,7 +157,52 @@ func (s *Server) instrument(rt route) http.Handler {
 	})
 }
 
+// admitTenant runs the tenant gate for one submission: resolve the API
+// key (401 on an unknown key while tenancy is on), stamp the resolved
+// tenant name into the response header, and spend an admission token
+// (429 + the tenant's own Retry-After horizon on exhaustion). ok=false
+// means the response has been written. With tenancy off it admits with a
+// nil tenant.
+func (s *Server) admitTenant(w http.ResponseWriter, r *http.Request) (*tenant.Tenant, bool) {
+	tn, err := s.tenants.Resolve(r.Header.Get(tenant.HeaderAPIKey))
+	if err != nil {
+		writeError(w, http.StatusUnauthorized, err.Error())
+		return nil, false
+	}
+	if tn != nil {
+		w.Header().Set(tenant.HeaderTenant, tn.Name())
+	}
+	if ra, ok := s.tenants.Admit(tn); !ok {
+		s.cReject.Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(ra))
+		s.log.Warn("job rejected", "reason", "tenant throttled", "tenant", tn.Name(), "retry_after_s", ra)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("tenant %q: admission budget exhausted, retry in %ds", tn.Name(), ra))
+		return nil, false
+	}
+	return tn, true
+}
+
+// countingReader counts the bytes a submission actually consumed, for
+// per-tenant usage accounting.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tn, admitted := s.admitTenant(w, r)
+	if !admitted {
+		return
+	}
+	ctx := tenant.Into(r.Context(), tn)
+	body := &countingReader{r: r.Body}
 	ct, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type"))
 	var (
 		st  Status
@@ -159,19 +210,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	)
 	switch ct {
 	case TraceContentType, "application/octet-stream":
-		st, err = s.SubmitTrace(r.Context(), r.Body, parseTraceOptions(r.URL.Query()))
+		st, err = s.SubmitTrace(ctx, body, parseTraceOptions(r.URL.Query()))
 	default:
 		var req Request
-		if derr := json.NewDecoder(r.Body).Decode(&req); derr != nil {
+		if derr := json.NewDecoder(body).Decode(&req); derr != nil {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("decoding request: %v", derr))
 			return
 		}
-		st, err = s.Submit(r.Context(), req)
+		st, err = s.Submit(ctx, req)
 	}
 	if err != nil {
 		s.writeSubmitError(w, err)
 		return
 	}
+	s.tenants.Account(tn, body.n, st.CacheHit)
 	code := http.StatusAccepted
 	if st.State == StateDone {
 		code = http.StatusOK // cache hit: the result is already fetchable
@@ -283,6 +335,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 			"dir":     s.cfg.Store.Dir(),
 			"entries": s.cfg.Store.Len(),
 			"bytes":   s.cfg.Store.Size(),
+		}
+	}
+	if s.tenants.Enabled() {
+		ts := s.tenants.StatsSnapshot()
+		var throttled uint64
+		for _, t := range ts {
+			throttled += t.Throttled
+		}
+		subsystems["tenants"] = map[string]any{
+			"count":     len(ts),
+			"throttled": throttled,
 		}
 	}
 	body := map[string]any{

@@ -50,6 +50,11 @@ func (s *Server) handleTraceOpen(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, ErrDraining.Error())
 		return
 	}
+	// A session is a submission in installments: it spends one admission
+	// token up front, the same as a batch POST /v1/jobs.
+	if _, ok := s.admitTenant(w, r); !ok {
+		return
+	}
 	opts := parseTraceOptions(r.URL.Query())
 	st, err := s.ing.Open(ingest.OpenOptions{
 		Detector: detectorOptions(opts),

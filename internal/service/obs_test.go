@@ -79,7 +79,8 @@ func TestStatsPopulatedAfterJob(t *testing.T) {
 	// on stable positions.
 	wantRoutes := []string{"post_jobs", "post_traces", "put_trace_chunk",
 		"get_trace_session", "post_trace_commit", "get_job", "get_job_trace",
-		"get_job_partial", "get_result", "get_timeseries", "get_events",
+		"get_job_partial", "get_result", "get_cache_keys", "get_cache_entry",
+		"put_cache_entry", "get_timeseries", "get_events",
 		"get_alerts", "get_dashboard", "get_stats", "healthz", "metrics"}
 	if len(sum.Endpoints) != len(wantRoutes) {
 		t.Fatalf("endpoints = %d rows, want %d", len(sum.Endpoints), len(wantRoutes))

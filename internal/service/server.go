@@ -22,6 +22,7 @@ import (
 	"demandrace/internal/runner"
 	"demandrace/internal/sched"
 	"demandrace/internal/store"
+	"demandrace/internal/tenant"
 	"demandrace/internal/trace"
 	"demandrace/internal/workloads"
 )
@@ -92,6 +93,11 @@ type Config struct {
 	// AlertHistory bounds the resolved-alert history served by
 	// GET /v1/alerts (default alert.DefaultHistory).
 	AlertHistory int
+	// Tenants, when non-empty, turns on multi-tenant admission (ddserved
+	// -tenants): every submission must carry a known X-API-Key, and each
+	// tenant is held to its token bucket and weighted share of QueueDepth.
+	// Empty means tenancy off — no key required, nothing throttled.
+	Tenants []tenant.Config
 }
 
 func (c Config) normalized() Config {
@@ -159,6 +165,7 @@ type Server struct {
 	ts      *tsdb.DB
 	ing     *ingest.Manager
 	alerts  *alert.Engine
+	tenants *tenant.Registry // nil when tenancy is off
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -222,6 +229,16 @@ func NewServer(cfg Config) *Server {
 		hWait:      cfg.Registry.Histogram(obs.SvcQueueWait, obs.LatencyBuckets),
 		hJobDur:    cfg.Registry.Histogram(obs.SvcJobDuration, obs.LatencyBuckets),
 	}
+	// The tenant registry shares the queue depth (its weighted shares
+	// divide the same capacity the queue enforces) and the bus (throttle
+	// edges surface on the same stream as job lifecycle events). Nil when
+	// Config.Tenants is empty: every call site is nil-safe.
+	s.tenants = tenant.NewRegistry(cfg.Tenants, tenant.Options{
+		Prefix:   "ddserved_",
+		Capacity: cfg.QueueDepth,
+		Registry: cfg.Registry,
+		Bus:      s.bus,
+	})
 	// The ingest manager shares the server's bus, registry, and trace
 	// limits, so streamed sessions surface through the same event stream,
 	// metrics exposition, and 413 thresholds as batch uploads.
@@ -281,6 +298,9 @@ func (s *Server) Ingest() *ingest.Manager { return s.ing }
 
 // Alerts returns the server's alert engine (served at GET /v1/alerts).
 func (s *Server) Alerts() *alert.Engine { return s.alerts }
+
+// Tenants returns the server's tenant registry (nil when tenancy is off).
+func (s *Server) Tenants() *tenant.Registry { return s.tenants }
 
 // Config returns the server's normalized configuration.
 func (s *Server) Config() Config { return s.cfg }
@@ -467,6 +487,7 @@ func (s *Server) admit(ctx context.Context, j *Job) (Status, error) {
 	if tc, ok := tracectx.From(ctx); ok {
 		j.trace = tc.TraceID()
 	}
+	j.tenant = tenant.From(ctx)
 	if j.rec == nil {
 		j.rec = obs.NewSpanRecorder(s.cfg.Node, 0)
 	}
@@ -540,6 +561,9 @@ func (s *Server) admit(ctx context.Context, j *Job) (Status, error) {
 	st := s.statusLocked(j)
 	s.mu.Unlock()
 	s.cSubmit.Inc()
+	// The job now occupies queue capacity: it counts against its tenant's
+	// weighted share until execute retires it.
+	s.tenants.Begin(j.tenant)
 	s.log.Info("job queued", j.logAttrs("policy", j.policy, "timeout_ms", j.timeout.Milliseconds())...)
 	return st, nil
 }
@@ -624,6 +648,7 @@ func (s *Server) execute(j *Job) {
 	s.gUtil.Set(int64(100 * s.inflight / s.cfg.Workers))
 	s.mu.Unlock()
 	close(j.done)
+	s.tenants.End(j.tenant)
 
 	attrs := j.logAttrs("state", string(state),
 		"dur_ms", float64(runDur)/float64(time.Millisecond))

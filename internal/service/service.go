@@ -37,6 +37,7 @@ import (
 	"demandrace/internal/prof"
 	"demandrace/internal/runner"
 	"demandrace/internal/sched"
+	"demandrace/internal/tenant"
 	"demandrace/internal/trace"
 	"demandrace/internal/workloads"
 )
@@ -343,6 +344,10 @@ type Job struct {
 	// correlation handle tying client, gateway, and server log lines to
 	// this job.
 	trace string
+	// tenant attributes the job for admission accounting (nil when tenancy
+	// is off): it holds a slot in its tenant's weighted share from
+	// enqueue until the terminal state.
+	tenant *tenant.Tenant
 }
 
 // Status is the externally visible snapshot of a job, served as JSON by

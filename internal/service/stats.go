@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"demandrace/internal/obs"
+	"demandrace/internal/tenant"
 )
 
 // LatencySummary condenses one wall-clock histogram into the percentiles an
@@ -104,6 +105,7 @@ type StatsSummary struct {
 	SLO           SLOStats        `json:"slo"`
 	Detector      DetectorStats   `json:"detector"`
 	Store         *StoreStats     `json:"store,omitempty"`
+	Tenants       []tenant.Stats  `json:"tenants,omitempty"`
 }
 
 // summarize reads one histogram into a LatencySummary.
@@ -191,5 +193,6 @@ func (s *Server) Stats() StatsSummary {
 			Bytes:   s.cfg.Store.Size(),
 		}
 	}
+	sum.Tenants = s.tenants.StatsSnapshot()
 	return sum
 }

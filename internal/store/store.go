@@ -333,6 +333,34 @@ func (s *Store) Each(fn func(key string, data []byte) error) error {
 	return nil
 }
 
+// Keys returns every stored key in write order (oldest first) without
+// reading any values — the shard listing replication peers use to plan
+// copies.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	type keyRef struct {
+		key string
+		ref entryRef
+	}
+	refs := make([]keyRef, 0, len(s.index))
+	for key, ref := range s.index {
+		refs = append(refs, keyRef{key, ref})
+	}
+	s.mu.Unlock()
+	sort.Slice(refs, func(i, j int) bool {
+		a, b := refs[i].ref, refs[j].ref
+		if a.seg.id != b.seg.id {
+			return a.seg.id < b.seg.id
+		}
+		return a.off < b.off
+	})
+	out := make([]string, len(refs))
+	for i, r := range refs {
+		out[i] = r.key
+	}
+	return out
+}
+
 // Len returns the number of stored records.
 func (s *Store) Len() int {
 	s.mu.Lock()
